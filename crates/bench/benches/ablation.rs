@@ -1,0 +1,68 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * edge labels as contiguous bitsets (the paper's choice, §4.1) vs a
+//!   `BTreeSet<AtomId>` per link;
+//! * per-update loop checking on vs off (the cost of the property check
+//!   itself, isolating the cost of maintaining atoms/owners/labels).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deltanet::atomset::AtomSet;
+use deltanet::{AtomId, DeltaNet, DeltaNetConfig};
+use netmodel::checker::Checker;
+use std::collections::BTreeSet;
+use workloads::{build, DatasetId, ScaleProfile};
+
+fn bench_label_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_label_repr");
+    let atoms_a: Vec<AtomId> = (0..20_000).step_by(3).map(AtomId).collect();
+    let atoms_b: Vec<AtomId> = (0..20_000).step_by(7).map(AtomId).collect();
+
+    group.bench_function("bitset_build_and_intersect", |b| {
+        b.iter(|| {
+            let a: AtomSet = atoms_a.iter().copied().collect();
+            let bb: AtomSet = atoms_b.iter().copied().collect();
+            a.intersection(&bb).len()
+        })
+    });
+    group.bench_function("btreeset_build_and_intersect", |b| {
+        b.iter(|| {
+            let a: BTreeSet<AtomId> = atoms_a.iter().copied().collect();
+            let bb: BTreeSet<AtomId> = atoms_b.iter().copied().collect();
+            a.intersection(&bb).count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_loop_check_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_loop_check");
+    group.sample_size(10);
+    let ds = build(DatasetId::FourSwitch, ScaleProfile::Tiny);
+    let ops = ds.trace.ops().to_vec();
+    for (label, check) in [("with_loop_check", true), ("without_loop_check", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    DeltaNet::new(
+                        ds.topology.topology.clone(),
+                        DeltaNetConfig {
+                            check_loops_per_update: check,
+                            ..Default::default()
+                        },
+                    )
+                },
+                |mut net| {
+                    for op in &ops {
+                        let _ = net.apply(op);
+                    }
+                    net.rule_count()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_label_representation, bench_loop_check_cost);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark for Algorithm 3 (all-pairs reachability of all
+//! atoms): `O(K · |V|³)` scaling over ring topologies of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltanet::{DeltaNet, DeltaNetConfig, ReachabilityMatrix};
+use workloads::topologies::ring;
+use workloads::{
+    bgp::{generate_prefixes, PrefixGenConfig},
+    rulegen::{generate_data_plane, PriorityMode},
+};
+
+fn bench_allpairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allpairs_reachability");
+    group.sample_size(10);
+    for &nodes in &[4usize, 8, 16, 32] {
+        let topo = ring("ring", nodes);
+        let prefixes = generate_prefixes(PrefixGenConfig {
+            count: 50,
+            overlap_percent: 40,
+            seed: 1,
+        });
+        let plane = generate_data_plane(&topo, &prefixes, PriorityMode::Random, 7);
+        let mut net = DeltaNet::new(
+            topo.topology.clone(),
+            DeltaNetConfig {
+                check_loops_per_update: false,
+                ..Default::default()
+            },
+        );
+        for r in &plane.rules {
+            net.insert_rule(*r);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &net, |b, net| {
+            b.iter(|| {
+                let m = ReachabilityMatrix::compute(net);
+                m.reachable_pair_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allpairs);
+criterion_main!(benches);

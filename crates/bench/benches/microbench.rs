@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the individual data structures: atom
+//! creation/splitting, atom-set (bitset) operations, and trie overlap
+//! queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltanet::atoms::AtomMap;
+use deltanet::atomset::AtomSet;
+use deltanet::AtomId;
+use netmodel::interval::Interval;
+use netmodel::rule::RuleId;
+use veriflow_ri::PrefixTrie;
+use workloads::bgp::{generate_prefixes, PrefixGenConfig};
+
+fn bench_atom_creation(c: &mut Criterion) {
+    let prefixes = generate_prefixes(PrefixGenConfig {
+        count: 5_000,
+        overlap_percent: 40,
+        seed: 3,
+    });
+    c.bench_function("atom_map/create_5000_prefixes", |b| {
+        b.iter(|| {
+            let mut m = AtomMap::new(32);
+            for p in &prefixes {
+                let _ = m.create_atoms(p.interval());
+            }
+            m.atom_count()
+        })
+    });
+
+    let mut m = AtomMap::new(32);
+    for p in &prefixes {
+        m.create_atoms(p.interval());
+    }
+    c.bench_function("atom_map/atoms_of_wide_interval", |b| {
+        b.iter(|| m.atoms_of_count(Interval::new(0, 1 << 32)))
+    });
+}
+
+fn bench_atomset_ops(c: &mut Criterion) {
+    let a: AtomSet = (0..10_000).step_by(3).map(AtomId).collect();
+    let bset: AtomSet = (0..10_000).step_by(5).map(AtomId).collect();
+    c.bench_function("atomset/union_10k", |b| b.iter(|| a.union(&bset).len()));
+    c.bench_function("atomset/intersection_10k", |b| {
+        b.iter(|| a.intersection(&bset).len())
+    });
+    c.bench_function("atomset/iterate_10k", |b| b.iter(|| a.iter().count()));
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let prefixes = generate_prefixes(PrefixGenConfig {
+        count: 5_000,
+        overlap_percent: 40,
+        seed: 9,
+    });
+    let mut trie = PrefixTrie::new(32);
+    for (i, p) in prefixes.iter().enumerate() {
+        trie.insert(p, RuleId(i as u64));
+    }
+    let query = prefixes[42];
+    c.bench_function("trie/overlapping_query", |b| {
+        b.iter(|| trie.overlapping(&query).len())
+    });
+    c.bench_function("trie/insert_5000", |b| {
+        b.iter(|| {
+            let mut t = PrefixTrie::new(32);
+            for (i, p) in prefixes.iter().enumerate() {
+                t.insert(p, RuleId(i as u64));
+            }
+            t.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_atom_creation, bench_atomset_ops, bench_trie);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark for Theorem 1: per-update cost of Delta-net vs
+//! Veriflow-RI while replaying dataset traces (rule insertions + removals
+//! with per-update loop checking).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deltanet::{DeltaNet, DeltaNetConfig};
+use netmodel::checker::Checker;
+use veriflow_ri::{VeriflowConfig, VeriflowRi};
+use workloads::{build, DatasetId, ScaleProfile};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_updates");
+    group.sample_size(10);
+    for id in [DatasetId::FourSwitch, DatasetId::Airtel1, DatasetId::Berkeley] {
+        let ds = build(id, ScaleProfile::Tiny);
+        let ops = ds.trace.ops().to_vec();
+        let ops_per_iter = ops.len() as u64;
+        group.throughput(criterion::Throughput::Elements(ops_per_iter));
+
+        group.bench_function(format!("deltanet/{}", id.name()), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        DeltaNet::new(ds.topology.topology.clone(), DeltaNetConfig::default()),
+                        ops.clone(),
+                    )
+                },
+                |(mut net, ops)| {
+                    for op in &ops {
+                        let _ = net.apply(op);
+                    }
+                    net.rule_count()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        group.bench_function(format!("veriflow-ri/{}", id.name()), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        VeriflowRi::new(ds.topology.topology.clone(), VeriflowConfig::default()),
+                        ops.clone(),
+                    )
+                },
+                |(mut vf, ops)| {
+                    for op in &ops {
+                        let _ = vf.apply(op);
+                    }
+                    vf.rule_count()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

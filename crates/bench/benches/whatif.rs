@@ -1,0 +1,41 @@
+//! Criterion benchmark for the "what if this link fails?" query (Table 4's
+//! micro-scale counterpart): Delta-net reads its persistent labels, while
+//! Veriflow-RI must recompute equivalence classes and forwarding graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netmodel::checker::Checker;
+use netmodel::topology::LinkId;
+use workloads::{build, DatasetId, ScaleProfile};
+
+fn bench_whatif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whatif_link_failure");
+    group.sample_size(10);
+    let ds = build(DatasetId::Berkeley, ScaleProfile::Tiny);
+    let rules = bench::experiments::data_plane_rules(&ds);
+    let net = bench::experiments::load_deltanet(&ds, &rules);
+    let vf = bench::experiments::load_veriflow(&ds, &rules);
+
+    // The most heavily used link is the most interesting query.
+    let link: LinkId = ds
+        .topology
+        .topology
+        .links()
+        .iter()
+        .map(|l| l.id)
+        .max_by_key(|&l| net.label(l).len())
+        .unwrap();
+
+    group.bench_function("deltanet", |b| {
+        b.iter(|| net.what_if_link_failure(link, false).affected_classes)
+    });
+    group.bench_function("deltanet+loops", |b| {
+        b.iter(|| net.what_if_link_failure(link, true).affected_classes)
+    });
+    group.bench_function("veriflow-ri", |b| {
+        b.iter(|| vf.what_if_link_failure(link, false).affected_classes)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_whatif);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs every experiment (Tables 2–5, Figure 8, Appendix C) in sequence and
+//! prints the combined report — the source material for `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run -p bench --release --bin all_experiments [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("{}", bench::experiments::all_experiments(scale));
+}

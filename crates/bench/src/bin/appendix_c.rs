@@ -1,0 +1,10 @@
+//! Regenerates Appendix C: the maximum number of packet classes affected by
+//! a single rule insertion on the RF 1755 dataset (Veriflow-RI equivalence
+//! classes vs Delta-net atoms).
+//!
+//! Usage: `cargo run -p bench --release --bin appendix_c [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("{}", bench::experiments::appendix_c(scale));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: the CDF of combined per-update processing time
+//! (rule update + loop check), emitted as CSV plus an ASCII table.
+//!
+//! Usage: `cargo run -p bench --release --bin fig8 [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let (_, rows) = bench::experiments::table3(scale);
+    println!("{}", bench::experiments::fig8(&rows));
+}

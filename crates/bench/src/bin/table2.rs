@@ -1,0 +1,8 @@
+//! Regenerates Table 2: the dataset inventory (nodes, links, operations).
+//!
+//! Usage: `cargo run -p bench --release --bin table2 [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("{}", bench::experiments::table2(scale));
+}

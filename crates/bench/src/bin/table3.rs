@@ -1,0 +1,10 @@
+//! Regenerates Table 3: per-update processing time of Delta-net (rule
+//! insertion/removal plus forwarding-loop check) across all datasets.
+//!
+//! Usage: `cargo run -p bench --release --bin table3 [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let (text, _) = bench::experiments::table3(scale);
+    println!("{text}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 4: average time to answer the "what if this link
+//! fails?" query for Veriflow-RI, Delta-net, and Delta-net with loop checks.
+//!
+//! Usage: `cargo run -p bench --release --bin table4 [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("{}", bench::experiments::table4(scale));
+}

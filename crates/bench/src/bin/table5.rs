@@ -1,0 +1,9 @@
+//! Regenerates Table 5 (Appendix D): memory usage of Delta-net vs
+//! Veriflow-RI on the consistent data planes.
+//!
+//! Usage: `cargo run -p bench --release --bin table5 [-- --scale tiny|small|medium]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("{}", bench::experiments::table5(scale));
+}

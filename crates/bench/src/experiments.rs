@@ -1,0 +1,422 @@
+//! The experiment implementations behind each table/figure binary.
+//!
+//! Every function builds the required datasets at the requested
+//! [`ScaleProfile`], runs the measurement, and returns a plain-text report
+//! that mirrors the corresponding table or figure of the paper. The binaries
+//! in `src/bin/` are thin wrappers; `all_experiments` chains everything and
+//! is what `EXPERIMENTS.md` is produced from.
+
+use crate::{megabytes, render_table, replay_timed, with_commas, Timings};
+use deltanet::{DeltaNet, DeltaNetConfig};
+use netmodel::checker::Checker;
+use netmodel::rule::Rule;
+use netmodel::topology::LinkId;
+use netmodel::trace::Op;
+use std::time::Instant;
+use veriflow_ri::{VeriflowConfig, VeriflowRi};
+use workloads::{build, build_all, Dataset, DatasetId, ScaleProfile};
+
+/// The consistent data plane used by the what-if experiments (§4.3.2): for
+/// the synthetic and 4Switch datasets, all rule insertions; for the Airtel
+/// datasets, the snapshot left after the whole trace (failures recovered).
+pub fn data_plane_rules(ds: &Dataset) -> Vec<Rule> {
+    match ds.id {
+        DatasetId::Airtel1 | DatasetId::Airtel2 => ds.trace.final_data_plane(),
+        _ => ds
+            .trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert(r) => Some(*r),
+                Op::Remove(_) => None,
+            })
+            .collect(),
+    }
+}
+
+/// Loads a data plane into a Delta-net checker with per-update checks off.
+pub fn load_deltanet(ds: &Dataset, rules: &[Rule]) -> DeltaNet {
+    let mut net = DeltaNet::new(
+        ds.topology.topology.clone(),
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    for r in rules {
+        net.insert_rule(*r);
+    }
+    net
+}
+
+/// Loads a data plane into a Veriflow-RI checker with per-update checks off.
+pub fn load_veriflow(ds: &Dataset, rules: &[Rule]) -> VeriflowRi {
+    let mut vf = VeriflowRi::new(
+        ds.topology.topology.clone(),
+        VeriflowConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    for r in rules {
+        vf.insert_rule(*r);
+    }
+    vf
+}
+
+/// **Table 2** — dataset sizes (nodes, links, operations).
+pub fn table2(scale: ScaleProfile) -> String {
+    let datasets = build_all(scale);
+    let rows: Vec<Vec<String>> = datasets
+        .iter()
+        .map(|ds| {
+            let row = ds.table2_row();
+            vec![
+                row.name,
+                with_commas(row.nodes),
+                with_commas(row.links),
+                with_commas(row.operations),
+                with_commas(row.peak_rules),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 2: Data sets used for evaluating Delta-net (scale: {scale:?})\n\n{}",
+        render_table(
+            &["Data set", "Nodes", "Max Links", "Operations", "Peak rules"],
+            &rows
+        )
+    )
+}
+
+/// The per-dataset measurement behind Table 3 and Figure 8.
+pub struct Table3Row {
+    /// Dataset name.
+    pub name: String,
+    /// Total atoms after the replay.
+    pub atoms: usize,
+    /// Per-operation timing of Delta-net (update + loop check).
+    pub timings: Timings,
+    /// Operations that reported at least one forwarding loop.
+    pub ops_with_loops: usize,
+}
+
+/// Runs Delta-net (with per-update loop checking) over every dataset.
+pub fn run_table3(scale: ScaleProfile) -> Vec<Table3Row> {
+    build_all(scale)
+        .into_iter()
+        .map(|ds| {
+            let mut net = DeltaNet::new(ds.topology.topology.clone(), DeltaNetConfig::default());
+            let result = replay_timed(&mut net, ds.trace.ops());
+            Table3Row {
+                name: ds.id.name().to_string(),
+                atoms: net.atom_count(),
+                timings: result.timings,
+                ops_with_loops: result.ops_with_loops,
+            }
+        })
+        .collect()
+}
+
+/// **Table 3** — total atoms, median/average per-update processing time and
+/// the percentage of updates under 250 µs, per dataset.
+pub fn table3(scale: ScaleProfile) -> (String, Vec<Table3Row>) {
+    let rows = run_table3(scale);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let s = r.timings.summary();
+            vec![
+                r.name.clone(),
+                with_commas(r.atoms),
+                format!("{:.1}", s.median_us),
+                format!("{:.1}", s.average_us),
+                format!("{:.1}%", s.pct_under_250us),
+                with_commas(s.count),
+                with_commas(r.ops_with_loops),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Table 3: Delta-net rule insertions and removals, incl. loop check (scale: {scale:?})\n\n{}",
+        render_table(
+            &[
+                "Data set",
+                "Total atoms",
+                "Median (us)",
+                "Average (us)",
+                "< 250us",
+                "Operations",
+                "Ops w/ loops"
+            ],
+            &table_rows
+        )
+    );
+    (text, rows)
+}
+
+/// **Figure 8** — the CDF of per-update processing times, as CSV plus an
+/// ASCII rendering.
+pub fn fig8(rows: &[Table3Row]) -> String {
+    let points: Vec<f64> = (0..=50).map(|i| 10f64.powf(i as f64 * 0.1)).collect(); // 1 µs .. 100 ms
+    let mut out = String::from("Figure 8: CDF of per-update processing time (microseconds)\n\n");
+    out.push_str("CSV (one column per dataset):\nmicros");
+    for r in rows {
+        out.push_str(&format!(",{}", r.name.replace(' ', "")));
+    }
+    out.push('\n');
+    let cdfs: Vec<Vec<(f64, f64)>> = rows.iter().map(|r| r.timings.cdf(&points)).collect();
+    for (i, &p) in points.iter().enumerate() {
+        out.push_str(&format!("{p:.1}"));
+        for cdf in &cdfs {
+            out.push_str(&format!(",{:.4}", cdf[i].1));
+        }
+        out.push('\n');
+    }
+    // ASCII plot: one row per dataset at selected percent-complete marks.
+    out.push_str("\nASCII CDF (fraction of updates completed within t):\n");
+    let marks = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0];
+    let mut table_rows = Vec::new();
+    for r in rows {
+        let cdf = r.timings.cdf(&marks);
+        let mut row = vec![r.name.clone()];
+        row.extend(cdf.iter().map(|(_, f)| format!("{:.2}", f)));
+        table_rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("Data set".to_string())
+        .chain(marks.iter().map(|m| format!("{m}us")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    out.push_str(&render_table(&header_refs, &table_rows));
+    out
+}
+
+/// How many link-failure queries to pose per dataset in Table 4.
+const WHATIF_QUERIES_PER_DATASET: usize = 25;
+
+/// **Table 4** — average "what if this link fails" query time for
+/// Veriflow-RI, Delta-net, and Delta-net with loop checking.
+pub fn table4(scale: ScaleProfile) -> String {
+    let datasets = build_all(scale);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for ds in &datasets {
+        let rules = data_plane_rules(ds);
+        let net = load_deltanet(ds, &rules);
+        let vf = load_veriflow(ds, &rules);
+
+        // Query the most heavily used links (by Delta-net label size), which
+        // is where the differences matter; the paper queries every link.
+        let mut links: Vec<(LinkId, usize)> = ds
+            .topology
+            .topology
+            .links()
+            .iter()
+            .map(|l| (l.id, net.label(l.id).len()))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        links.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let queries: Vec<LinkId> = links
+            .iter()
+            .take(WHATIF_QUERIES_PER_DATASET)
+            .map(|&(l, _)| l)
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+
+        let time_queries = |f: &dyn Fn(LinkId)| -> f64 {
+            let start = Instant::now();
+            for &l in &queries {
+                f(l);
+            }
+            start.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+        };
+        let vf_ms = time_queries(&|l| {
+            let _ = vf.what_if_link_failure(l, false);
+        });
+        let dn_ms = time_queries(&|l| {
+            let _ = net.what_if_link_failure(l, false);
+        });
+        let dn_loops_ms = time_queries(&|l| {
+            let _ = net.what_if_link_failure(l, true);
+        });
+
+        rows.push(vec![
+            ds.id.name().to_string(),
+            with_commas(rules.len()),
+            format!("{vf_ms:.3}"),
+            format!("{dn_ms:.3}"),
+            format!("{dn_loops_ms:.3}"),
+            format!("{:.1}x", vf_ms / dn_ms.max(1e-6)),
+        ]);
+    }
+    format!(
+        "Table 4: link-failure \"what if\" queries, average per-query time in ms \
+         ({WHATIF_QUERIES_PER_DATASET} most-used links per data plane, scale: {scale:?})\n\n{}",
+        render_table(
+            &[
+                "Data plane",
+                "Rules",
+                "Veriflow-RI (ms)",
+                "Delta-net (ms)",
+                "+Loops (ms)",
+                "Speed-up"
+            ],
+            &rows
+        )
+    )
+}
+
+/// **Table 5 / Appendix D** — memory usage of Delta-net and Veriflow-RI on
+/// the consistent data planes.
+pub fn table5(scale: ScaleProfile) -> String {
+    let datasets = build_all(scale);
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        let rules = data_plane_rules(ds);
+        let net = load_deltanet(ds, &rules);
+        let vf = load_veriflow(ds, &rules);
+        let dn_bytes = net.memory_bytes();
+        let vf_bytes = vf.memory_bytes();
+        rows.push(vec![
+            ds.id.name().to_string(),
+            with_commas(rules.len()),
+            megabytes(vf_bytes),
+            megabytes(dn_bytes),
+            format!("{:.1}x", dn_bytes as f64 / vf_bytes.max(1) as f64),
+        ]);
+    }
+    format!(
+        "Table 5 (Appendix D): estimated memory usage in MB (scale: {scale:?})\n\n{}",
+        render_table(
+            &["Data set", "Rules", "Veriflow-RI (MB)", "Delta-net (MB)", "Ratio"],
+            &rows
+        )
+    )
+}
+
+/// **Appendix C** — the maximum number of equivalence classes affected by a
+/// single rule insertion when Veriflow-RI runs on the RF 1755 dataset,
+/// contrasted with Delta-net's affected atoms on the same trace.
+pub fn appendix_c(scale: ScaleProfile) -> String {
+    let ds = build(DatasetId::Rf1755, scale);
+    // Only the insertion phase, as in the original experiment.
+    let inserts: Vec<Op> = ds
+        .trace
+        .ops()
+        .iter()
+        .copied()
+        .filter(|op| op.is_insert())
+        .collect();
+    let mut vf = VeriflowRi::new(
+        ds.topology.topology.clone(),
+        VeriflowConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    let vf_result = replay_timed(&mut vf, &inserts);
+    let mut net = DeltaNet::new(
+        ds.topology.topology.clone(),
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    let dn_result = replay_timed(&mut net, &inserts);
+    format!(
+        "Appendix C: RF 1755 insertion phase (scale: {scale:?})\n\n{}",
+        render_table(
+            &["Metric", "Veriflow-RI", "Delta-net"],
+            &[
+                vec![
+                    "Max classes affected by one insert".to_string(),
+                    with_commas(vf_result.max_affected_classes),
+                    with_commas(dn_result.max_affected_classes),
+                ],
+                vec![
+                    "Average insert time (us)".to_string(),
+                    format!("{:.1}", vf_result.timings.summary().average_us),
+                    format!("{:.1}", dn_result.timings.summary().average_us),
+                ],
+                vec![
+                    "Final packet classes".to_string(),
+                    with_commas(vf_result.final_class_count),
+                    with_commas(dn_result.final_class_count),
+                ],
+            ]
+        )
+    )
+}
+
+/// Runs every experiment and concatenates the reports (the `all_experiments`
+/// binary, used to regenerate `EXPERIMENTS.md`).
+pub fn all_experiments(scale: ScaleProfile) -> String {
+    let mut out = String::new();
+    out.push_str(&table2(scale));
+    out.push('\n');
+    let (t3, rows) = table3(scale);
+    out.push_str(&t3);
+    out.push('\n');
+    out.push_str(&fig8(&rows));
+    out.push('\n');
+    out.push_str(&table4(scale));
+    out.push('\n');
+    out.push_str(&table5(scale));
+    out.push('\n');
+    out.push_str(&appendix_c(scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_datasets() {
+        let t = table2(ScaleProfile::Tiny);
+        for name in ["Berkeley", "INET", "RF 1755", "Airtel 1", "4Switch"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table3_and_fig8_on_tiny_scale() {
+        let (t3, rows) = table3(ScaleProfile::Tiny);
+        assert_eq!(rows.len(), 8);
+        assert!(t3.contains("Total atoms"));
+        for r in &rows {
+            assert!(r.atoms > 0, "{} has no atoms", r.name);
+            assert!(!r.timings.is_empty());
+        }
+        let f8 = fig8(&rows);
+        assert!(f8.contains("CSV"));
+        assert!(f8.contains("Berkeley"));
+    }
+
+    #[test]
+    fn table4_and_table5_on_tiny_scale() {
+        let t4 = table4(ScaleProfile::Tiny);
+        assert!(t4.contains("Veriflow-RI (ms)"));
+        assert!(t4.contains("Delta-net (ms)"));
+        let t5 = table5(ScaleProfile::Tiny);
+        assert!(t5.contains("Delta-net (MB)"));
+    }
+
+    #[test]
+    fn appendix_c_reports_classes() {
+        let c = appendix_c(ScaleProfile::Tiny);
+        assert!(c.contains("Max classes affected"));
+    }
+
+    #[test]
+    fn data_plane_rules_synthetic_vs_airtel() {
+        let synthetic = build(DatasetId::Berkeley, ScaleProfile::Tiny);
+        let rules = data_plane_rules(&synthetic);
+        assert_eq!(rules.len(), synthetic.trace.insert_count());
+        let airtel = build(DatasetId::Airtel1, ScaleProfile::Tiny);
+        let rules = data_plane_rules(&airtel);
+        assert!(!rules.is_empty());
+        assert!(rules.len() < airtel.trace.insert_count());
+    }
+}

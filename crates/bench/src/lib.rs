@@ -1,0 +1,295 @@
+//! # bench — the experiment harness for every table and figure
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (§4.3, appendices C–D) against the scaled datasets from the
+//! `workloads` crate; the Criterion benches in `benches/` cover the
+//! micro-benchmarks and ablations. This library holds the shared pieces:
+//! per-operation timing, summary statistics (median / average / percentage
+//! under 250 µs), CDF construction, and plain-text table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netmodel::checker::{Checker, UpdateReport};
+use netmodel::trace::Op;
+use std::time::Instant;
+
+pub mod experiments;
+
+/// Per-operation wall-clock times, in microseconds.
+#[derive(Clone, Debug, Default)]
+pub struct Timings {
+    /// One entry per replayed operation, in microseconds.
+    pub micros: Vec<f64>,
+}
+
+impl Timings {
+    /// Number of measured operations.
+    pub fn len(&self) -> usize {
+        self.micros.len()
+    }
+
+    /// Whether no operation was measured.
+    pub fn is_empty(&self) -> bool {
+        self.micros.is_empty()
+    }
+
+    /// Summary statistics over the measured operations.
+    pub fn summary(&self) -> Summary {
+        if self.micros.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = self.micros.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let total: f64 = sorted.iter().sum();
+        let average = total / sorted.len() as f64;
+        let under_250 = sorted.iter().filter(|&&t| t < 250.0).count();
+        Summary {
+            count: sorted.len(),
+            median_us: median,
+            average_us: average,
+            max_us: *sorted.last().unwrap(),
+            pct_under_250us: 100.0 * under_250 as f64 / sorted.len() as f64,
+            total_seconds: total / 1e6,
+        }
+    }
+
+    /// The empirical CDF sampled at the given time points (µs): for each
+    /// point, the fraction of operations that completed within it.
+    pub fn cdf(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        let mut sorted = self.micros.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        points
+            .iter()
+            .map(|&p| {
+                let under = sorted.partition_point(|&t| t <= p);
+                (p, under as f64 / sorted.len().max(1) as f64)
+            })
+            .collect()
+    }
+}
+
+/// Summary statistics in the shape of Table 3's rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of operations measured.
+    pub count: usize,
+    /// Median per-operation time (µs).
+    pub median_us: f64,
+    /// Average per-operation time (µs).
+    pub average_us: f64,
+    /// Maximum per-operation time (µs).
+    pub max_us: f64,
+    /// Percentage of operations completing in under 250 µs.
+    pub pct_under_250us: f64,
+    /// Total wall-clock time (seconds).
+    pub total_seconds: f64,
+}
+
+/// The result of replaying a trace against a checker with per-op timing.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// Per-operation times.
+    pub timings: Timings,
+    /// Number of operations whose per-update check reported a loop.
+    pub ops_with_loops: usize,
+    /// The maximum `affected_classes` over all operations (Appendix C).
+    pub max_affected_classes: usize,
+    /// Number of packet classes maintained at the end (atoms / max ECs).
+    pub final_class_count: usize,
+    /// Estimated memory at the end of the replay (bytes).
+    pub final_memory_bytes: usize,
+}
+
+/// Replays `ops` against `checker`, timing each operation (which includes
+/// the per-update property check the checker is configured with).
+pub fn replay_timed<C: Checker>(checker: &mut C, ops: &[Op]) -> ReplayResult {
+    let mut timings = Timings {
+        micros: Vec::with_capacity(ops.len()),
+    };
+    let mut ops_with_loops = 0usize;
+    let mut max_affected = 0usize;
+    for op in ops {
+        let start = Instant::now();
+        let report: UpdateReport = checker.apply(op);
+        let elapsed = start.elapsed();
+        timings.micros.push(elapsed.as_secs_f64() * 1e6);
+        if report.has_loop() {
+            ops_with_loops += 1;
+        }
+        max_affected = max_affected.max(report.affected_classes);
+    }
+    ReplayResult {
+        timings,
+        ops_with_loops,
+        max_affected_classes: max_affected,
+        final_class_count: checker.class_count(),
+        final_memory_bytes: checker.memory_bytes(),
+    }
+}
+
+/// Formats a number with thousands separators (for table output).
+pub fn with_commas(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats bytes as a human-readable MB string.
+pub fn megabytes(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Renders a plain-text table: a header row and aligned columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Parses the `--scale tiny|small|medium` command-line argument (or the
+/// `DELTANET_SCALE` environment variable), defaulting to `small`.
+pub fn scale_from_args() -> workloads::ScaleProfile {
+    let mut args = std::env::args().skip(1);
+    let mut scale: Option<String> = None;
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            scale = args.next();
+        } else if let Some(rest) = a.strip_prefix("--scale=") {
+            scale = Some(rest.to_string());
+        }
+    }
+    let scale = scale.or_else(|| std::env::var("DELTANET_SCALE").ok());
+    match scale.as_deref() {
+        Some("tiny") => workloads::ScaleProfile::Tiny,
+        Some("medium") => workloads::ScaleProfile::Medium,
+        Some("small") | None => workloads::ScaleProfile::Small,
+        Some(other) => {
+            eprintln!("unknown scale `{other}`, using `small`");
+            workloads::ScaleProfile::Small
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltanet::DeltaNet;
+    use netmodel::rule::{Rule, RuleId};
+    use netmodel::topology::Topology;
+
+    #[test]
+    fn summary_statistics() {
+        let t = Timings {
+            micros: vec![1.0, 2.0, 3.0, 4.0, 1000.0],
+        };
+        let s = t.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.median_us, 3.0);
+        assert!((s.average_us - 202.0).abs() < 1e-9);
+        assert_eq!(s.max_us, 1000.0);
+        assert_eq!(s.pct_under_250us, 80.0);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn empty_timings_summary_is_zero() {
+        let s = Timings::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.average_us, 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let t = Timings {
+            micros: vec![1.0, 5.0, 10.0, 50.0],
+        };
+        let cdf = t.cdf(&[0.5, 1.0, 7.0, 100.0]);
+        assert_eq!(cdf[0].1, 0.0);
+        assert_eq!(cdf[1].1, 0.25);
+        assert_eq!(cdf[2].1, 0.5);
+        assert_eq!(cdf[3].1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn replay_timed_counts_loops() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_link(a, b);
+        let ba = topo.add_link(b, a);
+        let mut net = DeltaNet::with_topology(topo);
+        let ops = vec![
+            Op::Insert(Rule::forward(
+                RuleId(1),
+                "10.0.0.0/8".parse().unwrap(),
+                1,
+                a,
+                ab,
+            )),
+            Op::Insert(Rule::forward(
+                RuleId(2),
+                "10.0.0.0/8".parse().unwrap(),
+                1,
+                b,
+                ba,
+            )),
+            Op::Remove(RuleId(2)),
+        ];
+        let result = replay_timed(&mut net, &ops);
+        assert_eq!(result.timings.len(), 3);
+        assert_eq!(result.ops_with_loops, 1);
+        assert!(result.max_affected_classes >= 1);
+        assert!(result.final_memory_bytes > 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(with_commas(1234567), "1,234,567");
+        assert_eq!(with_commas(42), "42");
+        assert_eq!(megabytes(10 * 1024 * 1024), "10.0");
+        let table = render_table(&["a", "b"], &[vec!["1".to_string(), "2".to_string()]]);
+        assert!(table.contains("a"));
+        assert!(table.contains("1"));
+        assert!(table.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,378 @@
+//! The `deltanet` sub-commands.
+//!
+//! Every command is a pure function from parsed arguments (plus the
+//! filesystem) to a report string, so the binary stays a two-line wrapper
+//! and the behaviour is unit-testable.
+
+use crate::args::{parse_dataset, parse_scale, ArgError, ParsedArgs};
+use crate::topo_text;
+use deltanet::{blackholes, DeltaNet, DeltaNetConfig};
+use netmodel::checker::Checker;
+use netmodel::topology::Topology;
+use netmodel::trace::Trace;
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+use veriflow_ri::{VeriflowConfig, VeriflowRi};
+
+/// Errors produced by a command.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Bad command-line arguments.
+    Args(ArgError),
+    /// A file could not be read or written.
+    Io(std::io::Error),
+    /// A topology or trace file failed to parse.
+    Parse(String),
+    /// Any other user-facing error.
+    Other(String),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Args(e) => write!(f, "{e}"),
+            CommandError::Io(e) => write!(f, "i/o error: {e}"),
+            CommandError::Parse(e) => write!(f, "{e}"),
+            CommandError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<ArgError> for CommandError {
+    fn from(e: ArgError) -> Self {
+        CommandError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+/// The help text.
+pub fn help() -> String {
+    "deltanet — real-time data-plane verification using atoms (NSDI 2017)\n\
+     \n\
+     USAGE: deltanet <command> [options]\n\
+     \n\
+     COMMANDS\n\
+       generate  --dataset <name> [--scale tiny|small|medium] --out <dir>\n\
+                 Generate one of the eight evaluation datasets as <name>.topo + <name>.trace\n\
+       replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
+                 Replay a trace through a checker and print Table-3 style statistics\n\
+       whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
+                 Load the trace's final data plane and analyse the failure of link src->dst\n\
+       audit     --topo <file> --trace <file>\n\
+                 Load the final data plane and report all forwarding loops and blackholes\n\
+       help      Show this message\n"
+        .to_string()
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &ParsedArgs) -> Result<String, CommandError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "replay" => replay(args),
+        "whatif" => whatif(args),
+        "audit" => audit(args),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(CommandError::Other(format!(
+            "unknown command `{other}`; try `deltanet help`"
+        ))),
+    }
+}
+
+fn load_topology(path: &str) -> Result<Topology, CommandError> {
+    let text = std::fs::read_to_string(path)?;
+    topo_text::from_text(&text).map_err(|e| CommandError::Parse(format!("{path}: {e}")))
+}
+
+fn load_trace(path: &str, topo: &mut Topology) -> Result<Trace, CommandError> {
+    let text = std::fs::read_to_string(path)?;
+    Trace::parse(&text, topo).map_err(|e| CommandError::Parse(format!("{path}: {e}")))
+}
+
+/// `deltanet generate` — write a dataset to disk.
+pub fn generate(args: &ParsedArgs) -> Result<String, CommandError> {
+    let dataset = parse_dataset(args)?;
+    let scale = parse_scale(args)?;
+    let out_dir = args.require("out")?;
+    let ds = workloads::build(dataset, scale);
+    std::fs::create_dir_all(out_dir)?;
+    let stem = dataset.name().to_ascii_lowercase().replace(' ', "_");
+    let topo_path = Path::new(out_dir).join(format!("{stem}.topo"));
+    let trace_path = Path::new(out_dir).join(format!("{stem}.trace"));
+    std::fs::write(&topo_path, topo_text::to_text(&ds.topology.topology))?;
+    std::fs::write(&trace_path, ds.trace.to_text(&ds.topology.topology))?;
+    let row = ds.table2_row();
+    Ok(format!(
+        "wrote {} and {}\n{}: {} nodes, {} links, {} operations, peak {} rules\n",
+        topo_path.display(),
+        trace_path.display(),
+        row.name,
+        row.nodes,
+        row.links,
+        row.operations,
+        row.peak_rules
+    ))
+}
+
+/// `deltanet replay` — replay a trace through a checker with timing.
+pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
+    let mut topo = load_topology(args.require("topo")?)?;
+    let trace = load_trace(args.require("trace")?, &mut topo)?;
+    let check_loops = !args.has_flag("no-loops");
+    let checker_name = args.get_or("checker", "deltanet").to_string();
+    let mut checker: Box<dyn Checker> = match checker_name.as_str() {
+        "deltanet" => Box::new(DeltaNet::new(
+            topo,
+            DeltaNetConfig {
+                check_loops_per_update: check_loops,
+                ..Default::default()
+            },
+        )),
+        "veriflow" | "veriflow-ri" => Box::new(VeriflowRi::new(
+            topo,
+            VeriflowConfig {
+                check_loops_per_update: check_loops,
+                ..Default::default()
+            },
+        )),
+        other => {
+            return Err(CommandError::Other(format!(
+                "unknown checker `{other}` (expected deltanet | veriflow)"
+            )))
+        }
+    };
+
+    let mut micros: Vec<f64> = Vec::with_capacity(trace.len());
+    let mut loops = 0usize;
+    for op in trace.ops() {
+        let start = Instant::now();
+        let report = checker.apply(op);
+        micros.push(start.elapsed().as_secs_f64() * 1e6);
+        if report.has_loop() {
+            loops += 1;
+        }
+    }
+    micros.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = micros.get(micros.len() / 2).copied().unwrap_or(0.0);
+    let average = micros.iter().sum::<f64>() / micros.len().max(1) as f64;
+    let under = micros.iter().filter(|&&t| t < 250.0).count();
+    Ok(format!(
+        "checker:            {}\n\
+         operations:         {}\n\
+         packet classes:     {}\n\
+         rules installed:    {}\n\
+         median update time: {median:.1} us\n\
+         average update time:{average:.1} us\n\
+         updates < 250 us:   {:.2}%\n\
+         updates with loops: {loops}\n\
+         estimated memory:   {:.1} MiB\n",
+        checker.name(),
+        trace.len(),
+        checker.class_count(),
+        checker.rule_count(),
+        100.0 * under as f64 / micros.len().max(1) as f64,
+        checker.memory_bytes() as f64 / (1024.0 * 1024.0),
+    ))
+}
+
+/// Builds the final data plane of a trace inside a Delta-net checker.
+fn load_final_data_plane(args: &ParsedArgs) -> Result<DeltaNet, CommandError> {
+    let mut topo = load_topology(args.require("topo")?)?;
+    let trace = load_trace(args.require("trace")?, &mut topo)?;
+    let mut net = DeltaNet::new(
+        topo,
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    for rule in trace.final_data_plane() {
+        net.insert_rule(rule);
+    }
+    Ok(net)
+}
+
+/// `deltanet whatif` — link-failure impact analysis on the final data plane.
+pub fn whatif(args: &ParsedArgs) -> Result<String, CommandError> {
+    let net = load_final_data_plane(args)?;
+    let src: u32 = args
+        .require("src")?
+        .parse()
+        .map_err(|_| CommandError::Other("--src must be a node id".to_string()))?;
+    let dst: u32 = args
+        .require("dst")?
+        .parse()
+        .map_err(|_| CommandError::Other("--dst must be a node id".to_string()))?;
+    let link = net
+        .topology()
+        .link_between(netmodel::topology::NodeId(src), netmodel::topology::NodeId(dst))
+        .ok_or_else(|| CommandError::Other(format!("no link n{src} -> n{dst} in topology")))?;
+    let start = Instant::now();
+    let report = net.link_failure_impact(link, args.has_flag("loops"));
+    let elapsed = start.elapsed();
+    let mut out = format!(
+        "what if link n{src} -> n{dst} fails? (answered in {:.1} us)\n\
+         affected packet classes: {}\n\
+         affected address ranges: {}\n\
+         other links carrying affected traffic: {}\n",
+        elapsed.as_secs_f64() * 1e6,
+        report.affected_classes,
+        report.affected_packets.len(),
+        report.affected_links.len(),
+    );
+    for iv in report.affected_packets.iter().take(10) {
+        out.push_str(&format!("  {iv}\n"));
+    }
+    if args.has_flag("loops") {
+        out.push_str(&format!(
+            "forwarding loops among affected flows: {}\n",
+            report.violations.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// `deltanet audit` — full loop + blackhole audit of the final data plane.
+pub fn audit(args: &ParsedArgs) -> Result<String, CommandError> {
+    let net = load_final_data_plane(args)?;
+    let loops = net.check_all_loops();
+    let holes = blackholes::check_blackholes(&net);
+    let mut out = format!(
+        "rules: {}, atoms: {}\nforwarding loops: {}\nblackholes: {}\n\
+         (note: nodes with no rules at all — e.g. external border routers — show up as\n\
+          blackholes; add explicit drop/deliver rules there to silence them)\n",
+        net.rule_count(),
+        net.atom_count(),
+        loops.len(),
+        holes.len()
+    );
+    for v in loops.iter().chain(holes.iter()).take(20) {
+        out.push_str(&format!("  {v}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("deltanet-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&parsed(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&parsed(&["frob"])).is_err());
+    }
+
+    #[test]
+    fn generate_replay_whatif_audit_end_to_end() {
+        let dir = temp_dir("e2e");
+        let out = dir.to_str().unwrap().to_string();
+
+        // generate
+        let g = run(&parsed(&[
+            "generate",
+            "--dataset",
+            "4switch",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        assert!(g.contains("4switch.topo"));
+        let topo = dir.join("4switch.topo");
+        let trace = dir.join("4switch.trace");
+        assert!(topo.exists() && trace.exists());
+        let topo = topo.to_str().unwrap().to_string();
+        let trace = trace.to_str().unwrap().to_string();
+
+        // replay with both checkers
+        for (checker, reported_name) in [("deltanet", "delta-net"), ("veriflow", "veriflow-ri")] {
+            let r = run(&parsed(&[
+                "replay", "--topo", &topo, "--trace", &trace, "--checker", checker,
+            ]))
+            .unwrap();
+            assert!(r.contains("median update time"), "{r}");
+            assert!(r.contains(reported_name), "{r}");
+        }
+
+        // whatif on the ring link n0 -> n1
+        let w = run(&parsed(&[
+            "whatif", "--topo", &topo, "--trace", &trace, "--src", "0", "--dst", "1", "--loops",
+        ]))
+        .unwrap();
+        assert!(w.contains("affected packet classes"), "{w}");
+
+        // audit: the converged SDN-IP data plane is loop-free.
+        let a = run(&parsed(&["audit", "--topo", &topo, "--trace", &trace])).unwrap();
+        assert!(a.contains("forwarding loops: 0"), "{a}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_rejects_unknown_checker() {
+        let dir = temp_dir("badchecker");
+        let out = dir.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "generate", "--dataset", "4switch", "--scale", "tiny", "--out", &out,
+        ]))
+        .unwrap();
+        let topo = dir.join("4switch.topo").to_str().unwrap().to_string();
+        let trace = dir.join("4switch.trace").to_str().unwrap().to_string();
+        let err = run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--checker", "magic",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown checker"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn whatif_rejects_missing_link() {
+        let dir = temp_dir("badlink");
+        let out = dir.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "generate", "--dataset", "4switch", "--scale", "tiny", "--out", &out,
+        ]))
+        .unwrap();
+        let topo = dir.join("4switch.topo").to_str().unwrap().to_string();
+        let trace = dir.join("4switch.trace").to_str().unwrap().to_string();
+        let err = run(&parsed(&[
+            "whatif", "--topo", &topo, "--trace", &trace, "--src", "0", "--dst", "99",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no link"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            "/nonexistent.topo",
+            "--trace",
+            "/nonexistent.trace",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CommandError::Io(_)));
+    }
+}

@@ -1,0 +1,22 @@
+//! The `deltanet` command-line tool.
+//!
+//! See `deltanet help` (or [`deltanet_cli::commands::help`]) for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match deltanet_cli::args::ParsedArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", deltanet_cli::commands::help());
+            std::process::exit(2);
+        }
+    };
+    match deltanet_cli::commands::run(&parsed) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

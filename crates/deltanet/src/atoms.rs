@@ -1,0 +1,458 @@
+//! Atoms and the ordered bound map `M` (paper §3.1).
+//!
+//! The IP prefixes of all rules in the network segment the destination
+//! address space into mutually disjoint half-closed intervals called
+//! *atoms*. The representation is an ordered map `M` from interval bounds to
+//! *atom identifiers*: the pair `n ↦ α` means that `α` denotes the atom
+//! `[n : n')` where `n'` is the next greater key in `M`. The map is
+//! initialized with `MIN ↦ α₀` and `MAX ↦ α∞` where `α∞` is a sentinel that
+//! never denotes a real atom, so the number of atoms is always `|M| - 1`.
+//!
+//! Inserting a rule calls [`AtomMap::create_atoms`] (the paper's
+//! `CREATE_ATOMS⁺`), which inserts the rule's lower and upper bound if not
+//! already present and returns the at most two *delta-pairs* `α ↦ α'`
+//! describing which existing atoms were split. This incremental refinement
+//! is what lets Delta-net represent every Boolean combination of rules
+//! without ever recomputing equivalence classes from scratch.
+
+use netmodel::interval::{Bound, Interval};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an atom.
+///
+/// Identifiers are handed out by a consecutively increasing counter starting
+/// at zero (paper §3.1), so they double as dense indices into the `owner`
+/// and label structures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The sentinel `α∞` paired with the `MAX` key; it never denotes an atom.
+    pub const INF: AtomId = AtomId(u32::MAX);
+
+    /// The atom id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == AtomId::INF {
+            write!(f, "α∞")
+        } else {
+            write!(f, "α{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A delta-pair `α ↦ α'` produced by an atom split: the half-closed interval
+/// previously denoted by `old` is now denoted by `old` (its lower part) and
+/// `new` (its upper part).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaPair {
+    /// The atom that was split (keeps the lower part of its old interval).
+    pub old: AtomId,
+    /// The freshly created atom denoting the upper part.
+    pub new: AtomId,
+}
+
+/// The ordered map `M` of interval bounds to atom identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use deltanet::atoms::AtomMap;
+/// use netmodel::interval::Interval;
+///
+/// // Table 1 of the paper: rH = [10:12), rL = [0:16) over 32-bit addresses.
+/// let mut m = AtomMap::new(32);
+/// let d1 = m.create_atoms(Interval::new(10, 12));
+/// let d2 = m.create_atoms(Interval::new(0, 16));
+/// assert!(d1.len() <= 2 && d2.len() <= 2);
+/// assert_eq!(m.atom_count(), 4); // [0:10), [10:12), [12:16), [16:2^32)
+/// ```
+#[derive(Clone, Debug)]
+pub struct AtomMap {
+    /// `M`: bound ↦ atom id. Always contains `MIN` and `MAX`.
+    map: BTreeMap<Bound, AtomId>,
+    /// Interval currently denoted by each atom id (dense, indexed by id).
+    intervals: Vec<Interval>,
+    /// Exclusive upper bound of the whole field space (`MAX = 2^width`).
+    max: Bound,
+    /// Scratch buffer reused by `create_atoms` to avoid per-call allocation.
+    scratch: Vec<DeltaPair>,
+}
+
+impl AtomMap {
+    /// Creates the atom map for a `width`-bit header field, containing the
+    /// single atom `[MIN : MAX)`.
+    pub fn new(width: u8) -> Self {
+        assert!(width > 0 && width <= 127, "unsupported field width {width}");
+        let max = 1u128 << width;
+        let mut map = BTreeMap::new();
+        map.insert(0, AtomId(0));
+        map.insert(max, AtomId::INF);
+        AtomMap {
+            map,
+            intervals: vec![Interval::new(0, max)],
+            max,
+            scratch: Vec::with_capacity(2),
+        }
+    }
+
+    /// The exclusive upper bound `MAX = 2^width` of the field space.
+    #[inline]
+    pub fn max_bound(&self) -> Bound {
+        self.max
+    }
+
+    /// The number of atoms currently represented (`|M| - 1`).
+    #[inline]
+    pub fn atom_count(&self) -> usize {
+        self.map.len() - 1
+    }
+
+    /// The total number of atom identifiers ever allocated (atoms are never
+    /// renumbered, so this equals `atom_count()` unless a compaction API is
+    /// layered on top).
+    #[inline]
+    pub fn allocated_atoms(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The half-closed interval currently denoted by `atom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `atom` is the `α∞` sentinel or has not been allocated.
+    #[inline]
+    pub fn atom_interval(&self, atom: AtomId) -> Interval {
+        self.intervals[atom.index()]
+    }
+
+    /// The atom containing the single field value `x`.
+    pub fn atom_of_value(&self, x: Bound) -> AtomId {
+        assert!(x < self.max, "value {x} outside field space");
+        let (_, &atom) = self
+            .map
+            .range(..=x)
+            .next_back()
+            .expect("MIN is always present");
+        atom
+    }
+
+    /// The paper's `CREATE_ATOMS⁺`: ensures both bounds of `interval` are
+    /// keys of `M`, allocating at most two new atoms, and returns the
+    /// delta-pairs describing the splits (possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or extends beyond the field space.
+    pub fn create_atoms(&mut self, interval: Interval) -> Vec<DeltaPair> {
+        assert!(!interval.is_empty(), "rules must match at least one packet");
+        assert!(
+            interval.hi() <= self.max,
+            "interval {interval} outside field space [0 : {})",
+            self.max
+        );
+        self.scratch.clear();
+        let lower = interval.lo();
+        let upper = interval.hi();
+        if let Some(pair) = self.insert_bound(lower) {
+            self.scratch.push(pair);
+        }
+        if let Some(pair) = self.insert_bound(upper) {
+            self.scratch.push(pair);
+        }
+        debug_assert!(self.scratch.len() <= 2);
+        self.scratch.clone()
+    }
+
+    /// Inserts a single bound, splitting the atom it falls into. Returns the
+    /// delta-pair if a split happened, `None` if the bound was already a key.
+    fn insert_bound(&mut self, bound: Bound) -> Option<DeltaPair> {
+        if self.map.contains_key(&bound) {
+            return None;
+        }
+        // The atom being split is the one whose key is the greatest key
+        // strictly below `bound`.
+        let (&_pred_key, &old) = self
+            .map
+            .range(..bound)
+            .next_back()
+            .expect("MIN is always present and bound > MIN here");
+        let old_interval = self.intervals[old.index()];
+        debug_assert!(old_interval.contains(bound));
+        let new = AtomId(self.intervals.len() as u32);
+        assert!(new != AtomId::INF, "atom identifier space exhausted");
+        // The old atom keeps the lower part; the new atom takes the upper.
+        self.intervals[old.index()] = Interval::new(old_interval.lo(), bound);
+        self.intervals.push(Interval::new(bound, old_interval.hi()));
+        self.map.insert(bound, new);
+        Some(DeltaPair { old, new })
+    }
+
+    /// The atoms whose union is exactly `interval` (the paper's
+    /// `⟦interval(r)⟧`), in increasing address order.
+    ///
+    /// Both bounds of `interval` must already be keys of `M`, i.e.
+    /// [`AtomMap::create_atoms`] must have been called for this interval (or
+    /// intervals sharing its bounds) beforehand.
+    pub fn atoms_of(&self, interval: Interval) -> Vec<AtomId> {
+        self.iter_atoms_of(interval).collect()
+    }
+
+    /// Iterator form of [`AtomMap::atoms_of`], avoiding the intermediate
+    /// allocation on the hot path.
+    pub fn iter_atoms_of(&self, interval: Interval) -> impl Iterator<Item = AtomId> + '_ {
+        debug_assert!(
+            self.map.contains_key(&interval.lo()) && self.map.contains_key(&interval.hi()),
+            "atoms_of called for an interval whose bounds are not in M: {interval}"
+        );
+        self.map
+            .range(interval.lo()..interval.hi())
+            .map(|(_, &atom)| atom)
+    }
+
+    /// The number of atoms covering `interval` without materializing them.
+    pub fn atoms_of_count(&self, interval: Interval) -> usize {
+        self.map.range(interval.lo()..interval.hi()).count()
+    }
+
+    /// All (atom, interval) pairs in increasing address order, excluding the
+    /// `α∞` sentinel. Intended for reporting and tests, not the hot path.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, Interval)> + '_ {
+        self.map
+            .iter()
+            .filter(|(_, &a)| a != AtomId::INF)
+            .map(move |(_, &a)| (a, self.intervals[a.index()]))
+    }
+
+    /// Whether a bound is currently a key of `M` (used by tests and the
+    /// garbage-collection bookkeeping in the engine).
+    pub fn contains_bound(&self, bound: Bound) -> bool {
+        self.map.contains_key(&bound)
+    }
+
+    /// Estimated heap usage in bytes of the map and the interval table.
+    pub fn memory_bytes(&self) -> usize {
+        // BTreeMap nodes: key + value + per-entry overhead (~2 words).
+        let entry = std::mem::size_of::<Bound>() + std::mem::size_of::<AtomId>() + 16;
+        self.map.len() * entry + self.intervals.capacity() * std::mem::size_of::<Interval>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: Bound, hi: Bound) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn initial_state_has_one_atom() {
+        let m = AtomMap::new(32);
+        assert_eq!(m.atom_count(), 1);
+        assert_eq!(m.atom_interval(AtomId(0)), iv(0, 1 << 32));
+        assert_eq!(m.atom_of_value(0), AtomId(0));
+        assert_eq!(m.atom_of_value((1 << 32) - 1), AtomId(0));
+    }
+
+    #[test]
+    fn paper_table1_atoms() {
+        // Figure 5: rH = [10:12), rL = [0:16) produce atoms
+        // α-pieces [0:10), [10:12), [12:16) plus the remainder [16:2^32).
+        let mut m = AtomMap::new(32);
+        let d_h = m.create_atoms(iv(10, 12));
+        assert_eq!(d_h.len(), 2);
+        let d_l = m.create_atoms(iv(0, 16));
+        // 0 is MIN (already present); 16 is new → one split.
+        assert_eq!(d_l.len(), 1);
+        assert_eq!(m.atom_count(), 4);
+
+        // ⟦interval(rH)⟧ is a single atom, ⟦interval(rL)⟧ is three atoms.
+        assert_eq!(m.atoms_of(iv(10, 12)).len(), 1);
+        assert_eq!(m.atoms_of(iv(0, 16)).len(), 3);
+
+        // The three rL atoms cover exactly [0:16).
+        let atoms = m.atoms_of(iv(0, 16));
+        let mut covered: Vec<Interval> = atoms.iter().map(|&a| m.atom_interval(a)).collect();
+        covered.sort();
+        assert_eq!(covered, vec![iv(0, 10), iv(10, 12), iv(12, 16)]);
+    }
+
+    #[test]
+    fn paper_medium_rule_split_example() {
+        // §3.2.1: after rH and rL, inserting rM = [8:12) splits [0:10) into
+        // [0:8) and [8:10): exactly one delta-pair.
+        let mut m = AtomMap::new(32);
+        m.create_atoms(iv(10, 12));
+        m.create_atoms(iv(0, 16));
+        let before = m.atom_of_value(9);
+        let delta = m.create_atoms(iv(8, 12));
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].old, before);
+        assert_eq!(m.atom_interval(delta[0].old), iv(0, 8));
+        assert_eq!(m.atom_interval(delta[0].new), iv(8, 10));
+        // rM is now represented by exactly two atoms: [8:10) and [10:12).
+        assert_eq!(m.atoms_of(iv(8, 12)).len(), 2);
+    }
+
+    #[test]
+    fn same_lower_bound_yields_three_atoms() {
+        // §3.1: 1.2.0.0/16 and 1.2.0.0/24 share a lower bound, so together
+        // they yield only three atoms (including the surrounding remainder
+        // pieces), not four: keys {0, lo, hi24, hi16, MAX} minus MAX.
+        let mut m = AtomMap::new(32);
+        let p16: netmodel::ip::IpPrefix = "1.2.0.0/16".parse().unwrap();
+        let p24: netmodel::ip::IpPrefix = "1.2.0.0/24".parse().unwrap();
+        m.create_atoms(p16.interval());
+        m.create_atoms(p24.interval());
+        // keys: MIN, lo(p16)=lo(p24), hi(p24), hi(p16), MAX → 4 atoms.
+        assert_eq!(m.atom_count(), 4);
+    }
+
+    #[test]
+    fn create_atoms_is_idempotent() {
+        let mut m = AtomMap::new(32);
+        assert_eq!(m.create_atoms(iv(10, 20)).len(), 2);
+        assert!(m.create_atoms(iv(10, 20)).is_empty());
+        assert_eq!(m.atom_count(), 3);
+    }
+
+    #[test]
+    fn atom_set_is_order_invariant() {
+        // §3.1: the set of atoms at the end is invariant under insertion
+        // order (though the identifiers differ).
+        let intervals = [iv(0, 100), iv(50, 80), iv(20, 60), iv(90, 200)];
+        let mut m1 = AtomMap::new(32);
+        for i in intervals {
+            m1.create_atoms(i);
+        }
+        let mut m2 = AtomMap::new(32);
+        for i in intervals.iter().rev() {
+            m2.create_atoms(*i);
+        }
+        let set1: Vec<Interval> = {
+            let mut v: Vec<_> = m1.iter().map(|(_, iv)| iv).collect();
+            v.sort();
+            v
+        };
+        let set2: Vec<Interval> = {
+            let mut v: Vec<_> = m2.iter().map(|(_, iv)| iv).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(set1, set2);
+        assert_eq!(m1.atom_count(), m2.atom_count());
+    }
+
+    #[test]
+    fn atoms_partition_the_field_space() {
+        let mut m = AtomMap::new(16);
+        for i in [iv(5, 9), iv(0, 32), iv(100, 2000), iv(7, 1000)] {
+            m.create_atoms(i);
+        }
+        let mut intervals: Vec<Interval> = m.iter().map(|(_, iv)| iv).collect();
+        intervals.sort();
+        // Consecutive, non-overlapping, covering [0, 2^16).
+        assert_eq!(intervals.first().unwrap().lo(), 0);
+        assert_eq!(intervals.last().unwrap().hi(), 1 << 16);
+        for w in intervals.windows(2) {
+            assert_eq!(w[0].hi(), w[1].lo());
+        }
+    }
+
+    #[test]
+    fn atom_of_value_matches_intervals() {
+        let mut m = AtomMap::new(16);
+        m.create_atoms(iv(10, 20));
+        m.create_atoms(iv(15, 40));
+        for x in [0u128, 9, 10, 14, 15, 19, 20, 39, 40, 65535] {
+            let a = m.atom_of_value(x);
+            assert!(m.atom_interval(a).contains(x), "value {x} atom {a:?}");
+        }
+    }
+
+    #[test]
+    fn atoms_of_count_matches_atoms_of() {
+        let mut m = AtomMap::new(16);
+        m.create_atoms(iv(10, 20));
+        m.create_atoms(iv(15, 40));
+        m.create_atoms(iv(0, 100));
+        for interval in [iv(10, 20), iv(15, 40), iv(0, 100)] {
+            assert_eq!(m.atoms_of(interval).len(), m.atoms_of_count(interval));
+        }
+    }
+
+    #[test]
+    fn delta_pair_count_never_exceeds_two() {
+        let mut m = AtomMap::new(16);
+        let mut rng_state = 12345u64;
+        for _ in 0..500 {
+            // Simple LCG so the test needs no external crate.
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lo = (rng_state >> 16) % 65_000;
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let span = 1 + (rng_state >> 16) % 500;
+            let hi = (lo + span).min(65_536);
+            let delta = m.create_atoms(iv(lo as Bound, hi as Bound));
+            assert!(delta.len() <= 2);
+        }
+        // Atom count can never exceed 2 * rules + 1.
+        assert!(m.atom_count() <= 2 * 500 + 1);
+    }
+
+    #[test]
+    fn width_4_appendix_a_example() {
+        // Appendix A uses 4-bit addresses: rules [10:12) and [0:16) over a
+        // 4-bit space give exactly the three atoms of Figure 9.
+        let mut m = AtomMap::new(4);
+        m.create_atoms(iv(10, 12));
+        m.create_atoms(iv(0, 16));
+        assert_eq!(m.atom_count(), 3);
+        let mut intervals: Vec<Interval> = m.iter().map(|(_, iv)| iv).collect();
+        intervals.sort();
+        assert_eq!(intervals, vec![iv(0, 10), iv(10, 12), iv(12, 16)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside field space")]
+    fn interval_beyond_field_space_panics() {
+        let mut m = AtomMap::new(4);
+        m.create_atoms(iv(0, 17));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet")]
+    fn empty_interval_panics() {
+        let mut m = AtomMap::new(4);
+        m.create_atoms(iv(3, 3));
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_atoms() {
+        let mut m = AtomMap::new(32);
+        let before = m.memory_bytes();
+        for i in 0..100u128 {
+            m.create_atoms(iv(i * 10, i * 10 + 5));
+        }
+        assert!(m.memory_bytes() > before);
+    }
+
+    #[test]
+    fn display_of_atom_ids() {
+        assert_eq!(AtomId(3).to_string(), "α3");
+        assert_eq!(AtomId::INF.to_string(), "α∞");
+    }
+}

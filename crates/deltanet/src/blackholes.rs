@@ -1,0 +1,185 @@
+//! Blackhole detection on the edge-labelled graph.
+//!
+//! A *blackhole* is a switch that receives packets it has no rule for: the
+//! traffic dies silently instead of being forwarded or explicitly dropped.
+//! The paper's evaluation checks forwarding loops, but its design goals
+//! (§2.2) call for supporting the usual family of reachability invariants;
+//! blackholes are the most common one after loops, and the edge-labelled
+//! graph answers them directly: an atom arriving at a switch over some
+//! in-link but not present on any of its out-links (including the drop link)
+//! is blackholed there.
+
+use crate::atoms::AtomMap;
+use crate::atomset::AtomSet;
+use crate::engine::DeltaNet;
+use crate::labels::Labels;
+use netmodel::checker::InvariantViolation;
+use netmodel::interval::normalize;
+use netmodel::topology::Topology;
+
+/// Finds all blackholes in the current data plane: for every switch, the set
+/// of atoms that can arrive there but match no rule.
+///
+/// Packets originating *at* a switch (rather than arriving over a link) are
+/// not considered, mirroring the usual formulation where traffic enters the
+/// network at edge ports that are themselves modelled as links.
+pub fn find_blackholes(
+    topology: &Topology,
+    labels: &Labels,
+    atoms: &AtomMap,
+) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    for node in topology.switch_nodes() {
+        // Atoms arriving at `node` over any in-link.
+        let mut incoming = AtomSet::new();
+        for &l in topology.in_links(node) {
+            incoming.union_with(labels.get(l));
+        }
+        if incoming.is_empty() {
+            continue;
+        }
+        // Atoms the switch handles: forwarded on some out-link or dropped.
+        let mut handled = AtomSet::new();
+        for &l in topology.out_links(node) {
+            handled.union_with(labels.get(l));
+        }
+        incoming.difference_with(&handled);
+        if !incoming.is_empty() {
+            let packets = normalize(
+                incoming
+                    .iter()
+                    .map(|a| atoms.atom_interval(a))
+                    .collect::<Vec<_>>(),
+            );
+            out.push(InvariantViolation::Blackhole { node, packets });
+        }
+    }
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out
+}
+
+/// Convenience wrapper running [`find_blackholes`] on a checker's state.
+pub fn check_blackholes(net: &DeltaNet) -> Vec<InvariantViolation> {
+    find_blackholes(net.topology(), net.labels(), net.atoms())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DeltaNetConfig;
+    use netmodel::interval::Interval;
+    use netmodel::ip::IpPrefix;
+    use netmodel::rule::{Rule, RuleId};
+    use netmodel::topology::Topology;
+
+    fn prefix(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn chain() -> (Topology, Vec<netmodel::topology::NodeId>) {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 3);
+        topo.add_link(n[0], n[1]);
+        topo.add_link(n[1], n[2]);
+        (topo, n)
+    }
+
+    #[test]
+    fn terminal_switch_without_rules_is_a_blackhole() {
+        let (topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let l12 = topo.link_between(n[1], n[2]).unwrap();
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], l12));
+        let holes = check_blackholes(&net);
+        assert_eq!(holes.len(), 1);
+        match &holes[0] {
+            InvariantViolation::Blackhole { node, packets } => {
+                assert_eq!(*node, n[2]);
+                assert_eq!(packets, &vec![prefix("10.0.0.0/8").interval()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_rule_is_not_a_blackhole() {
+        let (mut topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let d1 = topo.drop_link(n[1]);
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::drop(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], d1));
+        assert!(check_blackholes(&net).is_empty());
+    }
+
+    #[test]
+    fn partial_coverage_blackholes_only_the_uncovered_part() {
+        let (topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let l12 = topo.link_between(n[1], n[2]).unwrap();
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        // s0 forwards all of 10/8, but s1 only forwards the lower half.
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/9"), 1, n[1], l12));
+        let holes = check_blackholes(&net);
+        // s1 blackholes the upper half; s2 blackholes the lower half.
+        assert_eq!(holes.len(), 2);
+        let at_s1 = holes
+            .iter()
+            .find_map(|h| match h {
+                InvariantViolation::Blackhole { node, packets } if *node == n[1] => {
+                    Some(packets.clone())
+                }
+                _ => None,
+            })
+            .expect("blackhole at s1");
+        assert_eq!(at_s1, vec![prefix("10.128.0.0/9").interval()]);
+    }
+
+    #[test]
+    fn fixing_the_gap_clears_the_blackhole() {
+        let (mut topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let l12 = topo.link_between(n[1], n[2]).unwrap();
+        let d2 = topo.drop_link(n[2]);
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/9"), 1, n[1], l12));
+        assert_eq!(check_blackholes(&net).len(), 2);
+        // Cover the gap at s1 and terminate traffic at s2 explicitly.
+        net.insert_rule(Rule::forward(RuleId(3), prefix("10.128.0.0/9"), 1, n[1], l12));
+        net.insert_rule(Rule::drop(RuleId(4), prefix("10.0.0.0/8"), 1, n[2], d2));
+        assert!(check_blackholes(&net).is_empty());
+        // Removing the covering rule re-introduces exactly one blackhole.
+        net.remove_rule(RuleId(3));
+        assert_eq!(check_blackholes(&net).len(), 1);
+    }
+
+    #[test]
+    fn empty_network_has_no_blackholes() {
+        let (topo, _) = chain();
+        let net = DeltaNet::new(topo, DeltaNetConfig::default());
+        assert!(check_blackholes(&net).is_empty());
+    }
+
+    #[test]
+    fn violation_packets_are_normalized_intervals() {
+        let (topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        // Two adjacent prefixes forwarded by s0, nothing at s1: the blackhole
+        // report merges them into a single interval.
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/9"), 1, n[0], l01));
+        net.insert_rule(Rule::forward(RuleId(2), prefix("10.128.0.0/9"), 2, n[0], l01));
+        let holes = check_blackholes(&net);
+        assert_eq!(holes.len(), 1);
+        match &holes[0] {
+            InvariantViolation::Blackhole { packets, .. } => {
+                assert_eq!(packets, &vec![Interval::new(0x0a00_0000, 0x0b00_0000)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Delta-graphs: the compact representation of what one (or several) rule
+//! update(s) changed in the edge-labelled graph.
+//!
+//! §3.3: "the concept of atoms has as consequence a convenient algorithm for
+//! computing a compact edge-labelled graph, called delta-graph, that
+//! represents all such forwarding graphs. We can generate a delta-graph as a
+//! by-product of Algorithm 1 for all atoms α whose owner changes; similarly
+//! for Algorithm 2. If so desired, multiple rule updates may be aggregated
+//! into a delta-graph."
+//!
+//! A [`DeltaGraph`] therefore records the `(link, atom)` pairs that were
+//! added to and removed from edge labels by ownership changes. The
+//! per-update property check (forwarding loops) only needs to look at the
+//! added pairs: removing an atom from a label can only break loops, never
+//! create them.
+
+use crate::atoms::AtomId;
+use crate::atomset::AtomSet;
+use netmodel::topology::LinkId;
+use std::collections::BTreeSet;
+
+/// The changes one or more rule updates made to the edge-labelled graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaGraph {
+    /// `(link, atom)` pairs that were added to `label[link]` because the
+    /// atom's owner changed in the atom's favour.
+    pub added: Vec<(LinkId, AtomId)>,
+    /// `(link, atom)` pairs removed from `label[link]`.
+    pub removed: Vec<(LinkId, AtomId)>,
+}
+
+impl DeltaGraph {
+    /// An empty delta-graph.
+    pub fn new() -> Self {
+        DeltaGraph::default()
+    }
+
+    /// Whether the update changed no edge label at all.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Records an addition.
+    pub fn add(&mut self, link: LinkId, atom: AtomId) {
+        self.added.push((link, atom));
+    }
+
+    /// Records a removal.
+    pub fn remove(&mut self, link: LinkId, atom: AtomId) {
+        self.removed.push((link, atom));
+    }
+
+    /// Aggregates another delta-graph into this one (multiple rule updates
+    /// may be aggregated, §3.3).
+    pub fn merge(&mut self, other: &DeltaGraph) {
+        self.added.extend_from_slice(&other.added);
+        self.removed.extend_from_slice(&other.removed);
+    }
+
+    /// The distinct links whose labels changed, in id order.
+    pub fn changed_links(&self) -> Vec<LinkId> {
+        let mut set: BTreeSet<LinkId> = BTreeSet::new();
+        set.extend(self.added.iter().map(|&(l, _)| l));
+        set.extend(self.removed.iter().map(|&(l, _)| l));
+        set.into_iter().collect()
+    }
+
+    /// The distinct atoms whose ownership changed anywhere.
+    pub fn affected_atoms(&self) -> AtomSet {
+        let mut set = AtomSet::new();
+        set.extend(self.added.iter().map(|&(_, a)| a));
+        set.extend(self.removed.iter().map(|&(_, a)| a));
+        set
+    }
+
+    /// Number of distinct atoms whose ownership changed — the per-update
+    /// "affected packet classes" metric reported by the experiments.
+    pub fn affected_atom_count(&self) -> usize {
+        self.affected_atoms().len()
+    }
+
+    /// Clears the delta-graph, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.added.clear();
+        self.removed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_clear() {
+        let mut d = DeltaGraph::new();
+        assert!(d.is_empty());
+        d.add(LinkId(1), AtomId(2));
+        assert!(!d.is_empty());
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn changed_links_deduplicates_and_sorts() {
+        let mut d = DeltaGraph::new();
+        d.add(LinkId(5), AtomId(0));
+        d.add(LinkId(1), AtomId(1));
+        d.remove(LinkId(5), AtomId(2));
+        d.remove(LinkId(3), AtomId(0));
+        assert_eq!(
+            d.changed_links(),
+            vec![LinkId(1), LinkId(3), LinkId(5)]
+        );
+    }
+
+    #[test]
+    fn affected_atoms_union_of_added_and_removed() {
+        let mut d = DeltaGraph::new();
+        d.add(LinkId(0), AtomId(1));
+        d.add(LinkId(0), AtomId(2));
+        d.remove(LinkId(1), AtomId(2));
+        d.remove(LinkId(1), AtomId(3));
+        let atoms = d.affected_atoms();
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(d.affected_atom_count(), 3);
+        assert!(atoms.contains(AtomId(1)));
+        assert!(atoms.contains(AtomId(3)));
+    }
+
+    #[test]
+    fn merge_aggregates_updates() {
+        let mut a = DeltaGraph::new();
+        a.add(LinkId(0), AtomId(0));
+        let mut b = DeltaGraph::new();
+        b.remove(LinkId(1), AtomId(1));
+        a.merge(&b);
+        assert_eq!(a.added.len(), 1);
+        assert_eq!(a.removed.len(), 1);
+        assert_eq!(a.changed_links(), vec![LinkId(0), LinkId(1)]);
+    }
+}

@@ -1,0 +1,793 @@
+//! The Delta-net engine: Algorithms 1 and 2 of the paper, plus the
+//! [`Checker`] implementation used by the experiments.
+//!
+//! [`DeltaNet`] owns the three global structures of §3.2 — the atom map `M`,
+//! the `owner` array and the edge `label`s — and transforms them
+//! incrementally on every rule insertion and removal. Each update also
+//! produces a [`DeltaGraph`] (the by-product described in §3.3) on which the
+//! configured per-update property checks run.
+
+use crate::atoms::{AtomId, AtomMap};
+use crate::delta_graph::DeltaGraph;
+use crate::labels::Labels;
+use crate::loops;
+use crate::owner::Owner;
+use netmodel::checker::{Checker, UpdateReport, WhatIfReport};
+use netmodel::interval::{normalize, Bound};
+use netmodel::rule::{Rule, RuleId};
+use netmodel::topology::{LinkId, Topology};
+use netmodel::trace::Op;
+use std::collections::HashMap;
+
+/// Configuration of a [`DeltaNet`] instance.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaNetConfig {
+    /// Width in bits of the matched header field (32 for IPv4).
+    pub field_width: u8,
+    /// Whether to run forwarding-loop detection on the delta-graph of every
+    /// update (the experiment of §4.3.1).
+    pub check_loops_per_update: bool,
+}
+
+impl Default for DeltaNetConfig {
+    fn default() -> Self {
+        DeltaNetConfig {
+            field_width: 32,
+            check_loops_per_update: true,
+        }
+    }
+}
+
+/// The Delta-net real-time data-plane checker.
+///
+/// # Examples
+///
+/// ```
+/// use deltanet::{DeltaNet, DeltaNetConfig};
+/// use netmodel::checker::Checker;
+/// use netmodel::topology::Topology;
+/// use netmodel::rule::{Rule, RuleId};
+///
+/// let mut topo = Topology::new();
+/// let s1 = topo.add_node("s1");
+/// let s2 = topo.add_node("s2");
+/// let link = topo.add_link(s1, s2);
+/// let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+///
+/// let rule = Rule::forward(RuleId(0), "10.0.0.0/8".parse().unwrap(), 100, s1, link);
+/// let report = net.insert_rule(rule);
+/// assert!(report.violations.is_empty());
+/// assert_eq!(net.rule_count(), 1);
+/// assert!(!net.label(link).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaNet {
+    topology: Topology,
+    config: DeltaNetConfig,
+    atoms: AtomMap,
+    owner: Owner,
+    labels: Labels,
+    rules: HashMap<RuleId, Rule>,
+    /// Reference counts of interval bounds contributed by live rules; used
+    /// by the garbage-collection bookkeeping of §3.2.2.
+    bound_refs: HashMap<Bound, u32>,
+    /// The delta-graph of the most recent update.
+    last_delta: DeltaGraph,
+    /// An aggregation buffer for multi-update delta-graphs (§3.3).
+    aggregate: Option<DeltaGraph>,
+}
+
+impl DeltaNet {
+    /// Creates a checker over the given topology.
+    pub fn new(topology: Topology, config: DeltaNetConfig) -> Self {
+        let link_count = topology.link_count();
+        DeltaNet {
+            topology,
+            config,
+            atoms: AtomMap::new(config.field_width),
+            owner: Owner::new(),
+            labels: Labels::with_links(link_count),
+            rules: HashMap::new(),
+            bound_refs: HashMap::new(),
+            last_delta: DeltaGraph::new(),
+            aggregate: None,
+        }
+    }
+
+    /// Creates a checker with the default configuration (IPv4, per-update
+    /// loop checking).
+    pub fn with_topology(topology: Topology) -> Self {
+        DeltaNet::new(topology, DeltaNetConfig::default())
+    }
+
+    /// The topology this checker verifies.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The atom map `M`.
+    pub fn atoms(&self) -> &AtomMap {
+        &self.atoms
+    }
+
+    /// The edge labels — the paper's constant-time network-wide flow API
+    /// (§3.3): the atoms currently forwarded along `link`.
+    pub fn label(&self, link: LinkId) -> &crate::atomset::AtomSet {
+        self.labels.get(link)
+    }
+
+    /// All edge labels.
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// The delta-graph produced by the most recent update.
+    pub fn last_delta(&self) -> &DeltaGraph {
+        &self.last_delta
+    }
+
+    /// The rule with the given id, if currently installed.
+    pub fn rule(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(&id)
+    }
+
+    /// Iterates all currently installed rules (unspecified order).
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.values()
+    }
+
+    /// Starts aggregating delta-graphs: until [`DeltaNet::take_aggregate`]
+    /// is called, every update's delta-graph is merged into one (§3.3:
+    /// "multiple rule updates may be aggregated into a delta-graph").
+    pub fn begin_aggregate(&mut self) {
+        self.aggregate = Some(DeltaGraph::new());
+    }
+
+    /// Stops aggregating and returns the combined delta-graph.
+    pub fn take_aggregate(&mut self) -> DeltaGraph {
+        self.aggregate.take().unwrap_or_default()
+    }
+
+    /// Algorithm 1: inserts `rule` into its switch's forwarding table,
+    /// updating atoms, owners, and edge labels, and returns the per-update
+    /// report (affected atoms, changed links, any loops found).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule with the same id is already installed or the rule
+    /// references a link outside the topology.
+    pub fn insert_rule(&mut self, rule: Rule) -> UpdateReport {
+        assert!(
+            !self.rules.contains_key(&rule.id),
+            "rule {:?} inserted twice",
+            rule.id
+        );
+        assert!(
+            rule.link.index() < self.topology.link_count(),
+            "rule {:?} references unknown link {:?}",
+            rule.id,
+            rule.link
+        );
+        debug_assert_eq!(
+            self.topology.link(rule.link).src,
+            rule.source,
+            "rule source does not match its link"
+        );
+
+        let interval = rule.interval();
+        let mut delta = DeltaGraph::new();
+
+        // Lines 2–9: create atoms and propagate splits to owners and labels.
+        let delta_pairs = self.atoms.create_atoms(interval);
+        for pair in &delta_pairs {
+            self.owner.clone_atom(pair.old, pair.new);
+            // Every switch that had an owner for the old atom forwards the
+            // new atom along the same link.
+            let mut to_label: Vec<LinkId> = Vec::new();
+            for (_source, bst) in self.owner.sources(pair.new) {
+                if let Some(hp) = bst.highest() {
+                    to_label.push(hp.link);
+                }
+            }
+            for link in to_label {
+                self.labels.insert(link, pair.new);
+            }
+        }
+
+        // Lines 10–23: reassign ownership of every atom in ⟦interval(r)⟧.
+        let atom_list: Vec<AtomId> = self.atoms.atoms_of(interval);
+        for &alpha in &atom_list {
+            let bst = self.owner.get_mut(alpha, rule.source);
+            let incumbent = bst.highest();
+            let wins = incumbent.map_or(true, |r_prime| r_prime.priority < rule.priority);
+            if wins {
+                self.labels.insert(rule.link, alpha);
+                delta.add(rule.link, alpha);
+                if let Some(r_prime) = incumbent {
+                    if r_prime.link != rule.link {
+                        self.labels.remove(r_prime.link, alpha);
+                        delta.remove(r_prime.link, alpha);
+                    }
+                }
+            }
+            self.owner
+                .get_mut(alpha, rule.source)
+                .insert(rule.priority, rule.id, rule.link);
+        }
+
+        // Bookkeeping.
+        *self.bound_refs.entry(interval.lo()).or_insert(0) += 1;
+        *self.bound_refs.entry(interval.hi()).or_insert(0) += 1;
+        self.rules.insert(rule.id, rule);
+
+        self.finish_update(delta, Some(rule.id), true)
+    }
+
+    /// Algorithm 2: removes the rule with id `id` and returns the per-update
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule with that id is installed.
+    pub fn remove_rule(&mut self, id: RuleId) -> UpdateReport {
+        let rule = self
+            .rules
+            .remove(&id)
+            .unwrap_or_else(|| panic!("removal of unknown rule {id:?}"));
+        let interval = rule.interval();
+        let mut delta = DeltaGraph::new();
+
+        let atom_list: Vec<AtomId> = self.atoms.atoms_of(interval);
+        for &alpha in &atom_list {
+            let bst = self.owner.get_mut(alpha, rule.source);
+            let owner_before = bst.highest();
+            let removed = bst.remove(rule.priority, rule.id);
+            debug_assert!(removed, "owner BST out of sync for {:?}", rule.id);
+            if owner_before.map(|r| r.id) == Some(rule.id) {
+                self.labels.remove(rule.link, alpha);
+                delta.remove(rule.link, alpha);
+                if let Some(next_owner) = self.owner.get_mut(alpha, rule.source).highest() {
+                    self.labels.insert(next_owner.link, alpha);
+                    delta.add(next_owner.link, alpha);
+                }
+            }
+        }
+
+        // Garbage-collection bookkeeping (§3.2.2 remark): track bounds that
+        // no live rule uses any longer. Atom identifiers are not reclaimed,
+        // matching the paper's presentation.
+        for bound in [interval.lo(), interval.hi()] {
+            if let Some(count) = self.bound_refs.get_mut(&bound) {
+                *count -= 1;
+                if *count == 0 {
+                    self.bound_refs.remove(&bound);
+                }
+            }
+        }
+
+        self.finish_update(delta, Some(id), false)
+    }
+
+    /// Shared tail of both algorithms: run the configured per-update checks
+    /// on the delta-graph, remember it, and build the report.
+    fn finish_update(
+        &mut self,
+        delta: DeltaGraph,
+        rule_id: Option<RuleId>,
+        was_insert: bool,
+    ) -> UpdateReport {
+        let violations = if self.config.check_loops_per_update {
+            loops::find_loops_from_seeds(&self.topology, &self.labels, &self.atoms, &delta.added)
+        } else {
+            Vec::new()
+        };
+        let report = UpdateReport {
+            rule_id,
+            was_insert,
+            affected_classes: delta.affected_atom_count(),
+            changed_links: delta.changed_links(),
+            violations,
+        };
+        if let Some(agg) = self.aggregate.as_mut() {
+            agg.merge(&delta);
+        }
+        self.last_delta = delta;
+        report
+    }
+
+    /// Number of atoms (packet classes) currently represented.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.atom_count()
+    }
+
+    /// Number of interval bounds no longer referenced by any live rule —
+    /// atoms that a compaction pass could merge away (the "garbage
+    /// collection" remark of §3.2.2).
+    pub fn reclaimable_bounds(&self) -> usize {
+        // Bounds in M: atom_count + 1 (including MIN and MAX).
+        // Bounds still referenced: bound_refs keys plus MIN/MAX which are
+        // structural.
+        let structural = 2; // MIN and MAX
+        let referenced: usize = self
+            .bound_refs
+            .keys()
+            .filter(|&&b| b != 0 && b != self.atoms.max_bound())
+            .count();
+        (self.atoms.atom_count() + 1).saturating_sub(referenced + structural)
+    }
+
+    /// Checks the entire data plane for forwarding loops (not just the last
+    /// delta-graph). Used by offline audits and the differential tests.
+    pub fn check_all_loops(&self) -> Vec<netmodel::checker::InvariantViolation> {
+        loops::find_all_loops(&self.topology, &self.labels, &self.atoms)
+    }
+
+    /// The successor of `node` for an `atom`-packet, resolved through the
+    /// owner structure (`O(log M)` per hop, independent of out-degree).
+    /// Drop links are reported as-is; callers decide how to treat them.
+    pub fn successor_via_owner(&self, node: netmodel::topology::NodeId, atom: AtomId) -> Option<LinkId> {
+        self.owner.get(atom, node).and_then(|bst| bst.highest()).map(|r| r.link)
+    }
+
+    /// The what-if link-failure query (§4.3.2): which packets (atoms) are
+    /// using `link`, and which other links carry any of those packets.
+    pub fn link_failure_impact(&self, link: LinkId, check_loops: bool) -> WhatIfReport {
+        let affected = self.labels.get(link).clone();
+        let affected_packets = normalize(
+            affected
+                .iter()
+                .map(|a| self.atoms.atom_interval(a))
+                .collect::<Vec<_>>(),
+        );
+        let mut affected_links: Vec<LinkId> = Vec::new();
+        for (other, label) in self.labels.iter() {
+            if other != link && label.intersects(&affected) {
+                affected_links.push(other);
+            }
+        }
+        let violations = if check_loops {
+            // On dense topologies (high out-degree) resolving the next hop
+            // through the owner BSTs beats scanning a node's out-links per
+            // hop; on sparse ones the label scan is cheaper.
+            let avg_out_degree = self.topology.link_count() / self.topology.node_count().max(1);
+            if avg_out_degree > 16 {
+                loops::find_loops_for_atoms_via(
+                    &self.topology,
+                    &self.labels,
+                    &self.atoms,
+                    &affected,
+                    |node, atom| self.successor_via_owner(node, atom),
+                )
+            } else {
+                loops::find_loops_for_atoms(&self.topology, &self.labels, &self.atoms, &affected)
+            }
+        } else {
+            Vec::new()
+        };
+        WhatIfReport {
+            link: Some(link),
+            affected_classes: affected.len(),
+            affected_packets,
+            affected_links,
+            violations,
+        }
+    }
+
+    /// Estimated heap memory used by the engine's internal state.
+    pub fn memory_estimate(&self) -> usize {
+        self.atoms.memory_bytes()
+            + self.owner.memory_bytes()
+            + self.labels.memory_bytes()
+            + self.rules.capacity()
+                * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
+            + self.bound_refs.capacity() * (std::mem::size_of::<Bound>() + 4 + 8)
+    }
+}
+
+impl Checker for DeltaNet {
+    fn name(&self) -> &'static str {
+        "delta-net"
+    }
+
+    fn apply(&mut self, op: &Op) -> UpdateReport {
+        match op {
+            Op::Insert(rule) => self.insert_rule(*rule),
+            Op::Remove(id) => self.remove_rule(*id),
+        }
+    }
+
+    fn what_if_link_failure(&self, link: LinkId, check_loops: bool) -> WhatIfReport {
+        self.link_failure_impact(link, check_loops)
+    }
+
+    fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn class_count(&self) -> usize {
+        self.atom_count()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::interval::Interval;
+    use netmodel::ip::IpPrefix;
+    use netmodel::rule::Action;
+    use netmodel::topology::NodeId;
+
+    fn prefix(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    /// The four-switch network of §2.1 (Figures 1, 2 and 4).
+    struct PaperExample {
+        net: DeltaNet,
+        s: Vec<NodeId>,
+        l12: LinkId,
+        l23: LinkId,
+        l34: LinkId,
+        l14: LinkId,
+    }
+
+    fn paper_example() -> PaperExample {
+        let mut topo = Topology::new();
+        let s = topo.add_nodes("s", 5); // s[0] unused so names line up with s1..s4
+        let l12 = topo.add_link(s[1], s[2]);
+        let l23 = topo.add_link(s[2], s[3]);
+        let l34 = topo.add_link(s[3], s[4]);
+        let l14 = topo.add_link(s[1], s[4]);
+        let net = DeltaNet::with_topology(topo);
+        PaperExample {
+            net,
+            s,
+            l12,
+            l23,
+            l34,
+            l14,
+        }
+    }
+
+    /// Rules in the spirit of Figure 2: overlapping prefixes on s1, s2, s3,
+    /// plus the higher-priority r4 inserted on s1 towards s4.
+    fn figure2_rules(ex: &PaperExample) -> (Rule, Rule, Rule, Rule) {
+        // r1 on s1 via l12, matches [0:16)
+        // r2 on s2 via l23, matches [8:12)
+        // r3 on s3 via l34, matches [8:16)
+        // r4 on s1 via l14, matches [8:16), higher priority than r1.
+        let r1 = Rule::forward(RuleId(1), IpPrefix::new(0, 28, 32), 10, ex.s[1], ex.l12);
+        let r2 = Rule::forward(RuleId(2), IpPrefix::new(8, 30, 32), 10, ex.s[2], ex.l23);
+        let r3 = Rule::forward(RuleId(3), IpPrefix::new(8, 29, 32), 10, ex.s[3], ex.l34);
+        let r4 = Rule::forward(RuleId(4), IpPrefix::new(8, 29, 32), 20, ex.s[1], ex.l14);
+        (r1, r2, r3, r4)
+    }
+
+    #[test]
+    fn insert_single_rule_labels_its_link() {
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        let report = ex.net.insert_rule(r1);
+        assert!(report.was_insert);
+        assert_eq!(report.rule_id, Some(RuleId(1)));
+        assert!(report.violations.is_empty());
+        assert!(report.affected_classes >= 1);
+        // Every atom of r1's interval is on l12.
+        let atoms = ex.net.atoms().atoms_of(r1.interval());
+        for a in atoms {
+            assert!(ex.net.label(ex.l12).contains(a));
+        }
+        assert_eq!(ex.net.rule_count(), 1);
+    }
+
+    #[test]
+    fn paper_example_higher_priority_rule_steals_atoms() {
+        // §2.1: when r4 (higher priority, s1 -> s4) is inserted, the atoms it
+        // covers move from the edge s1->s2 (r1's link) to s1->s4.
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        ex.net.insert_rule(r2);
+        ex.net.insert_rule(r3);
+
+        let before_l12 = ex.net.label(ex.l12).len();
+        let report = ex.net.insert_rule(r4);
+        assert!(report.violations.is_empty());
+
+        // r4's atoms are now on l14 ...
+        for a in ex.net.atoms().atoms_of(r4.interval()) {
+            assert!(ex.net.label(ex.l14).contains(a), "atom {a:?} missing on l14");
+            // ... and no longer on l12 (they were stolen from r1).
+            assert!(!ex.net.label(ex.l12).contains(a), "atom {a:?} still on l12");
+        }
+        // r1 keeps only the atoms below r4's range: [0:8).
+        let l12_label = ex.net.label(ex.l12);
+        assert!(l12_label.len() < before_l12 + 2);
+        let kept: Vec<Interval> = l12_label
+            .iter()
+            .map(|a| ex.net.atoms().atom_interval(a))
+            .collect();
+        assert_eq!(normalize(kept), vec![Interval::new(0, 8)]);
+        // The changed links are exactly l14 (gains) and l12 (losses).
+        assert_eq!(report.changed_links, vec![ex.l12, ex.l14]);
+    }
+
+    #[test]
+    fn lower_priority_rule_does_not_steal() {
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        // A lower-priority overlapping rule on the same switch gets nothing.
+        let weak = Rule::forward(RuleId(9), IpPrefix::new(0, 30, 32), 1, ex.s[1], ex.l14);
+        let report = ex.net.insert_rule(weak);
+        assert_eq!(report.affected_classes, 0);
+        assert!(ex.net.label(ex.l14).is_empty());
+        assert!(report.changed_links.is_empty());
+        // But it is recorded and will take over when r1 is removed.
+        ex.net.remove_rule(RuleId(1));
+        assert!(!ex.net.label(ex.l14).is_empty());
+        assert!(ex.net.label(ex.l12).is_empty());
+    }
+
+    #[test]
+    fn remove_rule_restores_previous_owner() {
+        let mut ex = paper_example();
+        let (r1, _, _, r4) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        ex.net.insert_rule(r4);
+        // Removing r4 hands its atoms back to r1.
+        let report = ex.net.remove_rule(RuleId(4));
+        assert!(!report.was_insert);
+        assert!(report.affected_classes >= 1);
+        for a in ex.net.atoms().atoms_of(r4.interval()) {
+            assert!(ex.net.label(ex.l12).contains(a));
+            assert!(!ex.net.label(ex.l14).contains(a));
+        }
+        assert_eq!(ex.net.rule_count(), 1);
+    }
+
+    #[test]
+    fn remove_non_owner_rule_changes_nothing() {
+        let mut ex = paper_example();
+        let (r1, _, _, r4) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        ex.net.insert_rule(r4);
+        // r1 owns only [0:4); removing it must not disturb r4's atoms.
+        let report = ex.net.remove_rule(RuleId(1));
+        for a in ex.net.atoms().atoms_of(r4.interval()) {
+            assert!(ex.net.label(ex.l14).contains(a));
+        }
+        // Only l12 lost atoms; nothing was added anywhere.
+        assert_eq!(report.changed_links, vec![ex.l12]);
+        assert!(ex.net.last_delta().added.is_empty());
+    }
+
+    #[test]
+    fn atom_splits_propagate_to_other_switches() {
+        // A rule on s2 whose interval splits an atom owned by a rule on s1
+        // must leave s1's forwarding behaviour unchanged but refine its
+        // label to include the new atom.
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1); // matches [0:16) on s1
+        let narrow = Rule::forward(RuleId(7), IpPrefix::new(6, 31, 32), 5, ex.s[2], ex.l23);
+        ex.net.insert_rule(narrow); // [6:8) on s2 splits s1's atoms
+        let l12_intervals: Vec<Interval> = ex
+            .net
+            .label(ex.l12)
+            .iter()
+            .map(|a| ex.net.atoms().atom_interval(a))
+            .collect();
+        assert_eq!(normalize(l12_intervals), vec![Interval::new(0, 16)]);
+    }
+
+    #[test]
+    fn loop_detection_on_insert() {
+        // Create a 2-node loop: s1 -> s2 for [0:16), then s2 -> s1 for the
+        // same range. The second insertion must report a loop.
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_link(a, b);
+        let ba = topo.add_link(b, a);
+        let mut net = DeltaNet::with_topology(topo);
+        let r1 = Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, a, ab);
+        let r2 = Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, b, ba);
+        assert!(net.insert_rule(r1).violations.is_empty());
+        let report = net.insert_rule(r2);
+        assert!(report.has_loop());
+        // Removing either rule clears the loop.
+        net.remove_rule(RuleId(1));
+        assert!(net.check_all_loops().is_empty());
+    }
+
+    #[test]
+    fn loop_check_can_be_disabled() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_link(a, b);
+        let ba = topo.add_link(b, a);
+        let mut net = DeltaNet::new(
+            topo,
+            DeltaNetConfig {
+                check_loops_per_update: false,
+                ..DeltaNetConfig::default()
+            },
+        );
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, a, ab));
+        let report = net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, b, ba));
+        assert!(report.violations.is_empty());
+        // The loop is still there, just not checked per update.
+        assert_eq!(net.check_all_loops().len(), 1);
+    }
+
+    #[test]
+    fn drop_rule_prevents_loop() {
+        // A high-priority drop rule shields part of the space from a loop.
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_link(a, b);
+        let ba = topo.add_link(b, a);
+        let drop_a = topo.drop_link(a);
+        let mut net = DeltaNet::with_topology(topo);
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, a, ab));
+        net.insert_rule(Rule::drop(RuleId(3), prefix("10.0.0.0/8"), 9, a, drop_a));
+        let report = net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, b, ba));
+        // Packets reaching b loop back to a, where they are dropped: no loop.
+        assert!(!report.has_loop(), "drop rule should break the loop");
+        assert_eq!(net.check_all_loops().len(), 0);
+        // Removing the drop rule re-creates the loop.
+        let report = net.remove_rule(RuleId(3));
+        assert!(report.has_loop());
+    }
+
+    #[test]
+    fn whatif_link_failure_reports_affected_flows() {
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        for r in [r1, r2, r3, r4] {
+            ex.net.insert_rule(r);
+        }
+        let report = ex.net.link_failure_impact(ex.l14, false);
+        assert_eq!(report.link, Some(ex.l14));
+        // r4 owns [8:16) at s1, so those packets are affected.
+        assert_eq!(report.affected_packets, vec![Interval::new(8, 16)]);
+        assert!(report.affected_classes >= 1);
+        // The overlapping flows on s2->s3 and s3->s4 are part of the impact.
+        assert!(report.affected_links.contains(&ex.l23));
+        assert!(report.affected_links.contains(&ex.l34));
+        assert!(!report.affected_links.contains(&ex.l14));
+        // A link carrying nothing is unaffected.
+        let empty = ex.net.link_failure_impact(ex.l12, true);
+        let l12_atoms = ex.net.label(ex.l12).len();
+        assert_eq!(empty.affected_classes, l12_atoms);
+    }
+
+    #[test]
+    fn aggregate_delta_graph_collects_multiple_updates() {
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        ex.net.begin_aggregate();
+        for r in [r1, r2, r3, r4] {
+            ex.net.insert_rule(r);
+        }
+        let agg = ex.net.take_aggregate();
+        assert!(!agg.is_empty());
+        // The aggregate spans every link that ever gained an atom.
+        let links = agg.changed_links();
+        assert!(links.contains(&ex.l12));
+        assert!(links.contains(&ex.l14));
+        assert!(links.contains(&ex.l23));
+        assert!(links.contains(&ex.l34));
+        // A second take returns an empty aggregate.
+        assert!(ex.net.take_aggregate().is_empty());
+    }
+
+    #[test]
+    fn checker_trait_replay_roundtrip() {
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        let ops = vec![
+            Op::Insert(r1),
+            Op::Insert(r2),
+            Op::Insert(r3),
+            Op::Insert(r4),
+            Op::Remove(RuleId(4)),
+            Op::Remove(RuleId(3)),
+            Op::Remove(RuleId(2)),
+            Op::Remove(RuleId(1)),
+        ];
+        let reports = ex.net.replay(&ops);
+        assert_eq!(reports.len(), 8);
+        assert_eq!(ex.net.rule_count(), 0);
+        // After removing everything no link carries any atom.
+        for link in ex.net.topology().links().to_vec() {
+            assert!(ex.net.label(link.id).is_empty(), "{:?} still labelled", link.id);
+        }
+        // Atoms are never reclaimed (matching the paper), but all their
+        // bounds are now garbage.
+        assert!(ex.net.atom_count() >= 1);
+        assert!(ex.net.reclaimable_bounds() > 0);
+        assert_eq!(ex.net.name(), "delta-net");
+        assert!(ex.net.memory_bytes() > 0);
+        assert_eq!(ex.net.class_count(), ex.net.atom_count());
+    }
+
+    #[test]
+    fn reclaimable_bounds_zero_while_rules_live() {
+        let mut ex = paper_example();
+        let (r1, r2, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        ex.net.insert_rule(r2);
+        assert_eq!(ex.net.reclaimable_bounds(), 0);
+        ex.net.remove_rule(RuleId(2));
+        assert!(ex.net.reclaimable_bounds() > 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent_per_atom_set_regardless_of_order() {
+        // The final labels must not depend on insertion order (priorities
+        // fully determine ownership).
+        let mut ex1 = paper_example();
+        let mut ex2 = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex1);
+        for r in [r1, r2, r3, r4] {
+            ex1.net.insert_rule(r);
+        }
+        for r in [r4, r3, r2, r1] {
+            ex2.net.insert_rule(r);
+        }
+        for link in [ex1.l12, ex1.l23, ex1.l34, ex1.l14] {
+            let a: Vec<Interval> = normalize(
+                ex1.net
+                    .label(link)
+                    .iter()
+                    .map(|x| ex1.net.atoms().atom_interval(x))
+                    .collect(),
+            );
+            let b: Vec<Interval> = normalize(
+                ex2.net
+                    .label(link)
+                    .iter()
+                    .map(|x| ex2.net.atoms().atom_interval(x))
+                    .collect(),
+            );
+            assert_eq!(a, b, "labels differ on {link:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        ex.net.insert_rule(r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown rule")]
+    fn unknown_removal_panics() {
+        let mut ex = paper_example();
+        ex.net.remove_rule(RuleId(77));
+    }
+
+    #[test]
+    fn drop_rules_have_action_recorded() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let dl = topo.drop_link(a);
+        let mut net = DeltaNet::with_topology(topo);
+        let r = Rule::drop(RuleId(1), prefix("10.0.0.0/8"), 5, a, dl);
+        net.insert_rule(r);
+        assert_eq!(net.rule(RuleId(1)).unwrap().action, Action::Drop);
+        assert!(net.rule(RuleId(2)).is_none());
+        assert_eq!(net.rules().count(), 1);
+    }
+}

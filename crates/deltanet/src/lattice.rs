@@ -1,0 +1,218 @@
+//! The Boolean lattice induced by atoms (Appendix A).
+//!
+//! Atoms are "a form of mutually disjoint ranges that make it possible to
+//! analyze all Boolean combinations of IP prefix forwarding rules in a
+//! network". Formally, the family of sets of packets expressible as unions
+//! of atoms forms a Boolean lattice: the bottom is the empty set, the top is
+//! the whole field space, join is union, meet is intersection, and every
+//! element has a complement. This module makes that structure explicit —
+//! it is what justifies calling Delta-net's representation an *abstract
+//! domain* whose precision is refined dynamically (§1, §3.1).
+
+use crate::atoms::{AtomId, AtomMap};
+use crate::atomset::AtomSet;
+use netmodel::interval::{normalize, Interval};
+
+/// The Boolean lattice whose atoms are the atoms of an [`AtomMap`].
+///
+/// Elements are [`AtomSet`]s; the lattice operations are thin wrappers that
+/// also know the universe (the set of all currently allocated atoms), which
+/// is what complementation needs.
+#[derive(Clone, Debug)]
+pub struct AtomLattice {
+    universe: AtomSet,
+}
+
+impl AtomLattice {
+    /// Builds the lattice over all atoms currently represented by `atoms`.
+    pub fn new(atoms: &AtomMap) -> Self {
+        AtomLattice {
+            universe: atoms.iter().map(|(a, _)| a).collect(),
+        }
+    }
+
+    /// ⊥ — the empty set of packets.
+    pub fn bottom(&self) -> AtomSet {
+        AtomSet::new()
+    }
+
+    /// ⊤ — all packets (the whole field space).
+    pub fn top(&self) -> AtomSet {
+        self.universe.clone()
+    }
+
+    /// The number of atoms; the lattice has `2^atom_count()` elements.
+    pub fn atom_count(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Join (least upper bound): set union.
+    pub fn join(&self, a: &AtomSet, b: &AtomSet) -> AtomSet {
+        a.union(b)
+    }
+
+    /// Meet (greatest lower bound): set intersection.
+    pub fn meet(&self, a: &AtomSet, b: &AtomSet) -> AtomSet {
+        a.intersection(b)
+    }
+
+    /// Complement with respect to the universe.
+    pub fn complement(&self, a: &AtomSet) -> AtomSet {
+        self.universe.difference(a)
+    }
+
+    /// The lattice order: `a ⊑ b` iff `a ⊆ b`.
+    pub fn le(&self, a: &AtomSet, b: &AtomSet) -> bool {
+        a.is_subset_of(b)
+    }
+
+    /// Whether `a` is an atom of the lattice (covers ⊥, i.e. has exactly
+    /// one element).
+    pub fn is_atom(&self, a: &AtomSet) -> bool {
+        a.len() == 1
+    }
+
+    /// The atoms below an element (its unique decomposition).
+    pub fn atoms_below(&self, a: &AtomSet) -> Vec<AtomId> {
+        a.iter().collect()
+    }
+
+    /// Converts a lattice element back to normalized packet intervals using
+    /// the atom map that induced the lattice.
+    pub fn to_intervals(&self, atoms: &AtomMap, a: &AtomSet) -> Vec<Interval> {
+        normalize(a.iter().map(|x| atoms.atom_interval(x)).collect())
+    }
+
+    /// Enumerates every element of the lattice grouped by level (number of
+    /// atoms in the element) — the rows of a Hasse diagram such as Figure 9.
+    ///
+    /// Only sensible for small universes; panics above 20 atoms to prevent
+    /// accidental exponential blow-ups.
+    pub fn hasse_levels(&self) -> Vec<Vec<AtomSet>> {
+        let atoms: Vec<AtomId> = self.universe.iter().collect();
+        let k = atoms.len();
+        assert!(k <= 20, "refusing to enumerate 2^{k} lattice elements");
+        let mut levels: Vec<Vec<AtomSet>> = vec![Vec::new(); k + 1];
+        for mask in 0u32..(1u32 << k) {
+            let mut set = AtomSet::new();
+            for (i, &a) in atoms.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    set.insert(a);
+                }
+            }
+            levels[set.len()].push(set);
+        }
+        levels
+    }
+
+    /// Whether `b` covers `a` in the Hasse diagram (i.e. `a ⊂ b` and they
+    /// differ by exactly one atom).
+    pub fn covers(&self, a: &AtomSet, b: &AtomSet) -> bool {
+        self.le(a, b) && b.len() == a.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Appendix A setting: 4-bit addresses, rules [10:12) and [0:16)
+    /// give atoms [0:10), [10:12), [12:16).
+    fn appendix_a() -> (AtomMap, AtomLattice) {
+        let mut m = AtomMap::new(4);
+        m.create_atoms(Interval::new(10, 12));
+        m.create_atoms(Interval::new(0, 16));
+        let l = AtomLattice::new(&m);
+        (m, l)
+    }
+
+    #[test]
+    fn lattice_has_three_atoms_and_eight_elements() {
+        let (_, l) = appendix_a();
+        assert_eq!(l.atom_count(), 3);
+        let levels = l.hasse_levels();
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, 8); // the Boolean lattice of Figure 9
+        assert_eq!(levels[0].len(), 1); // ⊥
+        assert_eq!(levels[1].len(), 3); // the atoms
+        assert_eq!(levels[2].len(), 3);
+        assert_eq!(levels[3].len(), 1); // ⊤
+    }
+
+    #[test]
+    fn top_corresponds_to_whole_space() {
+        let (m, l) = appendix_a();
+        assert_eq!(l.to_intervals(&m, &l.top()), vec![Interval::new(0, 16)]);
+        assert!(l.to_intervals(&m, &l.bottom()).is_empty());
+    }
+
+    #[test]
+    fn complement_laws() {
+        let (m, l) = appendix_a();
+        // The element {[10:12)}: rH's representation.
+        let rh: AtomSet = [m.atom_of_value(10)].into_iter().collect();
+        let comp = l.complement(&rh);
+        assert_eq!(
+            l.to_intervals(&m, &comp),
+            vec![Interval::new(0, 10), Interval::new(12, 16)]
+        );
+        // a ∨ ¬a = ⊤, a ∧ ¬a = ⊥.
+        assert_eq!(l.join(&rh, &comp), l.top());
+        assert_eq!(l.meet(&rh, &comp), l.bottom());
+        // Double complement.
+        assert_eq!(l.complement(&comp), rh);
+    }
+
+    #[test]
+    fn order_and_covering() {
+        let (m, l) = appendix_a();
+        let a0 = m.atom_of_value(0);
+        let a1 = m.atom_of_value(10);
+        let single: AtomSet = [a0].into_iter().collect();
+        let pair: AtomSet = [a0, a1].into_iter().collect();
+        assert!(l.le(&single, &pair));
+        assert!(!l.le(&pair, &single));
+        assert!(l.covers(&single, &pair));
+        assert!(!l.covers(&l.bottom(), &pair));
+        assert!(l.is_atom(&single));
+        assert!(!l.is_atom(&pair));
+        assert_eq!(l.atoms_below(&pair).len(), 2);
+    }
+
+    #[test]
+    fn distributivity_on_small_example() {
+        let (m, l) = appendix_a();
+        let a: AtomSet = [m.atom_of_value(0)].into_iter().collect();
+        let b: AtomSet = [m.atom_of_value(10)].into_iter().collect();
+        let c: AtomSet = [m.atom_of_value(12)].into_iter().collect();
+        // a ∧ (b ∨ c) = (a ∧ b) ∨ (a ∧ c)
+        let lhs = l.meet(&a, &l.join(&b, &c));
+        let rhs = l.join(&l.meet(&a, &b), &l.meet(&a, &c));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rule_difference_expressible() {
+        // §3.1: ⟦interval(rL)⟧ − ⟦interval(rH)⟧ formalizes "rL only matches
+        // packets not matched by rH".
+        let (m, l) = appendix_a();
+        let rl: AtomSet = m.atoms_of(Interval::new(0, 16)).into_iter().collect();
+        let rh: AtomSet = m.atoms_of(Interval::new(10, 12)).into_iter().collect();
+        let only_rl = l.meet(&rl, &l.complement(&rh));
+        assert_eq!(
+            l.to_intervals(&m, &only_rl),
+            vec![Interval::new(0, 10), Interval::new(12, 16)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn hasse_enumeration_guard() {
+        let mut m = AtomMap::new(32);
+        for i in 0..30u128 {
+            m.create_atoms(Interval::new(i * 10, i * 10 + 5));
+        }
+        let l = AtomLattice::new(&m);
+        let _ = l.hasse_levels();
+    }
+}

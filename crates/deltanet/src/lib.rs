@@ -1,0 +1,71 @@
+//! # deltanet — real-time network verification using atoms
+//!
+//! A from-scratch Rust implementation of **Delta-net** (Horn, Kheradmand,
+//! Prasad — NSDI 2017): a real-time data-plane checker that incrementally
+//! maintains a single edge-labelled graph representing the flows of *all*
+//! packets in the entire network, instead of recomputing per-equivalence-
+//! class forwarding graphs on every rule update.
+//!
+//! The building blocks follow the paper closely:
+//!
+//! * [`atoms`] — the ordered bound map `M` and atom splitting (§3.1).
+//! * [`atomset`] — dynamic bitsets of atoms, used for edge labels (§4.1).
+//! * [`owner`] — per-atom, per-switch priority BSTs of rules (§3.2).
+//! * [`labels`] — the edge labels of the network-wide graph (§3.2).
+//! * [`engine`] — Algorithms 1 and 2 and the [`DeltaNet`] checker.
+//! * [`delta_graph`] — per-update delta-graphs (§3.3).
+//! * [`loops`] — forwarding-loop detection on the edge-labelled graph.
+//! * [`blackholes`] — blackhole detection (traffic arriving at a switch that
+//!   has no rule for it).
+//! * [`parallel`] — parallel bulk queries (the §6 future-work direction).
+//! * [`reachability`] — Algorithm 3: all-pairs reachability of all atoms.
+//! * [`query`] — flow queries (which packets can reach B from A) and
+//!   "what if" link-failure analysis (§4.3.2).
+//! * [`lattice`] — the Boolean lattice induced by atoms (Appendix A).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use deltanet::DeltaNet;
+//! use netmodel::topology::Topology;
+//! use netmodel::rule::{Rule, RuleId};
+//!
+//! // A two-switch network with one link.
+//! let mut topo = Topology::new();
+//! let s1 = topo.add_node("s1");
+//! let s2 = topo.add_node("s2");
+//! let link = topo.add_link(s1, s2);
+//!
+//! let mut net = DeltaNet::with_topology(topo);
+//! let report = net.insert_rule(Rule::forward(
+//!     RuleId(0),
+//!     "10.0.0.0/8".parse().unwrap(),
+//!     100,
+//!     s1,
+//!     link,
+//! ));
+//! assert!(report.violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atoms;
+pub mod atomset;
+pub mod blackholes;
+pub mod delta_graph;
+pub mod engine;
+pub mod labels;
+pub mod lattice;
+pub mod loops;
+pub mod owner;
+pub mod parallel;
+pub mod query;
+pub mod reachability;
+
+pub use atoms::{AtomId, AtomMap, DeltaPair};
+pub use atomset::AtomSet;
+pub use delta_graph::DeltaGraph;
+pub use engine::{DeltaNet, DeltaNetConfig};
+pub use labels::Labels;
+pub use reachability::ReachabilityMatrix;

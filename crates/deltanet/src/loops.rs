@@ -1,0 +1,399 @@
+//! Forwarding-loop detection on the edge-labelled graph.
+//!
+//! Per atom, forwarding is deterministic: at any switch, at most one
+//! outgoing link carries a given atom (the link of the rule that owns the
+//! atom there), so the α-restricted graph is a functional graph and loop
+//! detection is a simple successor walk. The per-update check (§4.3.1
+//! "find in the delta-graph all forwarding loops") seeds the walk at the
+//! `(link, atom)` pairs that the update added; the data-plane-wide check
+//! used by the what-if experiments walks every link carrying the atom.
+//!
+//! Detected loops are reported as [`InvariantViolation::ForwardingLoop`]
+//! with the cycle's nodes and the affected destination addresses as
+//! normalized intervals, so users never see raw atom identifiers.
+
+use crate::atoms::{AtomId, AtomMap};
+use crate::atomset::AtomSet;
+use crate::labels::Labels;
+use netmodel::checker::InvariantViolation;
+use netmodel::interval::normalize;
+use netmodel::topology::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// The unique link carrying `atom` out of `node`, if any.
+pub fn successor(
+    topology: &Topology,
+    labels: &Labels,
+    node: NodeId,
+    atom: AtomId,
+) -> Option<LinkId> {
+    topology
+        .out_links(node)
+        .iter()
+        .copied()
+        .find(|&l| labels.contains(l, atom))
+}
+
+/// Walks the α-restricted functional graph from `start` and returns the
+/// cycle's nodes if the walk revisits a node on its own path.
+fn walk_for_cycle(
+    topology: &Topology,
+    labels: &Labels,
+    start: NodeId,
+    atom: AtomId,
+) -> Option<Vec<NodeId>> {
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut on_path: HashMap<NodeId, usize> = HashMap::new();
+    let mut cur = start;
+    loop {
+        if let Some(&pos) = on_path.get(&cur) {
+            return Some(path[pos..].to_vec());
+        }
+        on_path.insert(cur, path.len());
+        path.push(cur);
+        match successor(topology, labels, cur, atom) {
+            Some(link) => {
+                let next = topology.link(link).dst;
+                if topology.is_drop_node(next) {
+                    return None;
+                }
+                cur = next;
+            }
+            None => return None,
+        }
+        if path.len() > topology.node_count() + 1 {
+            // Defensive: cannot happen because a functional graph revisits a
+            // node within |V| steps, but guards against label corruption.
+            return None;
+        }
+    }
+}
+
+/// Canonical rotation of a cycle so that identical cycles discovered from
+/// different seeds compare equal.
+fn canonicalize(mut cycle: Vec<NodeId>) -> Vec<NodeId> {
+    if cycle.is_empty() {
+        return cycle;
+    }
+    let min_pos = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, n)| **n)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    cycle.rotate_left(min_pos);
+    cycle
+}
+
+/// Finds forwarding loops reachable from the given `(link, atom)` seeds —
+/// the per-update check run on a delta-graph.
+///
+/// Only label *additions* need to be seeded: removing an atom from a label
+/// can break loops but never create one.
+pub fn find_loops_from_seeds(
+    topology: &Topology,
+    labels: &Labels,
+    atoms: &AtomMap,
+    seeds: &[(LinkId, AtomId)],
+) -> Vec<InvariantViolation> {
+    let mut cycles: HashMap<Vec<NodeId>, AtomSet> = HashMap::new();
+    for &(link, atom) in seeds {
+        if !labels.contains(link, atom) {
+            // The seed may have been superseded by a later change in an
+            // aggregated delta-graph.
+            continue;
+        }
+        let start = topology.link(link).src;
+        if let Some(cycle) = walk_for_cycle(topology, labels, start, atom) {
+            cycles
+                .entry(canonicalize(cycle))
+                .or_default()
+                .insert(atom);
+        }
+    }
+    into_violations(cycles, atoms)
+}
+
+/// Finds all forwarding loops that involve any of the given atoms anywhere
+/// in the network — used by the what-if link-failure query (§4.3.2) and the
+/// full-data-plane audits in the tests.
+pub fn find_loops_for_atoms(
+    topology: &Topology,
+    labels: &Labels,
+    atoms: &AtomMap,
+    candidates: &AtomSet,
+) -> Vec<InvariantViolation> {
+    find_loops_for_atoms_via(topology, labels, atoms, candidates, |node, atom| {
+        successor(topology, labels, node, atom)
+    })
+}
+
+/// Like [`find_loops_for_atoms`], but with a caller-supplied successor
+/// function. The [`DeltaNet`](crate::DeltaNet) engine passes an owner-based
+/// successor here, which resolves the next hop in `O(log M)` independent of
+/// a switch's out-degree — important on dense ISP topologies where scanning
+/// a node's out-links per hop dominates the what-if `+Loops` query.
+pub fn find_loops_for_atoms_via<F>(
+    topology: &Topology,
+    labels: &Labels,
+    atoms: &AtomMap,
+    candidates: &AtomSet,
+    succ: F,
+) -> Vec<InvariantViolation>
+where
+    F: Fn(NodeId, AtomId) -> Option<LinkId>,
+{
+    // One pass over the labelled links collects, per candidate atom, the
+    // switches that emit it; the per-atom functional-graph walks then start
+    // only from those switches. This keeps the cost at
+    // O(L · |label ∩ candidates| + Σ_atom walk-length) instead of scanning
+    // every link once per atom.
+    let mut emitters: HashMap<AtomId, Vec<NodeId>> = HashMap::new();
+    for (link, label) in labels.iter() {
+        if !label.intersects(candidates) {
+            continue;
+        }
+        let src = topology.link(link).src;
+        let mut common = label.clone();
+        common.intersect_with(candidates);
+        for atom in common.iter() {
+            emitters.entry(atom).or_default().push(src);
+        }
+    }
+
+    let mut cycles: HashMap<Vec<NodeId>, AtomSet> = HashMap::new();
+    let mut visited = vec![false; topology.node_count()];
+    for (atom, sources) in emitters {
+        visited.iter_mut().for_each(|v| *v = false);
+        for &start in &sources {
+            if visited[start.index()] {
+                continue;
+            }
+            let mut cur = start;
+            let mut path: Vec<NodeId> = Vec::new();
+            let mut on_path: HashMap<NodeId, usize> = HashMap::new();
+            loop {
+                if visited[cur.index()] && !on_path.contains_key(&cur) {
+                    break; // joins an already-explored (acyclic) walk
+                }
+                if let Some(&pos) = on_path.get(&cur) {
+                    cycles
+                        .entry(canonicalize(path[pos..].to_vec()))
+                        .or_default()
+                        .insert(atom);
+                    break;
+                }
+                on_path.insert(cur, path.len());
+                path.push(cur);
+                visited[cur.index()] = true;
+                match succ(cur, atom) {
+                    Some(l) => {
+                        let next = topology.link(l).dst;
+                        if topology.is_drop_node(next) {
+                            break;
+                        }
+                        cur = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    into_violations(cycles, atoms)
+}
+
+/// Checks the entire data plane for forwarding loops over all atoms.
+pub fn find_all_loops(
+    topology: &Topology,
+    labels: &Labels,
+    atoms: &AtomMap,
+) -> Vec<InvariantViolation> {
+    let all: AtomSet = atoms.iter().map(|(a, _)| a).collect();
+    find_loops_for_atoms(topology, labels, atoms, &all)
+}
+
+fn into_violations(
+    cycles: HashMap<Vec<NodeId>, AtomSet>,
+    atoms: &AtomMap,
+) -> Vec<InvariantViolation> {
+    let mut out: Vec<InvariantViolation> = cycles
+        .into_iter()
+        .map(|(nodes, atom_set)| {
+            let intervals = normalize(
+                atom_set
+                    .iter()
+                    .map(|a| atoms.atom_interval(a))
+                    .collect::<Vec<_>>(),
+            );
+            InvariantViolation::ForwardingLoop {
+                nodes,
+                packets: intervals,
+            }
+        })
+        .collect();
+    // Deterministic order for reporting and tests.
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::interval::Interval;
+
+    /// Builds a 3-node topology with a loop s0 -> s1 -> s2 -> s0 for atom 0
+    /// and a loop-free path for atom 1.
+    fn looped_setup() -> (Topology, Labels, AtomMap) {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 3);
+        let l01 = topo.add_link(n[0], n[1]);
+        let l12 = topo.add_link(n[1], n[2]);
+        let l20 = topo.add_link(n[2], n[0]);
+
+        let mut atoms = AtomMap::new(8);
+        // atom for [0:16) and the remainder atom.
+        atoms.create_atoms(Interval::new(0, 16));
+        let a0 = atoms.atom_of_value(0);
+        let a1 = atoms.atom_of_value(200);
+
+        let mut labels = Labels::new();
+        labels.insert(l01, a0);
+        labels.insert(l12, a0);
+        labels.insert(l20, a0);
+        // Atom a1 flows s0 -> s1 -> s2 and stops.
+        labels.insert(l01, a1);
+        labels.insert(l12, a1);
+        (topo, labels, atoms)
+    }
+
+    #[test]
+    fn successor_finds_unique_link() {
+        let (topo, labels, atoms) = looped_setup();
+        let a0 = atoms.atom_of_value(0);
+        let n0 = topo.node_by_name("s0").unwrap();
+        let s = successor(&topo, &labels, n0, a0).unwrap();
+        assert_eq!(topo.link(s).dst, topo.node_by_name("s1").unwrap());
+        // No successor for an unknown atom.
+        assert!(successor(&topo, &labels, n0, AtomId(999)).is_none());
+    }
+
+    #[test]
+    fn seed_walk_detects_loop() {
+        let (topo, labels, atoms) = looped_setup();
+        let a0 = atoms.atom_of_value(0);
+        let l01 = topo
+            .link_between(
+                topo.node_by_name("s0").unwrap(),
+                topo.node_by_name("s1").unwrap(),
+            )
+            .unwrap();
+        let loops = find_loops_from_seeds(&topo, &labels, &atoms, &[(l01, a0)]);
+        assert_eq!(loops.len(), 1);
+        match &loops[0] {
+            InvariantViolation::ForwardingLoop { nodes, packets } => {
+                assert_eq!(nodes.len(), 3);
+                assert_eq!(packets, &vec![Interval::new(0, 16)]);
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_walk_ignores_loop_free_atom() {
+        let (topo, labels, atoms) = looped_setup();
+        let a1 = atoms.atom_of_value(200);
+        let l01 = topo
+            .link_between(
+                topo.node_by_name("s0").unwrap(),
+                topo.node_by_name("s1").unwrap(),
+            )
+            .unwrap();
+        let loops = find_loops_from_seeds(&topo, &labels, &atoms, &[(l01, a1)]);
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn stale_seed_is_skipped() {
+        let (topo, mut labels, atoms) = looped_setup();
+        let a0 = atoms.atom_of_value(0);
+        let l01 = topo
+            .link_between(
+                topo.node_by_name("s0").unwrap(),
+                topo.node_by_name("s1").unwrap(),
+            )
+            .unwrap();
+        labels.remove(l01, a0); // the seed no longer holds
+        let loops = find_loops_from_seeds(&topo, &labels, &atoms, &[(l01, a0)]);
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn whole_graph_scan_finds_same_loop_once() {
+        let (topo, labels, atoms) = looped_setup();
+        let loops = find_all_loops(&topo, &labels, &atoms);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn loops_grouped_by_cycle_merge_atoms() {
+        // Two atoms looping through the same cycle are reported as one loop
+        // with both packet intervals merged.
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 2);
+        let l01 = topo.add_link(n[0], n[1]);
+        let l10 = topo.add_link(n[1], n[0]);
+        let mut atoms = AtomMap::new(8);
+        atoms.create_atoms(Interval::new(0, 8));
+        atoms.create_atoms(Interval::new(8, 16));
+        let a = atoms.atom_of_value(0);
+        let b = atoms.atom_of_value(8);
+        let mut labels = Labels::new();
+        for atom in [a, b] {
+            labels.insert(l01, atom);
+            labels.insert(l10, atom);
+        }
+        let loops = find_loops_from_seeds(&topo, &labels, &atoms, &[(l01, a), (l01, b)]);
+        assert_eq!(loops.len(), 1);
+        match &loops[0] {
+            InvariantViolation::ForwardingLoop { packets, .. } => {
+                // [0:8) and [8:16) normalize to a single interval.
+                assert_eq!(packets, &vec![Interval::new(0, 16)]);
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_links_terminate_walks() {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 2);
+        let l01 = topo.add_link(n[0], n[1]);
+        let drop1 = topo.drop_link(n[1]);
+        let mut atoms = AtomMap::new(8);
+        atoms.create_atoms(Interval::new(0, 8));
+        let a = atoms.atom_of_value(0);
+        let mut labels = Labels::new();
+        labels.insert(l01, a);
+        labels.insert(drop1, a);
+        let loops = find_loops_from_seeds(&topo, &labels, &atoms, &[(l01, a)]);
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn self_loop_single_node() {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 2);
+        let l00 = topo.add_link(n[0], n[0]);
+        let mut atoms = AtomMap::new(8);
+        atoms.create_atoms(Interval::new(4, 6));
+        let a = atoms.atom_of_value(4);
+        let mut labels = Labels::new();
+        labels.insert(l00, a);
+        let loops = find_loops_from_seeds(&topo, &labels, &atoms, &[(l00, a)]);
+        assert_eq!(loops.len(), 1);
+        match &loops[0] {
+            InvariantViolation::ForwardingLoop { nodes, .. } => assert_eq!(nodes, &vec![n[0]]),
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+}

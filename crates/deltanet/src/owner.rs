@@ -1,0 +1,298 @@
+//! The `owner` structure: which rule owns each atom at each switch.
+//!
+//! Per §3.2, `owner` is "an array of hash tables, each of which stores a
+//! balanced binary search tree containing rules ordered by priority": for
+//! every atom `α` and source node `s`, `owner[α][s]` holds the rules
+//! installed at `s` whose interval contains `α`, ordered by priority. The
+//! highest-priority such rule *owns* the atom at that switch, and its link
+//! is the one whose label carries `α`.
+//!
+//! A priority queue would not suffice because Algorithm 2 must remove
+//! arbitrary rules, not just the highest-priority one — hence the BST
+//! (here a `BTreeMap` keyed by `(priority, rule-id)`).
+
+use crate::atoms::AtomId;
+use netmodel::rule::{Priority, RuleId};
+use netmodel::topology::{LinkId, NodeId};
+use std::collections::HashMap;
+
+/// The rules of one switch that contain a given atom, ordered by priority.
+///
+/// Keys are `(priority, rule-id)` so that entries are unique even while two
+/// *non-overlapping* rules share a priority; the paper's well-formedness
+/// assumption (overlapping rules have distinct priorities) guarantees that
+/// the maximum key is the unique highest-priority owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SourceRules {
+    bst: std::collections::BTreeMap<(Priority, RuleId), LinkId>,
+}
+
+/// A rule entry as seen by the owner structure: enough to run Algorithms 1
+/// and 2 without chasing a pointer to the full rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OwnedRule {
+    /// The rule's priority.
+    pub priority: Priority,
+    /// The rule's id.
+    pub id: RuleId,
+    /// The rule's link (`link(r)`).
+    pub link: LinkId,
+}
+
+impl SourceRules {
+    /// Inserts a rule.
+    #[inline]
+    pub fn insert(&mut self, priority: Priority, id: RuleId, link: LinkId) {
+        self.bst.insert((priority, id), link);
+    }
+
+    /// Removes a rule; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, priority: Priority, id: RuleId) -> bool {
+        self.bst.remove(&(priority, id)).is_some()
+    }
+
+    /// The highest-priority rule, if any (`bst.highest_priority_rule()`).
+    #[inline]
+    pub fn highest(&self) -> Option<OwnedRule> {
+        self.bst
+            .iter()
+            .next_back()
+            .map(|(&(priority, id), &link)| OwnedRule { priority, id, link })
+    }
+
+    /// Whether no rule at this switch contains the atom.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bst.is_empty()
+    }
+
+    /// Number of rules at this switch containing the atom.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bst.len()
+    }
+
+    /// Whether the given rule is stored here (`r ∈ bst`).
+    pub fn contains(&self, priority: Priority, id: RuleId) -> bool {
+        self.bst.contains_key(&(priority, id))
+    }
+
+    /// Iterates `(priority, id, link)` in increasing priority order.
+    pub fn iter(&self) -> impl Iterator<Item = OwnedRule> + '_ {
+        self.bst
+            .iter()
+            .map(|(&(priority, id), &link)| OwnedRule { priority, id, link })
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Key + value + BTreeMap per-entry overhead (~2 words).
+        self.bst.len()
+            * (std::mem::size_of::<(Priority, RuleId)>() + std::mem::size_of::<LinkId>() + 16)
+    }
+}
+
+/// `owner[α][source]` for every allocated atom.
+#[derive(Clone, Debug, Default)]
+pub struct Owner {
+    per_atom: Vec<HashMap<NodeId, SourceRules>>,
+}
+
+impl Owner {
+    /// Creates an empty owner structure.
+    pub fn new() -> Self {
+        Owner::default()
+    }
+
+    /// Makes sure `owner[atom]` exists (as an empty table) and returns its
+    /// index. Called whenever a new atom id is allocated.
+    pub fn ensure_atom(&mut self, atom: AtomId) {
+        if atom.index() >= self.per_atom.len() {
+            self.per_atom.resize_with(atom.index() + 1, HashMap::new);
+        }
+    }
+
+    /// `owner[new] ← owner[old]` — the copy step of Algorithm 1 (line 4)
+    /// performed when atom `old` is split and `new` takes over its upper
+    /// half: every rule containing the old atom also contains the new one.
+    pub fn clone_atom(&mut self, old: AtomId, new: AtomId) {
+        self.ensure_atom(new);
+        let copied = self.per_atom[old.index()].clone();
+        self.per_atom[new.index()] = copied;
+    }
+
+    /// The rules containing `atom` at `source` (read-only); `None` when no
+    /// rule at that switch contains the atom.
+    pub fn get(&self, atom: AtomId, source: NodeId) -> Option<&SourceRules> {
+        self.per_atom.get(atom.index())?.get(&source)
+    }
+
+    /// Mutable access, creating the entry on first use (Algorithm 1 inserts
+    /// into the BST irrespective of ownership, line 22).
+    pub fn get_mut(&mut self, atom: AtomId, source: NodeId) -> &mut SourceRules {
+        self.ensure_atom(atom);
+        self.per_atom[atom.index()].entry(source).or_default()
+    }
+
+    /// Iterates `(source, rules)` pairs for one atom — the loop of
+    /// Algorithm 1 lines 5–8.
+    pub fn sources(&self, atom: AtomId) -> impl Iterator<Item = (NodeId, &SourceRules)> + '_ {
+        self.per_atom
+            .get(atom.index())
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&n, r)| (n, r)))
+    }
+
+    /// Removes empty per-source entries of an atom (keeps the structure
+    /// tidy after removals; not required for correctness).
+    pub fn prune_empty(&mut self, atom: AtomId) {
+        if let Some(m) = self.per_atom.get_mut(atom.index()) {
+            m.retain(|_, rules| !rules.is_empty());
+        }
+    }
+
+    /// Number of atoms for which the structure has been allocated.
+    pub fn atom_capacity(&self) -> usize {
+        self.per_atom.len()
+    }
+
+    /// Total number of `(atom, source, rule)` entries — the `O(R·K)` space
+    /// term of the complexity analysis.
+    pub fn total_entries(&self) -> usize {
+        self.per_atom
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|r| r.len())
+            .sum()
+    }
+
+    /// Estimated heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.per_atom.capacity() * std::mem::size_of::<HashMap<NodeId, SourceRules>>();
+        for m in &self.per_atom {
+            // HashMap overhead per entry: key + value struct + ~1.1 slots.
+            bytes += m.capacity()
+                * (std::mem::size_of::<NodeId>() + std::mem::size_of::<SourceRules>() + 8);
+            bytes += m.values().map(SourceRules::memory_bytes).sum::<usize>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u64) -> RuleId {
+        RuleId(i)
+    }
+
+    #[test]
+    fn source_rules_priority_order() {
+        let mut s = SourceRules::default();
+        s.insert(10, rid(1), LinkId(0));
+        s.insert(30, rid(2), LinkId(1));
+        s.insert(20, rid(3), LinkId(2));
+        assert_eq!(s.len(), 3);
+        let h = s.highest().unwrap();
+        assert_eq!(h.id, rid(2));
+        assert_eq!(h.priority, 30);
+        assert_eq!(h.link, LinkId(1));
+        // Iteration is by increasing priority.
+        let prios: Vec<Priority> = s.iter().map(|r| r.priority).collect();
+        assert_eq!(prios, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn source_rules_remove_arbitrary() {
+        let mut s = SourceRules::default();
+        s.insert(10, rid(1), LinkId(0));
+        s.insert(30, rid(2), LinkId(1));
+        s.insert(20, rid(3), LinkId(2));
+        // Remove a non-highest rule (the reason a BST is used, §3.2).
+        assert!(s.remove(20, rid(3)));
+        assert!(!s.remove(20, rid(3)));
+        assert_eq!(s.highest().unwrap().id, rid(2));
+        assert!(s.contains(10, rid(1)));
+        assert!(!s.contains(20, rid(3)));
+        // Remove the highest; ownership falls back to the next.
+        assert!(s.remove(30, rid(2)));
+        assert_eq!(s.highest().unwrap().id, rid(1));
+        assert!(s.remove(10, rid(1)));
+        assert!(s.is_empty());
+        assert!(s.highest().is_none());
+    }
+
+    #[test]
+    fn equal_priority_disjoint_rules_coexist() {
+        // Non-overlapping rules may share a priority; the BST must keep both.
+        let mut s = SourceRules::default();
+        s.insert(10, rid(1), LinkId(0));
+        s.insert(10, rid(2), LinkId(1));
+        assert_eq!(s.len(), 2);
+        // Ties are broken by rule id; the exact winner is irrelevant for
+        // well-formed data planes but must be deterministic.
+        assert_eq!(s.highest().unwrap().id, rid(2));
+    }
+
+    #[test]
+    fn owner_clone_atom_copies_all_sources() {
+        let mut o = Owner::new();
+        o.ensure_atom(AtomId(0));
+        o.get_mut(AtomId(0), NodeId(1)).insert(5, rid(1), LinkId(0));
+        o.get_mut(AtomId(0), NodeId(2)).insert(7, rid(2), LinkId(3));
+        o.clone_atom(AtomId(0), AtomId(1));
+        assert_eq!(
+            o.get(AtomId(1), NodeId(1)).unwrap().highest().unwrap().id,
+            rid(1)
+        );
+        assert_eq!(
+            o.get(AtomId(1), NodeId(2)).unwrap().highest().unwrap().link,
+            LinkId(3)
+        );
+        // The copy is independent of the original.
+        o.get_mut(AtomId(1), NodeId(1)).insert(9, rid(9), LinkId(7));
+        assert_eq!(o.get(AtomId(0), NodeId(1)).unwrap().len(), 1);
+        assert_eq!(o.get(AtomId(1), NodeId(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn owner_sources_iteration_and_entries() {
+        let mut o = Owner::new();
+        o.get_mut(AtomId(3), NodeId(0)).insert(1, rid(1), LinkId(0));
+        o.get_mut(AtomId(3), NodeId(1)).insert(2, rid(2), LinkId(1));
+        o.get_mut(AtomId(3), NodeId(1)).insert(3, rid(3), LinkId(2));
+        let mut sources: Vec<NodeId> = o.sources(AtomId(3)).map(|(n, _)| n).collect();
+        sources.sort();
+        assert_eq!(sources, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(o.total_entries(), 3);
+        assert_eq!(o.sources(AtomId(99)).count(), 0);
+        assert!(o.get(AtomId(3), NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn prune_empty_drops_only_empty_entries() {
+        let mut o = Owner::new();
+        o.get_mut(AtomId(0), NodeId(0)).insert(1, rid(1), LinkId(0));
+        o.get_mut(AtomId(0), NodeId(1)).insert(2, rid(2), LinkId(1));
+        assert!(o.get_mut(AtomId(0), NodeId(1)).remove(2, rid(2)));
+        o.prune_empty(AtomId(0));
+        assert!(o.get(AtomId(0), NodeId(1)).is_none());
+        assert!(o.get(AtomId(0), NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn memory_accounting_is_monotone() {
+        let mut o = Owner::new();
+        let before = o.memory_bytes();
+        for atom in 0..50u32 {
+            for node in 0..4u32 {
+                o.get_mut(AtomId(atom), NodeId(node))
+                    .insert(node, rid(u64::from(atom * 10 + node)), LinkId(node));
+            }
+        }
+        assert!(o.memory_bytes() > before);
+        assert_eq!(o.total_entries(), 200);
+        assert_eq!(o.atom_capacity(), 50);
+    }
+}

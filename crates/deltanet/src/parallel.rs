@@ -1,0 +1,179 @@
+//! Parallel query evaluation (the future-work direction of §6).
+//!
+//! "One advantage of Delta-net is that its main loops over atoms in
+//! Algorithm 1 and 2 are highly parallelizable." The per-update hot path in
+//! this implementation is already fast enough that threading it would be
+//! dominated by synchronization, but the *query* side — what-if analysis of
+//! many links, loop audits over many atoms — parallelizes cleanly because it
+//! only reads the persistent edge-labelled graph. This module provides those
+//! parallel entry points using `crossbeam`'s scoped threads (no `unsafe`, no
+//! global thread pool).
+
+use crate::engine::DeltaNet;
+use crate::loops;
+use netmodel::checker::{InvariantViolation, WhatIfReport};
+use netmodel::topology::LinkId;
+
+/// Default number of worker threads: the available parallelism, capped so
+/// that small queries do not pay for thread start-up.
+fn default_workers(work_items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(work_items).max(1)
+}
+
+/// Answers the link-failure "what if" query for many links concurrently,
+/// returning one report per queried link in the input order.
+///
+/// This is the bulk form of [`DeltaNet::link_failure_impact`] used by the
+/// failure-scenario sweeps (e.g. "test every possible single link failure",
+/// §6 concluding remarks).
+pub fn what_if_many(net: &DeltaNet, links: &[LinkId], check_loops: bool) -> Vec<WhatIfReport> {
+    let workers = default_workers(links.len());
+    if workers <= 1 || links.len() <= 1 {
+        return links
+            .iter()
+            .map(|&l| net.link_failure_impact(l, check_loops))
+            .collect();
+    }
+    let mut results: Vec<Option<WhatIfReport>> = vec![None; links.len()];
+    let chunk = links.len().div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (slot, work) in results.chunks_mut(chunk).zip(links.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (out, &link) in slot.iter_mut().zip(work.iter()) {
+                    *out = Some(net.link_failure_impact(link, check_loops));
+                }
+            });
+        }
+    })
+    .expect("what-if worker panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Audits the whole data plane for forwarding loops by partitioning the atom
+/// space across threads. Produces the same set of violations as
+/// [`DeltaNet::check_all_loops`], merely faster on large atom counts.
+pub fn check_all_loops_parallel(net: &DeltaNet) -> Vec<InvariantViolation> {
+    let all_atoms: Vec<crate::atoms::AtomId> = net.atoms().iter().map(|(a, _)| a).collect();
+    let workers = default_workers(all_atoms.len() / 64 + 1);
+    if workers <= 1 {
+        return net.check_all_loops();
+    }
+    let chunk = all_atoms.len().div_ceil(workers);
+    let mut partial: Vec<Vec<InvariantViolation>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for work in all_atoms.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                let subset: crate::atomset::AtomSet = work.iter().copied().collect();
+                loops::find_loops_for_atoms(net.topology(), net.labels(), net.atoms(), &subset)
+            }));
+        }
+        for h in handles {
+            partial.push(h.join().expect("loop-audit worker panicked"));
+        }
+    })
+    .expect("loop-audit scope failed");
+    // Merge and deduplicate: the same cycle may be found from different
+    // atom partitions; keep one violation per cycle with packets merged.
+    let mut merged: std::collections::BTreeMap<Vec<netmodel::topology::NodeId>, Vec<netmodel::interval::Interval>> =
+        std::collections::BTreeMap::new();
+    for violation in partial.into_iter().flatten() {
+        if let InvariantViolation::ForwardingLoop { nodes, packets } = violation {
+            merged.entry(nodes).or_default().extend(packets);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(nodes, packets)| InvariantViolation::ForwardingLoop {
+            nodes,
+            packets: netmodel::interval::normalize(packets),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DeltaNetConfig;
+    use netmodel::ip::IpPrefix;
+    use netmodel::rule::{Rule, RuleId};
+    use netmodel::topology::Topology;
+
+    fn prefix(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn ring_net(with_loop: bool) -> DeltaNet {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 4);
+        for i in 0..4 {
+            topo.add_link(n[i], n[(i + 1) % 4]);
+        }
+        let mut net = DeltaNet::new(
+            topo,
+            DeltaNetConfig {
+                check_loops_per_update: false,
+                ..Default::default()
+            },
+        );
+        let limit = if with_loop { 4 } else { 3 };
+        for i in 0..limit {
+            let src = netmodel::topology::NodeId(i as u32);
+            let link = net.topology().out_links(src)[0];
+            net.insert_rule(Rule::forward(
+                RuleId(i as u64),
+                prefix("10.0.0.0/8"),
+                1,
+                src,
+                link,
+            ));
+        }
+        // Sprinkle extra disjoint prefixes so there are many atoms.
+        for i in 0..32u64 {
+            let src = netmodel::topology::NodeId((i % 3) as u32);
+            let link = net.topology().out_links(src)[0];
+            net.insert_rule(Rule::forward(
+                RuleId(100 + i),
+                IpPrefix::ipv4(0xC000_0000 + (i as u32) * 0x1_0000, 16),
+                2,
+                src,
+                link,
+            ));
+        }
+        net
+    }
+
+    #[test]
+    fn parallel_loop_audit_matches_sequential() {
+        for with_loop in [false, true] {
+            let net = ring_net(with_loop);
+            let seq = net.check_all_loops();
+            let par = check_all_loops_parallel(&net);
+            assert_eq!(seq.len(), par.len(), "with_loop={with_loop}");
+            if with_loop {
+                assert!(!par.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn what_if_many_matches_single_queries() {
+        let net = ring_net(false);
+        let links: Vec<LinkId> = net.topology().links().iter().map(|l| l.id).collect();
+        let bulk = what_if_many(&net, &links, false);
+        assert_eq!(bulk.len(), links.len());
+        for (i, &link) in links.iter().enumerate() {
+            let single = net.link_failure_impact(link, false);
+            assert_eq!(bulk[i], single, "mismatch for {link:?}");
+        }
+    }
+
+    #[test]
+    fn what_if_many_empty_input() {
+        let net = ring_net(false);
+        assert!(what_if_many(&net, &[], true).is_empty());
+    }
+}

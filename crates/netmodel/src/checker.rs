@@ -1,0 +1,182 @@
+//! The common interface implemented by every data-plane checker.
+//!
+//! Both the Delta-net engine and the Veriflow-RI baseline implement
+//! [`Checker`], which is what makes the paper-style head-to-head comparison
+//! (Tables 3–5) and the differential property tests honest: the harness only
+//! speaks this trait.
+
+use crate::interval::Interval;
+use crate::rule::RuleId;
+use crate::topology::{LinkId, NodeId};
+use crate::trace::Op;
+use std::fmt;
+
+/// A violation of a network-wide invariant found while checking an update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// A forwarding loop: packets in `packets` injected anywhere on the
+    /// cycle revisit `nodes` forever.
+    ForwardingLoop {
+        /// The nodes on the cycle, in traversal order (first node repeated
+        /// implicitly).
+        nodes: Vec<NodeId>,
+        /// The set of destination addresses (as normalized intervals) that
+        /// traverse the cycle.
+        packets: Vec<Interval>,
+    },
+    /// A blackhole: packets in `packets` arriving at `node` match no rule.
+    ///
+    /// Only reported by checkers configured to look for blackholes; the
+    /// paper's evaluation checks forwarding loops.
+    Blackhole {
+        /// The switch where the packets die.
+        node: NodeId,
+        /// The affected destination addresses as normalized intervals.
+        packets: Vec<Interval>,
+    },
+}
+
+impl InvariantViolation {
+    /// Whether this violation is a forwarding loop.
+    pub fn is_loop(&self) -> bool {
+        matches!(self, InvariantViolation::ForwardingLoop { .. })
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::ForwardingLoop { nodes, packets } => {
+                write!(f, "forwarding loop through ")?;
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, " for {} packet interval(s)", packets.len())
+            }
+            InvariantViolation::Blackhole { node, packets } => {
+                write!(f, "blackhole at {node} for {} packet interval(s)", packets.len())
+            }
+        }
+    }
+}
+
+/// What a checker reports after applying one operation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The rule the operation concerned.
+    pub rule_id: Option<RuleId>,
+    /// Whether the operation was an insertion.
+    pub was_insert: bool,
+    /// How many packet classes the checker considered affected by the
+    /// operation: atoms whose ownership changed (Delta-net) or equivalence
+    /// classes recomputed (Veriflow-RI). This is the quantity Appendix C
+    /// reports.
+    pub affected_classes: usize,
+    /// Links whose label / forwarding behaviour changed due to the update
+    /// (the delta-graph's edge set for Delta-net).
+    pub changed_links: Vec<LinkId>,
+    /// Invariant violations found by the per-update property check.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl UpdateReport {
+    /// Whether any forwarding loop was reported.
+    pub fn has_loop(&self) -> bool {
+        self.violations.iter().any(InvariantViolation::is_loop)
+    }
+}
+
+/// What a checker reports for a "what if this link failed?" query (§4.3.2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WhatIfReport {
+    /// The hypothetically failed link.
+    pub link: Option<LinkId>,
+    /// Packet classes (atoms / ECs) that were using the failed link.
+    pub affected_classes: usize,
+    /// The destination addresses using the failed link, as normalized
+    /// intervals.
+    pub affected_packets: Vec<Interval>,
+    /// Links elsewhere in the network that carry any of the affected packet
+    /// classes (i.e. the parts of the network touched by the failure).
+    pub affected_links: Vec<LinkId>,
+    /// Invariant violations found in the affected portion of the data plane
+    /// (only populated when the query is asked to also run property checks).
+    pub violations: Vec<InvariantViolation>,
+}
+
+/// A real-time data-plane checker: consumes a stream of rule insertions and
+/// removals, maintains whatever internal representation it likes, and
+/// answers per-update and what-if queries.
+pub trait Checker {
+    /// A short human-readable name ("delta-net", "veriflow-ri").
+    fn name(&self) -> &'static str;
+
+    /// Applies one operation and checks the configured invariants on the
+    /// affected part of the data plane.
+    fn apply(&mut self, op: &Op) -> UpdateReport;
+
+    /// Answers the link-failure "what if" query of §4.3.2: which packets and
+    /// which parts of the network are affected if `link` fails? When
+    /// `check_loops` is true, also checks the affected portion for
+    /// forwarding loops (the `+Loops` column of Table 4).
+    fn what_if_link_failure(&self, link: LinkId, check_loops: bool) -> WhatIfReport;
+
+    /// Number of rules currently installed.
+    fn rule_count(&self) -> usize;
+
+    /// Number of packet classes currently maintained (atoms for Delta-net,
+    /// trie-induced classes for Veriflow-RI; used by Table 3).
+    fn class_count(&self) -> usize;
+
+    /// Estimated heap memory in bytes used by the checker's internal state
+    /// (Table 5 / Appendix D).
+    fn memory_bytes(&self) -> usize;
+
+    /// Replays a whole trace, returning one report per operation.
+    fn replay(&mut self, ops: &[Op]) -> Vec<UpdateReport> {
+        ops.iter().map(|op| self.apply(op)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_and_kind() {
+        let v = InvariantViolation::ForwardingLoop {
+            nodes: vec![NodeId(0), NodeId(1)],
+            packets: vec![Interval::new(0, 10)],
+        };
+        assert!(v.is_loop());
+        let s = v.to_string();
+        assert!(s.contains("forwarding loop"));
+        assert!(s.contains("n0 -> n1"));
+
+        let b = InvariantViolation::Blackhole {
+            node: NodeId(3),
+            packets: vec![],
+        };
+        assert!(!b.is_loop());
+        assert!(b.to_string().contains("blackhole at n3"));
+    }
+
+    #[test]
+    fn update_report_has_loop() {
+        let mut rep = UpdateReport::default();
+        assert!(!rep.has_loop());
+        rep.violations.push(InvariantViolation::Blackhole {
+            node: NodeId(0),
+            packets: vec![],
+        });
+        assert!(!rep.has_loop());
+        rep.violations.push(InvariantViolation::ForwardingLoop {
+            nodes: vec![NodeId(0)],
+            packets: vec![],
+        });
+        assert!(rep.has_loop());
+    }
+}

@@ -1,0 +1,370 @@
+//! Reference forwarding tables — the "ground truth" oracle.
+//!
+//! [`ForwardingTable`] is a deliberately simple per-switch rule store with
+//! linear-scan highest-priority matching, and [`NetworkFib`] composes one per
+//! switch and traces individual packets hop by hop. Neither is fast — that
+//! is the point: they are obviously-correct implementations of the data
+//! plane semantics, used by the differential and property tests to validate
+//! both the Delta-net engine and the Veriflow-RI baseline.
+
+use crate::interval::Bound;
+use crate::packet::Packet;
+use crate::rule::{Rule, RuleId};
+use crate::topology::{LinkId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// A single switch's forwarding table: a flat set of rules with
+/// highest-priority-wins matching.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardingTable {
+    rules: Vec<Rule>,
+}
+
+impl ForwardingTable {
+    /// Creates an empty forwarding table.
+    pub fn new() -> Self {
+        ForwardingTable::default()
+    }
+
+    /// Installs a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an overlapping rule with the same priority is already
+    /// present (the paper's well-formedness assumption, §3.2 footnote 2) or
+    /// if a rule with the same id is already installed.
+    pub fn insert(&mut self, rule: Rule) {
+        for r in &self.rules {
+            assert!(r.id != rule.id, "duplicate rule id {:?}", rule.id);
+            assert!(
+                !r.conflicts_with(&rule),
+                "overlapping rules with equal priority: {r} vs {rule}"
+            );
+        }
+        self.rules.push(rule);
+    }
+
+    /// Removes a rule by id, returning it if it was present.
+    pub fn remove(&mut self, id: RuleId) -> Option<Rule> {
+        let pos = self.rules.iter().position(|r| r.id == id)?;
+        Some(self.rules.swap_remove(pos))
+    }
+
+    /// The highest-priority rule matching the destination address, if any.
+    pub fn lookup(&self, dst: Bound) -> Option<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.interval().contains(dst))
+            .max_by_key(|r| r.priority)
+    }
+
+    /// All installed rules (unspecified order).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// What happened to a concretely traced packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The packet reached a node with no matching rule (a blackhole).
+    Blackhole(NodeId),
+    /// The packet was dropped by an explicit drop rule at this node.
+    Dropped(NodeId),
+    /// The packet revisited a node: a forwarding loop through these nodes.
+    Loop(Vec<NodeId>),
+    /// The packet left the traced portion of the network at this node (no
+    /// outgoing hop but an explicit forward towards a node with no table,
+    /// e.g. an external border router).
+    Exited(NodeId),
+}
+
+/// The full hop-by-hop trace of a packet through the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// Nodes visited, starting with the injection point.
+    pub path: Vec<NodeId>,
+    /// Links traversed (one fewer than `path` unless a loop truncated it).
+    pub links: Vec<LinkId>,
+    /// How the trace ended.
+    pub outcome: TraceOutcome,
+}
+
+/// The whole network's reference data plane: one [`ForwardingTable`] per
+/// switch plus the topology to walk links.
+#[derive(Clone, Debug)]
+pub struct NetworkFib {
+    topology: Topology,
+    tables: Vec<ForwardingTable>,
+    by_id: HashMap<RuleId, NodeId>,
+}
+
+impl NetworkFib {
+    /// Creates an empty data plane over the given topology.
+    pub fn new(topology: Topology) -> Self {
+        let tables = (0..topology.node_count())
+            .map(|_| ForwardingTable::new())
+            .collect();
+        NetworkFib {
+            topology,
+            tables,
+            by_id: HashMap::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Installs a rule on its source switch.
+    pub fn insert(&mut self, rule: Rule) {
+        // The topology may have grown (drop links) after construction.
+        while self.tables.len() < self.topology.node_count() {
+            self.tables.push(ForwardingTable::new());
+        }
+        self.by_id.insert(rule.id, rule.source);
+        self.tables[rule.source.index()].insert(rule);
+    }
+
+    /// Removes a rule by id, returning it if present.
+    pub fn remove(&mut self, id: RuleId) -> Option<Rule> {
+        let node = self.by_id.remove(&id)?;
+        self.tables[node.index()].remove(id)
+    }
+
+    /// The forwarding table of a switch.
+    pub fn table(&self, node: NodeId) -> &ForwardingTable {
+        &self.tables[node.index()]
+    }
+
+    /// Total number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Traces a packet injected at `start` until it is dropped, blackholed,
+    /// exits, or loops.
+    pub fn trace(&self, start: NodeId, packet: Packet) -> PacketTrace {
+        let mut path = vec![start];
+        let mut links = Vec::new();
+        let mut visited = vec![false; self.topology.node_count()];
+        visited[start.index()] = true;
+        let mut cur = start;
+        loop {
+            let table = match self.tables.get(cur.index()) {
+                Some(t) => t,
+                None => {
+                    return PacketTrace {
+                        path,
+                        links,
+                        outcome: TraceOutcome::Exited(cur),
+                    }
+                }
+            };
+            let rule = match table.lookup(packet.dst) {
+                Some(r) => r,
+                None => {
+                    let outcome = if self.topology.is_drop_node(cur) {
+                        TraceOutcome::Dropped(cur)
+                    } else {
+                        TraceOutcome::Blackhole(cur)
+                    };
+                    return PacketTrace {
+                        path,
+                        links,
+                        outcome,
+                    };
+                }
+            };
+            let link = self.topology.link(rule.link);
+            links.push(rule.link);
+            let next = link.dst;
+            if self.topology.is_drop_node(next) {
+                path.push(next);
+                return PacketTrace {
+                    path,
+                    links,
+                    outcome: TraceOutcome::Dropped(cur),
+                };
+            }
+            if visited[next.index()] {
+                // Truncate the loop to the cycle part.
+                let start_idx = path.iter().position(|&n| n == next).unwrap_or(0);
+                let cycle = path[start_idx..].to_vec();
+                path.push(next);
+                return PacketTrace {
+                    path,
+                    links,
+                    outcome: TraceOutcome::Loop(cycle),
+                };
+            }
+            visited[next.index()] = true;
+            path.push(next);
+            cur = next;
+        }
+    }
+
+    /// Whether any destination address drawn from `samples` loops when
+    /// injected at any switch. Used as a slow oracle in differential tests.
+    pub fn any_loop_among(&self, samples: &[Bound]) -> bool {
+        for node in self.topology.switch_nodes().collect::<Vec<_>>() {
+            for &dst in samples {
+                if matches!(
+                    self.trace(node, Packet::to(dst)).outcome,
+                    TraceOutcome::Loop(_)
+                ) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::IpPrefix;
+
+    fn prefix(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn table_lookup_prefers_higher_priority() {
+        // Table 1 of the paper: high-priority drop 0.0.0.10/31 over
+        // low-priority forward 0.0.0.0/28.
+        let mut topo = Topology::new();
+        let s = topo.add_node("s");
+        let t = topo.add_node("t");
+        let fwd = topo.add_link(s, t);
+        let drop = topo.drop_link(s);
+        let mut table = ForwardingTable::new();
+        table.insert(Rule::drop(RuleId(1), prefix("0.0.0.10/31"), 10, s, drop));
+        table.insert(Rule::forward(RuleId(2), prefix("0.0.0.0/28"), 1, s, fwd));
+        assert_eq!(table.lookup(10).unwrap().id, RuleId(1));
+        assert_eq!(table.lookup(11).unwrap().id, RuleId(1));
+        assert_eq!(table.lookup(9).unwrap().id, RuleId(2));
+        assert_eq!(table.lookup(12).unwrap().id, RuleId(2));
+        assert!(table.lookup(16).is_none());
+    }
+
+    #[test]
+    fn table_remove() {
+        let mut topo = Topology::new();
+        let s = topo.add_node("s");
+        let t = topo.add_node("t");
+        let fwd = topo.add_link(s, t);
+        let mut table = ForwardingTable::new();
+        table.insert(Rule::forward(RuleId(2), prefix("0.0.0.0/28"), 1, s, fwd));
+        assert_eq!(table.len(), 1);
+        assert!(table.remove(RuleId(3)).is_none());
+        assert_eq!(table.remove(RuleId(2)).unwrap().id, RuleId(2));
+        assert!(table.is_empty());
+        assert!(table.lookup(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping rules with equal priority")]
+    fn conflicting_priorities_panic() {
+        let mut topo = Topology::new();
+        let s = topo.add_node("s");
+        let t = topo.add_node("t");
+        let fwd = topo.add_link(s, t);
+        let mut table = ForwardingTable::new();
+        table.insert(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 5, s, fwd));
+        table.insert(Rule::forward(RuleId(2), prefix("10.0.0.0/16"), 5, s, fwd));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rule id")]
+    fn duplicate_id_panics() {
+        let mut topo = Topology::new();
+        let s = topo.add_node("s");
+        let t = topo.add_node("t");
+        let fwd = topo.add_link(s, t);
+        let mut table = ForwardingTable::new();
+        table.insert(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 5, s, fwd));
+        table.insert(Rule::forward(RuleId(1), prefix("11.0.0.0/8"), 6, s, fwd));
+    }
+
+    fn chain_fib() -> (NetworkFib, Vec<NodeId>) {
+        // a -> b -> c, all 10.0.0.0/8 traffic forwarded down the chain.
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 3);
+        let ab = topo.add_link(n[0], n[1]);
+        let bc = topo.add_link(n[1], n[2]);
+        let mut fib = NetworkFib::new(topo);
+        fib.insert(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], ab));
+        fib.insert(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], bc));
+        (fib, n)
+    }
+
+    #[test]
+    fn trace_reaches_destination_blackhole() {
+        let (fib, n) = chain_fib();
+        let trace = fib.trace(n[0], Packet::to_ipv4(0x0a00_0001));
+        assert_eq!(trace.path, vec![n[0], n[1], n[2]]);
+        assert_eq!(trace.outcome, TraceOutcome::Blackhole(n[2]));
+    }
+
+    #[test]
+    fn trace_unmatched_packet_blackholes_immediately() {
+        let (fib, n) = chain_fib();
+        let trace = fib.trace(n[0], Packet::to_ipv4(0xc0a8_0001));
+        assert_eq!(trace.path, vec![n[0]]);
+        assert_eq!(trace.outcome, TraceOutcome::Blackhole(n[0]));
+    }
+
+    #[test]
+    fn trace_detects_loop() {
+        // a -> b and b -> a for the same prefix: a two-node loop.
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 2);
+        let ab = topo.add_link(n[0], n[1]);
+        let ba = topo.add_link(n[1], n[0]);
+        let mut fib = NetworkFib::new(topo);
+        fib.insert(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], ab));
+        fib.insert(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], ba));
+        let trace = fib.trace(n[0], Packet::to_ipv4(0x0a00_0001));
+        assert!(matches!(trace.outcome, TraceOutcome::Loop(_)));
+        assert!(fib.any_loop_among(&[0x0a00_0001]));
+        assert!(!fib.any_loop_among(&[0xc0a8_0001]));
+    }
+
+    #[test]
+    fn trace_drop_rule() {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 2);
+        let _ab = topo.add_link(n[0], n[1]);
+        let dl = topo.drop_link(n[0]);
+        let mut fib = NetworkFib::new(topo);
+        fib.insert(Rule::drop(RuleId(1), prefix("10.0.0.0/8"), 9, n[0], dl));
+        let trace = fib.trace(n[0], Packet::to_ipv4(0x0a00_0001));
+        assert_eq!(trace.outcome, TraceOutcome::Dropped(n[0]));
+    }
+
+    #[test]
+    fn network_fib_insert_remove_roundtrip() {
+        let (mut fib, n) = chain_fib();
+        assert_eq!(fib.rule_count(), 2);
+        let removed = fib.remove(RuleId(1)).unwrap();
+        assert_eq!(removed.source, n[0]);
+        assert_eq!(fib.rule_count(), 1);
+        assert!(fib.remove(RuleId(1)).is_none());
+        // After removal, traffic at n[0] blackholes.
+        let trace = fib.trace(n[0], Packet::to_ipv4(0x0a00_0001));
+        assert_eq!(trace.outcome, TraceOutcome::Blackhole(n[0]));
+    }
+}

@@ -1,0 +1,329 @@
+//! CIDR prefixes and their conversion to half-closed intervals.
+//!
+//! The paper's rules match on destination IP prefixes (IPv4 in the
+//! evaluation, with the remark that the interval representation generalizes
+//! to IPv6). [`IpPrefix`] is width-generic: a prefix is a `value/len` pair
+//! over a `width`-bit field, so the same type covers IPv4 (`width = 32`),
+//! IPv6-sized fields, or the small toy fields used in the paper's worked
+//! examples (e.g. 4-bit addresses in Appendix A).
+
+use crate::interval::{Bound, Interval};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced when parsing a textual CIDR prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// The string did not contain exactly one `/` separator.
+    MissingSlash,
+    /// The address part was not a valid dotted quad.
+    BadAddress(String),
+    /// The prefix length was not a number or exceeded the field width.
+    BadLength(String),
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixParseError::MissingSlash => write!(f, "missing '/' in CIDR prefix"),
+            PrefixParseError::BadAddress(s) => write!(f, "invalid address `{s}`"),
+            PrefixParseError::BadLength(s) => write!(f, "invalid prefix length `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+/// A CIDR-style prefix over a `width`-bit packet-header field.
+///
+/// The canonical invariant is that all bits below `width - len` are zero in
+/// `value` (i.e. the prefix is aligned); [`IpPrefix::new`] enforces this by
+/// masking. IPv4 prefixes use `width = 32`.
+///
+/// # Examples
+///
+/// ```
+/// use netmodel::ip::IpPrefix;
+/// use netmodel::interval::Interval;
+///
+/// let p: IpPrefix = "0.0.0.10/31".parse().unwrap();
+/// assert_eq!(p.interval(), Interval::new(10, 12));
+/// let q = IpPrefix::ipv4(0, 28); // 0.0.0.0/28
+/// assert_eq!(q.interval(), Interval::new(0, 16));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IpPrefix {
+    /// The (aligned) prefix value, right-aligned in the low `width` bits.
+    value: Bound,
+    /// Number of significant leading bits.
+    len: u8,
+    /// Total field width in bits (32 for IPv4).
+    width: u8,
+}
+
+impl IpPrefix {
+    /// Creates a prefix over a `width`-bit field, masking away any bits of
+    /// `value` below the prefix length so the stored value is aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > width` or `width` is 0 or greater than 127.
+    pub fn new(value: Bound, len: u8, width: u8) -> Self {
+        assert!(width > 0 && width <= 127, "unsupported field width {width}");
+        assert!(len <= width, "prefix length {len} exceeds width {width}");
+        let host_bits = u32::from(width - len);
+        let mask: Bound = if host_bits == 0 {
+            !0
+        } else {
+            !((1u128 << host_bits) - 1)
+        };
+        let field_mask: Bound = (1u128 << width) - 1;
+        IpPrefix {
+            value: value & mask & field_mask,
+            len,
+            width,
+        }
+    }
+
+    /// Creates an IPv4 prefix (`width = 32`) from a 32-bit address value.
+    pub fn ipv4(addr: u32, len: u8) -> Self {
+        IpPrefix::new(Bound::from(addr), len, 32)
+    }
+
+    /// The aligned prefix value.
+    #[inline]
+    pub fn value(&self) -> Bound {
+        self.value
+    }
+
+    /// The prefix length in bits.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` when the prefix matches the whole field (`len == 0`).
+    #[inline]
+    pub fn is_default_route(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The field width in bits.
+    #[inline]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The half-closed interval `[value : value + 2^(width-len))` of field
+    /// values matched by this prefix (paper §3.1).
+    #[inline]
+    pub fn interval(&self) -> Interval {
+        let span = 1u128 << (self.width - self.len);
+        Interval::new(self.value, self.value + span)
+    }
+
+    /// Whether this prefix matches the given field value.
+    #[inline]
+    pub fn matches(&self, value: Bound) -> bool {
+        self.interval().contains(value)
+    }
+
+    /// Whether `other` is a (non-strict) sub-prefix of `self`.
+    pub fn covers(&self, other: &IpPrefix) -> bool {
+        self.width == other.width && self.interval().contains_interval(&other.interval())
+    }
+
+    /// The number of addresses matched by this prefix.
+    pub fn address_count(&self) -> Bound {
+        1u128 << (self.width - self.len)
+    }
+
+    /// Formats an IPv4 prefix as dotted-quad CIDR; other widths as
+    /// `value/len@width`.
+    fn format(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 32 {
+            let v = self.value as u32;
+            write!(
+                f,
+                "{}.{}.{}.{}/{}",
+                (v >> 24) & 0xff,
+                (v >> 16) & 0xff,
+                (v >> 8) & 0xff,
+                v & 0xff,
+                self.len
+            )
+        } else {
+            write!(f, "{}/{}@{}", self.value, self.len, self.width)
+        }
+    }
+}
+
+impl fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.format(f)
+    }
+}
+
+impl fmt::Debug for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.format(f)
+    }
+}
+
+impl FromStr for IpPrefix {
+    type Err = PrefixParseError;
+
+    /// Parses either the IPv4 CIDR form `a.b.c.d/len` or the width-generic
+    /// form `value/len@width`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, rest) = s.split_once('/').ok_or(PrefixParseError::MissingSlash)?;
+        if let Some((len_part, width_part)) = rest.split_once('@') {
+            let value: Bound = addr_part
+                .parse()
+                .map_err(|_| PrefixParseError::BadAddress(addr_part.to_string()))?;
+            let len: u8 = len_part
+                .parse()
+                .map_err(|_| PrefixParseError::BadLength(len_part.to_string()))?;
+            let width: u8 = width_part
+                .parse()
+                .map_err(|_| PrefixParseError::BadLength(width_part.to_string()))?;
+            if len > width || width == 0 || width > 127 {
+                return Err(PrefixParseError::BadLength(rest.to_string()));
+            }
+            return Ok(IpPrefix::new(value, len, width));
+        }
+        let octets: Vec<&str> = addr_part.split('.').collect();
+        if octets.len() != 4 {
+            return Err(PrefixParseError::BadAddress(addr_part.to_string()));
+        }
+        let mut addr: u32 = 0;
+        for o in octets {
+            let b: u8 = o
+                .parse()
+                .map_err(|_| PrefixParseError::BadAddress(addr_part.to_string()))?;
+            addr = (addr << 8) | u32::from(b);
+        }
+        let len: u8 = rest
+            .parse()
+            .map_err(|_| PrefixParseError::BadLength(rest.to_string()))?;
+        if len > 32 {
+            return Err(PrefixParseError::BadLength(rest.to_string()));
+        }
+        Ok(IpPrefix::ipv4(addr, len))
+    }
+}
+
+/// Formats a raw IPv4 address value as a dotted quad.
+pub fn format_ipv4(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (addr >> 24) & 0xff,
+        (addr >> 16) & 0xff,
+        (addr >> 8) & 0xff,
+        addr & 0xff
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_prefixes() {
+        // Table 1: 0.0.0.10/31 (drop, high) and 0.0.0.0/28 (forward, low).
+        let high: IpPrefix = "0.0.0.10/31".parse().unwrap();
+        assert_eq!(high.interval(), Interval::new(10, 12));
+        let low: IpPrefix = "0.0.0.0/28".parse().unwrap();
+        assert_eq!(low.interval(), Interval::new(0, 16));
+        assert!(low.covers(&high));
+        assert!(!high.covers(&low));
+    }
+
+    #[test]
+    fn parse_roundtrip_display() {
+        for s in ["10.0.0.0/8", "192.168.1.0/24", "0.0.0.0/0", "1.2.3.4/32"] {
+            let p: IpPrefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_width_generic_form() {
+        let p: IpPrefix = "10/3@4".parse().unwrap();
+        // 4-bit field; 10 = 0b1010 with len 3 aligns to 0b1010 & !1 = 10.
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.interval(), Interval::new(10, 12));
+    }
+
+    #[test]
+    fn new_masks_unaligned_host_bits() {
+        let p = IpPrefix::ipv4(0x0a0b_0c0d, 16);
+        assert_eq!(p.value(), 0x0a0b_0000);
+        assert_eq!(p.to_string(), "10.11.0.0/16");
+    }
+
+    #[test]
+    fn default_route_covers_everything() {
+        let def = IpPrefix::ipv4(0, 0);
+        assert!(def.is_default_route());
+        assert_eq!(def.interval(), Interval::new(0, 1u128 << 32));
+        assert_eq!(def.address_count(), 1u128 << 32);
+        assert!(def.covers(&IpPrefix::ipv4(0xffff_ffff, 32)));
+    }
+
+    #[test]
+    fn host_route_matches_single_address() {
+        let host = IpPrefix::ipv4(0x0102_0304, 32);
+        assert_eq!(host.address_count(), 1);
+        assert!(host.matches(0x0102_0304));
+        assert!(!host.matches(0x0102_0305));
+    }
+
+    #[test]
+    fn same_lower_bound_different_length() {
+        // Paper §3.1: 1.2.0.0/16 and 1.2.0.0/24 share a lower bound.
+        let a: IpPrefix = "1.2.0.0/16".parse().unwrap();
+        let b: IpPrefix = "1.2.0.0/24".parse().unwrap();
+        assert_eq!(a.interval().lo(), b.interval().lo());
+        assert!(a.interval().hi() > b.interval().hi());
+        assert!(a.covers(&b));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "10.0.0.0".parse::<IpPrefix>(),
+            Err(PrefixParseError::MissingSlash)
+        );
+        assert!(matches!(
+            "10.0.0/8".parse::<IpPrefix>(),
+            Err(PrefixParseError::BadAddress(_))
+        ));
+        assert!(matches!(
+            "10.0.0.0/33".parse::<IpPrefix>(),
+            Err(PrefixParseError::BadLength(_))
+        ));
+        assert!(matches!(
+            "300.0.0.0/8".parse::<IpPrefix>(),
+            Err(PrefixParseError::BadAddress(_))
+        ));
+        assert!(matches!(
+            "5/9@8".parse::<IpPrefix>(),
+            Err(PrefixParseError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn format_ipv4_helper() {
+        assert_eq!(format_ipv4(0xc0a8_0101), "192.168.1.1");
+        assert_eq!(format_ipv4(0), "0.0.0.0");
+    }
+
+    #[test]
+    fn covers_requires_same_width() {
+        let a = IpPrefix::new(0, 0, 32);
+        let b = IpPrefix::new(0, 0, 16);
+        assert!(!a.covers(&b));
+    }
+}

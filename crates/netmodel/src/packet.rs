@@ -1,0 +1,71 @@
+//! A minimal packet-header model.
+//!
+//! The verification engines never materialize packets — that is the entire
+//! point of atoms and equivalence classes — but the differential property
+//! tests do: they pick concrete destination addresses, trace them hop by hop
+//! through the reference forwarding tables, and compare the observed
+//! behaviour against what the engines claim. [`Packet`] is that concrete
+//! witness.
+
+use crate::interval::Bound;
+use crate::ip::format_ipv4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A packet identified by the single header field the data plane matches on
+/// (the destination address, per the paper's evaluation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Packet {
+    /// The destination address as a raw field value.
+    pub dst: Bound,
+}
+
+impl Packet {
+    /// A packet destined to the given raw field value.
+    #[inline]
+    pub fn to(dst: Bound) -> Self {
+        Packet { dst }
+    }
+
+    /// A packet destined to the given IPv4 address.
+    #[inline]
+    pub fn to_ipv4(addr: u32) -> Self {
+        Packet { dst: Bound::from(addr) }
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dst <= Bound::from(u32::MAX) {
+            write!(f, "pkt({})", format_ipv4(self.dst as u32))
+        } else {
+            write!(f, "pkt({})", self.dst)
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Packet::to(10).dst, 10);
+        assert_eq!(Packet::to_ipv4(0x0a00_0001).dst, 0x0a00_0001);
+    }
+
+    #[test]
+    fn debug_formats_ipv4() {
+        assert_eq!(format!("{:?}", Packet::to_ipv4(0x0a00_0001)), "pkt(10.0.0.1)");
+        assert_eq!(
+            format!("{}", Packet::to((1u128 << 64) + 5)),
+            format!("pkt({})", (1u128 << 64) + 5)
+        );
+    }
+}

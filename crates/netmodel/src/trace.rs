@@ -1,0 +1,440 @@
+//! Replayable operation traces.
+//!
+//! The paper's datasets (§4.2) are organized "as text files in which each
+//! line denotes an operation: an insertion or removal of a rule", so that
+//! every experiment can be replayed deterministically. This module provides
+//! the same abstraction: an [`Op`] is one insertion or removal, a [`Trace`]
+//! is an ordered sequence of them, and the text format round-trips through
+//! [`Trace::to_text`] / [`Trace::parse`].
+//!
+//! Text format, one operation per line (whitespace separated):
+//!
+//! ```text
+//! I <rule-id> <src-node> <dst-node|drop> <prefix> <priority>
+//! R <rule-id>
+//! # comments and blank lines are ignored
+//! ```
+//!
+//! Node references are numeric node ids into the accompanying topology; the
+//! destination `drop` denotes the source node's drop link.
+
+use crate::ip::IpPrefix;
+use crate::rule::{Rule, RuleId};
+use crate::topology::{NodeId, Topology};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A single data-plane update operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the given rule into its source switch's forwarding table.
+    Insert(Rule),
+    /// Remove the rule with the given id.
+    Remove(RuleId),
+}
+
+impl Op {
+    /// The id of the rule this operation concerns.
+    pub fn rule_id(&self) -> RuleId {
+        match self {
+            Op::Insert(r) => r.id,
+            Op::Remove(id) => *id,
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Op::Insert(_))
+    }
+}
+
+/// Errors produced when parsing a textual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// An ordered, replayable sequence of data-plane operations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a trace from the given operations.
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Trace { ops }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Appends an insertion of `rule`.
+    pub fn push_insert(&mut self, rule: Rule) {
+        self.ops.push(Op::Insert(rule));
+    }
+
+    /// Appends a removal of the rule with id `id`.
+    pub fn push_remove(&mut self, id: RuleId) {
+        self.ops.push(Op::Remove(id));
+    }
+
+    /// The operations in replay order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of insert operations.
+    pub fn insert_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_insert()).count()
+    }
+
+    /// Number of remove operations.
+    pub fn remove_count(&self) -> usize {
+        self.len() - self.insert_count()
+    }
+
+    /// Appends all operations of `other`.
+    pub fn extend(&mut self, other: Trace) {
+        self.ops.extend(other.ops);
+    }
+
+    /// The maximum number of rules simultaneously installed at any point
+    /// while replaying the trace from an empty data plane.
+    pub fn peak_rule_count(&self) -> usize {
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::Insert(_) => {
+                    live += 1;
+                    peak = peak.max(live);
+                }
+                Op::Remove(_) => live = live.saturating_sub(1),
+            }
+        }
+        peak
+    }
+
+    /// The rules that remain installed after replaying the whole trace
+    /// (i.e. the final consistent data plane snapshot, as used for the
+    /// paper's "what if" experiments, §4.3.2).
+    pub fn final_data_plane(&self) -> Vec<Rule> {
+        let mut live: HashMap<RuleId, Rule> = HashMap::new();
+        for op in &self.ops {
+            match op {
+                Op::Insert(r) => {
+                    live.insert(r.id, *r);
+                }
+                Op::Remove(id) => {
+                    live.remove(id);
+                }
+            }
+        }
+        let mut rules: Vec<Rule> = live.into_values().collect();
+        rules.sort_by_key(|r| r.id);
+        rules
+    }
+
+    /// Serializes the trace to the line-oriented text format.
+    ///
+    /// `topology` is needed to resolve each rule's link back to a destination
+    /// node (or `drop`).
+    pub fn to_text(&self, topology: &Topology) -> String {
+        let mut out = String::new();
+        out.push_str("# delta-net trace: I <id> <src> <dst|drop> <prefix> <priority> | R <id>\n");
+        for op in &self.ops {
+            match op {
+                Op::Insert(r) => {
+                    let dst = if topology.is_drop_link(r.link) {
+                        "drop".to_string()
+                    } else {
+                        topology.link(r.link).dst.0.to_string()
+                    };
+                    out.push_str(&format!(
+                        "I {} {} {} {} {}\n",
+                        r.id.0, r.source.0, dst, r.prefix, r.priority
+                    ));
+                }
+                Op::Remove(id) => out.push_str(&format!("R {}\n", id.0)),
+            }
+        }
+        out
+    }
+
+    /// Parses the line-oriented text format, resolving node pairs to links in
+    /// (and, for `drop`, mutating) the given topology.
+    pub fn parse(text: &str, topology: &mut Topology) -> Result<Self, TraceParseError> {
+        let mut trace = Trace::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap();
+            let err = |message: String| TraceParseError {
+                line: line_no,
+                message,
+            };
+            match kind {
+                "I" => {
+                    let fields: Vec<&str> = parts.collect();
+                    if fields.len() != 5 {
+                        return Err(err(format!(
+                            "expected `I <id> <src> <dst|drop> <prefix> <priority>`, got {} fields",
+                            fields.len() + 1
+                        )));
+                    }
+                    let id: u64 = fields[0]
+                        .parse()
+                        .map_err(|_| err(format!("bad rule id `{}`", fields[0])))?;
+                    let src: u32 = fields[1]
+                        .parse()
+                        .map_err(|_| err(format!("bad src node `{}`", fields[1])))?;
+                    let src = NodeId(src);
+                    if src.index() >= topology.node_count() {
+                        return Err(err(format!("unknown src node {src}")));
+                    }
+                    let prefix: IpPrefix = fields[3]
+                        .parse()
+                        .map_err(|e| err(format!("bad prefix `{}`: {e}", fields[3])))?;
+                    let priority: u32 = fields[4]
+                        .parse()
+                        .map_err(|_| err(format!("bad priority `{}`", fields[4])))?;
+                    let rule = if fields[2] == "drop" {
+                        let dl = topology.drop_link(src);
+                        Rule::drop(RuleId(id), prefix, priority, src, dl)
+                    } else {
+                        let dst: u32 = fields[2]
+                            .parse()
+                            .map_err(|_| err(format!("bad dst node `{}`", fields[2])))?;
+                        let dst = NodeId(dst);
+                        let link = topology.link_between(src, dst).ok_or_else(|| {
+                            err(format!("no link between {src} and {dst} in topology"))
+                        })?;
+                        Rule::forward(RuleId(id), prefix, priority, src, link)
+                    };
+                    trace.push_insert(rule);
+                }
+                "R" => {
+                    let id_str = parts
+                        .next()
+                        .ok_or_else(|| err("missing rule id after R".to_string()))?;
+                    let id: u64 = id_str
+                        .parse()
+                        .map_err(|_| err(format!("bad rule id `{id_str}`")))?;
+                    trace.push_remove(RuleId(id));
+                }
+                other => {
+                    return Err(err(format!("unknown operation kind `{other}`")));
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Splits the trace into its insert-phase prefix and the rest. Useful for
+    /// experiments that first build a data plane and then exercise updates.
+    pub fn split_at(&self, idx: usize) -> (Trace, Trace) {
+        let idx = idx.min(self.ops.len());
+        (
+            Trace::from_ops(self.ops[..idx].to_vec()),
+            Trace::from_ops(self.ops[idx..].to_vec()),
+        )
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Op;
+    type IntoIter = std::vec::IntoIter<Op>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let n = t.add_nodes("s", 3);
+        t.add_bidi_link(n[0], n[1]);
+        t.add_bidi_link(n[1], n[2]);
+        (t, n)
+    }
+
+    fn sample_trace(t: &mut Topology, n: &[NodeId]) -> Trace {
+        let l01 = t.link_between(n[0], n[1]).unwrap();
+        let l12 = t.link_between(n[1], n[2]).unwrap();
+        let dl = t.drop_link(n[0]);
+        let mut trace = Trace::new();
+        trace.push_insert(Rule::forward(
+            RuleId(1),
+            "10.0.0.0/8".parse().unwrap(),
+            10,
+            n[0],
+            l01,
+        ));
+        trace.push_insert(Rule::forward(
+            RuleId(2),
+            "10.0.0.0/16".parse().unwrap(),
+            20,
+            n[1],
+            l12,
+        ));
+        trace.push_insert(Rule::drop(
+            RuleId(3),
+            "10.0.1.0/24".parse().unwrap(),
+            30,
+            n[0],
+            dl,
+        ));
+        trace.push_remove(RuleId(2));
+        trace
+    }
+
+    #[test]
+    fn counters_and_final_data_plane() {
+        let (mut t, n) = topo();
+        let trace = sample_trace(&mut t, &n);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.insert_count(), 3);
+        assert_eq!(trace.remove_count(), 1);
+        assert_eq!(trace.peak_rule_count(), 3);
+        let final_dp = trace.final_data_plane();
+        assert_eq!(final_dp.len(), 2);
+        assert_eq!(final_dp[0].id, RuleId(1));
+        assert_eq!(final_dp[1].id, RuleId(3));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (mut t, n) = topo();
+        let trace = sample_trace(&mut t, &n);
+        let text = trace.to_text(&t);
+        let mut t2 = {
+            // Rebuild the same topology without the drop link: parse creates it.
+            let mut t2 = Topology::new();
+            let m = t2.add_nodes("s", 3);
+            t2.add_bidi_link(m[0], m[1]);
+            t2.add_bidi_link(m[1], m[2]);
+            t2
+        };
+        let parsed = Trace::parse(&text, &mut t2).unwrap();
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in parsed.ops().iter().zip(trace.ops()) {
+            match (a, b) {
+                (Op::Insert(x), Op::Insert(y)) => {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.prefix, y.prefix);
+                    assert_eq!(x.priority, y.priority);
+                    assert_eq!(x.source, y.source);
+                    assert_eq!(x.action, y.action);
+                }
+                (Op::Remove(x), Op::Remove(y)) => assert_eq!(x, y),
+                _ => panic!("op kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let (mut t, _n) = topo();
+        let text = "# a comment\n\nR 7\n  \nR 8\n";
+        let trace = Trace::parse(text, &mut t).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.ops()[0], Op::Remove(RuleId(7)));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let (mut t, _n) = topo();
+        let err = Trace::parse("R 1\nX 2\n", &mut t).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown operation kind"));
+
+        let err = Trace::parse("I 1 0 9 10.0.0.0/8 5\n", &mut t).unwrap_err();
+        assert!(err.message.contains("no link between"));
+
+        let err = Trace::parse("I 1 99 0 10.0.0.0/8 5\n", &mut t).unwrap_err();
+        assert!(err.message.contains("unknown src node"));
+
+        let err = Trace::parse("I 1 0 1 nonsense 5\n", &mut t).unwrap_err();
+        assert!(err.message.contains("bad prefix"));
+
+        let err = Trace::parse("I 1 0 1 10.0.0.0/8\n", &mut t).unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn split_at_partitions_ops() {
+        let (mut t, n) = topo();
+        let trace = sample_trace(&mut t, &n);
+        let (a, b) = trace.split_at(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+        assert!(a.ops().iter().all(|o| o.is_insert()));
+        let (c, d) = trace.split_at(100);
+        assert_eq!(c.len(), 4);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn op_accessors() {
+        let (mut t, n) = topo();
+        let trace = sample_trace(&mut t, &n);
+        assert_eq!(trace.ops()[0].rule_id(), RuleId(1));
+        assert!(trace.ops()[0].is_insert());
+        assert_eq!(trace.ops()[3].rule_id(), RuleId(2));
+        assert!(!trace.ops()[3].is_insert());
+    }
+
+    #[test]
+    fn iteration() {
+        let (mut t, n) = topo();
+        let trace = sample_trace(&mut t, &n);
+        assert_eq!((&trace).into_iter().count(), 4);
+        assert_eq!(trace.into_iter().count(), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Packet equivalence classes (ECs) as computed by Veriflow.
+//!
+//! When a rule is inserted or removed, Veriflow collects every rule in the
+//! network whose prefix overlaps the affected prefix and partitions the
+//! affected address range into equivalence classes: maximal sub-ranges
+//! within which every overlapping rule either applies fully or not at all.
+//! Each EC then gets its own forwarding graph (§2.1).
+//!
+//! This module implements the partitioning: given a target interval and the
+//! intervals of the overlapping rules, it produces the EC sub-intervals.
+
+use netmodel::interval::{Bound, Interval};
+
+/// An equivalence class: a maximal address sub-range over which the set of
+/// applicable rules does not change.
+pub type EquivalenceClass = Interval;
+
+/// Partitions `target` into equivalence classes induced by the overlapping
+/// rule intervals.
+///
+/// Every returned interval is contained in `target`, the intervals are
+/// sorted, disjoint, and their union is exactly `target`. Rules whose
+/// intervals do not overlap `target` are ignored.
+pub fn equivalence_classes(target: Interval, rule_intervals: &[Interval]) -> Vec<EquivalenceClass> {
+    if target.is_empty() {
+        return Vec::new();
+    }
+    let mut cuts: Vec<Bound> = Vec::with_capacity(rule_intervals.len() * 2 + 2);
+    cuts.push(target.lo());
+    cuts.push(target.hi());
+    for iv in rule_intervals {
+        if !iv.overlaps(&target) {
+            continue;
+        }
+        if iv.lo() > target.lo() && iv.lo() < target.hi() {
+            cuts.push(iv.lo());
+        }
+        if iv.hi() > target.lo() && iv.hi() < target.hi() {
+            cuts.push(iv.hi());
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2)
+        .map(|w| Interval::new(w[0], w[1]))
+        .collect()
+}
+
+/// A representative address for an EC (any value inside it); the forwarding
+/// behaviour of this one address is the behaviour of the whole class.
+pub fn representative(ec: &EquivalenceClass) -> Bound {
+    debug_assert!(!ec.is_empty());
+    ec.lo()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: Bound, hi: Bound) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn no_overlapping_rules_single_class() {
+        let ecs = equivalence_classes(iv(0, 100), &[]);
+        assert_eq!(ecs, vec![iv(0, 100)]);
+    }
+
+    #[test]
+    fn paper_figure1_three_classes() {
+        // Figure 1: the new rule r4 overlaps r1, r2, r3; the gray dashed
+        // lines cut its range into (at least) three segments. Model r4 as
+        // [0:16) and the others as [0:12), [4:12), [8:16).
+        let ecs = equivalence_classes(iv(0, 16), &[iv(0, 12), iv(4, 12), iv(8, 16)]);
+        assert_eq!(ecs, vec![iv(0, 4), iv(4, 8), iv(8, 12), iv(12, 16)]);
+    }
+
+    #[test]
+    fn rules_outside_target_are_ignored() {
+        let ecs = equivalence_classes(iv(10, 20), &[iv(0, 5), iv(30, 40)]);
+        assert_eq!(ecs, vec![iv(10, 20)]);
+    }
+
+    #[test]
+    fn rule_straddling_target_boundary_cuts_inside_only() {
+        let ecs = equivalence_classes(iv(10, 20), &[iv(5, 15), iv(18, 30)]);
+        assert_eq!(ecs, vec![iv(10, 15), iv(15, 18), iv(18, 20)]);
+    }
+
+    #[test]
+    fn classes_partition_the_target() {
+        let rules = [iv(3, 9), iv(0, 50), iv(9, 12), iv(40, 60), iv(7, 41)];
+        let target = iv(5, 45);
+        let ecs = equivalence_classes(target, &rules);
+        assert_eq!(ecs.first().unwrap().lo(), target.lo());
+        assert_eq!(ecs.last().unwrap().hi(), target.hi());
+        for w in ecs.windows(2) {
+            assert_eq!(w[0].hi(), w[1].lo());
+        }
+        // Within each EC, every rule either covers it fully or not at all.
+        for ec in &ecs {
+            for r in &rules {
+                assert!(
+                    r.contains_interval(ec) || !r.overlaps(ec),
+                    "rule {r} straddles EC {ec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_bounds_deduplicated() {
+        let ecs = equivalence_classes(iv(0, 10), &[iv(0, 5), iv(0, 5), iv(5, 10)]);
+        assert_eq!(ecs, vec![iv(0, 5), iv(5, 10)]);
+    }
+
+    #[test]
+    fn empty_target_yields_no_classes() {
+        assert!(equivalence_classes(iv(5, 5), &[iv(0, 10)]).is_empty());
+    }
+
+    #[test]
+    fn representative_lies_inside() {
+        let ecs = equivalence_classes(iv(0, 16), &[iv(4, 8)]);
+        for ec in ecs {
+            assert!(ec.contains(representative(&ec)));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # veriflow-ri — the Veriflow baseline, re-implemented
+//!
+//! The Delta-net paper compares against Veriflow, whose implementation and
+//! datasets are not public. The authors therefore built **Veriflow-RI**, "a
+//! re-implementation of their core idea to enable an honest comparison with
+//! Delta-net" (§4.3.1), specialized to a single packet-header field. This
+//! crate is that baseline:
+//!
+//! * [`trie`] — the one-dimensional binary prefix trie.
+//! * [`ec`] — equivalence-class computation over an affected address range.
+//! * [`forwarding_graph`] — one forwarding graph per equivalence class, with
+//!   loop detection.
+//! * [`checker`] — the [`VeriflowRi`] checker implementing the shared
+//!   [`netmodel::Checker`] trait, so it can be driven by exactly the same
+//!   harness as Delta-net.
+//!
+//! Veriflow-RI's space complexity is linear in the number of rules; its time
+//! complexity per update is quadratic in the worst case (it rebuilds
+//! forwarding graphs for every affected class), in contrast to Delta-net's
+//! amortized quasi-linear bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod ec;
+pub mod forwarding_graph;
+pub mod trie;
+
+pub use checker::{VeriflowConfig, VeriflowRi};
+pub use ec::{equivalence_classes, EquivalenceClass};
+pub use forwarding_graph::ForwardingGraph;
+pub use trie::PrefixTrie;

@@ -1,0 +1,316 @@
+//! The one-dimensional binary prefix trie at the heart of Veriflow-RI.
+//!
+//! The paper's re-implementation of Veriflow (§4.3.1) "is designed for
+//! matches against a single packet header field. This explains why
+//! Veriflow-RI uses a one-dimensional trie data structure in which every
+//! node has at most two children (rather than three)". Rules are stored at
+//! the trie node corresponding to their prefix; finding all rules whose
+//! prefix overlaps a query prefix is a walk down the query path (collecting
+//! the less-specific rules along the way) followed by a subtree traversal
+//! (collecting the more-specific rules underneath).
+
+use netmodel::ip::IpPrefix;
+use netmodel::rule::RuleId;
+
+/// A node of the binary trie.
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    /// Rules whose prefix ends exactly at this node.
+    rules: Vec<RuleId>,
+}
+
+impl TrieNode {
+    fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.children.iter().all(Option::is_none)
+    }
+}
+
+/// A binary trie over prefixes of a fixed field width.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie {
+    root: TrieNode,
+    width: u8,
+    node_count: usize,
+    rule_count: usize,
+}
+
+impl PrefixTrie {
+    /// Creates an empty trie for prefixes over a `width`-bit field.
+    pub fn new(width: u8) -> Self {
+        PrefixTrie {
+            root: TrieNode::default(),
+            width,
+            node_count: 1,
+            rule_count: 0,
+        }
+    }
+
+    /// The field width this trie indexes.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Number of rules stored.
+    pub fn len(&self) -> usize {
+        self.rule_count
+    }
+
+    /// Whether the trie stores no rule.
+    pub fn is_empty(&self) -> bool {
+        self.rule_count == 0
+    }
+
+    /// Number of allocated trie nodes (used for the memory accounting of
+    /// Appendix D).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The bit path (most-significant bit first) of a prefix.
+    fn bits(&self, prefix: &IpPrefix) -> impl Iterator<Item = usize> + '_ {
+        let value = prefix.value();
+        let width = self.width;
+        (0..prefix.len()).map(move |i| ((value >> (width - 1 - i)) & 1) as usize)
+    }
+
+    /// Inserts a rule under its prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix's width differs from the trie's width.
+    pub fn insert(&mut self, prefix: &IpPrefix, id: RuleId) {
+        assert_eq!(prefix.width(), self.width, "prefix width mismatch");
+        let path: Vec<usize> = self.bits(prefix).collect();
+        let mut node = &mut self.root;
+        let mut created = 0usize;
+        for bit in path {
+            if node.children[bit].is_none() {
+                node.children[bit] = Some(Box::default());
+                created += 1;
+            }
+            node = node.children[bit].as_mut().unwrap();
+        }
+        node.rules.push(id);
+        self.node_count += created;
+        self.rule_count += 1;
+    }
+
+    /// Removes a rule stored under `prefix`; returns whether it was found.
+    /// Empty nodes along the path are pruned.
+    pub fn remove(&mut self, prefix: &IpPrefix, id: RuleId) -> bool {
+        assert_eq!(prefix.width(), self.width, "prefix width mismatch");
+        let path: Vec<usize> = self.bits(prefix).collect();
+        let removed_nodes;
+        let found;
+        {
+            fn recurse(
+                node: &mut TrieNode,
+                path: &[usize],
+                id: RuleId,
+                removed_nodes: &mut usize,
+            ) -> bool {
+                if path.is_empty() {
+                    if let Some(pos) = node.rules.iter().position(|&r| r == id) {
+                        node.rules.swap_remove(pos);
+                        return true;
+                    }
+                    return false;
+                }
+                let bit = path[0];
+                let Some(child) = node.children[bit].as_mut() else {
+                    return false;
+                };
+                let found = recurse(child, &path[1..], id, removed_nodes);
+                if found && child.is_empty() {
+                    node.children[bit] = None;
+                    *removed_nodes += 1;
+                }
+                found
+            }
+            let mut removed = 0usize;
+            found = recurse(&mut self.root, &path, id, &mut removed);
+            removed_nodes = removed;
+        }
+        if found {
+            self.rule_count -= 1;
+            self.node_count -= removed_nodes;
+        }
+        found
+    }
+
+    /// All rules whose prefix overlaps `prefix`: the rules on the path from
+    /// the root to the prefix's node (less specific or equal) plus every
+    /// rule in the subtree below it (more specific).
+    pub fn overlapping(&self, prefix: &IpPrefix) -> Vec<RuleId> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        out.extend_from_slice(&node.rules);
+        for bit in self.bits(prefix) {
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    out.extend_from_slice(&node.rules);
+                }
+                None => return out,
+            }
+        }
+        // `node` is now the prefix's own node, whose rules were already
+        // collected; descend into both subtrees for more-specific rules.
+        let mut stack: Vec<&TrieNode> = node
+            .children
+            .iter()
+            .filter_map(|c| c.as_deref())
+            .collect();
+        while let Some(n) = stack.pop() {
+            out.extend_from_slice(&n.rules);
+            stack.extend(n.children.iter().filter_map(|c| c.as_deref()));
+        }
+        out
+    }
+
+    /// All rules whose prefix matches (covers) the single field value.
+    pub fn matching_value(&self, value: u128) -> Vec<RuleId> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        out.extend_from_slice(&node.rules);
+        for i in 0..self.width {
+            let bit = ((value >> (self.width - 1 - i)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    out.extend_from_slice(&node.rules);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Estimated heap usage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.node_count * std::mem::size_of::<TrieNode>()
+            + self.rule_count * std::mem::size_of::<RuleId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_overlap_nested_prefixes() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&p("10.0.0.0/8"), RuleId(1));
+        t.insert(&p("10.1.0.0/16"), RuleId(2));
+        t.insert(&p("10.1.2.0/24"), RuleId(3));
+        t.insert(&p("192.168.0.0/16"), RuleId(4));
+        assert_eq!(t.len(), 4);
+
+        let mut ov = t.overlapping(&p("10.1.0.0/16"));
+        ov.sort();
+        assert_eq!(ov, vec![RuleId(1), RuleId(2), RuleId(3)]);
+
+        let mut ov = t.overlapping(&p("10.1.2.0/24"));
+        ov.sort();
+        assert_eq!(ov, vec![RuleId(1), RuleId(2), RuleId(3)]);
+
+        let ov = t.overlapping(&p("192.168.0.0/16"));
+        assert_eq!(ov, vec![RuleId(4)]);
+
+        let mut ov = t.overlapping(&p("0.0.0.0/0"));
+        ov.sort();
+        assert_eq!(ov.len(), 4);
+
+        // A sibling prefix overlaps nothing.
+        assert!(t.overlapping(&p("11.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn default_route_overlaps_everything_and_vice_versa() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&p("0.0.0.0/0"), RuleId(1));
+        t.insert(&p("172.16.0.0/12"), RuleId(2));
+        let mut ov = t.overlapping(&p("172.16.5.0/24"));
+        ov.sort();
+        assert_eq!(ov, vec![RuleId(1), RuleId(2)]);
+    }
+
+    #[test]
+    fn duplicate_prefix_holds_multiple_rules() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&p("10.0.0.0/8"), RuleId(1));
+        t.insert(&p("10.0.0.0/8"), RuleId(2));
+        let mut ov = t.overlapping(&p("10.0.0.0/8"));
+        ov.sort();
+        assert_eq!(ov, vec![RuleId(1), RuleId(2)]);
+        assert!(t.remove(&p("10.0.0.0/8"), RuleId(1)));
+        assert_eq!(t.overlapping(&p("10.0.0.0/8")), vec![RuleId(2)]);
+    }
+
+    #[test]
+    fn remove_prunes_empty_nodes() {
+        let mut t = PrefixTrie::new(32);
+        let before = t.node_count();
+        t.insert(&p("10.1.2.0/24"), RuleId(1));
+        assert_eq!(t.node_count(), before + 24);
+        assert!(t.remove(&p("10.1.2.0/24"), RuleId(1)));
+        assert_eq!(t.node_count(), before);
+        assert!(t.is_empty());
+        // Removing again fails gracefully.
+        assert!(!t.remove(&p("10.1.2.0/24"), RuleId(1)));
+    }
+
+    #[test]
+    fn remove_keeps_shared_path_nodes() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&p("10.1.0.0/16"), RuleId(1));
+        t.insert(&p("10.1.2.0/24"), RuleId(2));
+        assert!(t.remove(&p("10.1.2.0/24"), RuleId(2)));
+        // The /16 node must still be reachable.
+        assert_eq!(t.overlapping(&p("10.1.0.0/16")), vec![RuleId(1)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matching_value_walks_the_path() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&p("10.0.0.0/8"), RuleId(1));
+        t.insert(&p("10.1.0.0/16"), RuleId(2));
+        t.insert(&p("10.2.0.0/16"), RuleId(3));
+        let mut m = t.matching_value(u128::from(0x0a01_0203u32));
+        m.sort();
+        assert_eq!(m, vec![RuleId(1), RuleId(2)]);
+        assert_eq!(t.matching_value(u128::from(0x0b00_0000u32)), vec![]);
+    }
+
+    #[test]
+    fn zero_length_prefix_sits_at_root() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&p("0.0.0.0/0"), RuleId(9));
+        assert_eq!(t.matching_value(12345), vec![RuleId(9)]);
+        assert!(t.remove(&p("0.0.0.0/0"), RuleId(9)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn memory_grows_with_rules() {
+        let mut t = PrefixTrie::new(32);
+        let before = t.memory_bytes();
+        for i in 0..100u32 {
+            t.insert(&IpPrefix::ipv4(i << 8, 24), RuleId(u64::from(i)));
+        }
+        assert!(t.memory_bytes() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = PrefixTrie::new(32);
+        t.insert(&IpPrefix::new(0, 2, 4), RuleId(1));
+    }
+}

@@ -1,0 +1,197 @@
+//! Synthetic Route-Views-style BGP prefix generation.
+//!
+//! The paper's synthetic datasets draw IP prefixes "from over half a million
+//! real-world BGP updates collected by the Route Views project" (§4.2.1).
+//! Those dumps are not redistributable, so this module generates prefix
+//! populations with the statistical properties that matter for Delta-net:
+//!
+//! * a realistic prefix-length distribution (dominated by /24s, with
+//!   substantial /16–/23 mass and a tail of short prefixes), and
+//! * deliberate overlap: more-specific prefixes are generated *inside*
+//!   previously generated less-specific ones, because the overlap structure
+//!   is what drives atom counts and equivalence-class counts.
+//!
+//! Generation is fully deterministic given a seed.
+
+use netmodel::ip::IpPrefix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic prefix generator.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixGenConfig {
+    /// Number of prefixes to generate.
+    pub count: usize,
+    /// Probability (in percent) that a prefix is generated as a
+    /// more-specific of an already generated prefix.
+    pub overlap_percent: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PrefixGenConfig {
+    fn default() -> Self {
+        PrefixGenConfig {
+            count: 1000,
+            overlap_percent: 35,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Draws a prefix length from the (approximate) global routing table
+/// distribution: ~55% /24, ~30% spread over /17–/23, ~10% /9–/16, rest /25+
+/// and short prefixes.
+fn sample_length(rng: &mut StdRng) -> u8 {
+    let roll = rng.gen_range(0u32..100);
+    match roll {
+        0..=54 => 24,
+        55..=84 => rng.gen_range(17..=23),
+        85..=94 => rng.gen_range(9..=16),
+        95..=97 => rng.gen_range(25..=28),
+        _ => 8,
+    }
+}
+
+/// Generates a deterministic population of IPv4 prefixes.
+pub fn generate_prefixes(config: PrefixGenConfig) -> Vec<IpPrefix> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut prefixes: Vec<IpPrefix> = Vec::with_capacity(config.count);
+    while prefixes.len() < config.count {
+        let make_overlap = !prefixes.is_empty()
+            && rng.gen_range(0u8..100) < config.overlap_percent;
+        let prefix = if make_overlap {
+            // A more-specific inside an existing prefix.
+            let parent = prefixes[rng.gen_range(0..prefixes.len())];
+            let extra = rng.gen_range(1..=8u8).min(32 - parent.len());
+            if extra == 0 {
+                continue;
+            }
+            let new_len = parent.len() + extra;
+            let host_bits = 32 - u32::from(new_len);
+            let offset_max = 1u128 << (u32::from(extra));
+            let offset = rng.gen_range(0..offset_max);
+            IpPrefix::new(parent.value() + (offset << host_bits), new_len, 32)
+        } else {
+            let len = sample_length(&mut rng);
+            // Keep addresses in the unicast range 1.0.0.0 – 223.255.255.255.
+            let addr: u32 = rng.gen_range(0x0100_0000u32..0xE000_0000u32);
+            IpPrefix::ipv4(addr, len)
+        };
+        prefixes.push(prefix);
+    }
+    prefixes
+}
+
+/// Statistics about a prefix population, used by tests and the dataset
+/// summary tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Number of prefixes.
+    pub count: usize,
+    /// Number of prefixes fully contained in some other prefix.
+    pub nested: usize,
+    /// Number of distinct prefix lengths present.
+    pub distinct_lengths: usize,
+}
+
+/// Computes [`PrefixStats`] for a prefix population.
+pub fn prefix_stats(prefixes: &[IpPrefix]) -> PrefixStats {
+    let mut nested = 0usize;
+    for (i, p) in prefixes.iter().enumerate() {
+        if prefixes
+            .iter()
+            .enumerate()
+            .any(|(j, q)| i != j && q.len() < p.len() && q.covers(p))
+        {
+            nested += 1;
+        }
+    }
+    let mut lengths: Vec<u8> = prefixes.iter().map(|p| p.len()).collect();
+    lengths.sort_unstable();
+    lengths.dedup();
+    PrefixStats {
+        count: prefixes.len(),
+        nested,
+        distinct_lengths: lengths.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let prefixes = generate_prefixes(PrefixGenConfig {
+            count: 500,
+            ..Default::default()
+        });
+        assert_eq!(prefixes.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_prefixes(PrefixGenConfig::default());
+        let b = generate_prefixes(PrefixGenConfig::default());
+        assert_eq!(a, b);
+        let c = generate_prefixes(PrefixGenConfig {
+            seed: 99,
+            ..Default::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_distribution_is_plausible() {
+        let prefixes = generate_prefixes(PrefixGenConfig {
+            count: 5000,
+            overlap_percent: 0,
+            seed: 7,
+        });
+        let slash24 = prefixes.iter().filter(|p| p.len() == 24).count();
+        let short = prefixes.iter().filter(|p| p.len() <= 16).count();
+        // Roughly 55% /24s and a noticeable share of short prefixes.
+        assert!(slash24 * 100 / prefixes.len() > 40, "{slash24}");
+        assert!(short * 100 / prefixes.len() > 5, "{short}");
+        let stats = prefix_stats(&prefixes[..500]);
+        assert!(stats.distinct_lengths > 5);
+    }
+
+    #[test]
+    fn overlap_knob_produces_nested_prefixes() {
+        let none = generate_prefixes(PrefixGenConfig {
+            count: 400,
+            overlap_percent: 0,
+            seed: 11,
+        });
+        let heavy = generate_prefixes(PrefixGenConfig {
+            count: 400,
+            overlap_percent: 80,
+            seed: 11,
+        });
+        let s_none = prefix_stats(&none);
+        let s_heavy = prefix_stats(&heavy);
+        assert!(
+            s_heavy.nested > s_none.nested,
+            "nested {} vs {}",
+            s_heavy.nested,
+            s_none.nested
+        );
+        // With 80% overlap the majority of prefixes should be nested.
+        assert!(s_heavy.nested * 100 / s_heavy.count > 40);
+    }
+
+    #[test]
+    fn prefixes_stay_in_unicast_space() {
+        let prefixes = generate_prefixes(PrefixGenConfig {
+            count: 2000,
+            overlap_percent: 50,
+            seed: 3,
+        });
+        for p in prefixes {
+            assert!(p.len() <= 32);
+            assert!(p.interval().hi() <= 1u128 << 32);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Shortest-path rule generation — the INET/Libra mechanism of §4.2.1.
+//!
+//! "For each of these five network topologies, we generate forwarding rules
+//! following the same mechanism as in Libra (Zeng et al., NSDI 2014), namely: we gather IP prefixes
+//! [...] and compute the shortest paths in a network topology." Every prefix
+//! is assigned an egress (destination) switch; every other switch gets one
+//! rule forwarding the prefix one hop along a shortest path towards that
+//! egress. Priorities are either random (the synthetic datasets: "rules are
+//! inserted with a random priority") or derived from the prefix length
+//! (SDN-IP's longest-prefix-match behaviour).
+
+use crate::topologies::GeneratedTopology;
+use netmodel::ip::IpPrefix;
+use netmodel::rule::{Priority, Rule, RuleId};
+use netmodel::topology::NodeId;
+use netmodel::trace::Trace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How rule priorities are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PriorityMode {
+    /// Uniformly random priorities (the synthetic datasets of §4.2.1).
+    Random,
+    /// Priority equals the prefix length (longest-prefix match, as SDN-IP
+    /// assigns them, §4.2.2).
+    PrefixLength,
+}
+
+/// Configuration of the rule generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleGenConfig {
+    /// Priority assignment mode.
+    pub priority_mode: PriorityMode,
+    /// RNG seed (egress selection, random priorities, removal order).
+    pub seed: u64,
+    /// Whether to append removals of every rule in random order after the
+    /// insertions ("After rules have been inserted, we remove them in
+    /// random order", §4.2.1).
+    pub append_removals: bool,
+}
+
+impl Default for RuleGenConfig {
+    fn default() -> Self {
+        RuleGenConfig {
+            priority_mode: PriorityMode::Random,
+            seed: 0xD41A,
+            append_removals: true,
+        }
+    }
+}
+
+/// The output of rule generation: a replayable trace plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct GeneratedRules {
+    /// The trace of insertions (and optionally removals).
+    pub trace: Trace,
+    /// Rules in insertion order (before any removals).
+    pub rules: Vec<Rule>,
+    /// The egress switch chosen for each prefix (parallel to the prefix
+    /// slice passed to the generator).
+    pub egress: Vec<NodeId>,
+}
+
+/// Generates shortest-path forwarding rules for `prefixes` over `topo`.
+///
+/// For each prefix an egress switch is picked among the topology's edge
+/// nodes (round-robin perturbed by the seed); every other switch that can
+/// reach the egress receives one forwarding rule along its shortest-path
+/// next hop. Rule ids are consecutive from 0 in insertion order.
+pub fn generate_rules(
+    topo: &GeneratedTopology,
+    prefixes: &[IpPrefix],
+    config: RuleGenConfig,
+) -> GeneratedRules {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut trace = Trace::new();
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut egress_choices: Vec<NodeId> = Vec::with_capacity(prefixes.len());
+    let edges = &topo.edge_nodes;
+    assert!(!edges.is_empty(), "topology has no edge nodes");
+
+    // Pre-compute the shortest-path next-hop tree per egress actually used.
+    let mut next_hop_cache: std::collections::HashMap<NodeId, Vec<Option<netmodel::topology::LinkId>>> =
+        std::collections::HashMap::new();
+
+    let mut next_id = 0u64;
+    for (i, prefix) in prefixes.iter().enumerate() {
+        let egress = edges[(i + rng.gen_range(0..edges.len())) % edges.len()];
+        egress_choices.push(egress);
+        let next = next_hop_cache
+            .entry(egress)
+            .or_insert_with(|| topo.topology.shortest_path_next_hop(egress));
+        let priority: Priority = match config.priority_mode {
+            PriorityMode::Random => rng.gen_range(1..=1_000_000),
+            PriorityMode::PrefixLength => Priority::from(prefix.len()) + 1,
+        };
+        for node in topo.topology.switch_nodes().collect::<Vec<_>>() {
+            if node == egress {
+                continue;
+            }
+            let Some(link) = next[node.index()] else {
+                continue;
+            };
+            let rule = Rule::forward(RuleId(next_id), *prefix, priority, node, link);
+            next_id += 1;
+            rules.push(rule);
+            trace.push_insert(rule);
+        }
+    }
+
+    if config.append_removals {
+        let mut ids: Vec<RuleId> = rules.iter().map(|r| r.id).collect();
+        ids.shuffle(&mut rng);
+        for id in ids {
+            trace.push_remove(id);
+        }
+    }
+
+    GeneratedRules {
+        trace,
+        rules,
+        egress: egress_choices,
+    }
+}
+
+/// Generates only the consistent data plane (insertions, no removals) — the
+/// input used by the "what if" experiments of §4.3.2.
+pub fn generate_data_plane(
+    topo: &GeneratedTopology,
+    prefixes: &[IpPrefix],
+    priority_mode: PriorityMode,
+    seed: u64,
+) -> GeneratedRules {
+    generate_rules(
+        topo,
+        prefixes,
+        RuleGenConfig {
+            priority_mode,
+            seed,
+            append_removals: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::{generate_prefixes, PrefixGenConfig};
+    use crate::topologies::{four_switch_ring, ring};
+    use netmodel::fib::NetworkFib;
+    use netmodel::packet::Packet;
+    use netmodel::trace::Op;
+
+    fn prefixes(n: usize) -> Vec<IpPrefix> {
+        generate_prefixes(PrefixGenConfig {
+            count: n,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn every_non_egress_switch_gets_a_rule_per_prefix() {
+        let topo = four_switch_ring();
+        let pfx = prefixes(10);
+        let gen = generate_rules(&topo, &pfx, RuleGenConfig::default());
+        // 4 switches, one egress per prefix → 3 rules per prefix.
+        assert_eq!(gen.rules.len(), 10 * 3);
+        assert_eq!(gen.egress.len(), 10);
+        // Trace has insert + removal for every rule.
+        assert_eq!(gen.trace.len(), 2 * gen.rules.len());
+        assert_eq!(gen.trace.insert_count(), gen.rules.len());
+    }
+
+    #[test]
+    fn rules_follow_shortest_paths_to_egress() {
+        let topo = ring("r6", 6);
+        let pfx = prefixes(5);
+        let gen = generate_data_plane(&topo, &pfx, PriorityMode::Random, 1);
+        // Replay into a reference FIB and trace a packet of the first prefix
+        // from an arbitrary switch: it must end at the egress (blackhole
+        // there, because the egress has no rule for it).
+        let mut fib = NetworkFib::new(topo.topology.clone());
+        for op in gen.trace.ops() {
+            if let Op::Insert(r) = op {
+                fib.insert(*r);
+            }
+        }
+        let egress = gen.egress[0];
+        let addr = pfx[0].interval().lo();
+        for start in topo.topology.switch_nodes() {
+            if start == egress {
+                continue;
+            }
+            let trace = fib.trace(start, Packet::to(addr));
+            assert_eq!(
+                *trace.path.last().unwrap(),
+                egress,
+                "packet from {start} did not reach egress {egress}"
+            );
+            // Shortest path in a 6-ring is at most 3 hops.
+            assert!(trace.links.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn priority_modes() {
+        let topo = four_switch_ring();
+        let pfx = prefixes(20);
+        let by_len = generate_data_plane(&topo, &pfx, PriorityMode::PrefixLength, 2);
+        for r in &by_len.rules {
+            assert_eq!(r.priority, u32::from(r.prefix.len()) + 1);
+        }
+        let random = generate_data_plane(&topo, &pfx, PriorityMode::Random, 2);
+        let distinct: std::collections::HashSet<u32> =
+            random.rules.iter().map(|r| r.priority).collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topo = four_switch_ring();
+        let pfx = prefixes(15);
+        let a = generate_rules(&topo, &pfx, RuleGenConfig::default());
+        let b = generate_rules(&topo, &pfx, RuleGenConfig::default());
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn removals_cover_every_rule_exactly_once() {
+        let topo = four_switch_ring();
+        let pfx = prefixes(8);
+        let gen = generate_rules(&topo, &pfx, RuleGenConfig::default());
+        let mut removed: Vec<u64> = gen
+            .trace
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Remove(id) => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        removed.sort_unstable();
+        let mut inserted: Vec<u64> = gen.rules.iter().map(|r| r.id.0).collect();
+        inserted.sort_unstable();
+        assert_eq!(removed, inserted);
+        // Final data plane is empty.
+        assert!(gen.trace.final_data_plane().is_empty());
+    }
+}

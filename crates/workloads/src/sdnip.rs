@@ -1,0 +1,514 @@
+//! An SDN-IP / ONOS controller simulator.
+//!
+//! The paper's most realistic datasets come from running SDN-IP, an ONOS
+//! application that lets an ONOS-controlled network interoperate with
+//! external BGP autonomous systems (§4.2.2): border routers advertise IP
+//! prefixes, SDN-IP installs longest-prefix-priority forwarding rules so
+//! that packets destined to an external AS reach the correct border router,
+//! and when links fail ONOS reroutes by withdrawing and reinstalling rules.
+//!
+//! The original setup (ONOS + Mininet + Open vSwitch + Quagga) is replaced
+//! by an in-process simulator that produces exactly the artefact Delta-net
+//! consumes: a stream of rule insertions and removals. The controller logic
+//! mirrors SDN-IP's externally visible behaviour:
+//!
+//! * every advertised prefix is mapped to the switch its border router
+//!   attaches to (the egress switch);
+//! * every other switch gets a rule forwarding the prefix along the current
+//!   shortest path towards the egress, with priority = prefix length;
+//! * failing a link triggers recomputation: rules whose next hop changes are
+//!   removed and reinstalled along the new shortest path;
+//! * recovering the link triggers the symmetric reconfiguration.
+
+use crate::bgp::{generate_prefixes, PrefixGenConfig};
+use crate::topologies::GeneratedTopology;
+use netmodel::ip::IpPrefix;
+use netmodel::rule::{Rule, RuleId};
+use netmodel::topology::{LinkId, NodeId};
+use netmodel::trace::{Op, Trace};
+use std::collections::HashMap;
+
+/// Configuration of the SDN-IP simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct SdnIpConfig {
+    /// Number of prefixes each border router advertises (100 in the Airtel
+    /// experiments, 5000 in the 4-switch experiments).
+    pub prefixes_per_router: usize,
+    /// RNG seed for the advertised prefixes.
+    pub seed: u64,
+}
+
+impl Default for SdnIpConfig {
+    fn default() -> Self {
+        SdnIpConfig {
+            prefixes_per_router: 100,
+            seed: 0x0905,
+        }
+    }
+}
+
+/// One BGP advertisement as seen by the controller: a prefix reachable via
+/// the border router attached to `egress`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Advertisement {
+    /// The advertised destination prefix.
+    pub prefix: IpPrefix,
+    /// The switch the advertising border router attaches to.
+    pub egress: NodeId,
+}
+
+/// The simulated SDN-IP controller.
+///
+/// All data-plane changes it makes are appended to an internal [`Trace`]
+/// which can be drained with [`SdnIpController::take_trace`] and replayed
+/// against any checker.
+#[derive(Clone, Debug)]
+pub struct SdnIpController {
+    topo: GeneratedTopology,
+    advertisements: Vec<Advertisement>,
+    /// Installed rules per advertisement index and switch.
+    installed: HashMap<(usize, NodeId), Rule>,
+    /// For each edge switch, its link towards the attached border router
+    /// (if any): the egress rule of every advertisement uses it.
+    border_link: HashMap<NodeId, LinkId>,
+    failed_links: Vec<LinkId>,
+    next_rule_id: u64,
+    trace: Trace,
+}
+
+impl SdnIpController {
+    /// Creates the controller: every edge switch of `topo` hosts one border
+    /// router advertising `config.prefixes_per_router` prefixes drawn from a
+    /// synthetic Route-Views-style population.
+    ///
+    /// As in BGP best-route selection, a prefix advertised by several border
+    /// routers is installed only towards one of them (the first advertiser),
+    /// so rule priorities (derived from prefix lengths) never conflict.
+    pub fn new(topo: GeneratedTopology, config: SdnIpConfig) -> Self {
+        let total = config.prefixes_per_router * topo.edge_nodes.len();
+        let prefixes = generate_prefixes(PrefixGenConfig {
+            count: total,
+            overlap_percent: 35,
+            seed: config.seed,
+        });
+        let mut seen: std::collections::HashSet<IpPrefix> = std::collections::HashSet::new();
+        let advertisements = prefixes
+            .into_iter()
+            .enumerate()
+            .filter(|(_, prefix)| seen.insert(*prefix))
+            .map(|(i, prefix)| Advertisement {
+                prefix,
+                egress: topo.edge_nodes[i % topo.edge_nodes.len()],
+            })
+            .collect();
+        Self::with_advertisements(topo, advertisements)
+    }
+
+    /// Creates the controller with an explicit advertisement list (used by
+    /// the 4-switch dataset which repeats the experiment with fresh
+    /// prefixes).
+    pub fn with_advertisements(topo: GeneratedTopology, advertisements: Vec<Advertisement>) -> Self {
+        // Each edge switch exits towards its attached border router: the
+        // first neighbour that is not itself a switch.
+        let switches: std::collections::HashSet<NodeId> =
+            topo.edge_nodes.iter().copied().collect();
+        let mut border_link = HashMap::new();
+        for &s in &topo.edge_nodes {
+            for &l in topo.topology.out_links(s) {
+                let dst = topo.topology.link(l).dst;
+                if !switches.contains(&dst) && !topo.topology.is_drop_node(dst) {
+                    border_link.insert(s, l);
+                    break;
+                }
+            }
+        }
+        SdnIpController {
+            topo,
+            advertisements,
+            installed: HashMap::new(),
+            border_link,
+            failed_links: Vec::new(),
+            next_rule_id: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    /// The simulated advertisements.
+    pub fn advertisements(&self) -> &[Advertisement] {
+        &self.advertisements
+    }
+
+    /// The topology (switches and border routers).
+    pub fn topology(&self) -> &GeneratedTopology {
+        &self.topo
+    }
+
+    /// Number of rules currently installed in the data plane.
+    pub fn installed_rule_count(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Number of operations emitted so far.
+    pub fn emitted_ops(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Drains the accumulated operation trace.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Installs (or reconfigures) the data plane so that every advertisement
+    /// is routed along the current shortest paths, given the currently
+    /// failed links. Emits the necessary insert/remove operations.
+    pub fn reconcile(&mut self) {
+        // Shortest-path next hops per egress switch, avoiding failed links.
+        let mut next_hop: HashMap<NodeId, Vec<Option<LinkId>>> = HashMap::new();
+        let egresses: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = self.advertisements.iter().map(|a| a.egress).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for egress in egresses {
+            next_hop.insert(
+                egress,
+                self.topo
+                    .topology
+                    .shortest_path_next_hop_avoiding(egress, &self.failed_links),
+            );
+        }
+        let switches: Vec<NodeId> = self.topo.edge_nodes.clone();
+
+        for (adv_idx, adv) in self.advertisements.clone().into_iter().enumerate() {
+            let tree = &next_hop[&adv.egress];
+            for &switch in &switches {
+                // At the egress switch the packet leaves the SDN network
+                // towards the advertising border router; elsewhere it is
+                // forwarded one hop along the shortest path to the egress.
+                let desired_link = if switch == adv.egress {
+                    self.border_link.get(&switch).copied()
+                } else {
+                    tree[switch.index()]
+                };
+                let key = (adv_idx, switch);
+                let current = self.installed.get(&key).copied();
+                match (current, desired_link) {
+                    (Some(rule), Some(link)) if rule.link == link => {} // unchanged
+                    (Some(rule), Some(link)) => {
+                        // Reroute: remove the old rule, install the new one.
+                        self.trace.push_remove(rule.id);
+                        let new_rule = self.make_rule(adv.prefix, switch, link);
+                        self.trace.push_insert(new_rule);
+                        self.installed.insert(key, new_rule);
+                    }
+                    (Some(rule), None) => {
+                        // Destination became unreachable: withdraw.
+                        self.trace.push_remove(rule.id);
+                        self.installed.remove(&key);
+                    }
+                    (None, Some(link)) => {
+                        let new_rule = self.make_rule(adv.prefix, switch, link);
+                        self.trace.push_insert(new_rule);
+                        self.installed.insert(key, new_rule);
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+    }
+
+    fn make_rule(&mut self, prefix: IpPrefix, switch: NodeId, link: LinkId) -> Rule {
+        // SDN-IP sets priorities by longest prefix match.
+        let priority = u32::from(prefix.len()) + 1;
+        let rule = Rule::forward(RuleId(self.next_rule_id), prefix, priority, switch, link);
+        self.next_rule_id += 1;
+        rule
+    }
+
+    /// Fails the bidirectional link between two switches and reconfigures
+    /// the data plane (the "Event Injector" of Figure 7).
+    pub fn fail_link_between(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(l) = self.topo.topology.link_between(x, y) {
+                if !self.failed_links.contains(&l) {
+                    self.failed_links.push(l);
+                }
+            }
+        }
+        self.reconcile();
+    }
+
+    /// Recovers the bidirectional link between two switches and
+    /// reconfigures the data plane.
+    pub fn recover_link_between(&mut self, a: NodeId, b: NodeId) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(l) = self.topo.topology.link_between(x, y) {
+                self.failed_links.retain(|&f| f != l);
+            }
+        }
+        self.reconcile();
+    }
+
+    /// The currently failed links.
+    pub fn failed_links(&self) -> &[LinkId] {
+        &self.failed_links
+    }
+
+    /// All bidirectional inter-switch link pairs `(a, b)` with `a < b`
+    /// (candidates for failure injection; switch-to-border-router links are
+    /// excluded because failing them just disconnects one AS).
+    pub fn inter_switch_links(&self) -> Vec<(NodeId, NodeId)> {
+        let switches: std::collections::HashSet<NodeId> =
+            self.topo.edge_nodes.iter().copied().collect();
+        let mut pairs: Vec<(NodeId, NodeId)> = self
+            .topo
+            .topology
+            .links()
+            .iter()
+            .filter(|l| switches.contains(&l.src) && switches.contains(&l.dst) && l.src < l.dst)
+            .map(|l| (l.src, l.dst))
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// Builds the **Airtel 1** style trace: initial installation followed by
+/// failing every inter-switch link one at a time, recovering each before
+/// failing the next (§4.2.2). `max_failures` caps the number of injected
+/// failures so scaled-down datasets stay small.
+pub fn airtel_single_failures(
+    topo: GeneratedTopology,
+    config: SdnIpConfig,
+    max_failures: Option<usize>,
+) -> (GeneratedTopology, Trace) {
+    let mut controller = SdnIpController::new(topo.clone(), config);
+    controller.reconcile();
+    let pairs = controller.inter_switch_links();
+    let limit = max_failures.unwrap_or(pairs.len()).min(pairs.len());
+    for &(a, b) in pairs.iter().take(limit) {
+        controller.fail_link_between(a, b);
+        controller.recover_link_between(a, b);
+    }
+    (topo, controller.take_trace())
+}
+
+/// Builds the **Airtel 2** style trace: all 2-pair link failures (fail the
+/// first link, then the second, then recover both), capped at
+/// `max_pairs` pairs.
+pub fn airtel_pair_failures(
+    topo: GeneratedTopology,
+    config: SdnIpConfig,
+    max_pairs: Option<usize>,
+) -> (GeneratedTopology, Trace) {
+    let mut controller = SdnIpController::new(topo.clone(), config);
+    controller.reconcile();
+    let links = controller.inter_switch_links();
+    let mut pairs: Vec<((NodeId, NodeId), (NodeId, NodeId))> = Vec::new();
+    for i in 0..links.len() {
+        for j in (i + 1)..links.len() {
+            pairs.push((links[i], links[j]));
+        }
+    }
+    let limit = max_pairs.unwrap_or(pairs.len()).min(pairs.len());
+    for &((a1, b1), (a2, b2)) in pairs.iter().take(limit) {
+        controller.fail_link_between(a1, b1);
+        controller.fail_link_between(a2, b2);
+        controller.recover_link_between(a1, b1);
+        controller.recover_link_between(a2, b2);
+    }
+    (topo, controller.take_trace())
+}
+
+/// Builds the **4Switch** style trace: `rounds` repetitions of advertising a
+/// fresh batch of prefixes on a small ring, with no failures — all
+/// operations are insertions (§4.2.2).
+pub fn four_switch_rounds(
+    topo: GeneratedTopology,
+    prefixes_per_router: usize,
+    rounds: usize,
+    seed: u64,
+) -> (GeneratedTopology, Trace) {
+    let mut combined = Trace::new();
+    let mut id_offset = 0u64;
+    for round in 0..rounds {
+        let mut controller = SdnIpController::new(
+            topo.clone(),
+            SdnIpConfig {
+                prefixes_per_router,
+                seed: seed.wrapping_add(round as u64),
+            },
+        );
+        controller.reconcile();
+        let trace = controller.take_trace();
+        // Re-number rule ids so rounds do not collide.
+        for op in trace.ops() {
+            match op {
+                Op::Insert(rule) => {
+                    let mut r = *rule;
+                    r.id = RuleId(r.id.0 + id_offset);
+                    combined.push_insert(r);
+                }
+                Op::Remove(id) => combined.push_remove(RuleId(id.0 + id_offset)),
+            }
+        }
+        id_offset += 10_000_000;
+    }
+    (topo, combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::airtel;
+    use netmodel::fib::NetworkFib;
+    use netmodel::packet::Packet;
+
+    fn small_airtel() -> GeneratedTopology {
+        airtel(6, 42)
+    }
+
+    #[test]
+    fn initial_reconcile_installs_full_routing() {
+        let topo = small_airtel();
+        let mut c = SdnIpController::new(topo, SdnIpConfig {
+            prefixes_per_router: 5,
+            seed: 1,
+        });
+        c.reconcile();
+        // 6 switches × 5 prefixes = 30 advertisements (minus duplicates, as
+        // in BGP best-route selection); each installed on the 5 non-egress
+        // switches plus one egress rule towards the border router.
+        let advs = c.advertisements().len();
+        assert!(advs > 0 && advs <= 30);
+        assert_eq!(c.installed_rule_count(), advs * 6);
+        let trace = c.take_trace();
+        assert_eq!(trace.len(), advs * 6);
+        assert_eq!(trace.remove_count(), 0);
+    }
+
+    #[test]
+    fn reconcile_is_idempotent() {
+        let topo = small_airtel();
+        let mut c = SdnIpController::new(topo, SdnIpConfig {
+            prefixes_per_router: 3,
+            seed: 2,
+        });
+        c.reconcile();
+        let first = c.emitted_ops();
+        c.reconcile();
+        assert_eq!(c.emitted_ops(), first, "second reconcile must be a no-op");
+    }
+
+    #[test]
+    fn link_failure_generates_remove_insert_churn_and_recovery_restores() {
+        let topo = small_airtel();
+        let mut c = SdnIpController::new(topo, SdnIpConfig {
+            prefixes_per_router: 4,
+            seed: 3,
+        });
+        c.reconcile();
+        let _ = c.take_trace();
+        let rules_before = c.installed_rule_count();
+        let pairs = c.inter_switch_links();
+        let (a, b) = pairs[0];
+        c.fail_link_between(a, b);
+        let churn = c.take_trace();
+        assert!(!churn.is_empty(), "failing a used link must cause churn");
+        assert!(churn.remove_count() > 0);
+        assert_eq!(c.failed_links().len(), 2); // both directions
+        c.recover_link_between(a, b);
+        assert!(c.failed_links().is_empty());
+        assert_eq!(c.installed_rule_count(), rules_before);
+    }
+
+    #[test]
+    fn data_plane_remains_consistent_after_failure() {
+        // Replay the whole churn into a reference FIB and verify traffic for
+        // a sample advertisement still reaches its egress with the link down.
+        let topo = small_airtel();
+        let mut c = SdnIpController::new(topo.clone(), SdnIpConfig {
+            prefixes_per_router: 4,
+            seed: 4,
+        });
+        c.reconcile();
+        let pairs = c.inter_switch_links();
+        c.fail_link_between(pairs[0].0, pairs[0].1);
+        let trace = c.take_trace();
+
+        let mut fib = NetworkFib::new(topo.topology.clone());
+        for op in trace.ops() {
+            match op {
+                Op::Insert(r) => fib.insert(*r),
+                Op::Remove(id) => {
+                    fib.remove(*id);
+                }
+            }
+        }
+        let adv = c.advertisements()[0];
+        let addr = adv.prefix.interval().lo();
+        for start in topo.edge_nodes.iter().copied() {
+            if start == adv.egress {
+                continue;
+            }
+            let t = fib.trace(start, Packet::to(addr));
+            assert!(
+                t.path.contains(&adv.egress),
+                "advertisement no longer reachable from {start}"
+            );
+            // The failed link must not be used.
+            let failed = topo
+                .topology
+                .link_between(pairs[0].0, pairs[0].1)
+                .unwrap();
+            assert!(!t.links.contains(&failed));
+        }
+    }
+
+    #[test]
+    fn airtel_single_failure_dataset_shape() {
+        let (_topo, trace) = airtel_single_failures(
+            small_airtel(),
+            SdnIpConfig {
+                prefixes_per_router: 3,
+                seed: 5,
+            },
+            Some(3),
+        );
+        assert!(trace.len() > 0);
+        // The initial installation is all inserts; failures add removals.
+        assert!(trace.remove_count() > 0);
+        assert!(trace.insert_count() > trace.remove_count());
+    }
+
+    #[test]
+    fn airtel_pair_failure_dataset_is_larger() {
+        let cfg = SdnIpConfig {
+            prefixes_per_router: 3,
+            seed: 6,
+        };
+        let (_t1, single) = airtel_single_failures(small_airtel(), cfg, Some(4));
+        let (_t2, pairs) = airtel_pair_failures(small_airtel(), cfg, Some(6));
+        assert!(pairs.len() >= single.len());
+    }
+
+    #[test]
+    fn four_switch_dataset_is_insert_only() {
+        let (_topo, trace) =
+            four_switch_rounds(crate::topologies::four_switch_with_borders(), 10, 3, 77);
+        assert!(trace.len() > 0);
+        assert_eq!(trace.remove_count(), 0);
+        // Every advertisement contributes exactly 4 rules (3 non-egress
+        // switches + 1 egress rule towards the border router).
+        assert_eq!(trace.insert_count() % 4, 0);
+        assert!(trace.insert_count() <= 3 * 4 * 10 * 4);
+        // Rule ids are unique across rounds.
+        let mut ids: Vec<u64> = trace.ops().iter().map(|o| o.rule_id().0).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

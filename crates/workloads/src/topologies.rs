@@ -1,0 +1,351 @@
+//! Topology generators for the evaluation datasets.
+//!
+//! The paper evaluates on the UC Berkeley campus network, four Rocketfuel
+//! ISP topologies (ASes 1755, 1239/INET, 3257, 6461), the Airtel (AS 9498)
+//! topology from the Internet Topology Zoo, and a 4-switch ring (§4.2). The
+//! measured topology files are not redistributable, so this module generates
+//! topologies of the same scale class deterministically:
+//!
+//! * campus networks — a core/distribution/access hierarchy;
+//! * ISP backbones — preferential-attachment graphs with a target node and
+//!   link count matching Table 2;
+//! * Airtel — a two-level ring-and-spur WAN with one border router per
+//!   switch;
+//! * the 4-switch ring — exactly as described.
+//!
+//! All generators are seeded and therefore reproducible.
+
+use netmodel::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated topology plus the metadata the workload generators need.
+#[derive(Clone, Debug)]
+pub struct GeneratedTopology {
+    /// Human-readable name (e.g. "rf-1755").
+    pub name: String,
+    /// The topology itself (switch nodes only; drop links are added later by
+    /// rule generation when needed).
+    pub topology: Topology,
+    /// The switches that can act as egress points (border / edge switches).
+    pub edge_nodes: Vec<NodeId>,
+}
+
+impl GeneratedTopology {
+    /// Number of switch nodes.
+    pub fn node_count(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.topology.link_count()
+    }
+}
+
+/// A plain 4-switch ring (no border routers). The `4Switch` *dataset* uses
+/// [`four_switch_with_borders`], which additionally attaches one external
+/// border router per switch as in the paper's Quagga setup (§4.2.2).
+pub fn four_switch_ring() -> GeneratedTopology {
+    ring("4switch", 4)
+}
+
+/// The 4-switch ring with one external border router per switch — the
+/// topology of the `4Switch` dataset.
+pub fn four_switch_with_borders() -> GeneratedTopology {
+    ring_with_borders("4switch", 4)
+}
+
+/// A bidirectional ring of `n` switches, each attached to one external
+/// border router named `br{i}`. Edge nodes are the switches.
+pub fn ring_with_borders(name: &str, n: usize) -> GeneratedTopology {
+    let mut g = ring(name, n);
+    let switches = g.edge_nodes.clone();
+    for (i, &s) in switches.iter().enumerate() {
+        let br = g.topology.add_node(format!("br{i}"));
+        g.topology.add_bidi_link(s, br);
+    }
+    g
+}
+
+/// A bidirectional ring of `n` switches; every switch is an edge node.
+pub fn ring(name: &str, n: usize) -> GeneratedTopology {
+    assert!(n >= 2, "a ring needs at least two switches");
+    let mut topo = Topology::new();
+    let nodes = topo.add_nodes("s", n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        topo.add_bidi_link(nodes[i], nodes[j]);
+    }
+    GeneratedTopology {
+        name: name.to_string(),
+        topology: topo,
+        edge_nodes: nodes,
+    }
+}
+
+/// A campus-style hierarchy in the spirit of the UC Berkeley dataset:
+/// `core` fully meshed core routers, `dist` distribution routers each
+/// attached to two cores, and `access` access switches attached to two
+/// distribution routers. Edge nodes are the access switches.
+pub fn campus(name: &str, core: usize, dist: usize, access: usize, seed: u64) -> GeneratedTopology {
+    assert!(core >= 1 && dist >= 1 && access >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    let cores = topo.add_nodes("core", core);
+    let dists = topo.add_nodes("dist", dist);
+    let accesses = topo.add_nodes("acc", access);
+    // Full mesh among cores.
+    for i in 0..core {
+        for j in (i + 1)..core {
+            topo.add_bidi_link(cores[i], cores[j]);
+        }
+    }
+    // Each distribution router attaches to two distinct cores.
+    for (i, &d) in dists.iter().enumerate() {
+        let a = cores[i % core];
+        let b = cores[(i + 1 + rng.gen_range(0..core.max(2) - 1)) % core];
+        topo.add_bidi_link(d, a);
+        if b != a {
+            topo.add_bidi_link(d, b);
+        }
+    }
+    // Each access switch attaches to two distribution routers.
+    for (i, &acc) in accesses.iter().enumerate() {
+        let a = dists[i % dist];
+        let b = dists[(i + 1 + rng.gen_range(0..dist.max(2) - 1)) % dist];
+        topo.add_bidi_link(acc, a);
+        if b != a {
+            topo.add_bidi_link(acc, b);
+        }
+    }
+    GeneratedTopology {
+        name: name.to_string(),
+        topology: topo,
+        edge_nodes: accesses,
+    }
+}
+
+/// The Berkeley-class campus topology (23 nodes in Table 2).
+pub fn berkeley() -> GeneratedTopology {
+    campus("berkeley", 3, 6, 14, 0xBE11)
+}
+
+/// An ISP backbone in the spirit of the Rocketfuel topologies: a
+/// preferential-attachment graph over `nodes` routers in which each new
+/// router attaches to `attach` existing routers (weighted by degree), plus
+/// extra random shortcut links until roughly `target_links` directed links
+/// exist. Edge nodes are the lowest-degree third of the routers (PoP edge
+/// routers).
+pub fn isp_backbone(
+    name: &str,
+    nodes: usize,
+    attach: usize,
+    target_links: usize,
+    seed: u64,
+) -> GeneratedTopology {
+    assert!(nodes >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    let ids = topo.add_nodes("r", nodes);
+    let mut degree = vec![0usize; nodes];
+    let connect = |topo: &mut Topology, degree: &mut Vec<usize>, a: usize, b: usize| {
+        if a != b && topo.link_between(ids[a], ids[b]).is_none() {
+            topo.add_bidi_link(ids[a], ids[b]);
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+    };
+    // Seed triangle.
+    connect(&mut topo, &mut degree, 0, 1);
+    connect(&mut topo, &mut degree, 1, 2);
+    connect(&mut topo, &mut degree, 2, 0);
+    // Preferential attachment.
+    for new in 3..nodes {
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < attach.min(new) && guard < 10 * attach + 20 {
+            guard += 1;
+            let total: usize = degree[..new].iter().sum::<usize>().max(1);
+            let mut pick = rng.gen_range(0..total);
+            let mut target = 0usize;
+            for (i, &d) in degree[..new].iter().enumerate() {
+                if pick < d.max(1) {
+                    target = i;
+                    break;
+                }
+                pick = pick.saturating_sub(d.max(1));
+            }
+            let before = topo.link_count();
+            connect(&mut topo, &mut degree, new, target);
+            if topo.link_count() > before {
+                attached += 1;
+            }
+        }
+    }
+    // Random shortcuts until the target (directed) link count is reached.
+    let mut guard = 0usize;
+    while topo.link_count() < target_links && guard < target_links * 4 {
+        guard += 1;
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        connect(&mut topo, &mut degree, a, b);
+    }
+    // Edge nodes: the third of routers with the smallest degree.
+    let mut by_degree: Vec<usize> = (0..nodes).collect();
+    by_degree.sort_by_key(|&i| degree[i]);
+    let edge_nodes: Vec<NodeId> = by_degree
+        .iter()
+        .take((nodes / 3).max(1))
+        .map(|&i| ids[i])
+        .collect();
+    GeneratedTopology {
+        name: name.to_string(),
+        topology: topo,
+        edge_nodes,
+    }
+}
+
+/// Rocketfuel AS 1755 class (87 nodes, ~2,300 links in Table 2).
+pub fn rocketfuel_1755() -> GeneratedTopology {
+    isp_backbone("rf-1755", 87, 4, 2308, 1755)
+}
+
+/// Rocketfuel AS 3257 class (161 nodes, ~9,400 links).
+pub fn rocketfuel_3257() -> GeneratedTopology {
+    isp_backbone("rf-3257", 161, 8, 9432, 3257)
+}
+
+/// Rocketfuel AS 6461 class (138 nodes, ~8,100 links).
+pub fn rocketfuel_6461() -> GeneratedTopology {
+    isp_backbone("rf-6461", 138, 8, 8140, 6461)
+}
+
+/// The INET wide-area backbone (Rocketfuel AS 1239 derived; ~316 nodes,
+/// ~40,000 links in Table 2). The full link count is kept configurable by
+/// the dataset layer; this is the unscaled shape.
+pub fn inet() -> GeneratedTopology {
+    isp_backbone("inet", 316, 12, 40770, 1239)
+}
+
+/// The Airtel (AS 9498) WAN: `switches` OpenFlow switches in a ring with
+/// chords, each connected to one external border router (§4.2.2). Border
+/// routers are modelled as extra nodes; the switches are the edge nodes
+/// (rules are installed on switches only).
+pub fn airtel(switches: usize, seed: u64) -> GeneratedTopology {
+    assert!(switches >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    let sw = topo.add_nodes("sw", switches);
+    // Ring backbone.
+    for i in 0..switches {
+        topo.add_bidi_link(sw[i], sw[(i + 1) % switches]);
+    }
+    // A few chords to mirror the WAN's mesh-ier core.
+    for _ in 0..(switches / 2) {
+        let a = rng.gen_range(0..switches);
+        let b = rng.gen_range(0..switches);
+        if a != b {
+            topo.add_bidi_link(sw[a], sw[b]);
+        }
+    }
+    // One border router per switch.
+    for (i, &s) in sw.iter().enumerate() {
+        let br = topo.add_node(format!("br{i}"));
+        topo.add_bidi_link(s, br);
+    }
+    GeneratedTopology {
+        name: "airtel".to_string(),
+        topology: topo,
+        edge_nodes: sw,
+    }
+}
+
+/// The default Airtel instance used by the datasets (16 switches, as in the
+/// paper's Mininet emulation).
+pub fn airtel_default() -> GeneratedTopology {
+    airtel(16, 9498)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_switch_ring_shape() {
+        let g = four_switch_ring();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.link_count(), 8);
+        assert!(g.topology.is_strongly_connected());
+        assert_eq!(g.edge_nodes.len(), 4);
+    }
+
+    #[test]
+    fn berkeley_scale_class() {
+        let g = berkeley();
+        assert_eq!(g.node_count(), 23);
+        assert!(g.link_count() >= 60, "campus too sparse: {}", g.link_count());
+        assert!(g.topology.is_strongly_connected());
+        assert!(!g.edge_nodes.is_empty());
+    }
+
+    #[test]
+    fn rocketfuel_1755_scale_class() {
+        let g = rocketfuel_1755();
+        assert_eq!(g.node_count(), 87);
+        assert!(
+            g.link_count() >= 1800 && g.link_count() <= 2400,
+            "links {}",
+            g.link_count()
+        );
+        assert!(g.topology.is_strongly_connected());
+    }
+
+    #[test]
+    fn rocketfuel_3257_and_6461_scale_class() {
+        let g = rocketfuel_3257();
+        assert_eq!(g.node_count(), 161);
+        assert!(g.link_count() >= 5000, "links {}", g.link_count());
+        let g = rocketfuel_6461();
+        assert_eq!(g.node_count(), 138);
+        assert!(g.link_count() >= 4500, "links {}", g.link_count());
+    }
+
+    #[test]
+    fn airtel_has_one_border_router_per_switch() {
+        let g = airtel_default();
+        // 16 switches + 16 border routers.
+        assert_eq!(g.node_count(), 32);
+        assert_eq!(g.edge_nodes.len(), 16);
+        assert!(g.topology.is_strongly_connected());
+        // Every switch has a border router neighbour.
+        for (i, &s) in g.edge_nodes.iter().enumerate() {
+            let br = g.topology.node_by_name(&format!("br{i}")).unwrap();
+            assert!(g.topology.link_between(s, br).is_some());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = rocketfuel_1755();
+        let b = rocketfuel_1755();
+        assert_eq!(a.link_count(), b.link_count());
+        assert_eq!(a.edge_nodes, b.edge_nodes);
+        let a = airtel(8, 7);
+        let b = airtel(8, 7);
+        assert_eq!(a.link_count(), b.link_count());
+    }
+
+    #[test]
+    fn ring_requires_two_switches() {
+        let g = ring("tiny", 2);
+        assert_eq!(g.link_count(), 2);
+        assert!(g.topology.is_strongly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two switches")]
+    fn degenerate_ring_panics() {
+        let _ = ring("broken", 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! The Boolean lattice induced by atoms (Appendix A / Figure 9).
+//!
+//! Run with: `cargo run --example lattice_demo`
+//!
+//! Reproduces the paper's worked example: the two rules of Table 1 over a
+//! 4-bit address space induce three atoms, whose Boolean combinations form
+//! the eight-element lattice of Figure 9. The demo prints the Hasse diagram
+//! levels and shows how rule semantics (e.g. "rL matches only what rH does
+//! not") are expressed as lattice operations.
+
+use deltanet::atoms::AtomMap;
+use deltanet::lattice::AtomLattice;
+use netmodel::interval::Interval;
+
+fn main() {
+    // Table 1 over 4-bit addresses: rH = 0.0.0.10/31 -> [10:12), rL = /28 -> [0:16).
+    let mut atoms = AtomMap::new(4);
+    let rh = Interval::new(10, 12);
+    let rl = Interval::new(0, 16);
+    atoms.create_atoms(rh);
+    atoms.create_atoms(rl);
+
+    println!("atoms induced by the rules of Table 1 (4-bit space):");
+    for (id, interval) in atoms.iter() {
+        println!("  {id} = {interval}");
+    }
+
+    let lattice = AtomLattice::new(&atoms);
+    println!(
+        "\nBoolean lattice: {} atoms -> {} elements (Figure 9)",
+        lattice.atom_count(),
+        1usize << lattice.atom_count()
+    );
+
+    // Print the Hasse diagram level by level, top first (as in Figure 9).
+    let levels = lattice.hasse_levels();
+    for (k, level) in levels.iter().enumerate().rev() {
+        let rendered: Vec<String> = level
+            .iter()
+            .map(|e| {
+                let ivs = lattice.to_intervals(&atoms, e);
+                if ivs.is_empty() {
+                    "⊥".to_string()
+                } else {
+                    format!("{{{}}}", ivs.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "))
+                }
+            })
+            .collect();
+        println!("  level {k}: {}", rendered.join("   "));
+    }
+
+    // Rule semantics as lattice algebra.
+    let rh_elem: deltanet::AtomSet = atoms.atoms_of(rh).into_iter().collect();
+    let rl_elem: deltanet::AtomSet = atoms.atoms_of(rl).into_iter().collect();
+    let only_rl = lattice.meet(&rl_elem, &lattice.complement(&rh_elem));
+    println!(
+        "\n⟦rL⟧ − ⟦rH⟧ (packets the low-priority rule actually matches): {:?}",
+        lattice.to_intervals(&atoms, &only_rl)
+    );
+    assert_eq!(lattice.join(&rh_elem, &only_rl), rl_elem);
+    println!("verified: ⟦rH⟧ ∨ (⟦rL⟧ − ⟦rH⟧) = ⟦rL⟧");
+}

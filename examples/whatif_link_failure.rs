@@ -1,0 +1,93 @@
+//! "What if this link fails?" — the Datalog-style query of §4.3.2.
+//!
+//! Run with: `cargo run --release --example whatif_link_failure`
+//!
+//! Builds a Rocketfuel-class ISP data plane from synthetic BGP prefixes,
+//! then answers, for the busiest links, which packets and which parts of the
+//! network would be affected by a failure — comparing Delta-net (which reads
+//! its persistent edge labels) against Veriflow-RI (which must rebuild
+//! forwarding graphs for every affected equivalence class).
+
+use delta_net::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A scaled-down RF 1755 data plane.
+    let ds = workloads::build(DatasetId::Rf1755, ScaleProfile::Tiny);
+    let rules: Vec<Rule> = ds
+        .trace
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Op::Insert(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    println!(
+        "data plane: {} ({} nodes, {} links, {} rules)",
+        ds.id.name(),
+        ds.topology.node_count(),
+        ds.topology.link_count(),
+        rules.len()
+    );
+
+    let mut net = DeltaNet::new(
+        ds.topology.topology.clone(),
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    let mut vf = VeriflowRi::new(
+        ds.topology.topology.clone(),
+        VeriflowConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    for r in &rules {
+        net.insert_rule(*r);
+        vf.insert_rule(*r);
+    }
+
+    // Query the five busiest links.
+    let mut links: Vec<_> = ds
+        .topology
+        .topology
+        .links()
+        .iter()
+        .map(|l| (l.id, net.label(l.id).len()))
+        .collect();
+    links.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+    println!("\n{:<8} {:>10} {:>14} {:>16} {:>14}", "link", "atoms", "delta-net", "delta-net+loops", "veriflow-ri");
+    for &(link, atoms) in links.iter().take(5) {
+        let t0 = Instant::now();
+        let dn = net.what_if_link_failure(link, false);
+        let dn_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let dn_loops = net.what_if_link_failure(link, true);
+        let dn_loops_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let vf_rep = vf.what_if_link_failure(link, false);
+        let vf_time = t2.elapsed();
+
+        println!(
+            "{:<8} {:>10} {:>12.1}us {:>14.1}us {:>12.1}us",
+            format!("{link}"),
+            atoms,
+            dn_time.as_secs_f64() * 1e6,
+            dn_loops_time.as_secs_f64() * 1e6,
+            vf_time.as_secs_f64() * 1e6,
+        );
+        println!(
+            "         affected: {} atoms / {} ECs, {} downstream links, {} loops in affected flows",
+            dn.affected_classes,
+            vf_rep.affected_classes,
+            dn.affected_links.len(),
+            dn_loops.violations.len()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # delta-net — umbrella crate
+//!
+//! A full Rust reproduction of *Delta-net: Real-time Network Verification
+//! Using Atoms* (Horn, Kheradmand, Prasad — NSDI 2017). This crate simply
+//! re-exports the workspace members so that examples, integration tests, and
+//! downstream users can depend on a single crate:
+//!
+//! * [`deltanet`] — the Delta-net engine (atoms, edge labels, Algorithms
+//!   1–3, queries, lattice).
+//! * [`veriflow_ri`] — the Veriflow-RI baseline checker.
+//! * [`netmodel`] — prefixes, intervals, topologies, rules, traces, and the
+//!   shared [`netmodel::Checker`] trait.
+//! * [`workloads`] — topology/BGP/SDN-IP workload generators and the eight
+//!   evaluation datasets.
+//!
+//! See `README.md` for a tour and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction details.
+
+#![forbid(unsafe_code)]
+
+pub use deltanet;
+pub use netmodel;
+pub use veriflow_ri;
+pub use workloads;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use deltanet::{AtomId, AtomMap, AtomSet, DeltaNet, DeltaNetConfig, ReachabilityMatrix};
+    pub use netmodel::checker::{Checker, InvariantViolation, UpdateReport, WhatIfReport};
+    pub use netmodel::fib::NetworkFib;
+    pub use netmodel::interval::Interval;
+    pub use netmodel::ip::IpPrefix;
+    pub use netmodel::packet::Packet;
+    pub use netmodel::rule::{Action, Priority, Rule, RuleId};
+    pub use netmodel::topology::{LinkId, NodeId, Topology};
+    pub use netmodel::trace::{Op, Trace};
+    pub use veriflow_ri::{VeriflowConfig, VeriflowRi};
+    pub use workloads::{build, build_all, Dataset, DatasetId, ScaleProfile};
+}
