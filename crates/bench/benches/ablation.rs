@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! Ablation benchmarks for the design choices called out in the engine's crate docs:
 //!
 //! * edge labels as contiguous bitsets (the paper's choice, §4.1) vs a
 //!   `BTreeSet<AtomId>` per link;

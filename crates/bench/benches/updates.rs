@@ -11,7 +11,11 @@ use workloads::{build, DatasetId, ScaleProfile};
 fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("rule_updates");
     group.sample_size(10);
-    for id in [DatasetId::FourSwitch, DatasetId::Airtel1, DatasetId::Berkeley] {
+    for id in [
+        DatasetId::FourSwitch,
+        DatasetId::Airtel1,
+        DatasetId::Berkeley,
+    ] {
         let ds = build(id, ScaleProfile::Tiny);
         let ops = ds.trace.ops().to_vec();
         let ops_per_iter = ops.len() as u64;

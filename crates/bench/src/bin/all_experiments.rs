@@ -1,5 +1,5 @@
 //! Runs every experiment (Tables 2–5, Figure 8, Appendix C) in sequence and
-//! prints the combined report — the source material for `EXPERIMENTS.md`.
+//! prints the combined report — the full evaluation report in one run.
 //!
 //! Usage: `cargo run -p bench --release --bin all_experiments [-- --scale tiny|small|medium]`
 

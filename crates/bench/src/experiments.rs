@@ -4,7 +4,7 @@
 //! [`ScaleProfile`], runs the measurement, and returns a plain-text report
 //! that mirrors the corresponding table or figure of the paper. The binaries
 //! in `src/bin/` are thin wrappers; `all_experiments` chains everything and
-//! is what `EXPERIMENTS.md` is produced from.
+//! is what the `all_experiments` report is produced from.
 
 use crate::{megabytes, render_table, replay_timed, with_commas, Timings};
 use deltanet::{DeltaNet, DeltaNetConfig};
@@ -175,7 +175,9 @@ pub fn fig8(rows: &[Table3Row]) -> String {
     }
     // ASCII plot: one row per dataset at selected percent-complete marks.
     out.push_str("\nASCII CDF (fraction of updates completed within t):\n");
-    let marks = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0];
+    let marks = [
+        1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0,
+    ];
     let mut table_rows = Vec::new();
     for r in rows {
         let cdf = r.timings.cdf(&marks);
@@ -289,7 +291,13 @@ pub fn table5(scale: ScaleProfile) -> String {
     format!(
         "Table 5 (Appendix D): estimated memory usage in MB (scale: {scale:?})\n\n{}",
         render_table(
-            &["Data set", "Rules", "Veriflow-RI (MB)", "Delta-net (MB)", "Ratio"],
+            &[
+                "Data set",
+                "Rules",
+                "Veriflow-RI (MB)",
+                "Delta-net (MB)",
+                "Ratio"
+            ],
             &rows
         )
     )
@@ -350,7 +358,7 @@ pub fn appendix_c(scale: ScaleProfile) -> String {
 }
 
 /// Runs every experiment and concatenates the reports (the `all_experiments`
-/// binary, used to regenerate `EXPERIMENTS.md`).
+/// binary, used to regenerate the full evaluation report).
 pub fn all_experiments(scale: ScaleProfile) -> String {
     let mut out = String::new();
     out.push_str(&table2(scale));

@@ -49,7 +49,10 @@ impl fmt::Display for ArgError {
                 option,
                 value,
                 expected,
-            } => write!(f, "invalid value `{value}` for --{option} (expected {expected})"),
+            } => write!(
+                f,
+                "invalid value `{value}` for --{option} (expected {expected})"
+            ),
         }
     }
 }
@@ -72,7 +75,7 @@ impl ParsedArgs {
             if let Some(name) = arg.strip_prefix("--") {
                 if let Some((key, value)) = name.split_once('=') {
                     parsed.options.insert(key.to_string(), value.to_string());
-                } else if iter.peek().map_or(false, |next| !next.starts_with("--")) {
+                } else if iter.peek().is_some_and(|next| !next.starts_with("--")) {
                     parsed
                         .options
                         .insert(name.to_string(), iter.next().unwrap());
@@ -96,7 +99,10 @@ impl ParsedArgs {
 
     /// The value of an optional option, with a default.
     pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
-        self.options.get(name).map(String::as_str).unwrap_or(default)
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(default)
     }
 
     /// Whether a bare flag was given.
@@ -149,7 +155,14 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let p = parse(&["replay", "--topo", "a.topo", "--checker=veriflow", "--loops"]).unwrap();
+        let p = parse(&[
+            "replay",
+            "--topo",
+            "a.topo",
+            "--checker=veriflow",
+            "--loops",
+        ])
+        .unwrap();
         assert_eq!(p.command, "replay");
         assert_eq!(p.require("topo").unwrap(), "a.topo");
         assert_eq!(p.get_or("checker", "deltanet"), "veriflow");
@@ -170,7 +183,10 @@ mod tests {
             ArgError::UnexpectedPositional(_)
         ));
         let p = parse(&["replay"]).unwrap();
-        assert_eq!(p.require("topo").unwrap_err(), ArgError::MissingOption("topo"));
+        assert_eq!(
+            p.require("topo").unwrap_err(),
+            ArgError::MissingOption("topo")
+        );
     }
 
     #[test]
@@ -190,6 +206,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ArgError::MissingCommand.to_string().contains("help"));
-        assert!(ArgError::MissingOption("topo").to_string().contains("--topo"));
+        assert!(ArgError::MissingOption("topo")
+            .to_string()
+            .contains("--topo"));
     }
 }

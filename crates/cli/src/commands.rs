@@ -212,7 +212,10 @@ pub fn whatif(args: &ParsedArgs) -> Result<String, CommandError> {
         .map_err(|_| CommandError::Other("--dst must be a node id".to_string()))?;
     let link = net
         .topology()
-        .link_between(netmodel::topology::NodeId(src), netmodel::topology::NodeId(dst))
+        .link_between(
+            netmodel::topology::NodeId(src),
+            netmodel::topology::NodeId(dst),
+        )
         .ok_or_else(|| CommandError::Other(format!("no link n{src} -> n{dst} in topology")))?;
     let start = Instant::now();
     let report = net.link_failure_impact(link, args.has_flag("loops"));
@@ -269,7 +272,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("deltanet-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("deltanet-cli-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -306,7 +310,13 @@ mod tests {
         // replay with both checkers
         for (checker, reported_name) in [("deltanet", "delta-net"), ("veriflow", "veriflow-ri")] {
             let r = run(&parsed(&[
-                "replay", "--topo", &topo, "--trace", &trace, "--checker", checker,
+                "replay",
+                "--topo",
+                &topo,
+                "--trace",
+                &trace,
+                "--checker",
+                checker,
             ]))
             .unwrap();
             assert!(r.contains("median update time"), "{r}");
@@ -332,13 +342,25 @@ mod tests {
         let dir = temp_dir("badchecker");
         let out = dir.to_str().unwrap().to_string();
         run(&parsed(&[
-            "generate", "--dataset", "4switch", "--scale", "tiny", "--out", &out,
+            "generate",
+            "--dataset",
+            "4switch",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
         ]))
         .unwrap();
         let topo = dir.join("4switch.topo").to_str().unwrap().to_string();
         let trace = dir.join("4switch.trace").to_str().unwrap().to_string();
         let err = run(&parsed(&[
-            "replay", "--topo", &topo, "--trace", &trace, "--checker", "magic",
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "magic",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("unknown checker"));
@@ -350,7 +372,13 @@ mod tests {
         let dir = temp_dir("badlink");
         let out = dir.to_str().unwrap().to_string();
         run(&parsed(&[
-            "generate", "--dataset", "4switch", "--scale", "tiny", "--out", &out,
+            "generate",
+            "--dataset",
+            "4switch",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
         ]))
         .unwrap();
         let topo = dir.join("4switch.topo").to_str().unwrap().to_string();

@@ -28,7 +28,11 @@ pub struct TopoParseError {
 
 impl fmt::Display for TopoParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "topology parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "topology parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

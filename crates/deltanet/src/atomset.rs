@@ -50,15 +50,6 @@ impl AtomSet {
         }
     }
 
-    /// Creates a set from an iterator of atoms.
-    pub fn from_iter<I: IntoIterator<Item = AtomId>>(iter: I) -> Self {
-        let mut s = AtomSet::new();
-        for a in iter {
-            s.insert(a);
-        }
-        s
-    }
-
     #[inline]
     fn word_and_bit(atom: AtomId) -> (usize, u64) {
         let idx = atom.index();
@@ -96,7 +87,7 @@ impl AtomSet {
     #[inline]
     pub fn contains(&self, atom: AtomId) -> bool {
         let (w, bit) = Self::word_and_bit(atom);
-        self.words.get(w).map_or(false, |word| word & bit != 0)
+        self.words.get(w).is_some_and(|word| word & bit != 0)
     }
 
     /// Number of atoms in the set.
@@ -223,7 +214,11 @@ impl fmt::Debug for AtomSet {
 
 impl FromIterator<AtomId> for AtomSet {
     fn from_iter<I: IntoIterator<Item = AtomId>>(iter: I) -> Self {
-        AtomSet::from_iter(iter)
+        let mut s = AtomSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
     }
 }
 

@@ -149,7 +149,13 @@ mod tests {
         net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/9"), 1, n[1], l12));
         assert_eq!(check_blackholes(&net).len(), 2);
         // Cover the gap at s1 and terminate traffic at s2 explicitly.
-        net.insert_rule(Rule::forward(RuleId(3), prefix("10.128.0.0/9"), 1, n[1], l12));
+        net.insert_rule(Rule::forward(
+            RuleId(3),
+            prefix("10.128.0.0/9"),
+            1,
+            n[1],
+            l12,
+        ));
         net.insert_rule(Rule::drop(RuleId(4), prefix("10.0.0.0/8"), 1, n[2], d2));
         assert!(check_blackholes(&net).is_empty());
         // Removing the covering rule re-introduces exactly one blackhole.
@@ -172,7 +178,13 @@ mod tests {
         // Two adjacent prefixes forwarded by s0, nothing at s1: the blackhole
         // report merges them into a single interval.
         net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/9"), 1, n[0], l01));
-        net.insert_rule(Rule::forward(RuleId(2), prefix("10.128.0.0/9"), 2, n[0], l01));
+        net.insert_rule(Rule::forward(
+            RuleId(2),
+            prefix("10.128.0.0/9"),
+            2,
+            n[0],
+            l01,
+        ));
         let holes = check_blackholes(&net);
         assert_eq!(holes.len(), 1);
         match &holes[0] {

@@ -107,10 +107,7 @@ mod tests {
         d.add(LinkId(1), AtomId(1));
         d.remove(LinkId(5), AtomId(2));
         d.remove(LinkId(3), AtomId(0));
-        assert_eq!(
-            d.changed_links(),
-            vec![LinkId(1), LinkId(3), LinkId(5)]
-        );
+        assert_eq!(d.changed_links(), vec![LinkId(1), LinkId(3), LinkId(5)]);
     }
 
     #[test]

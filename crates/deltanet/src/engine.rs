@@ -325,8 +325,15 @@ impl DeltaNet {
     /// The successor of `node` for an `atom`-packet, resolved through the
     /// owner structure (`O(log M)` per hop, independent of out-degree).
     /// Drop links are reported as-is; callers decide how to treat them.
-    pub fn successor_via_owner(&self, node: netmodel::topology::NodeId, atom: AtomId) -> Option<LinkId> {
-        self.owner.get(atom, node).and_then(|bst| bst.highest()).map(|r| r.link)
+    pub fn successor_via_owner(
+        &self,
+        node: netmodel::topology::NodeId,
+        atom: AtomId,
+    ) -> Option<LinkId> {
+        self.owner
+            .get(atom, node)
+            .and_then(|bst| bst.highest())
+            .map(|r| r.link)
     }
 
     /// The what-if link-failure query (§4.3.2): which packets (atoms) are
@@ -500,7 +507,10 @@ mod tests {
 
         // r4's atoms are now on l14 ...
         for a in ex.net.atoms().atoms_of(r4.interval()) {
-            assert!(ex.net.label(ex.l14).contains(a), "atom {a:?} missing on l14");
+            assert!(
+                ex.net.label(ex.l14).contains(a),
+                "atom {a:?} missing on l14"
+            );
             // ... and no longer on l12 (they were stolen from r1).
             assert!(!ex.net.label(ex.l12).contains(a), "atom {a:?} still on l12");
         }
@@ -708,7 +718,11 @@ mod tests {
         assert_eq!(ex.net.rule_count(), 0);
         // After removing everything no link carries any atom.
         for link in ex.net.topology().links().to_vec() {
-            assert!(ex.net.label(link.id).is_empty(), "{:?} still labelled", link.id);
+            assert!(
+                ex.net.label(link.id).is_empty(),
+                "{:?} still labelled",
+                link.id
+            );
         }
         // Atoms are never reclaimed (matching the paper), but all their
         // bounds are now garbage.

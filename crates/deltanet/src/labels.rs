@@ -57,7 +57,7 @@ impl Labels {
     pub fn contains(&self, link: LinkId, atom: AtomId) -> bool {
         self.per_link
             .get(link.index())
-            .map_or(false, |s| s.contains(atom))
+            .is_some_and(|s| s.contains(atom))
     }
 
     /// `label[link]` as a set (empty if the link has never been labelled).
@@ -93,7 +93,11 @@ impl Labels {
     /// Estimated heap usage in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.per_link.capacity() * std::mem::size_of::<AtomSet>()
-            + self.per_link.iter().map(AtomSet::memory_bytes).sum::<usize>()
+            + self
+                .per_link
+                .iter()
+                .map(AtomSet::memory_bytes)
+                .sum::<usize>()
     }
 }
 

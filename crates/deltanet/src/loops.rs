@@ -105,10 +105,7 @@ pub fn find_loops_from_seeds(
         }
         let start = topology.link(link).src;
         if let Some(cycle) = walk_for_cycle(topology, labels, start, atom) {
-            cycles
-                .entry(canonicalize(cycle))
-                .or_default()
-                .insert(atom);
+            cycles.entry(canonicalize(cycle)).or_default().insert(atom);
         }
     }
     into_violations(cycles, atoms)

@@ -168,7 +168,8 @@ impl Owner {
 
     /// Estimated heap usage in bytes.
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes = self.per_atom.capacity() * std::mem::size_of::<HashMap<NodeId, SourceRules>>();
+        let mut bytes =
+            self.per_atom.capacity() * std::mem::size_of::<HashMap<NodeId, SourceRules>>();
         for m in &self.per_atom {
             // HashMap overhead per entry: key + value struct + ~1.1 slots.
             bytes += m.capacity()
@@ -287,8 +288,11 @@ mod tests {
         let before = o.memory_bytes();
         for atom in 0..50u32 {
             for node in 0..4u32 {
-                o.get_mut(AtomId(atom), NodeId(node))
-                    .insert(node, rid(u64::from(atom * 10 + node)), LinkId(node));
+                o.get_mut(AtomId(atom), NodeId(node)).insert(
+                    node,
+                    rid(u64::from(atom * 10 + node)),
+                    LinkId(node),
+                );
             }
         }
         assert!(o.memory_bytes() > before);

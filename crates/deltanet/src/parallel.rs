@@ -6,8 +6,8 @@
 //! dominated by synchronization, but the *query* side — what-if analysis of
 //! many links, loop audits over many atoms — parallelizes cleanly because it
 //! only reads the persistent edge-labelled graph. This module provides those
-//! parallel entry points using `crossbeam`'s scoped threads (no `unsafe`, no
-//! global thread pool).
+//! parallel entry points using `std::thread::scope` (no `unsafe`, no
+//! external dependency, no global thread pool).
 
 use crate::engine::DeltaNet;
 use crate::loops;
@@ -39,16 +39,15 @@ pub fn what_if_many(net: &DeltaNet, links: &[LinkId], check_loops: bool) -> Vec<
     }
     let mut results: Vec<Option<WhatIfReport>> = vec![None; links.len()];
     let chunk = links.len().div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, work) in results.chunks_mut(chunk).zip(links.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (out, &link) in slot.iter_mut().zip(work.iter()) {
                     *out = Some(net.link_failure_impact(link, check_loops));
                 }
             });
         }
-    })
-    .expect("what-if worker panicked");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -63,10 +62,10 @@ pub fn check_all_loops_parallel(net: &DeltaNet) -> Vec<InvariantViolation> {
     }
     let chunk = all_atoms.len().div_ceil(workers);
     let mut partial: Vec<Vec<InvariantViolation>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for work in all_atoms.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let subset: crate::atomset::AtomSet = work.iter().copied().collect();
                 loops::find_loops_for_atoms(net.topology(), net.labels(), net.atoms(), &subset)
             }));
@@ -74,12 +73,13 @@ pub fn check_all_loops_parallel(net: &DeltaNet) -> Vec<InvariantViolation> {
         for h in handles {
             partial.push(h.join().expect("loop-audit worker panicked"));
         }
-    })
-    .expect("loop-audit scope failed");
+    });
     // Merge and deduplicate: the same cycle may be found from different
     // atom partitions; keep one violation per cycle with packets merged.
-    let mut merged: std::collections::BTreeMap<Vec<netmodel::topology::NodeId>, Vec<netmodel::interval::Interval>> =
-        std::collections::BTreeMap::new();
+    let mut merged: std::collections::BTreeMap<
+        Vec<netmodel::topology::NodeId>,
+        Vec<netmodel::interval::Interval>,
+    > = std::collections::BTreeMap::new();
     for violation in partial.into_iter().flatten() {
         if let InvariantViolation::ForwardingLoop { nodes, packets } = violation {
             merged.entry(nodes).or_default().extend(packets);

@@ -194,7 +194,13 @@ mod tests {
         let d1 = topo.drop_link(n[1]);
         let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
         net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/9"), 1, n[0], l01));
-        net.insert_rule(Rule::forward(RuleId(2), prefix("10.128.0.0/9"), 1, n[0], l02));
+        net.insert_rule(Rule::forward(
+            RuleId(2),
+            prefix("10.128.0.0/9"),
+            1,
+            n[0],
+            l02,
+        ));
         net.insert_rule(Rule::forward(RuleId(3), prefix("10.0.0.0/8"), 1, n[1], l13));
         net.insert_rule(Rule::forward(RuleId(4), prefix("10.0.0.0/8"), 1, n[2], l23));
         net.insert_rule(Rule::drop(RuleId(5), prefix("10.5.0.0/16"), 9, n[1], d1));
@@ -259,7 +265,10 @@ mod tests {
         let on_l01 = q.packets_on_link(l01);
         assert_eq!(on_l01, vec![prefix("10.0.0.0/9").interval()]);
         let l02 = net.topology().link_between(n[0], n[2]).unwrap();
-        assert_eq!(q.packets_on_link(l02), vec![prefix("10.128.0.0/9").interval()]);
+        assert_eq!(
+            q.packets_on_link(l02),
+            vec![prefix("10.128.0.0/9").interval()]
+        );
     }
 
     #[test]

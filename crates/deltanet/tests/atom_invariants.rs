@@ -1,0 +1,179 @@
+//! Randomized engine-level invariant tests, below the workspace-level
+//! integration suites: the atom map's partition invariant, `AtomSet`
+//! round-trips against a `BTreeSet` model, and the owner BST's
+//! highest-priority semantics against a sorted-vector model.
+
+use deltanet::atoms::{AtomId, AtomMap};
+use deltanet::atomset::AtomSet;
+use deltanet::owner::SourceRules;
+use netmodel::interval::Interval;
+use netmodel::rule::RuleId;
+use netmodel::topology::LinkId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// After any sequence of `create_atoms` calls, the atoms are consecutive,
+/// disjoint, cover the whole field space, and `atom_of_value` agrees with
+/// `atom_interval` everywhere; `atoms_of` reproduces each inserted interval
+/// exactly.
+#[test]
+fn atom_map_partitions_field_space_under_random_inserts() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = 10u8;
+        let max = 1u128 << width;
+        let mut m = AtomMap::new(width);
+        let mut inserted: Vec<Interval> = Vec::new();
+        for _ in 0..rng.gen_range(1..60) {
+            let lo = rng.gen_range(0..max - 1);
+            let hi = rng.gen_range(lo + 1..=max);
+            let interval = Interval::new(lo, hi);
+            let delta = m.create_atoms(interval);
+            assert!(delta.len() <= 2, "seed {seed}: more than two splits");
+            inserted.push(interval);
+        }
+
+        // Partition: consecutive, disjoint, covering.
+        let mut pieces: Vec<Interval> = m.iter().map(|(_, iv)| iv).collect();
+        pieces.sort();
+        assert_eq!(pieces.len(), m.atom_count());
+        assert!(m.atom_count() <= 2 * inserted.len() + 1);
+        assert_eq!(pieces.first().unwrap().lo(), 0, "seed {seed}");
+        assert_eq!(pieces.last().unwrap().hi(), max, "seed {seed}");
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].hi(), w[1].lo(), "seed {seed}: gap or overlap");
+        }
+
+        // ⟦interval⟧ is exact for every inserted interval.
+        for iv in &inserted {
+            let atoms = m.atoms_of(*iv);
+            assert_eq!(atoms.len(), m.atoms_of_count(*iv));
+            let total: u128 = atoms.iter().map(|&a| m.atom_interval(a).len()).sum();
+            assert_eq!(total, iv.len(), "seed {seed}: {iv} not covered exactly");
+            for &a in &atoms {
+                assert!(iv.contains_interval(&m.atom_interval(a)));
+            }
+        }
+
+        // Point queries agree with the interval table.
+        for x in 0..max {
+            let a = m.atom_of_value(x);
+            assert!(m.atom_interval(a).contains(x), "seed {seed}: value {x}");
+        }
+    }
+}
+
+/// Building an `AtomSet` from any id sequence and iterating it back yields
+/// the sorted deduplicated ids, and union/intersection/difference round-trip
+/// through the `BTreeSet` model (both the allocating and in-place forms).
+#[test]
+fn atomset_set_algebra_round_trips_against_model() {
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(0xA70_5E7 ^ seed);
+        let draw = |rng: &mut StdRng| -> Vec<u32> {
+            let n = rng.gen_range(0..80);
+            (0..n).map(|_| rng.gen_range(0..400u32)).collect()
+        };
+        let a_ids = draw(&mut rng);
+        let b_ids = draw(&mut rng);
+
+        let a: AtomSet = a_ids.iter().map(|&x| AtomId(x)).collect();
+        let b: AtomSet = b_ids.iter().map(|&x| AtomId(x)).collect();
+        let model_a: BTreeSet<u32> = a_ids.iter().copied().collect();
+        let model_b: BTreeSet<u32> = b_ids.iter().copied().collect();
+
+        // Iteration yields sorted, deduplicated ids.
+        let back: Vec<u32> = a.iter().map(|x| x.0).collect();
+        let model_back: Vec<u32> = model_a.iter().copied().collect();
+        assert_eq!(back, model_back, "seed {seed}");
+        assert_eq!(a.len(), model_a.len());
+        for &x in &model_a {
+            assert!(a.contains(AtomId(x)));
+        }
+
+        // Allocating algebra.
+        let pairs: [(AtomSet, Vec<u32>); 3] = [
+            (a.union(&b), model_a.union(&model_b).copied().collect()),
+            (
+                a.intersection(&b),
+                model_a.intersection(&model_b).copied().collect(),
+            ),
+            (
+                a.difference(&b),
+                model_a.difference(&model_b).copied().collect(),
+            ),
+        ];
+        for (i, (got, want)) in pairs.iter().enumerate() {
+            let got_ids: Vec<u32> = got.iter().map(|x| x.0).collect();
+            assert_eq!(&got_ids, want, "seed {seed}: op {i}");
+            assert_eq!(got.len(), want.len());
+        }
+
+        // In-place forms agree with the allocating forms.
+        let mut u = a.clone();
+        let grew = u.union_with(&b);
+        assert_eq!(u, a.union(&b), "seed {seed}");
+        assert_eq!(grew, u.len() > a.len(), "seed {seed}");
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, a.intersection(&b), "seed {seed}");
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d, a.difference(&b), "seed {seed}");
+
+        // Predicates.
+        assert_eq!(
+            a.intersects(&b),
+            model_a.intersection(&model_b).next().is_some()
+        );
+        assert_eq!(a.is_subset_of(&b), model_a.is_subset(&model_b));
+        assert!(a.intersection(&b).is_subset_of(&a));
+        assert!(a.intersection(&b).is_subset_of(&b));
+        assert!(a.is_subset_of(&a.union(&b)));
+    }
+}
+
+/// The owner BST returns the highest-priority rule through arbitrary
+/// interleavings of inserts and removals of non-highest entries, matching a
+/// sorted-vector model keyed the same way (`(priority, rule-id)`).
+#[test]
+fn owner_bst_highest_priority_matches_model() {
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(0x0B57 ^ seed);
+        let mut bst = SourceRules::default();
+        let mut model: Vec<(u32, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..200 {
+            let insert = model.is_empty() || rng.gen_bool(0.6);
+            if insert {
+                let priority = rng.gen_range(1..1000);
+                let id = next_id;
+                next_id += 1;
+                bst.insert(priority, RuleId(id), LinkId((id % 7) as u32));
+                model.push((priority, id));
+            } else {
+                // Remove an arbitrary (not necessarily highest) entry — the
+                // operation that rules out a plain priority queue (§3.2).
+                let victim = model.swap_remove(rng.gen_range(0..model.len()));
+                assert!(bst.remove(victim.0, RuleId(victim.1)), "seed {seed}");
+                assert!(!bst.remove(victim.0, RuleId(victim.1)), "seed {seed}");
+            }
+            assert_eq!(bst.len(), model.len(), "seed {seed}");
+            match model.iter().max() {
+                None => assert!(bst.highest().is_none(), "seed {seed}"),
+                Some(&(priority, id)) => {
+                    let h = bst.highest().expect("model non-empty");
+                    assert_eq!((h.priority, h.id.0), (priority, id), "seed {seed}");
+                    assert_eq!(h.link, LinkId((id % 7) as u32), "seed {seed}");
+                    assert!(bst.contains(priority, RuleId(id)));
+                }
+            }
+            // Iteration is by increasing (priority, id).
+            let iterated: Vec<(u32, u64)> = bst.iter().map(|r| (r.priority, r.id.0)).collect();
+            let mut sorted = model.clone();
+            sorted.sort_unstable();
+            assert_eq!(iterated, sorted, "seed {seed}");
+        }
+    }
+}

@@ -57,7 +57,11 @@ impl fmt::Display for InvariantViolation {
                 write!(f, " for {} packet interval(s)", packets.len())
             }
             InvariantViolation::Blackhole { node, packets } => {
-                write!(f, "blackhole at {node} for {} packet interval(s)", packets.len())
+                write!(
+                    f,
+                    "blackhole at {node} for {} packet interval(s)",
+                    packets.len()
+                )
             }
         }
     }

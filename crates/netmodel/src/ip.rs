@@ -98,6 +98,10 @@ impl IpPrefix {
     }
 
     /// The prefix length in bits.
+    ///
+    /// A prefix always matches at least one address, so there is no
+    /// corresponding `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> u8 {
         self.len

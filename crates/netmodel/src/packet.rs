@@ -30,7 +30,9 @@ impl Packet {
     /// A packet destined to the given IPv4 address.
     #[inline]
     pub fn to_ipv4(addr: u32) -> Self {
-        Packet { dst: Bound::from(addr) }
+        Packet {
+            dst: Bound::from(addr),
+        }
     }
 }
 
@@ -62,7 +64,10 @@ mod tests {
 
     #[test]
     fn debug_formats_ipv4() {
-        assert_eq!(format!("{:?}", Packet::to_ipv4(0x0a00_0001)), "pkt(10.0.0.1)");
+        assert_eq!(
+            format!("{:?}", Packet::to_ipv4(0x0a00_0001)),
+            "pkt(10.0.0.1)"
+        );
         assert_eq!(
             format!("{}", Packet::to((1u128 << 64) + 5)),
             format!("pkt({})", (1u128 << 64) + 5)

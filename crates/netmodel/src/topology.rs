@@ -126,7 +126,9 @@ impl Topology {
 
     /// Adds `n` nodes named `prefix0 .. prefix(n-1)` and returns their ids.
     pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
-        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds a directed link `src -> dst`, or returns the existing one if the

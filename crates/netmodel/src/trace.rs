@@ -59,7 +59,11 @@ pub struct TraceParseError {
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

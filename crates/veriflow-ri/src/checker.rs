@@ -128,11 +128,13 @@ impl VeriflowRi {
         );
         self.trie.insert(&rule.prefix, rule.id);
         self.rules.insert(rule.id, rule);
-        self.rules_by_link.entry(rule.link).or_default().push(rule.id);
+        self.rules_by_link
+            .entry(rule.link)
+            .or_default()
+            .push(rule.id);
 
         let candidates = self.overlapping_rules(&rule);
-        let (affected, violations) =
-            self.process_update(rule.interval(), &candidates, rule.link);
+        let (affected, violations) = self.process_update(rule.interval(), &candidates, rule.link);
         UpdateReport {
             rule_id: Some(rule.id),
             was_insert: true,
@@ -155,8 +157,7 @@ impl VeriflowRi {
         }
 
         let candidates = self.overlapping_rules(&rule);
-        let (affected, violations) =
-            self.process_update(rule.interval(), &candidates, rule.link);
+        let (affected, violations) = self.process_update(rule.interval(), &candidates, rule.link);
         UpdateReport {
             rule_id: Some(id),
             was_insert: false,
@@ -380,7 +381,7 @@ mod tests {
         assert_eq!(rep.affected_packets, vec![p("10.0.0.0/16").interval()]);
         vf.remove_rule(RuleId(2));
         assert_eq!(vf.rule_count(), 0);
-        assert_eq!(vf.memory_bytes() > 0, true);
+        assert!(vf.memory_bytes() > 0);
         assert_eq!(vf.name(), "veriflow-ri");
     }
 

@@ -41,9 +41,7 @@ pub fn equivalence_classes(target: Interval, rule_intervals: &[Interval]) -> Vec
     }
     cuts.sort_unstable();
     cuts.dedup();
-    cuts.windows(2)
-        .map(|w| Interval::new(w[0], w[1]))
-        .collect()
+    cuts.windows(2).map(|w| Interval::new(w[0], w[1])).collect()
 }
 
 /// A representative address for an EC (any value inside it); the forwarding

@@ -157,11 +157,7 @@ impl PrefixTrie {
         }
         // `node` is now the prefix's own node, whose rules were already
         // collected; descend into both subtrees for more-specific rules.
-        let mut stack: Vec<&TrieNode> = node
-            .children
-            .iter()
-            .filter_map(|c| c.as_deref())
-            .collect();
+        let mut stack: Vec<&TrieNode> = node.children.iter().filter_map(|c| c.as_deref()).collect();
         while let Some(n) = stack.pop() {
             out.extend_from_slice(&n.rules);
             stack.extend(n.children.iter().filter_map(|c| c.as_deref()));

@@ -58,8 +58,7 @@ pub fn generate_prefixes(config: PrefixGenConfig) -> Vec<IpPrefix> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut prefixes: Vec<IpPrefix> = Vec::with_capacity(config.count);
     while prefixes.len() < config.count {
-        let make_overlap = !prefixes.is_empty()
-            && rng.gen_range(0u8..100) < config.overlap_percent;
+        let make_overlap = !prefixes.is_empty() && rng.gen_range(0u8..100) < config.overlap_percent;
         let prefix = if make_overlap {
             // A more-specific inside an existing prefix.
             let parent = prefixes[rng.gen_range(0..prefixes.len())];

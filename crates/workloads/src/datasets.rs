@@ -237,8 +237,12 @@ pub fn build(id: DatasetId, scale: ScaleProfile) -> Dataset {
         }
         DatasetId::FourSwitch => {
             let (prefixes_per_router, rounds) = scale.four_switch_params();
-            let (topology, trace) =
-                four_switch_rounds(four_switch_with_borders(), prefixes_per_router, rounds, 0x45);
+            let (topology, trace) = four_switch_rounds(
+                four_switch_with_borders(),
+                prefixes_per_router,
+                rounds,
+                0x45,
+            );
             Dataset {
                 id,
                 topology,

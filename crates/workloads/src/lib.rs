@@ -3,7 +3,7 @@
 //! The paper's evaluation (§4.2) uses eight datasets derived from real
 //! topologies, real BGP dumps, and a live ONOS/SDN-IP deployment. None of
 //! those artefacts are redistributable, so this crate generates synthetic
-//! equivalents with the same structure (see `DESIGN.md` for the substitution
+//! equivalents with the same structure (see the module docs below for the substitution
 //! rationale):
 //!
 //! * [`topologies`] — campus / ISP-backbone / WAN / ring topology generators

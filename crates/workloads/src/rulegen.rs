@@ -82,8 +82,10 @@ pub fn generate_rules(
     assert!(!edges.is_empty(), "topology has no edge nodes");
 
     // Pre-compute the shortest-path next-hop tree per egress actually used.
-    let mut next_hop_cache: std::collections::HashMap<NodeId, Vec<Option<netmodel::topology::LinkId>>> =
-        std::collections::HashMap::new();
+    let mut next_hop_cache: std::collections::HashMap<
+        NodeId,
+        Vec<Option<netmodel::topology::LinkId>>,
+    > = std::collections::HashMap::new();
 
     let mut next_id = 0u64;
     for (i, prefix) in prefixes.iter().enumerate() {

@@ -107,11 +107,13 @@ impl SdnIpController {
     /// Creates the controller with an explicit advertisement list (used by
     /// the 4-switch dataset which repeats the experiment with fresh
     /// prefixes).
-    pub fn with_advertisements(topo: GeneratedTopology, advertisements: Vec<Advertisement>) -> Self {
+    pub fn with_advertisements(
+        topo: GeneratedTopology,
+        advertisements: Vec<Advertisement>,
+    ) -> Self {
         // Each edge switch exits towards its attached border router: the
         // first neighbour that is not itself a switch.
-        let switches: std::collections::HashSet<NodeId> =
-            topo.edge_nodes.iter().copied().collect();
+        let switches: std::collections::HashSet<NodeId> = topo.edge_nodes.iter().copied().collect();
         let mut border_link = HashMap::new();
         for &s in &topo.edge_nodes {
             for &l in topo.topology.out_links(s) {
@@ -373,10 +375,13 @@ mod tests {
     #[test]
     fn initial_reconcile_installs_full_routing() {
         let topo = small_airtel();
-        let mut c = SdnIpController::new(topo, SdnIpConfig {
-            prefixes_per_router: 5,
-            seed: 1,
-        });
+        let mut c = SdnIpController::new(
+            topo,
+            SdnIpConfig {
+                prefixes_per_router: 5,
+                seed: 1,
+            },
+        );
         c.reconcile();
         // 6 switches × 5 prefixes = 30 advertisements (minus duplicates, as
         // in BGP best-route selection); each installed on the 5 non-egress
@@ -392,10 +397,13 @@ mod tests {
     #[test]
     fn reconcile_is_idempotent() {
         let topo = small_airtel();
-        let mut c = SdnIpController::new(topo, SdnIpConfig {
-            prefixes_per_router: 3,
-            seed: 2,
-        });
+        let mut c = SdnIpController::new(
+            topo,
+            SdnIpConfig {
+                prefixes_per_router: 3,
+                seed: 2,
+            },
+        );
         c.reconcile();
         let first = c.emitted_ops();
         c.reconcile();
@@ -405,10 +413,13 @@ mod tests {
     #[test]
     fn link_failure_generates_remove_insert_churn_and_recovery_restores() {
         let topo = small_airtel();
-        let mut c = SdnIpController::new(topo, SdnIpConfig {
-            prefixes_per_router: 4,
-            seed: 3,
-        });
+        let mut c = SdnIpController::new(
+            topo,
+            SdnIpConfig {
+                prefixes_per_router: 4,
+                seed: 3,
+            },
+        );
         c.reconcile();
         let _ = c.take_trace();
         let rules_before = c.installed_rule_count();
@@ -429,10 +440,13 @@ mod tests {
         // Replay the whole churn into a reference FIB and verify traffic for
         // a sample advertisement still reaches its egress with the link down.
         let topo = small_airtel();
-        let mut c = SdnIpController::new(topo.clone(), SdnIpConfig {
-            prefixes_per_router: 4,
-            seed: 4,
-        });
+        let mut c = SdnIpController::new(
+            topo.clone(),
+            SdnIpConfig {
+                prefixes_per_router: 4,
+                seed: 4,
+            },
+        );
         c.reconcile();
         let pairs = c.inter_switch_links();
         c.fail_link_between(pairs[0].0, pairs[0].1);
@@ -459,10 +473,7 @@ mod tests {
                 "advertisement no longer reachable from {start}"
             );
             // The failed link must not be used.
-            let failed = topo
-                .topology
-                .link_between(pairs[0].0, pairs[0].1)
-                .unwrap();
+            let failed = topo.topology.link_between(pairs[0].0, pairs[0].1).unwrap();
             assert!(!t.links.contains(&failed));
         }
     }
@@ -477,7 +488,7 @@ mod tests {
             },
             Some(3),
         );
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         // The initial installation is all inserts; failures add removals.
         assert!(trace.remove_count() > 0);
         assert!(trace.insert_count() > trace.remove_count());
@@ -498,7 +509,7 @@ mod tests {
     fn four_switch_dataset_is_insert_only() {
         let (_topo, trace) =
             four_switch_rounds(crate::topologies::four_switch_with_borders(), 10, 3, 77);
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         assert_eq!(trace.remove_count(), 0);
         // Every advertisement contributes exactly 4 rules (3 non-egress
         // switches + 1 egress rule towards the border router).

@@ -284,7 +284,11 @@ mod tests {
     fn berkeley_scale_class() {
         let g = berkeley();
         assert_eq!(g.node_count(), 23);
-        assert!(g.link_count() >= 60, "campus too sparse: {}", g.link_count());
+        assert!(
+            g.link_count() >= 60,
+            "campus too sparse: {}",
+            g.link_count()
+        );
         assert!(g.topology.is_strongly_connected());
         assert!(!g.edge_nodes.is_empty());
     }

@@ -42,7 +42,13 @@ fn main() {
                 if ivs.is_empty() {
                     "⊥".to_string()
                 } else {
-                    format!("{{{}}}", ivs.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "))
+                    format!(
+                        "{{{}}}",
+                        ivs.iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
                 }
             })
             .collect();

@@ -54,7 +54,10 @@ fn main() {
 
     // Fail and recover every inter-switch link, verifying all churn.
     let pairs = controller.inter_switch_links();
-    println!("injecting {} single link failures (+ recovery)", pairs.len());
+    println!(
+        "injecting {} single link failures (+ recovery)",
+        pairs.len()
+    );
     for &(a, b) in &pairs {
         controller.fail_link_between(a, b);
         verify(&mut checker, controller.take_trace(), "failure");
@@ -67,7 +70,10 @@ fn main() {
     let median = latencies_us[latencies_us.len() / 2];
     let avg: f64 = latencies_us.iter().sum::<f64>() / latencies_us.len() as f64;
     let under_250 = latencies_us.iter().filter(|&&t| t < 250.0).count();
-    println!("\nverified {} data-plane updates in real time", latencies_us.len());
+    println!(
+        "\nverified {} data-plane updates in real time",
+        latencies_us.len()
+    );
     println!("  atoms maintained:        {}", checker.atom_count());
     println!("  median update latency:   {median:.1} us");
     println!("  average update latency:  {avg:.1} us");

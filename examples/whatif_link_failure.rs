@@ -60,7 +60,10 @@ fn main() {
         .collect();
     links.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
 
-    println!("\n{:<8} {:>10} {:>14} {:>16} {:>14}", "link", "atoms", "delta-net", "delta-net+loops", "veriflow-ri");
+    println!(
+        "\n{:<8} {:>10} {:>14} {:>16} {:>14}",
+        "link", "atoms", "delta-net", "delta-net+loops", "veriflow-ri"
+    );
     for &(link, atoms) in links.iter().take(5) {
         let t0 = Instant::now();
         let dn = net.what_if_link_failure(link, false);

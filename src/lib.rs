@@ -13,8 +13,15 @@
 //! * [`workloads`] — topology/BGP/SDN-IP workload generators and the eight
 //!   evaluation datasets.
 //!
-//! See `README.md` for a tour and `DESIGN.md` / `EXPERIMENTS.md` for the
-//! reproduction details.
+//! Naming: the *umbrella* package is `delta-net`, imported as `delta_net`;
+//! the *engine* crate is `deltanet`. Because the umbrella depends on and
+//! re-exports the engine, `use delta_net::prelude::*;` and `use
+//! deltanet::…;` resolve side by side, which is how the integration tests
+//! and examples are written.
+//!
+//! See `README.md` for the workspace tour, build/test instructions, and the
+//! paper's algorithm ↔ module mapping (documented in detail in
+//! [`deltanet`]'s crate docs).
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,62 @@
+//! Case execution: deterministic per-case seeding and failure reporting.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies (the offline stub of `TestRng`).
+pub type TestRng = rand::StdRng;
+
+/// A failed test case (mirror of `proptest::test_runner::TestCaseError`,
+/// reduced to the failure message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` or 256 (the real
+/// proptest's default).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` repeatedly with per-case deterministic seeds, panicking (as a
+/// normal test failure) on the first case that returns `Err`.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for i in 0..case_count() {
+        let seed = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i} (seed {seed:#x}):\n{e}");
+        }
+    }
+}

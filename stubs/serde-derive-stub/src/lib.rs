@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde stub.
+//!
+//! The stub's traits are blanket-implemented for every type (see
+//! `stubs/serde`), so the derives have nothing to generate — they only need
+//! to exist so that `#[derive(Serialize, Deserialize)]` on seed types
+//! compiles, and to accept (and ignore) `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

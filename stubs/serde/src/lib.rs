@@ -1,0 +1,24 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes through serde yet (the seed types only
+//! derive the traits for downstream use; on-disk formats are the
+//! line-oriented text formats in `netmodel::trace` / `deltanet_cli`). The
+//! stub therefore provides marker traits blanket-implemented for every type,
+//! plus no-op derive macros, mirroring the real facade's namespace layout so
+//! `use serde::{Deserialize, Serialize}` + `#[derive(Serialize)]` compile
+//! unchanged against the real crate later.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the real trait's `'de` lifetime is dropped — nothing in-tree names
+/// it).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -102,10 +102,7 @@ fn deltanet_labels_match_reference_fib_under_random_churn() {
                 let rule = random_rule(&mut rng, &mut topo, next_id);
                 next_id += 1;
                 // Avoid the (disallowed) same-priority overlap at one switch.
-                if live
-                    .iter()
-                    .any(|r| r.conflicts_with(&rule))
-                {
+                if live.iter().any(|r| r.conflicts_with(&rule)) {
                     continue;
                 }
                 net.insert_rule(rule);
@@ -163,7 +160,8 @@ fn loop_reports_agree_with_exhaustive_packet_tracing() {
             let all_addrs: Vec<u128> = (0..256).collect();
             let oracle_says_loop = fib.any_loop_among(&all_addrs);
             assert_eq!(
-                deltanet_says_loop, oracle_says_loop,
+                deltanet_says_loop,
+                oracle_says_loop,
                 "loop disagreement with {} rules installed",
                 live.len()
             );
