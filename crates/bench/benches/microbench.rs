@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the individual data structures: atom
-//! creation/splitting, atom-set (bitset) operations, and trie overlap
-//! queries.
+//! creation/splitting, atom-set (bitset) operations, owner representations
+//! (arena small-vec vs legacy hash-of-BTreeMaps), and trie overlap queries.
 
+use bench::ownerbench::{build_owner_trace, replay_arena, replay_legacy};
 use criterion::{criterion_group, criterion_main, Criterion};
 use deltanet::atoms::AtomMap;
 use deltanet::atomset::AtomSet;
@@ -71,5 +72,25 @@ fn bench_trie(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_atom_creation, bench_atomset_ops, bench_trie);
+fn bench_owner_representations(c: &mut Criterion) {
+    // The owner-touching part of the rule-insert/remove hot path (atom-split
+    // clones + per-cell store updates), replayed through both layouts. The
+    // committed BENCH_*.json baselines run the same trace at >=10k rules via
+    // `all_experiments --json`; this keeps a quick always-compiled variant.
+    let trace = build_owner_trace(5_000, 8, 42);
+    c.bench_function("owner/arena_smallvec_replay_5k", |b| {
+        b.iter(|| replay_arena(&trace))
+    });
+    c.bench_function("owner/hashmap_btree_replay_5k", |b| {
+        b.iter(|| replay_legacy(&trace))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_atom_creation,
+    bench_atomset_ops,
+    bench_owner_representations,
+    bench_trie
+);
 criterion_main!(benches);

@@ -1,9 +1,25 @@
 //! Runs every experiment (Tables 2–5, Figure 8, Appendix C) in sequence and
 //! prints the combined report — the full evaluation report in one run.
 //!
-//! Usage: `cargo run -p bench --release --bin all_experiments [-- --scale tiny|small|medium]`
+//! Usage:
+//!   `cargo run -p bench --release --bin all_experiments [-- --scale tiny|small|medium]`
+//!
+//! With `--json <path>` the machine-readable perf report (the `updates`
+//! replay, the isolated rule-insert hot path, and the old-vs-new owner
+//! microbenchmark) is written to `<path>` instead — this is how the
+//! committed `BENCH_*.json` baselines are regenerated:
+//!   `cargo run -p bench --release --bin all_experiments -- --json out.json`
 
 fn main() {
     let scale = bench::scale_from_args();
-    println!("{}", bench::experiments::all_experiments(scale));
+    if let Some(path) = bench::json_path_from_args() {
+        let report = bench::experiments::json_report(scale).render();
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote perf report ({scale:?} scale) to {path}");
+    } else {
+        println!("{}", bench::experiments::all_experiments(scale));
+    }
 }

@@ -6,7 +6,9 @@
 //! in `src/bin/` are thin wrappers; `all_experiments` chains everything and
 //! is what the `all_experiments` report is produced from.
 
-use crate::{megabytes, render_table, replay_timed, with_commas, Timings};
+use crate::json::Json;
+use crate::ownerbench::{owner_microbench, OwnerBenchResult};
+use crate::{megabytes, render_table, replay_timed, with_commas, Summary, Timings};
 use deltanet::{DeltaNet, DeltaNetConfig};
 use netmodel::checker::Checker;
 use netmodel::rule::Rule;
@@ -355,6 +357,148 @@ pub fn appendix_c(scale: ScaleProfile) -> String {
             ]
         )
     )
+}
+
+/// The shared summary-statistics fields of the machine-readable reports
+/// (`BENCH_*.json` and `deltanet replay --json` use the same key set).
+pub fn summary_json(s: &Summary) -> Vec<(&'static str, Json)> {
+    vec![
+        ("operations", Json::int(s.count)),
+        ("median_us", Json::ms(s.median_us)),
+        ("average_us", Json::ms(s.average_us)),
+        ("max_us", Json::ms(s.max_us)),
+        ("pct_under_250us", Json::ms(s.pct_under_250us)),
+        ("total_seconds", Json::ms(s.total_seconds)),
+    ]
+}
+
+/// The `updates` section of the JSON report: per-dataset replay of the full
+/// trace (inserts + removals, per-update loop check on) with Table-3 style
+/// summary statistics plus final memory.
+pub fn updates_json(scale: ScaleProfile) -> Json {
+    let rows = build_all(scale)
+        .into_iter()
+        .map(|ds| {
+            let mut net = DeltaNet::new(ds.topology.topology.clone(), DeltaNetConfig::default());
+            let result = replay_timed(&mut net, ds.trace.ops());
+            let mut fields = vec![("dataset", Json::str(ds.id.name()))];
+            fields.extend(summary_json(&result.timings.summary()));
+            fields.extend([
+                ("ops_with_loops", Json::int(result.ops_with_loops)),
+                ("atoms", Json::int(net.atom_count())),
+                ("memory_bytes", Json::int(result.final_memory_bytes)),
+            ]);
+            Json::obj(fields)
+        })
+        .collect::<Vec<_>>();
+    Json::arr(rows)
+}
+
+/// The `insert_hot_path` section: pure rule insertions (per-update checks
+/// off) on the two most split-heavy data planes, with the owner/label
+/// structure sizes the arena refactor targets.
+pub fn insert_hot_path_json(scale: ScaleProfile) -> Json {
+    let rows = [DatasetId::Berkeley, DatasetId::FourSwitch]
+        .into_iter()
+        .map(|id| {
+            let ds = build(id, scale);
+            let rules = data_plane_rules(&ds);
+            // Fastest of three runs keeps committed baselines stable; only
+            // the insert loop is timed, not engine construction.
+            let mut total_ms = f64::INFINITY;
+            let mut net = None;
+            for _ in 0..3 {
+                let mut candidate = DeltaNet::new(
+                    ds.topology.topology.clone(),
+                    DeltaNetConfig {
+                        check_loops_per_update: false,
+                        ..Default::default()
+                    },
+                );
+                let start = Instant::now();
+                for r in &rules {
+                    candidate.insert_rule(*r);
+                }
+                total_ms = total_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                net = Some(candidate);
+            }
+            let net = net.expect("at least one run");
+            Json::obj([
+                ("dataset", Json::str(id.name())),
+                ("rules", Json::int(rules.len())),
+                ("total_ms", Json::ms(total_ms)),
+                (
+                    "us_per_insert",
+                    Json::ms(total_ms * 1e3 / rules.len().max(1) as f64),
+                ),
+                ("atoms", Json::int(net.atom_count())),
+                ("owner_entries", Json::int(net.owner().total_entries())),
+                (
+                    "owner_spilled_cells",
+                    Json::int(net.owner().spilled_cells()),
+                ),
+                ("owner_bytes", Json::int(net.owner().memory_bytes())),
+                ("label_bytes", Json::int(net.labels().memory_bytes())),
+                ("label_live_bytes", Json::int(net.labels().live_bytes())),
+                ("memory_bytes", Json::int(net.memory_estimate())),
+            ])
+        })
+        .collect::<Vec<_>>();
+    Json::arr(rows)
+}
+
+/// The `microbench` section: the owner-representation comparison (see
+/// [`crate::ownerbench`]) at a rule count scaled to the profile — at least
+/// 10k rules from `small` upwards so the committed numbers exercise the
+/// regime the paper's real-time claim targets.
+pub fn microbench_json(scale: ScaleProfile) -> Json {
+    let (rules, runs) = match scale {
+        ScaleProfile::Tiny => (2_000, 2),
+        ScaleProfile::Small => (40_000, 3),
+        ScaleProfile::Medium => (80_000, 3),
+    };
+    owner_bench_json(&owner_microbench(rules, 8, 42, runs))
+}
+
+/// Renders one [`OwnerBenchResult`] as JSON.
+pub fn owner_bench_json(r: &OwnerBenchResult) -> Json {
+    Json::obj([
+        ("rules", Json::int(r.rules)),
+        ("atoms", Json::int(r.atoms)),
+        ("atom_clones", Json::int(r.atom_clones)),
+        ("insert_ops", Json::int(r.insert_ops)),
+        ("remove_ops", Json::int(r.remove_ops)),
+        (
+            "owner_arena_smallvec",
+            Json::obj([
+                ("insert_ms", Json::ms(r.arena_smallvec.insert_ms)),
+                ("remove_ms", Json::ms(r.arena_smallvec.remove_ms)),
+            ]),
+        ),
+        (
+            "owner_hashmap_btree",
+            Json::obj([
+                ("insert_ms", Json::ms(r.hashmap_btree.insert_ms)),
+                ("remove_ms", Json::ms(r.hashmap_btree.remove_ms)),
+            ]),
+        ),
+        ("insert_speedup", Json::ms(r.insert_speedup())),
+        ("remove_speedup", Json::ms(r.remove_speedup())),
+    ])
+}
+
+/// The full machine-readable report behind `all_experiments --json`: the
+/// `updates` end-to-end replay, the isolated `insert_hot_path`, and the
+/// old-vs-new owner `microbench`. `BENCH_*.json` baselines committed to the
+/// repository are produced by this function (see README § Performance).
+pub fn json_report(scale: ScaleProfile) -> Json {
+    Json::obj([
+        ("schema", Json::str("deltanet-bench-v1")),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+        ("updates", updates_json(scale)),
+        ("insert_hot_path", insert_hot_path_json(scale)),
+        ("microbench", microbench_json(scale)),
+    ])
 }
 
 /// Runs every experiment and concatenates the reports (the `all_experiments`

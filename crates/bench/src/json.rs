@@ -1,0 +1,190 @@
+//! A dependency-free JSON value builder for the machine-readable bench
+//! reports (`BENCH_*.json`).
+//!
+//! The build environment resolves `serde` to an offline stub, so the bench
+//! crate writes JSON by hand through this tiny tree builder instead. Output
+//! is deterministic (object keys keep insertion order) and pretty-printed
+//! with two-space indentation so committed baselines diff cleanly.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for |n| ≤ 2^53).
+    pub fn int(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A float rounded to three decimals — bench timings below a nanosecond
+    /// of precision are noise and churn the committed baselines.
+    pub fn ms(x: f64) -> Json {
+        Json::Num((x * 1000.0).round() / 1000.0)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders the value as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::int(42).render(), "42\n");
+        assert_eq!(Json::Num(1.5).render(), "1.5\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::ms(1.23456).render(), "1.235\n");
+        assert_eq!(Json::str("hi").render(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn nested_structure_is_pretty_printed() {
+        let v = Json::obj([
+            ("name", Json::str("bench")),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+            ("runs", Json::arr([Json::int(1), Json::int(2)])),
+            ("meta", Json::obj([("ok", Json::Bool(true))])),
+        ]);
+        let text = v.render();
+        assert!(text.contains("\"name\": \"bench\""));
+        assert!(text.contains("\"empty_arr\": []"));
+        assert!(text.contains("\"empty_obj\": {}"));
+        assert!(text.contains("  \"runs\": [\n    1,\n    2\n  ]"));
+        // Valid-ish: balanced braces and a trailing newline.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn whole_floats_render_as_integers() {
+        assert_eq!(Json::Num(3.0).render(), "3\n");
+        assert_eq!(Json::ms(2.0000001).render(), "2\n");
+    }
+}

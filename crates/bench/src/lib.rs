@@ -15,6 +15,8 @@ use netmodel::trace::Op;
 use std::time::Instant;
 
 pub mod experiments;
+pub mod json;
+pub mod ownerbench;
 
 /// Per-operation wall-clock times, in microseconds.
 #[derive(Clone, Debug, Default)]
@@ -185,16 +187,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Parses the `--scale tiny|small|medium` command-line argument (or the
 /// `DELTANET_SCALE` environment variable), defaulting to `small`.
 pub fn scale_from_args() -> workloads::ScaleProfile {
-    let mut args = std::env::args().skip(1);
-    let mut scale: Option<String> = None;
-    while let Some(a) = args.next() {
-        if a == "--scale" {
-            scale = args.next();
-        } else if let Some(rest) = a.strip_prefix("--scale=") {
-            scale = Some(rest.to_string());
-        }
-    }
-    let scale = scale.or_else(|| std::env::var("DELTANET_SCALE").ok());
+    let scale = string_option_from_args("scale").or_else(|| std::env::var("DELTANET_SCALE").ok());
     match scale.as_deref() {
         Some("tiny") => workloads::ScaleProfile::Tiny,
         Some("medium") => workloads::ScaleProfile::Medium,
@@ -204,6 +197,28 @@ pub fn scale_from_args() -> workloads::ScaleProfile {
             workloads::ScaleProfile::Small
         }
     }
+}
+
+/// Parses the `--json <path>` command-line argument of the experiment
+/// binaries: when present, the machine-readable report is written there.
+pub fn json_path_from_args() -> Option<String> {
+    string_option_from_args("json")
+}
+
+/// Extracts `--name value` / `--name=value` from the process arguments.
+fn string_option_from_args(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut value: Option<String> = None;
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    while let Some(a) = args.next() {
+        if a == flag {
+            value = args.next();
+        } else if let Some(rest) = a.strip_prefix(&prefix) {
+            value = Some(rest.to_string());
+        }
+    }
+    value
 }
 
 #[cfg(test)]

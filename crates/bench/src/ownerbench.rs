@@ -1,0 +1,354 @@
+//! Old-vs-new owner representation microbenchmark.
+//!
+//! Replays the *owner-touching part* of Algorithm 1/2 — `clone_atom` on
+//! every atom split, one store insert per `(atom, source)` cell of the
+//! rule's interval, and the mirror-image removals — through both the arena
+//! small-vec [`Owner`] and the legacy hash-of-BTreeMaps
+//! [`HashOwner`](legacy::HashOwner). The op trace is derived from a real
+//! [`AtomMap`] over generated BGP-like prefixes, so the split/insert mix is
+//! the same one the engine sees on the rule-insert hot path, isolated from
+//! label and loop-check costs.
+
+use deltanet::atoms::{AtomId, AtomMap};
+use deltanet::owner::{legacy, Owner, RuleStore};
+use netmodel::rule::{Priority, RuleId};
+use netmodel::topology::{LinkId, NodeId};
+use std::time::Instant;
+use workloads::bgp::{generate_prefixes, PrefixGenConfig};
+
+/// One owner-structure operation of the replayed hot path.
+#[derive(Clone, Copy, Debug)]
+enum OwnerOp {
+    /// An atom split: `owner[new] ← owner[old]`.
+    Clone { old: AtomId, new: AtomId },
+    /// A store update in the cell `owner[atom][source]`.
+    Touch {
+        atom: AtomId,
+        source: NodeId,
+        priority: Priority,
+        id: RuleId,
+        link: LinkId,
+    },
+}
+
+/// The insert-phase and remove-phase op traces plus workload statistics.
+struct OwnerTrace {
+    inserts: Vec<OwnerOp>,
+    removes: Vec<OwnerOp>,
+    atoms: usize,
+    atom_clones: usize,
+}
+
+/// The uniform interface the microbenchmark drives; implemented for both
+/// owner representations so the identical trace runs through each.
+trait OwnerSubject: Default {
+    fn apply_clone(&mut self, old: AtomId, new: AtomId);
+    fn apply_insert(&mut self, op: &OwnerOp);
+    fn apply_remove(&mut self, op: &OwnerOp) -> bool;
+    fn entries(&self) -> usize;
+}
+
+impl OwnerSubject for Owner {
+    fn apply_clone(&mut self, old: AtomId, new: AtomId) {
+        self.clone_atom(old, new);
+    }
+
+    fn apply_insert(&mut self, op: &OwnerOp) {
+        if let OwnerOp::Touch {
+            atom,
+            source,
+            priority,
+            id,
+            link,
+        } = *op
+        {
+            self.get_mut(atom, source).insert(priority, id, link);
+        }
+    }
+
+    fn apply_remove(&mut self, op: &OwnerOp) -> bool {
+        match *op {
+            OwnerOp::Touch {
+                atom,
+                source,
+                priority,
+                id,
+                ..
+            } => self.get_mut(atom, source).remove(priority, id),
+            OwnerOp::Clone { .. } => true,
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.total_entries()
+    }
+}
+
+impl OwnerSubject for legacy::HashOwner {
+    fn apply_clone(&mut self, old: AtomId, new: AtomId) {
+        self.clone_atom(old, new);
+    }
+
+    fn apply_insert(&mut self, op: &OwnerOp) {
+        if let OwnerOp::Touch {
+            atom,
+            source,
+            priority,
+            id,
+            link,
+        } = *op
+        {
+            RuleStore::insert(self.get_mut(atom, source), priority, id, link);
+        }
+    }
+
+    fn apply_remove(&mut self, op: &OwnerOp) -> bool {
+        match *op {
+            OwnerOp::Touch {
+                atom,
+                source,
+                priority,
+                id,
+                ..
+            } => RuleStore::remove(self.get_mut(atom, source), priority, id),
+            OwnerOp::Clone { .. } => true,
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.total_entries()
+    }
+}
+
+/// Derives the owner-op trace for `rule_count` generated prefixes spread
+/// over `sources` switches.
+fn build_trace(rule_count: usize, sources: u32, seed: u64) -> OwnerTrace {
+    let prefixes = generate_prefixes(PrefixGenConfig {
+        count: rule_count,
+        overlap_percent: 40,
+        seed,
+    });
+    let mut map = AtomMap::new(32);
+    let mut inserts = Vec::new();
+    let mut atom_clones = 0usize;
+    let mut pairs = Vec::with_capacity(2);
+    let rule_meta = |i: usize| {
+        (
+            NodeId(i as u32 % sources),
+            1 + (i as Priority % 997),
+            RuleId(i as u64),
+            LinkId(i as u32 % 64),
+        )
+    };
+    for (i, prefix) in prefixes.iter().enumerate() {
+        let (source, priority, id, link) = rule_meta(i);
+        map.create_atoms_into(prefix.interval(), &mut pairs);
+        for pair in &pairs {
+            atom_clones += 1;
+            inserts.push(OwnerOp::Clone {
+                old: pair.old,
+                new: pair.new,
+            });
+        }
+        for atom in map.iter_atoms_of(prefix.interval()) {
+            inserts.push(OwnerOp::Touch {
+                atom,
+                source,
+                priority,
+                id,
+                link,
+            });
+        }
+    }
+    // Removal phase over the *final* atom map: after all inserts, every atom
+    // of a rule's interval carries the rule (splits copied it), so these are
+    // exactly the cells Algorithm 2 touches.
+    let mut removes = Vec::new();
+    for (i, prefix) in prefixes.iter().enumerate().rev() {
+        let (source, priority, id, link) = rule_meta(i);
+        for atom in map.iter_atoms_of(prefix.interval()) {
+            removes.push(OwnerOp::Touch {
+                atom,
+                source,
+                priority,
+                id,
+                link,
+            });
+        }
+    }
+    OwnerTrace {
+        inserts,
+        removes,
+        atoms: map.atom_count(),
+        atom_clones,
+    }
+}
+
+/// An opaque, reusable owner-op trace for external harnesses (the Criterion
+/// microbenchmark replays the same trace through both representations).
+pub struct OwnerTraceHandle(OwnerTrace);
+
+/// Builds a reusable owner-op trace (see [`owner_microbench`] for the
+/// parameters).
+pub fn build_owner_trace(rule_count: usize, sources: u32, seed: u64) -> OwnerTraceHandle {
+    OwnerTraceHandle(build_trace(rule_count, sources, seed))
+}
+
+/// Replays a trace through the arena + small-vec [`Owner`] once.
+pub fn replay_arena(trace: &OwnerTraceHandle) -> SubjectTiming {
+    run_subject::<Owner>(&trace.0)
+}
+
+/// Replays a trace through the legacy hash-of-BTreeMaps owner once.
+pub fn replay_legacy(trace: &OwnerTraceHandle) -> SubjectTiming {
+    run_subject::<legacy::HashOwner>(&trace.0)
+}
+
+/// Timing of one representation over the trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubjectTiming {
+    /// Insert-phase wall-clock (ms): atom clones + store inserts.
+    pub insert_ms: f64,
+    /// Remove-phase wall-clock (ms).
+    pub remove_ms: f64,
+}
+
+/// The result of one old-vs-new comparison run.
+#[derive(Clone, Copy, Debug)]
+pub struct OwnerBenchResult {
+    /// Rules in the generated workload.
+    pub rules: usize,
+    /// Atoms in the final atom map.
+    pub atoms: usize,
+    /// `clone_atom` calls (atom splits) in the insert phase.
+    pub atom_clones: usize,
+    /// Store inserts in the insert phase.
+    pub insert_ops: usize,
+    /// Store removals in the remove phase.
+    pub remove_ops: usize,
+    /// The arena + inline small-vec representation (production).
+    pub arena_smallvec: SubjectTiming,
+    /// The legacy `HashMap` + `BTreeMap` representation.
+    pub hashmap_btree: SubjectTiming,
+}
+
+impl OwnerBenchResult {
+    /// Legacy-over-arena ratio for the insert phase (>1 means the arena is
+    /// faster).
+    pub fn insert_speedup(&self) -> f64 {
+        self.hashmap_btree.insert_ms / self.arena_smallvec.insert_ms.max(1e-9)
+    }
+
+    /// Legacy-over-arena ratio for the remove phase.
+    pub fn remove_speedup(&self) -> f64 {
+        self.hashmap_btree.remove_ms / self.arena_smallvec.remove_ms.max(1e-9)
+    }
+}
+
+fn run_subject<S: OwnerSubject>(trace: &OwnerTrace) -> SubjectTiming {
+    let mut subject = S::default();
+    let start = Instant::now();
+    for op in &trace.inserts {
+        match op {
+            OwnerOp::Clone { old, new } => subject.apply_clone(*old, *new),
+            touch => subject.apply_insert(touch),
+        }
+    }
+    let insert_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(subject.entries() > 0, "trace inserted nothing");
+    let start = Instant::now();
+    for op in &trace.removes {
+        assert!(subject.apply_remove(op), "owner trace out of sync");
+    }
+    let remove_ms = start.elapsed().as_secs_f64() * 1e3;
+    SubjectTiming {
+        insert_ms,
+        remove_ms,
+    }
+}
+
+/// Runs the rule-insert/remove hot path through both owner representations
+/// and reports the timings. `runs` repetitions are taken and the fastest
+/// kept per representation (minimum is the standard noise filter for
+/// single-shot traces). Representations alternate, so neither consistently
+/// benefits from a warm allocator.
+pub fn owner_microbench(
+    rule_count: usize,
+    sources: u32,
+    seed: u64,
+    runs: usize,
+) -> OwnerBenchResult {
+    let trace = build_trace(rule_count, sources, seed);
+    let mut arena = SubjectTiming {
+        insert_ms: f64::INFINITY,
+        remove_ms: f64::INFINITY,
+    };
+    let mut hash = arena;
+    for _ in 0..runs.max(1) {
+        let a = run_subject::<Owner>(&trace);
+        arena.insert_ms = arena.insert_ms.min(a.insert_ms);
+        arena.remove_ms = arena.remove_ms.min(a.remove_ms);
+        let h = run_subject::<legacy::HashOwner>(&trace);
+        hash.insert_ms = hash.insert_ms.min(h.insert_ms);
+        hash.remove_ms = hash.remove_ms.min(h.remove_ms);
+    }
+    let insert_ops = trace.inserts.len() - trace.atom_clones;
+    OwnerBenchResult {
+        rules: rule_count,
+        atoms: trace.atoms,
+        atom_clones: trace.atom_clones,
+        insert_ops,
+        remove_ops: trace.removes.len(),
+        arena_smallvec: arena,
+        hashmap_btree: hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_representations_replay_the_same_trace() {
+        let trace = build_trace(300, 6, 7);
+        assert!(trace.atoms > 1);
+        assert!(trace.atom_clones > 0);
+        // Splits clone cells into fresh atoms, so the final entry count (and
+        // with it the removal trace) is at least the number of raw inserts.
+        assert!(trace.removes.len() >= trace.inserts.len() - trace.atom_clones);
+        // Both subjects drain to empty, proving the traces line up.
+        let mut arena = Owner::default();
+        let mut hash = legacy::HashOwner::default();
+        for op in &trace.inserts {
+            match op {
+                OwnerOp::Clone { old, new } => {
+                    arena.apply_clone(*old, *new);
+                    hash.apply_clone(*old, *new);
+                }
+                touch => {
+                    arena.apply_insert(touch);
+                    hash.apply_insert(touch);
+                }
+            }
+        }
+        assert_eq!(arena.entries(), hash.entries());
+        assert_eq!(arena.entries(), trace.removes.len());
+        for op in &trace.removes {
+            assert!(arena.apply_remove(op));
+            assert!(hash.apply_remove(op));
+        }
+        assert_eq!(arena.entries(), 0);
+        assert_eq!(hash.entries(), 0);
+    }
+
+    #[test]
+    fn microbench_smoke() {
+        let r = owner_microbench(200, 4, 1, 1);
+        assert_eq!(r.rules, 200);
+        assert!(r.insert_ops > 0 && r.remove_ops > 0);
+        assert!(r.arena_smallvec.insert_ms >= 0.0);
+        assert!(r.hashmap_btree.insert_ms >= 0.0);
+        assert!(r.insert_speedup() > 0.0);
+        assert!(r.remove_speedup() > 0.0);
+    }
+}

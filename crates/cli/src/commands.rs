@@ -63,7 +63,9 @@ pub fn help() -> String {
        generate  --dataset <name> [--scale tiny|small|medium] --out <dir>\n\
                  Generate one of the eight evaluation datasets as <name>.topo + <name>.trace\n\
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
-                 Replay a trace through a checker and print Table-3 style statistics\n\
+                 [--json <file>]\n\
+                 Replay a trace through a checker and print Table-3 style statistics;\n\
+                 with --json, also write them machine-readable (BENCH_*.json shape)\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
                  Load the trace's final data plane and analyse the failure of link src->dst\n\
        audit     --topo <file> --trace <file>\n\
@@ -149,27 +151,42 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         }
     };
 
-    let mut micros: Vec<f64> = Vec::with_capacity(trace.len());
+    let mut timings = bench::Timings {
+        micros: Vec::with_capacity(trace.len()),
+    };
     let mut loops = 0usize;
     for op in trace.ops() {
         let start = Instant::now();
         let report = checker.apply(op);
-        micros.push(start.elapsed().as_secs_f64() * 1e6);
+        timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
         if report.has_loop() {
             loops += 1;
         }
     }
-    micros.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = micros.get(micros.len() / 2).copied().unwrap_or(0.0);
-    let average = micros.iter().sum::<f64>() / micros.len().max(1) as f64;
-    let under = micros.iter().filter(|&&t| t < 250.0).count();
+    let summary = timings.summary();
+    if let Some(json_path) = args.options.get("json") {
+        use bench::json::Json;
+        let mut fields = vec![
+            ("schema", Json::str("deltanet-replay-v1")),
+            ("checker", Json::str(checker.name())),
+        ];
+        // The summary keys are shared with the BENCH_*.json emitters.
+        fields.extend(bench::experiments::summary_json(&summary));
+        fields.extend([
+            ("packet_classes", Json::int(checker.class_count())),
+            ("rules", Json::int(checker.rule_count())),
+            ("ops_with_loops", Json::int(loops)),
+            ("memory_bytes", Json::int(checker.memory_bytes())),
+        ]);
+        std::fs::write(json_path, Json::obj(fields).render())?;
+    }
     Ok(format!(
         "checker:            {}\n\
          operations:         {}\n\
          packet classes:     {}\n\
          rules installed:    {}\n\
-         median update time: {median:.1} us\n\
-         average update time:{average:.1} us\n\
+         median update time: {:.1} us\n\
+         average update time:{:.1} us\n\
          updates < 250 us:   {:.2}%\n\
          updates with loops: {loops}\n\
          estimated memory:   {:.1} MiB\n",
@@ -177,7 +194,9 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         trace.len(),
         checker.class_count(),
         checker.rule_count(),
-        100.0 * under as f64 / micros.len().max(1) as f64,
+        summary.median_us,
+        summary.average_us,
+        summary.pct_under_250us,
         checker.memory_bytes() as f64 / (1024.0 * 1024.0),
     ))
 }
@@ -321,6 +340,18 @@ mod tests {
             .unwrap();
             assert!(r.contains("median update time"), "{r}");
             assert!(r.contains(reported_name), "{r}");
+        }
+
+        // replay with --json writes the machine-readable summary too
+        let json_path = dir.join("replay.json");
+        let json_arg = json_path.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--json", &json_arg,
+        ]))
+        .unwrap();
+        let json_text = std::fs::read_to_string(&json_path).unwrap();
+        for key in ["deltanet-replay-v1", "median_us", "memory_bytes"] {
+            assert!(json_text.contains(key), "missing {key} in:\n{json_text}");
         }
 
         // whatif on the ring link n0 -> n1

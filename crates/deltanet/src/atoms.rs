@@ -88,8 +88,6 @@ pub struct AtomMap {
     intervals: Vec<Interval>,
     /// Exclusive upper bound of the whole field space (`MAX = 2^width`).
     max: Bound,
-    /// Scratch buffer reused by `create_atoms` to avoid per-call allocation.
-    scratch: Vec<DeltaPair>,
 }
 
 impl AtomMap {
@@ -105,7 +103,6 @@ impl AtomMap {
             map,
             intervals: vec![Interval::new(0, max)],
             max,
-            scratch: Vec::with_capacity(2),
         }
     }
 
@@ -158,23 +155,36 @@ impl AtomMap {
     ///
     /// Panics if the interval is empty or extends beyond the field space.
     pub fn create_atoms(&mut self, interval: Interval) -> Vec<DeltaPair> {
+        let mut out = Vec::with_capacity(2);
+        self.create_atoms_into(interval, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`AtomMap::create_atoms`]: clears `out` and
+    /// fills it with the delta-pairs. The engine's update loop calls this
+    /// with a scratch buffer it owns, so the steady state (both bounds
+    /// already in `M`, or `out` already at capacity 2) never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or extends beyond the field space.
+    pub fn create_atoms_into(&mut self, interval: Interval, out: &mut Vec<DeltaPair>) {
         assert!(!interval.is_empty(), "rules must match at least one packet");
         assert!(
             interval.hi() <= self.max,
             "interval {interval} outside field space [0 : {})",
             self.max
         );
-        self.scratch.clear();
+        out.clear();
         let lower = interval.lo();
         let upper = interval.hi();
         if let Some(pair) = self.insert_bound(lower) {
-            self.scratch.push(pair);
+            out.push(pair);
         }
         if let Some(pair) = self.insert_bound(upper) {
-            self.scratch.push(pair);
+            out.push(pair);
         }
-        debug_assert!(self.scratch.len() <= 2);
-        self.scratch.clone()
+        debug_assert!(out.len() <= 2);
     }
 
     /// Inserts a single bound, splitting the atom it falls into. Returns the

@@ -80,7 +80,22 @@ impl AtomSet {
         let was = self.words[w] & bit != 0;
         self.words[w] &= !bit;
         self.len -= usize::from(was);
+        if was && w == self.words.len() - 1 {
+            self.trim_trailing_zeros();
+        }
         was
+    }
+
+    /// Drops trailing all-zero words so `words()` (and the live-byte
+    /// accounting built on it) tracks the highest set bit, not the
+    /// high-water mark. Amortized O(1): a word is popped at most once per
+    /// time it was grown. Does not release capacity — see
+    /// [`AtomSet::shrink_to_fit`].
+    #[inline]
+    fn trim_trailing_zeros(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
     }
 
     /// Whether the atom is in the set.
@@ -151,6 +166,7 @@ impl AtomSet {
             len += word.count_ones() as usize;
         }
         self.len = len;
+        self.trim_trailing_zeros();
     }
 
     /// In-place difference: `self ← self − other`.
@@ -161,6 +177,7 @@ impl AtomSet {
             len += word.count_ones() as usize;
         }
         self.len = len;
+        self.trim_trailing_zeros();
     }
 
     /// The union as a new set.
@@ -200,9 +217,31 @@ impl AtomSet {
         })
     }
 
-    /// Estimated heap usage in bytes.
+    /// The backing words (64 atoms per word), trailing zero words trimmed.
+    /// Used by the bench memory accounting to report *live* bytes — bits the
+    /// set actually addresses — next to the allocated capacity of
+    /// [`AtomSet::memory_bytes`].
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Releases excess capacity: trims trailing zero words (a bulk-removal
+    /// sequence can leave many) and shrinks the backing allocation to fit,
+    /// so [`AtomSet::memory_bytes`] reflects the live contents again.
+    pub fn shrink_to_fit(&mut self) {
+        self.trim_trailing_zeros();
+        self.words.shrink_to_fit();
+    }
+
+    /// Estimated heap usage in bytes (allocated capacity).
     pub fn memory_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Heap bytes actually addressed by live words (≤ `memory_bytes`).
+    pub fn live_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -298,6 +337,44 @@ mod tests {
         assert!(!b.is_subset_of(&a));
         assert!(AtomSet::new().is_subset_of(&a));
         assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn trailing_zero_words_are_trimmed() {
+        // Removing the top atoms trims the word list back down ...
+        let mut s = set(&[1, 500]);
+        assert!(s.words().len() >= 8);
+        s.remove(AtomId(500));
+        assert_eq!(s.words().len(), 1);
+        assert_eq!(s, set(&[1]));
+        // ... and so do the in-place bulk removals.
+        let mut d = set(&[1, 700]);
+        d.difference_with(&set(&[700]));
+        assert_eq!(d.words().len(), 1);
+        let mut i = set(&[1, 700]);
+        i.intersect_with(&set(&[1]));
+        assert_eq!(i.words().len(), 1);
+        // shrink_to_fit releases the capacity too.
+        let mut big = set(&[2000]);
+        big.remove(AtomId(2000));
+        big.shrink_to_fit();
+        assert_eq!(big.memory_bytes(), 0);
+        assert_eq!(big.live_bytes(), 0);
+        assert!(big.is_empty());
+        // The trimmed set keeps working.
+        big.insert(AtomId(3));
+        assert!(big.contains(AtomId(3)));
+    }
+
+    #[test]
+    fn live_bytes_tracks_highest_set_bit() {
+        let mut s = set(&[64]);
+        assert_eq!(s.live_bytes(), 16); // words 0 and 1
+        s.insert(AtomId(1000));
+        assert!(s.live_bytes() > 16);
+        s.remove(AtomId(1000));
+        assert_eq!(s.live_bytes(), 16);
+        assert!(s.memory_bytes() >= s.live_bytes());
     }
 
     #[test]

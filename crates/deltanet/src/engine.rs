@@ -7,7 +7,7 @@
 //! produces a [`DeltaGraph`] (the by-product described in §3.3) on which the
 //! configured per-update property checks run.
 
-use crate::atoms::{AtomId, AtomMap};
+use crate::atoms::{AtomId, AtomMap, DeltaPair};
 use crate::delta_graph::DeltaGraph;
 use crate::labels::Labels;
 use crate::loops;
@@ -75,6 +75,11 @@ pub struct DeltaNet {
     last_delta: DeltaGraph,
     /// An aggregation buffer for multi-update delta-graphs (§3.3).
     aggregate: Option<DeltaGraph>,
+    /// Scratch buffer for the delta-pairs of an update, reused across
+    /// updates so the steady-state hot path performs no per-update
+    /// allocation. Invariant: empty between updates (taken at the start of
+    /// `insert_rule`, cleared and put back before the update returns).
+    pair_scratch: Vec<DeltaPair>,
 }
 
 impl DeltaNet {
@@ -91,6 +96,7 @@ impl DeltaNet {
             bound_refs: HashMap::new(),
             last_delta: DeltaGraph::new(),
             aggregate: None,
+            pair_scratch: Vec::with_capacity(2),
         }
     }
 
@@ -119,6 +125,12 @@ impl DeltaNet {
     /// All edge labels.
     pub fn labels(&self) -> &Labels {
         &self.labels
+    }
+
+    /// The owner arena (read-only) — exposed for diagnostics and the bench
+    /// memory accounting (spilled-cell counts, per-structure byte totals).
+    pub fn owner(&self) -> &Owner {
+        &self.owner
     }
 
     /// The delta-graph produced by the most recent update.
@@ -178,27 +190,34 @@ impl DeltaNet {
         let mut delta = DeltaGraph::new();
 
         // Lines 2–9: create atoms and propagate splits to owners and labels.
-        let delta_pairs = self.atoms.create_atoms(interval);
+        // The delta-pair buffer is engine-owned scratch; `labels` and `owner`
+        // are disjoint fields, so the split loop updates labels in place
+        // while iterating the new atom's sources — no `to_label` staging
+        // buffer and no per-update allocation.
+        let mut delta_pairs = std::mem::take(&mut self.pair_scratch);
+        self.atoms.create_atoms_into(interval, &mut delta_pairs);
         for pair in &delta_pairs {
             self.owner.clone_atom(pair.old, pair.new);
             // Every switch that had an owner for the old atom forwards the
             // new atom along the same link.
-            let mut to_label: Vec<LinkId> = Vec::new();
-            for (_source, bst) in self.owner.sources(pair.new) {
-                if let Some(hp) = bst.highest() {
-                    to_label.push(hp.link);
+            for (_source, rules) in self.owner.sources(pair.new) {
+                if let Some(hp) = rules.highest() {
+                    self.labels.insert(hp.link, pair.new);
                 }
             }
-            for link in to_label {
-                self.labels.insert(link, pair.new);
-            }
         }
+        delta_pairs.clear();
+        self.pair_scratch = delta_pairs;
 
         // Lines 10–23: reassign ownership of every atom in ⟦interval(r)⟧.
-        let atom_list: Vec<AtomId> = self.atoms.atoms_of(interval);
-        for &alpha in &atom_list {
-            let bst = self.owner.get_mut(alpha, rule.source);
-            let incumbent = bst.highest();
+        // `iter_atoms_of` borrows only `self.atoms`, so the loop body is free
+        // to mutate `owner`, `labels` and `delta` without materializing the
+        // atom list. A single `get_mut` per atom serves both the incumbent
+        // read and the insert (the incumbent is `Copy`).
+        for alpha in self.atoms.iter_atoms_of(interval) {
+            let rules = self.owner.get_mut(alpha, rule.source);
+            let incumbent = rules.highest();
+            rules.insert(rule.priority, rule.id, rule.link);
             let wins = incumbent.map_or(true, |r_prime| r_prime.priority < rule.priority);
             if wins {
                 self.labels.insert(rule.link, alpha);
@@ -210,9 +229,6 @@ impl DeltaNet {
                     }
                 }
             }
-            self.owner
-                .get_mut(alpha, rule.source)
-                .insert(rule.priority, rule.id, rule.link);
         }
 
         // Bookkeeping.
@@ -237,16 +253,18 @@ impl DeltaNet {
         let interval = rule.interval();
         let mut delta = DeltaGraph::new();
 
-        let atom_list: Vec<AtomId> = self.atoms.atoms_of(interval);
-        for &alpha in &atom_list {
-            let bst = self.owner.get_mut(alpha, rule.source);
-            let owner_before = bst.highest();
-            let removed = bst.remove(rule.priority, rule.id);
-            debug_assert!(removed, "owner BST out of sync for {:?}", rule.id);
+        // One owner lookup per atom: the post-removal successor is read from
+        // the same mutable borrow instead of a second `get_mut`.
+        for alpha in self.atoms.iter_atoms_of(interval) {
+            let rules = self.owner.get_mut(alpha, rule.source);
+            let owner_before = rules.highest();
+            let removed = rules.remove(rule.priority, rule.id);
+            debug_assert!(removed, "owner store out of sync for {:?}", rule.id);
+            let next_owner = rules.highest();
             if owner_before.map(|r| r.id) == Some(rule.id) {
                 self.labels.remove(rule.link, alpha);
                 delta.remove(rule.link, alpha);
-                if let Some(next_owner) = self.owner.get_mut(alpha, rule.source).highest() {
+                if let Some(next_owner) = next_owner {
                     self.labels.insert(next_owner.link, alpha);
                     delta.add(next_owner.link, alpha);
                 }

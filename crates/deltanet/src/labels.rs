@@ -90,7 +90,7 @@ impl Labels {
             .map(|(i, s)| (LinkId(i as u32), s))
     }
 
-    /// Estimated heap usage in bytes.
+    /// Estimated heap usage in bytes (allocated capacity).
     pub fn memory_bytes(&self) -> usize {
         self.per_link.capacity() * std::mem::size_of::<AtomSet>()
             + self
@@ -98,6 +98,22 @@ impl Labels {
                 .iter()
                 .map(AtomSet::memory_bytes)
                 .sum::<usize>()
+    }
+
+    /// Heap bytes actually addressed by live label words (≤ `memory_bytes`);
+    /// the bench memory accounting reports both so over-allocation after
+    /// bulk removals is visible.
+    pub fn live_bytes(&self) -> usize {
+        self.per_link.len() * std::mem::size_of::<AtomSet>()
+            + self.per_link.iter().map(AtomSet::live_bytes).sum::<usize>()
+    }
+
+    /// Releases excess capacity of every label (see
+    /// [`AtomSet::shrink_to_fit`]); useful after a removal-heavy phase.
+    pub fn shrink_to_fit(&mut self) {
+        for set in &mut self.per_link {
+            set.shrink_to_fit();
+        }
     }
 }
 
@@ -173,5 +189,16 @@ mod tests {
             l.insert(LinkId(i), AtomId(i * 100));
         }
         assert!(l.memory_bytes() > before);
+        assert!(l.live_bytes() <= l.memory_bytes());
+        // After removing the high atoms, live bytes drop and shrink_to_fit
+        // brings the allocated capacity down with them.
+        let live_full = l.live_bytes();
+        for i in 0..64 {
+            l.remove(LinkId(i), AtomId(i * 100));
+        }
+        assert!(l.live_bytes() < live_full);
+        l.shrink_to_fit();
+        assert!(l.memory_bytes() < before + 64 * 8 * 100);
+        assert_eq!(l.non_empty_links(), 0);
     }
 }

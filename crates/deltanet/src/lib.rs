@@ -10,7 +10,10 @@
 //!
 //! * [`atoms`] — the ordered bound map `M` and atom splitting (§3.1).
 //! * [`atomset`] — dynamic bitsets of atoms, used for edge labels (§4.1).
-//! * [`owner`] — per-atom, per-switch priority BSTs of rules (§3.2).
+//! * [`owner`] — per-atom, per-switch priority-ordered rule stores (§3.2),
+//!   flattened into an arena of inline sorted small-vecs for the update hot
+//!   path (the paper's BSTs survive as [`owner::legacy`] for differential
+//!   testing).
 //! * [`labels`] — the edge labels of the network-wide graph (§3.2).
 //! * [`engine`] — Algorithms 1 and 2 and the [`DeltaNet`] checker.
 //! * [`delta_graph`] — per-update delta-graphs (§3.3).

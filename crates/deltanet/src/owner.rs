@@ -8,24 +8,36 @@
 //! is the one whose label carries `α`.
 //!
 //! A priority queue would not suffice because Algorithm 2 must remove
-//! arbitrary rules, not just the highest-priority one — hence the BST
-//! (here a `BTreeMap` keyed by `(priority, rule-id)`).
+//! arbitrary rules, not just the highest-priority one. The paper prescribes
+//! a BST; this implementation keeps the BST *semantics* (ordered by
+//! `(priority, rule-id)`, arbitrary removal, O(log n) lookup) but flattens
+//! the representation for the update hot path:
+//!
+//! * [`SourceRules`] stores the per-`(atom, switch)` rules as an **inline
+//!   sorted small-vec**: up to [`INLINE_RULES`] entries live inside the
+//!   struct itself, spilling to a heap vector only beyond that. Most cells
+//!   hold a handful of rules, so cloning one is a flat `memcpy` instead of
+//!   a tree-of-nodes clone, and lookups are branchless binary searches over
+//!   contiguous memory.
+//! * [`Owner`] is an arena of those cells: `per_atom[α]` is a dense,
+//!   NodeId-sorted slot list rather than a hash table, so the copy step of
+//!   Algorithm 1 (`owner[α'] ← owner[α]` on an atom split) is a single
+//!   vector clone with no rehashing and no per-entry tree allocations.
+//!
+//! The original tree-of-trees representation is preserved in [`legacy`] —
+//! both implement [`RuleStore`], so the differential tests in
+//! `tests/atom_invariants.rs` and the owner microbenchmark can drive
+//! identical traces through old and new and compare outcomes and cost.
 
 use crate::atoms::AtomId;
 use netmodel::rule::{Priority, RuleId};
 use netmodel::topology::{LinkId, NodeId};
-use std::collections::HashMap;
 
-/// The rules of one switch that contain a given atom, ordered by priority.
-///
-/// Keys are `(priority, rule-id)` so that entries are unique even while two
-/// *non-overlapping* rules share a priority; the paper's well-formedness
-/// assumption (overlapping rules have distinct priorities) guarantees that
-/// the maximum key is the unique highest-priority owner.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct SourceRules {
-    bst: std::collections::BTreeMap<(Priority, RuleId), LinkId>,
-}
+/// Number of rule entries stored inline in a [`SourceRules`] cell before it
+/// spills to the heap. Sized so the inline case covers the common fan-in of
+/// overlapping rules per `(atom, switch)` cell while keeping the cell small
+/// enough that `Owner::clone_atom` stays a flat copy.
+pub const INLINE_RULES: usize = 4;
 
 /// A rule entry as seen by the owner structure: enough to run Algorithms 1
 /// and 2 without chasing a pointer to the full rule.
@@ -39,63 +51,276 @@ pub struct OwnedRule {
     pub link: LinkId,
 }
 
-impl SourceRules {
+impl OwnedRule {
+    const EMPTY: OwnedRule = OwnedRule {
+        priority: 0,
+        id: RuleId(0),
+        link: LinkId(0),
+    };
+
+    #[inline]
+    fn key(&self) -> (Priority, RuleId) {
+        (self.priority, self.id)
+    }
+}
+
+/// The common interface of the per-`(atom, switch)` rule containers: ordered
+/// by `(priority, rule-id)`, supporting arbitrary removal and a
+/// highest-priority query. Implemented by the small-vec [`SourceRules`]
+/// (production) and the BTreeMap [`legacy::BTreeSourceRules`] (reference),
+/// so property tests can drive identical traces through both.
+pub trait RuleStore: Default {
     /// Inserts a rule.
+    fn insert(&mut self, priority: Priority, id: RuleId, link: LinkId);
+
+    /// Removes a rule; returns whether it was present.
+    fn remove(&mut self, priority: Priority, id: RuleId) -> bool;
+
+    /// The highest-priority rule, if any (`bst.highest_priority_rule()`).
+    fn highest(&self) -> Option<OwnedRule>;
+
+    /// Whether the given rule is stored here (`r ∈ bst`).
+    fn contains(&self, priority: Priority, id: RuleId) -> bool;
+
+    /// Number of rules at this switch containing the atom.
+    fn len(&self) -> usize;
+
+    /// Whether no rule at this switch contains the atom.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(priority, id, link)` in increasing `(priority, id)` order.
+    fn iter(&self) -> impl Iterator<Item = OwnedRule> + '_;
+}
+
+/// The rules of one switch that contain a given atom, ordered by priority.
+///
+/// Keys are `(priority, rule-id)` so that entries are unique even while two
+/// *non-overlapping* rules share a priority; the paper's well-formedness
+/// assumption (overlapping rules have distinct priorities) guarantees that
+/// the maximum key is the unique highest-priority owner.
+///
+/// Entries are kept sorted in increasing `(priority, id)` order in an inline
+/// buffer of [`INLINE_RULES`] slots, spilling to a heap vector only when the
+/// cell outgrows it. A spilled cell stays spilled until it empties, avoiding
+/// thrash at the boundary.
+#[derive(Clone, Debug)]
+pub struct SourceRules {
+    /// Number of live entries in `inline`; `u8::MAX` marks a spilled cell.
+    inline_len: u8,
+    /// The inline buffer; only `inline[..inline_len]` is meaningful.
+    inline: [OwnedRule; INLINE_RULES],
+    /// Heap storage once the cell spills (empty and unallocated otherwise).
+    spill: Vec<OwnedRule>,
+}
+
+const SPILLED: u8 = u8::MAX;
+
+// `inline_len` must be able to distinguish every fill level from the
+// sentinel.
+const _: () = assert!(INLINE_RULES < SPILLED as usize);
+
+impl Default for SourceRules {
+    fn default() -> Self {
+        SourceRules {
+            inline_len: 0,
+            inline: [OwnedRule::EMPTY; INLINE_RULES],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for SourceRules {
+    /// Logical equality: same rules in the same order, regardless of
+    /// inline-vs-spilled representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SourceRules {}
+
+impl SourceRules {
+    /// The live entries as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[OwnedRule] {
+        if self.inline_len == SPILLED {
+            &self.spill
+        } else {
+            &self.inline[..self.inline_len as usize]
+        }
+    }
+
+    /// Whether this cell has spilled to the heap (diagnostics / tests).
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        self.inline_len == SPILLED
+    }
+
+    /// Binary-searches the sorted entries for `(priority, id)`.
+    #[inline]
+    fn search(&self, priority: Priority, id: RuleId) -> Result<usize, usize> {
+        self.as_slice()
+            .binary_search_by_key(&(priority, id), OwnedRule::key)
+    }
+
+    fn spill_and_insert(&mut self, pos: usize, entry: OwnedRule) {
+        debug_assert_eq!(self.inline_len as usize, INLINE_RULES);
+        self.spill.reserve(INLINE_RULES + 1);
+        self.spill.extend_from_slice(&self.inline);
+        self.spill.insert(pos, entry);
+        self.inline_len = SPILLED;
+    }
+
+    /// Estimated heap usage in bytes (the inline buffer is not heap memory).
+    pub fn memory_bytes(&self) -> usize {
+        self.spill.capacity() * std::mem::size_of::<OwnedRule>()
+    }
+}
+
+impl RuleStore for SourceRules {
+    #[inline]
+    fn insert(&mut self, priority: Priority, id: RuleId, link: LinkId) {
+        let entry = OwnedRule { priority, id, link };
+        match self.search(priority, id) {
+            // Same key: replace the link, matching BTreeMap::insert.
+            Ok(pos) => {
+                if self.inline_len == SPILLED {
+                    self.spill[pos] = entry;
+                } else {
+                    self.inline[pos] = entry;
+                }
+            }
+            Err(pos) => {
+                if self.inline_len == SPILLED {
+                    self.spill.insert(pos, entry);
+                } else if (self.inline_len as usize) < INLINE_RULES {
+                    let len = self.inline_len as usize;
+                    self.inline.copy_within(pos..len, pos + 1);
+                    self.inline[pos] = entry;
+                    self.inline_len += 1;
+                } else {
+                    self.spill_and_insert(pos, entry);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, priority: Priority, id: RuleId) -> bool {
+        match self.search(priority, id) {
+            Ok(pos) => {
+                if self.inline_len == SPILLED {
+                    self.spill.remove(pos);
+                    if self.spill.is_empty() {
+                        // Reclaim the empty cell's heap allocation.
+                        self.spill = Vec::new();
+                        self.inline_len = 0;
+                    }
+                } else {
+                    let len = self.inline_len as usize;
+                    self.inline.copy_within(pos + 1..len, pos);
+                    self.inline_len -= 1;
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    #[inline]
+    fn highest(&self) -> Option<OwnedRule> {
+        self.as_slice().last().copied()
+    }
+
+    #[inline]
+    fn contains(&self, priority: Priority, id: RuleId) -> bool {
+        self.search(priority, id).is_ok()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        if self.inline_len == SPILLED {
+            self.spill.len()
+        } else {
+            self.inline_len as usize
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = OwnedRule> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+// Inherent forwarders so call sites (engine, tests) don't need the trait in
+// scope; they compile to the same code.
+impl SourceRules {
+    /// Inserts a rule (see [`RuleStore::insert`]).
     #[inline]
     pub fn insert(&mut self, priority: Priority, id: RuleId, link: LinkId) {
-        self.bst.insert((priority, id), link);
+        RuleStore::insert(self, priority, id, link);
     }
 
     /// Removes a rule; returns whether it was present.
     #[inline]
     pub fn remove(&mut self, priority: Priority, id: RuleId) -> bool {
-        self.bst.remove(&(priority, id)).is_some()
+        RuleStore::remove(self, priority, id)
     }
 
-    /// The highest-priority rule, if any (`bst.highest_priority_rule()`).
+    /// The highest-priority rule, if any.
     #[inline]
     pub fn highest(&self) -> Option<OwnedRule> {
-        self.bst
-            .iter()
-            .next_back()
-            .map(|(&(priority, id), &link)| OwnedRule { priority, id, link })
+        RuleStore::highest(self)
     }
 
-    /// Whether no rule at this switch contains the atom.
+    /// Whether the given rule is stored here.
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.bst.is_empty()
+    pub fn contains(&self, priority: Priority, id: RuleId) -> bool {
+        RuleStore::contains(self, priority, id)
     }
 
     /// Number of rules at this switch containing the atom.
     #[inline]
     pub fn len(&self) -> usize {
-        self.bst.len()
+        RuleStore::len(self)
     }
 
-    /// Whether the given rule is stored here (`r ∈ bst`).
-    pub fn contains(&self, priority: Priority, id: RuleId) -> bool {
-        self.bst.contains_key(&(priority, id))
+    /// Whether no rule at this switch contains the atom.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        RuleStore::is_empty(self)
     }
 
     /// Iterates `(priority, id, link)` in increasing priority order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = OwnedRule> + '_ {
-        self.bst
-            .iter()
-            .map(|(&(priority, id), &link)| OwnedRule { priority, id, link })
-    }
-
-    fn memory_bytes(&self) -> usize {
-        // Key + value + BTreeMap per-entry overhead (~2 words).
-        self.bst.len()
-            * (std::mem::size_of::<(Priority, RuleId)>() + std::mem::size_of::<LinkId>() + 16)
+        RuleStore::iter(self)
     }
 }
 
+/// One slot of an atom's source list: a switch and its rules for the atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SourceSlot {
+    source: NodeId,
+    rules: SourceRules,
+}
+
 /// `owner[α][source]` for every allocated atom.
+///
+/// Layout: a dense arena indexed by atom id; `per_atom[α]` is a NodeId-sorted
+/// vector of [`SourceSlot`]s (a *source-slot list*). Compared to the previous
+/// `Vec<HashMap<NodeId, BTreeMap<..>>>`:
+///
+/// * lookup is a binary search over a contiguous slot list — no hashing;
+/// * `clone_atom` (Algorithm 1 line 4) clones one vector whose elements are
+///   flat cells — one allocation plus `memcpy` in the common all-inline case,
+///   instead of a hash-table rebuild plus one tree clone per source;
+/// * iteration over a split atom's sources walks contiguous memory in NodeId
+///   order (deterministic, unlike hash iteration).
 #[derive(Clone, Debug, Default)]
 pub struct Owner {
-    per_atom: Vec<HashMap<NodeId, SourceRules>>,
+    per_atom: Vec<Vec<SourceSlot>>,
 }
 
 impl Owner {
@@ -104,50 +329,84 @@ impl Owner {
         Owner::default()
     }
 
-    /// Makes sure `owner[atom]` exists (as an empty table) and returns its
-    /// index. Called whenever a new atom id is allocated.
+    /// Makes sure `owner[atom]` exists (as an empty slot list). Called
+    /// whenever a new atom id is allocated.
     pub fn ensure_atom(&mut self, atom: AtomId) {
         if atom.index() >= self.per_atom.len() {
-            self.per_atom.resize_with(atom.index() + 1, HashMap::new);
+            self.per_atom.resize_with(atom.index() + 1, Vec::new);
         }
     }
 
     /// `owner[new] ← owner[old]` — the copy step of Algorithm 1 (line 4)
     /// performed when atom `old` is split and `new` takes over its upper
     /// half: every rule containing the old atom also contains the new one.
+    ///
+    /// This is the hottest cloning site of the engine; with the arena layout
+    /// it performs a single slot-list clone (plus a heap clone for the rare
+    /// spilled cell) instead of a per-source tree-of-trees clone.
     pub fn clone_atom(&mut self, old: AtomId, new: AtomId) {
-        self.ensure_atom(new);
+        self.ensure_atom(new.max(old));
         let copied = self.per_atom[old.index()].clone();
         self.per_atom[new.index()] = copied;
+    }
+
+    #[inline]
+    fn find(&self, atom: AtomId, source: NodeId) -> Option<(usize, &Vec<SourceSlot>)> {
+        let slots = self.per_atom.get(atom.index())?;
+        let pos = slots.binary_search_by_key(&source, |s| s.source).ok()?;
+        Some((pos, slots))
     }
 
     /// The rules containing `atom` at `source` (read-only); `None` when no
     /// rule at that switch contains the atom.
     pub fn get(&self, atom: AtomId, source: NodeId) -> Option<&SourceRules> {
-        self.per_atom.get(atom.index())?.get(&source)
+        let (pos, slots) = self.find(atom, source)?;
+        Some(&slots[pos].rules)
     }
 
-    /// Mutable access, creating the entry on first use (Algorithm 1 inserts
-    /// into the BST irrespective of ownership, line 22).
+    /// Mutable access, creating the slot on first use (Algorithm 1 inserts
+    /// into the BST irrespective of ownership, line 22). A single binary
+    /// search serves both the incumbent-owner read and the insert that
+    /// follows — callers should hold on to the returned reference instead of
+    /// looking the cell up twice.
     pub fn get_mut(&mut self, atom: AtomId, source: NodeId) -> &mut SourceRules {
         self.ensure_atom(atom);
-        self.per_atom[atom.index()].entry(source).or_default()
+        let slots = &mut self.per_atom[atom.index()];
+        let pos = match slots.binary_search_by_key(&source, |s| s.source) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                if slots.capacity() == 0 {
+                    // Skip the 1→2→4 growth chain: nearly every atom that
+                    // gains one source slot gains a few.
+                    slots.reserve(4);
+                }
+                slots.insert(
+                    pos,
+                    SourceSlot {
+                        source,
+                        rules: SourceRules::default(),
+                    },
+                );
+                pos
+            }
+        };
+        &mut slots[pos].rules
     }
 
-    /// Iterates `(source, rules)` pairs for one atom — the loop of
-    /// Algorithm 1 lines 5–8.
+    /// Iterates `(source, rules)` pairs for one atom in increasing NodeId
+    /// order — the loop of Algorithm 1 lines 5–8.
     pub fn sources(&self, atom: AtomId) -> impl Iterator<Item = (NodeId, &SourceRules)> + '_ {
         self.per_atom
             .get(atom.index())
             .into_iter()
-            .flat_map(|m| m.iter().map(|(&n, r)| (n, r)))
+            .flat_map(|slots| slots.iter().map(|s| (s.source, &s.rules)))
     }
 
-    /// Removes empty per-source entries of an atom (keeps the structure
-    /// tidy after removals; not required for correctness).
+    /// Removes empty per-source slots of an atom (keeps the structure tidy
+    /// after removals; not required for correctness).
     pub fn prune_empty(&mut self, atom: AtomId) {
-        if let Some(m) = self.per_atom.get_mut(atom.index()) {
-            m.retain(|_, rules| !rules.is_empty());
+        if let Some(slots) = self.per_atom.get_mut(atom.index()) {
+            slots.retain(|s| !s.rules.is_empty());
         }
     }
 
@@ -161,22 +420,144 @@ impl Owner {
     pub fn total_entries(&self) -> usize {
         self.per_atom
             .iter()
-            .flat_map(|m| m.values())
-            .map(|r| r.len())
+            .flat_map(|slots| slots.iter())
+            .map(|s| s.rules.len())
             .sum()
+    }
+
+    /// Number of cells that have spilled past the inline buffer
+    /// (diagnostics for the bench memory accounting).
+    pub fn spilled_cells(&self) -> usize {
+        self.per_atom
+            .iter()
+            .flat_map(|slots| slots.iter())
+            .filter(|s| s.rules.is_spilled())
+            .count()
     }
 
     /// Estimated heap usage in bytes.
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes =
-            self.per_atom.capacity() * std::mem::size_of::<HashMap<NodeId, SourceRules>>();
-        for m in &self.per_atom {
-            // HashMap overhead per entry: key + value struct + ~1.1 slots.
-            bytes += m.capacity()
-                * (std::mem::size_of::<NodeId>() + std::mem::size_of::<SourceRules>() + 8);
-            bytes += m.values().map(SourceRules::memory_bytes).sum::<usize>();
+        let mut bytes = self.per_atom.capacity() * std::mem::size_of::<Vec<SourceSlot>>();
+        for slots in &self.per_atom {
+            bytes += slots.capacity() * std::mem::size_of::<SourceSlot>();
+            bytes += slots.iter().map(|s| s.rules.memory_bytes()).sum::<usize>();
         }
         bytes
+    }
+}
+
+pub mod legacy {
+    //! The pre-arena owner representation — `HashMap` of `BTreeMap`s — kept
+    //! as the reference implementation for the differential property tests
+    //! and the old-vs-new owner microbenchmark. Not used by the engine.
+
+    use super::{OwnedRule, RuleStore};
+    use crate::atoms::AtomId;
+    use netmodel::rule::{Priority, RuleId};
+    use netmodel::topology::{LinkId, NodeId};
+    use std::collections::{BTreeMap, HashMap};
+
+    /// The original BTreeMap-backed per-`(atom, switch)` rule container.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct BTreeSourceRules {
+        bst: BTreeMap<(Priority, RuleId), LinkId>,
+    }
+
+    impl RuleStore for BTreeSourceRules {
+        #[inline]
+        fn insert(&mut self, priority: Priority, id: RuleId, link: LinkId) {
+            self.bst.insert((priority, id), link);
+        }
+
+        #[inline]
+        fn remove(&mut self, priority: Priority, id: RuleId) -> bool {
+            self.bst.remove(&(priority, id)).is_some()
+        }
+
+        #[inline]
+        fn highest(&self) -> Option<OwnedRule> {
+            self.bst
+                .iter()
+                .next_back()
+                .map(|(&(priority, id), &link)| OwnedRule { priority, id, link })
+        }
+
+        #[inline]
+        fn contains(&self, priority: Priority, id: RuleId) -> bool {
+            self.bst.contains_key(&(priority, id))
+        }
+
+        #[inline]
+        fn len(&self) -> usize {
+            self.bst.len()
+        }
+
+        fn iter(&self) -> impl Iterator<Item = OwnedRule> + '_ {
+            self.bst
+                .iter()
+                .map(|(&(priority, id), &link)| OwnedRule { priority, id, link })
+        }
+    }
+
+    /// The original owner layout: one hash table per atom, one BST per
+    /// source. Mirrors the subset of [`super::Owner`]'s API the engine's
+    /// update loops need, so the microbenchmark can replay the same trace
+    /// through both representations.
+    #[derive(Clone, Debug, Default)]
+    pub struct HashOwner {
+        per_atom: Vec<HashMap<NodeId, BTreeSourceRules>>,
+    }
+
+    impl HashOwner {
+        /// Creates an empty owner structure.
+        pub fn new() -> Self {
+            HashOwner::default()
+        }
+
+        /// Makes sure `owner[atom]` exists (as an empty table).
+        pub fn ensure_atom(&mut self, atom: AtomId) {
+            if atom.index() >= self.per_atom.len() {
+                self.per_atom.resize_with(atom.index() + 1, HashMap::new);
+            }
+        }
+
+        /// `owner[new] ← owner[old]`: the deep clone the arena replaces.
+        pub fn clone_atom(&mut self, old: AtomId, new: AtomId) {
+            self.ensure_atom(new.max(old));
+            let copied = self.per_atom[old.index()].clone();
+            self.per_atom[new.index()] = copied;
+        }
+
+        /// Read-only access to one cell.
+        pub fn get(&self, atom: AtomId, source: NodeId) -> Option<&BTreeSourceRules> {
+            self.per_atom.get(atom.index())?.get(&source)
+        }
+
+        /// Mutable access, creating the cell on first use.
+        pub fn get_mut(&mut self, atom: AtomId, source: NodeId) -> &mut BTreeSourceRules {
+            self.ensure_atom(atom);
+            self.per_atom[atom.index()].entry(source).or_default()
+        }
+
+        /// Iterates `(source, rules)` pairs for one atom (hash order).
+        pub fn sources(
+            &self,
+            atom: AtomId,
+        ) -> impl Iterator<Item = (NodeId, &BTreeSourceRules)> + '_ {
+            self.per_atom
+                .get(atom.index())
+                .into_iter()
+                .flat_map(|m| m.iter().map(|(&n, r)| (n, r)))
+        }
+
+        /// Total number of `(atom, source, rule)` entries.
+        pub fn total_entries(&self) -> usize {
+            self.per_atom
+                .iter()
+                .flat_map(|m| m.values())
+                .map(RuleStore::len)
+                .sum()
+        }
     }
 }
 
@@ -226,7 +607,8 @@ mod tests {
 
     #[test]
     fn equal_priority_disjoint_rules_coexist() {
-        // Non-overlapping rules may share a priority; the BST must keep both.
+        // Non-overlapping rules may share a priority; the store must keep
+        // both.
         let mut s = SourceRules::default();
         s.insert(10, rid(1), LinkId(0));
         s.insert(10, rid(2), LinkId(1));
@@ -234,6 +616,41 @@ mod tests {
         // Ties are broken by rule id; the exact winner is irrelevant for
         // well-formed data planes but must be deterministic.
         assert_eq!(s.highest().unwrap().id, rid(2));
+    }
+
+    #[test]
+    fn duplicate_key_insert_replaces_link() {
+        // BTreeMap::insert semantics: same (priority, id) replaces the value.
+        let mut s = SourceRules::default();
+        s.insert(10, rid(1), LinkId(0));
+        s.insert(10, rid(1), LinkId(5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.highest().unwrap().link, LinkId(5));
+    }
+
+    #[test]
+    fn spill_past_inline_capacity_and_back() {
+        let mut s = SourceRules::default();
+        let n = INLINE_RULES as u32 + 3;
+        for i in 0..n {
+            s.insert(i + 1, rid(u64::from(i)), LinkId(i));
+            assert_eq!(s.len(), (i + 1) as usize);
+        }
+        assert!(s.is_spilled());
+        // Sorted order and highest survive the spill.
+        let prios: Vec<Priority> = s.iter().map(|r| r.priority).collect();
+        assert_eq!(prios, (1..=n).collect::<Vec<_>>());
+        assert_eq!(s.highest().unwrap().priority, n);
+        // Draining the cell returns it to (empty) inline storage.
+        for i in 0..n {
+            assert!(s.remove(i + 1, rid(u64::from(i))));
+        }
+        assert!(s.is_empty());
+        assert!(!s.is_spilled());
+        assert_eq!(s.memory_bytes(), 0);
+        // And it is usable again afterwards.
+        s.insert(7, rid(70), LinkId(1));
+        assert_eq!(s.highest().unwrap().priority, 7);
     }
 
     #[test]
@@ -260,11 +677,12 @@ mod tests {
     #[test]
     fn owner_sources_iteration_and_entries() {
         let mut o = Owner::new();
-        o.get_mut(AtomId(3), NodeId(0)).insert(1, rid(1), LinkId(0));
         o.get_mut(AtomId(3), NodeId(1)).insert(2, rid(2), LinkId(1));
+        o.get_mut(AtomId(3), NodeId(0)).insert(1, rid(1), LinkId(0));
         o.get_mut(AtomId(3), NodeId(1)).insert(3, rid(3), LinkId(2));
-        let mut sources: Vec<NodeId> = o.sources(AtomId(3)).map(|(n, _)| n).collect();
-        sources.sort();
+        // Sources iterate in NodeId order (deterministic, unlike the old
+        // hash layout) regardless of insertion order.
+        let sources: Vec<NodeId> = o.sources(AtomId(3)).map(|(n, _)| n).collect();
         assert_eq!(sources, vec![NodeId(0), NodeId(1)]);
         assert_eq!(o.total_entries(), 3);
         assert_eq!(o.sources(AtomId(99)).count(), 0);
@@ -298,5 +716,53 @@ mod tests {
         assert!(o.memory_bytes() > before);
         assert_eq!(o.total_entries(), 200);
         assert_eq!(o.atom_capacity(), 50);
+        assert_eq!(o.spilled_cells(), 0);
+    }
+
+    #[test]
+    fn clone_atom_with_spilled_cell() {
+        let mut o = Owner::new();
+        for i in 0..(INLINE_RULES as u32 + 2) {
+            o.get_mut(AtomId(0), NodeId(0))
+                .insert(i + 1, rid(u64::from(i)), LinkId(0));
+        }
+        assert_eq!(o.spilled_cells(), 1);
+        o.clone_atom(AtomId(0), AtomId(5));
+        assert_eq!(o.spilled_cells(), 2);
+        assert_eq!(o.get(AtomId(5), NodeId(0)).unwrap().len(), INLINE_RULES + 2);
+        // ensure_atom extended the arena to cover atoms 1..=5 as well.
+        assert_eq!(o.atom_capacity(), 6);
+        assert_eq!(o.sources(AtomId(3)).count(), 0);
+    }
+
+    #[test]
+    fn legacy_store_matches_new_store_api() {
+        let mut new = SourceRules::default();
+        let mut old = legacy::BTreeSourceRules::default();
+        for (p, i, l) in [(10, 1, 0), (30, 2, 1), (20, 3, 2), (10, 4, 3)] {
+            new.insert(p, rid(i), LinkId(l));
+            RuleStore::insert(&mut old, p, rid(i), LinkId(l));
+        }
+        assert_eq!(new.len(), RuleStore::len(&old));
+        assert_eq!(new.highest(), RuleStore::highest(&old));
+        let a: Vec<OwnedRule> = new.iter().collect();
+        let b: Vec<OwnedRule> = RuleStore::iter(&old).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn legacy_hash_owner_basics() {
+        let mut o = legacy::HashOwner::new();
+        o.get_mut(AtomId(0), NodeId(1)).insert(5, rid(1), LinkId(0));
+        o.clone_atom(AtomId(0), AtomId(2));
+        assert_eq!(
+            RuleStore::highest(o.get(AtomId(2), NodeId(1)).unwrap())
+                .unwrap()
+                .id,
+            rid(1)
+        );
+        assert_eq!(o.total_entries(), 2);
+        assert_eq!(o.sources(AtomId(0)).count(), 1);
+        assert!(o.get(AtomId(1), NodeId(1)).is_none());
     }
 }

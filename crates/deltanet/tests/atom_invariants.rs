@@ -5,10 +5,11 @@
 
 use deltanet::atoms::{AtomId, AtomMap};
 use deltanet::atomset::AtomSet;
-use deltanet::owner::SourceRules;
+use deltanet::owner::legacy::{BTreeSourceRules, HashOwner};
+use deltanet::owner::{Owner, RuleStore, SourceRules};
 use netmodel::interval::Interval;
 use netmodel::rule::RuleId;
-use netmodel::topology::LinkId;
+use netmodel::topology::{LinkId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -134,14 +135,14 @@ fn atomset_set_algebra_round_trips_against_model() {
     }
 }
 
-/// The owner BST returns the highest-priority rule through arbitrary
+/// The owner store returns the highest-priority rule through arbitrary
 /// interleavings of inserts and removals of non-highest entries, matching a
-/// sorted-vector model keyed the same way (`(priority, rule-id)`).
-#[test]
-fn owner_bst_highest_priority_matches_model() {
+/// sorted-vector model keyed the same way (`(priority, rule-id)`). Run
+/// against any [`RuleStore`] implementation.
+fn check_rule_store_against_model<S: RuleStore>(tag: &str) {
     for seed in 0..30u64 {
         let mut rng = StdRng::seed_from_u64(0x0B57 ^ seed);
-        let mut bst = SourceRules::default();
+        let mut bst = S::default();
         let mut model: Vec<(u32, u64)> = Vec::new();
         let mut next_id = 0u64;
         for _ in 0..200 {
@@ -156,16 +157,16 @@ fn owner_bst_highest_priority_matches_model() {
                 // Remove an arbitrary (not necessarily highest) entry — the
                 // operation that rules out a plain priority queue (§3.2).
                 let victim = model.swap_remove(rng.gen_range(0..model.len()));
-                assert!(bst.remove(victim.0, RuleId(victim.1)), "seed {seed}");
-                assert!(!bst.remove(victim.0, RuleId(victim.1)), "seed {seed}");
+                assert!(bst.remove(victim.0, RuleId(victim.1)), "{tag} seed {seed}");
+                assert!(!bst.remove(victim.0, RuleId(victim.1)), "{tag} seed {seed}");
             }
-            assert_eq!(bst.len(), model.len(), "seed {seed}");
+            assert_eq!(bst.len(), model.len(), "{tag} seed {seed}");
             match model.iter().max() {
-                None => assert!(bst.highest().is_none(), "seed {seed}"),
+                None => assert!(bst.highest().is_none(), "{tag} seed {seed}"),
                 Some(&(priority, id)) => {
                     let h = bst.highest().expect("model non-empty");
-                    assert_eq!((h.priority, h.id.0), (priority, id), "seed {seed}");
-                    assert_eq!(h.link, LinkId((id % 7) as u32), "seed {seed}");
+                    assert_eq!((h.priority, h.id.0), (priority, id), "{tag} seed {seed}");
+                    assert_eq!(h.link, LinkId((id % 7) as u32), "{tag} seed {seed}");
                     assert!(bst.contains(priority, RuleId(id)));
                 }
             }
@@ -173,7 +174,179 @@ fn owner_bst_highest_priority_matches_model() {
             let iterated: Vec<(u32, u64)> = bst.iter().map(|r| (r.priority, r.id.0)).collect();
             let mut sorted = model.clone();
             sorted.sort_unstable();
-            assert_eq!(iterated, sorted, "seed {seed}");
+            assert_eq!(iterated, sorted, "{tag} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn owner_smallvec_store_highest_priority_matches_model() {
+    check_rule_store_against_model::<SourceRules>("small-vec");
+}
+
+#[test]
+fn owner_btree_store_highest_priority_matches_model() {
+    check_rule_store_against_model::<BTreeSourceRules>("btree");
+}
+
+/// Differential test of the two rule-store representations: identical
+/// randomized insert/remove traces through the BTreeMap-backed
+/// [`BTreeSourceRules`] and the small-vec [`SourceRules`] must produce
+/// identical `highest()`, `len()`, `contains()` and iteration outcomes after
+/// every step — including traces that cross the inline→spill boundary in
+/// both directions.
+#[test]
+fn smallvec_and_btree_stores_agree_on_random_traces() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed);
+        let mut new_store = SourceRules::default();
+        let mut old_store = BTreeSourceRules::default();
+        let mut live: Vec<(u32, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..300 {
+            // Bias phases so the store repeatedly grows past the inline
+            // capacity and drains back: mostly-insert for 100 steps,
+            // mostly-remove for the next 50, and so on.
+            let insert_bias = if (step / 100) % 3 == 2 { 0.25 } else { 0.75 };
+            if live.is_empty() || rng.gen_bool(insert_bias) {
+                // Occasionally reuse a live key to exercise the
+                // replace-on-duplicate-key path of both stores.
+                let (priority, id) = if !live.is_empty() && rng.gen_bool(0.05) {
+                    live[rng.gen_range(0..live.len())]
+                } else {
+                    let p = rng.gen_range(1..50);
+                    let id = next_id;
+                    next_id += 1;
+                    live.push((p, id));
+                    (p, id)
+                };
+                let link = LinkId(rng.gen_range(0..5));
+                new_store.insert(priority, RuleId(id), link);
+                RuleStore::insert(&mut old_store, priority, RuleId(id), link);
+            } else {
+                let (priority, id) = live.swap_remove(rng.gen_range(0..live.len()));
+                let a = new_store.remove(priority, RuleId(id));
+                let b = RuleStore::remove(&mut old_store, priority, RuleId(id));
+                assert_eq!(a, b, "seed {seed} step {step}");
+            }
+            assert_eq!(
+                new_store.len(),
+                RuleStore::len(&old_store),
+                "seed {seed} step {step}"
+            );
+            assert_eq!(
+                new_store.highest(),
+                RuleStore::highest(&old_store),
+                "seed {seed} step {step}"
+            );
+            let a: Vec<_> = new_store.iter().collect();
+            let b: Vec<_> = RuleStore::iter(&old_store).collect();
+            assert_eq!(a, b, "seed {seed} step {step}");
+            for &(p, id) in live.iter().take(5) {
+                assert_eq!(
+                    new_store.contains(p, RuleId(id)),
+                    RuleStore::contains(&old_store, p, RuleId(id)),
+                    "seed {seed} step {step}"
+                );
+            }
+        }
+    }
+}
+
+/// Differential test of the two *owner* layouts: identical randomized traces
+/// of `clone_atom` (atom splits), per-atom inserts and removals through the
+/// arena [`Owner`] and the legacy hash-of-trees [`HashOwner`] must yield the
+/// same ownership outcome (`highest()`) for every `(atom, source)` cell.
+#[test]
+fn arena_owner_and_hash_owner_agree_on_split_traces() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(0xA2E4A ^ seed);
+        let mut arena = Owner::new();
+        let mut hash = HashOwner::new();
+        let sources = 6u32;
+        let mut atoms = 1u32; // atom ids 0..atoms are allocated
+        let mut live: Vec<(u32, u32, u32, u64)> = Vec::new(); // (atom, source, priority, id)
+        let mut next_id = 0u64;
+        for step in 0..400 {
+            match rng.gen_range(0..10) {
+                // Atom split: clone an existing atom's cells to a fresh id,
+                // duplicating every live (atom, ...) entry — exactly what
+                // Algorithm 1 line 4 does.
+                0 | 1 if atoms < 60 => {
+                    let old = rng.gen_range(0..atoms);
+                    let new = atoms;
+                    atoms += 1;
+                    arena.clone_atom(AtomId(old), AtomId(new));
+                    hash.clone_atom(AtomId(old), AtomId(new));
+                    let copied: Vec<_> = live
+                        .iter()
+                        .filter(|&&(a, ..)| a == old)
+                        .map(|&(_, s, p, id)| (new, s, p, id))
+                        .collect();
+                    live.extend(copied);
+                }
+                2 | 3 if !live.is_empty() => {
+                    let (atom, source, priority, id) =
+                        live.swap_remove(rng.gen_range(0..live.len()));
+                    let a = arena
+                        .get_mut(AtomId(atom), NodeId(source))
+                        .remove(priority, RuleId(id));
+                    let b = RuleStore::remove(
+                        hash.get_mut(AtomId(atom), NodeId(source)),
+                        priority,
+                        RuleId(id),
+                    );
+                    assert_eq!(a, b, "seed {seed} step {step}");
+                    assert!(a, "seed {seed} step {step}: live entry missing");
+                }
+                _ => {
+                    let atom = rng.gen_range(0..atoms);
+                    let source = rng.gen_range(0..sources);
+                    let priority = rng.gen_range(1..100);
+                    let id = next_id;
+                    next_id += 1;
+                    let link = LinkId(id as u32 % 9);
+                    arena
+                        .get_mut(AtomId(atom), NodeId(source))
+                        .insert(priority, RuleId(id), link);
+                    RuleStore::insert(
+                        hash.get_mut(AtomId(atom), NodeId(source)),
+                        priority,
+                        RuleId(id),
+                        link,
+                    );
+                    live.push((atom, source, priority, id));
+                }
+            }
+            assert_eq!(
+                arena.total_entries(),
+                hash.total_entries(),
+                "seed {seed} step {step}"
+            );
+        }
+        // Final sweep: every (atom, source) cell agrees between the layouts.
+        for atom in 0..atoms {
+            for source in 0..sources {
+                let a = arena
+                    .get(AtomId(atom), NodeId(source))
+                    .and_then(|r| r.highest());
+                let b = hash
+                    .get(AtomId(atom), NodeId(source))
+                    .and_then(RuleStore::highest);
+                assert_eq!(a, b, "seed {seed}: owner[α{atom}][n{source}] differs");
+                let a_all: Vec<_> = arena
+                    .get(AtomId(atom), NodeId(source))
+                    .map(|r| r.iter().collect())
+                    .unwrap_or_default();
+                let b_all: Vec<_> = hash
+                    .get(AtomId(atom), NodeId(source))
+                    .map(|r| RuleStore::iter(r).collect())
+                    .unwrap_or_default();
+                assert_eq!(
+                    a_all, b_all,
+                    "seed {seed}: owner[α{atom}][n{source}] differs"
+                );
+            }
         }
     }
 }
