@@ -1,0 +1,23 @@
+//! Runs the flapping-prefix churn experiment: the memory trajectory of the
+//! engine with atom compaction off vs on (baseline → after churn → after a
+//! final compaction pass).
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin churn [-- --scale tiny|small|medium] [--json <path>]`
+//!
+//! Without `--json`, the machine-readable report is printed to stdout; the
+//! same object appears as the `churn` section of `all_experiments --json`.
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = bench::experiments::churn_json(scale).render();
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote churn report ({scale:?} scale) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

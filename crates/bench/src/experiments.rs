@@ -447,6 +447,83 @@ pub fn insert_hot_path_json(scale: ScaleProfile) -> Json {
     Json::arr(rows)
 }
 
+/// One point of the churn memory trajectory: every size the compaction
+/// pass is supposed to bring back down, next to the live rule/atom counts
+/// that justify it.
+pub fn memory_snapshot(net: &DeltaNet) -> Json {
+    Json::obj([
+        ("rules", Json::int(net.rule_count())),
+        ("atoms", Json::int(net.atom_count())),
+        ("allocated_atoms", Json::int(net.allocated_atoms())),
+        ("reclaimable_bounds", Json::int(net.reclaimable_bounds())),
+        ("memory_bytes", Json::int(net.memory_estimate())),
+        ("live_bytes", Json::int(net.live_bytes())),
+        ("label_live_bytes", Json::int(net.labels().live_bytes())),
+        ("owner_bytes", Json::int(net.owner().memory_bytes())),
+    ])
+}
+
+/// The `churn` section of the JSON report: the flapping-prefix churn
+/// workload replayed twice — compaction off (the paper's
+/// monotonically-growing behaviour) and with the automatic threshold — with
+/// memory snapshots at the pre-churn baseline, after the churn, and after a
+/// final explicit [`DeltaNet::compact`], plus the per-op peak of the
+/// atom-id table. The committed `BENCH_PR3.json` acceptance is read off
+/// this section: `after_final_compact.allocated_atoms` and `.live_bytes`
+/// return to the pre-churn baseline.
+pub fn churn_json(scale: ScaleProfile) -> Json {
+    let topology = workloads::churn::churn_topology();
+    let config = scale.churn_config();
+    let churn = workloads::churn::flapping_churn(&topology, config);
+    let (baseline_trace, churn_trace) = churn.trace.split_at(churn.baseline_ops);
+    // One flap wave's worth of garbage: compaction amortizes to roughly
+    // once per cycle instead of once per removal.
+    let threshold = 2 * config.flapping_prefixes;
+
+    let run = |compact_threshold: Option<usize>| -> Json {
+        let mut net = DeltaNet::new(
+            topology.topology.clone(),
+            DeltaNetConfig {
+                check_loops_per_update: false,
+                compact_threshold,
+                ..Default::default()
+            },
+        );
+        net.replay(baseline_trace.ops());
+        let baseline = memory_snapshot(&net);
+        let start = Instant::now();
+        let mut peak_allocated = net.allocated_atoms();
+        for op in churn_trace.ops() {
+            net.apply(op);
+            peak_allocated = peak_allocated.max(net.allocated_atoms());
+        }
+        let churn_ms = start.elapsed().as_secs_f64() * 1e3;
+        let after_churn = memory_snapshot(&net);
+        let final_pass = net.compact();
+        Json::obj([
+            (
+                "compact_threshold",
+                compact_threshold.map_or(Json::Null, Json::int),
+            ),
+            ("churn_ms", Json::ms(churn_ms)),
+            ("peak_allocated_atoms", Json::int(peak_allocated)),
+            ("compactions", Json::int(net.compactions())),
+            ("final_merged_atoms", Json::int(final_pass.merged_atoms)),
+            ("baseline", baseline),
+            ("after_churn", after_churn),
+            ("after_final_compact", memory_snapshot(&net)),
+        ])
+    };
+
+    Json::obj([
+        ("dataset", Json::str("Churn")),
+        ("operations", Json::int(churn.trace.len())),
+        ("baseline_ops", Json::int(churn.baseline_ops)),
+        ("no_compaction", run(None)),
+        ("auto_compaction", run(Some(threshold))),
+    ])
+}
+
 /// The `microbench` section: the owner-representation comparison (see
 /// [`crate::ownerbench`]) at a rule count scaled to the profile — at least
 /// 10k rules from `small` upwards so the committed numbers exercise the
@@ -498,6 +575,7 @@ pub fn json_report(scale: ScaleProfile) -> Json {
         ("updates", updates_json(scale)),
         ("insert_hot_path", insert_hot_path_json(scale)),
         ("microbench", microbench_json(scale)),
+        ("churn", churn_json(scale)),
     ])
 }
 
@@ -559,6 +637,58 @@ mod tests {
     fn appendix_c_reports_classes() {
         let c = appendix_c(ScaleProfile::Tiny);
         assert!(c.contains("Max classes affected"));
+    }
+
+    #[test]
+    fn churn_json_reports_memory_trajectory() {
+        let report = churn_json(ScaleProfile::Tiny);
+        let text = report.render();
+        for key in [
+            "no_compaction",
+            "auto_compaction",
+            "allocated_atoms",
+            "reclaimable_bounds",
+            "live_bytes",
+            "after_final_compact",
+            "peak_allocated_atoms",
+            "compactions",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        // The reclamation claim itself: after the final compaction the atom
+        // table is back at the live atom count.
+        let Json::Obj(fields) = &report else {
+            panic!("churn report is not an object")
+        };
+        let no_compaction = fields
+            .iter()
+            .find(|(k, _)| k == "no_compaction")
+            .map(|(_, v)| v)
+            .unwrap();
+        let Json::Obj(run) = no_compaction else {
+            panic!("no_compaction is not an object")
+        };
+        let snapshot =
+            |name: &str| -> &Json { run.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap() };
+        let field = |obj: &Json, name: &str| -> f64 {
+            let Json::Obj(pairs) = obj else {
+                panic!("not an object")
+            };
+            match pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                Some(Json::Num(x)) => *x,
+                other => panic!("{name} missing or non-numeric: {other:?}"),
+            }
+        };
+        let baseline = snapshot("baseline");
+        let after_churn = snapshot("after_churn");
+        let compacted = snapshot("after_final_compact");
+        assert!(field(after_churn, "allocated_atoms") > field(baseline, "allocated_atoms"));
+        assert_eq!(
+            field(compacted, "allocated_atoms"),
+            field(compacted, "atoms")
+        );
+        assert_eq!(field(compacted, "reclaimable_bounds"), 0.0);
+        assert_eq!(field(compacted, "atoms"), field(baseline, "atoms"));
     }
 
     #[test]

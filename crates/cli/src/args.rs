@@ -137,10 +137,12 @@ pub fn parse_dataset(args: &ParsedArgs) -> Result<workloads::DatasetId, ArgError
         "airtel1" | "airtel-1" => Ok(Airtel1),
         "airtel2" | "airtel-2" => Ok(Airtel2),
         "4switch" | "fourswitch" => Ok(FourSwitch),
+        "churn" => Ok(Churn),
         other => Err(ArgError::InvalidValue {
             option: "dataset".to_string(),
             value: other.to_string(),
-            expected: "berkeley | inet | rf1755 | rf3257 | rf6461 | airtel1 | airtel2 | 4switch",
+            expected:
+                "berkeley | inet | rf1755 | rf3257 | rf6461 | airtel1 | airtel2 | 4switch | churn",
         }),
     }
 }

@@ -9,11 +9,15 @@ use crate::topo_text;
 use deltanet::{blackholes, DeltaNet, DeltaNetConfig};
 use netmodel::checker::Checker;
 use netmodel::topology::Topology;
-use netmodel::trace::Trace;
+use netmodel::trace::{Op, Trace};
 use std::fmt;
 use std::path::Path;
 use std::time::Instant;
 use veriflow_ri::{VeriflowConfig, VeriflowRi};
+
+/// Reclaimable-bound threshold used by a bare `--compact` flag (without an
+/// explicit value).
+const DEFAULT_COMPACT_THRESHOLD: usize = 1024;
 
 /// Errors produced by a command.
 #[derive(Debug)]
@@ -61,11 +65,16 @@ pub fn help() -> String {
      \n\
      COMMANDS\n\
        generate  --dataset <name> [--scale tiny|small|medium] --out <dir>\n\
-                 Generate one of the eight evaluation datasets as <name>.topo + <name>.trace\n\
+                 Generate one of the eight evaluation datasets (or the flapping-prefix\n\
+                 `churn` workload) as <name>.topo + <name>.trace\n\
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
-                 [--json <file>]\n\
+                 [--compact [<threshold>]] [--json <file>]\n\
                  Replay a trace through a checker and print Table-3 style statistics;\n\
-                 with --json, also write them machine-readable (BENCH_*.json shape)\n\
+                 with --json, also write them machine-readable (BENCH_*.json shape).\n\
+                 --compact enables automatic atom compaction (deltanet only): a removal\n\
+                 leaving >= <threshold> reclaimable bounds (default 1024) triggers a pass.\n\
+                 Malformed operations (unknown rule removal, duplicate insert) are\n\
+                 reported with their line position instead of crashing the replay\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
                  Load the trace's final data plane and analyse the failure of link src->dst\n\
        audit     --topo <file> --trace <file>\n\
@@ -123,27 +132,58 @@ pub fn generate(args: &ParsedArgs) -> Result<String, CommandError> {
     ))
 }
 
+/// One-line rendering of an operation for error messages (the trace text
+/// format's shape: `I <id>` / `R <id>`).
+fn describe_op(op: &Op) -> String {
+    match op {
+        Op::Insert(r) => format!("I {}", r.id.0),
+        Op::Remove(id) => format!("R {}", id.0),
+    }
+}
+
 /// `deltanet replay` — replay a trace through a checker with timing.
 pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     let mut topo = load_topology(args.require("topo")?)?;
     let trace = load_trace(args.require("trace")?, &mut topo)?;
     let check_loops = !args.has_flag("no-loops");
     let checker_name = args.get_or("checker", "deltanet").to_string();
-    let mut checker: Box<dyn Checker> = match checker_name.as_str() {
-        "deltanet" => Box::new(DeltaNet::new(
+    let compact_threshold = if let Some(value) = args.options.get("compact") {
+        Some(value.parse::<usize>().map_err(|_| {
+            CommandError::Other(format!(
+                "--compact expects a reclaimable-bound threshold, got `{value}`"
+            ))
+        })?)
+    } else if args.has_flag("compact") {
+        Some(DEFAULT_COMPACT_THRESHOLD)
+    } else {
+        None
+    };
+
+    let mut delta_checker: Option<DeltaNet> = None;
+    let mut veriflow_checker: Option<VeriflowRi> = None;
+    let checker: &mut dyn Checker = match checker_name.as_str() {
+        "deltanet" => delta_checker.insert(DeltaNet::new(
             topo,
             DeltaNetConfig {
                 check_loops_per_update: check_loops,
+                compact_threshold,
                 ..Default::default()
             },
         )),
-        "veriflow" | "veriflow-ri" => Box::new(VeriflowRi::new(
-            topo,
-            VeriflowConfig {
-                check_loops_per_update: check_loops,
-                ..Default::default()
-            },
-        )),
+        "veriflow" | "veriflow-ri" => {
+            if compact_threshold.is_some() {
+                return Err(CommandError::Other(
+                    "--compact is only supported by the deltanet checker".to_string(),
+                ));
+            }
+            veriflow_checker.insert(VeriflowRi::new(
+                topo,
+                VeriflowConfig {
+                    check_loops_per_update: check_loops,
+                    ..Default::default()
+                },
+            ))
+        }
         other => {
             return Err(CommandError::Other(format!(
                 "unknown checker `{other}` (expected deltanet | veriflow)"
@@ -155,50 +195,79 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         micros: Vec::with_capacity(trace.len()),
     };
     let mut loops = 0usize;
-    for op in trace.ops() {
+    for (index, op) in trace.ops().iter().enumerate() {
         let start = Instant::now();
-        let report = checker.apply(op);
+        let report = checker.try_apply(op).map_err(|error| {
+            CommandError::Other(format!(
+                "trace op {} ({}): {error}",
+                index + 1,
+                describe_op(op)
+            ))
+        })?;
         timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
         if report.has_loop() {
             loops += 1;
         }
     }
     let summary = timings.summary();
+    let name = checker.name();
+    let class_count = checker.class_count();
+    let rule_count = checker.rule_count();
+    let memory_bytes = checker.memory_bytes();
+    let compaction = delta_checker.as_ref().map(|net| {
+        (
+            net.allocated_atoms(),
+            net.reclaimable_bounds(),
+            net.compactions(),
+        )
+    });
+
     if let Some(json_path) = args.options.get("json") {
         use bench::json::Json;
         let mut fields = vec![
             ("schema", Json::str("deltanet-replay-v1")),
-            ("checker", Json::str(checker.name())),
+            ("checker", Json::str(name)),
         ];
         // The summary keys are shared with the BENCH_*.json emitters.
         fields.extend(bench::experiments::summary_json(&summary));
         fields.extend([
-            ("packet_classes", Json::int(checker.class_count())),
-            ("rules", Json::int(checker.rule_count())),
+            ("packet_classes", Json::int(class_count)),
+            ("rules", Json::int(rule_count)),
             ("ops_with_loops", Json::int(loops)),
-            ("memory_bytes", Json::int(checker.memory_bytes())),
+            ("memory_bytes", Json::int(memory_bytes)),
         ]);
+        if let Some((allocated, reclaimable, passes)) = compaction {
+            fields.extend([
+                ("allocated_atoms", Json::int(allocated)),
+                ("reclaimable_bounds", Json::int(reclaimable)),
+                ("compactions", Json::int(passes)),
+            ]);
+        }
         std::fs::write(json_path, Json::obj(fields).render())?;
     }
-    Ok(format!(
-        "checker:            {}\n\
+    let mut out = format!(
+        "checker:            {name}\n\
          operations:         {}\n\
-         packet classes:     {}\n\
-         rules installed:    {}\n\
+         packet classes:     {class_count}\n\
+         rules installed:    {rule_count}\n\
          median update time: {:.1} us\n\
          average update time:{:.1} us\n\
          updates < 250 us:   {:.2}%\n\
          updates with loops: {loops}\n\
          estimated memory:   {:.1} MiB\n",
-        checker.name(),
         trace.len(),
-        checker.class_count(),
-        checker.rule_count(),
         summary.median_us,
         summary.average_us,
         summary.pct_under_250us,
-        checker.memory_bytes() as f64 / (1024.0 * 1024.0),
-    ))
+        memory_bytes as f64 / (1024.0 * 1024.0),
+    );
+    if let Some((allocated, reclaimable, passes)) = compaction {
+        out.push_str(&format!(
+            "atoms allocated:    {allocated} (reclaimable bounds: {reclaimable})\n\
+             compaction passes:  {passes}\n"
+        ));
+    }
+    Ok(out)
 }
 
 /// Builds the final data plane of a trace inside a Delta-net checker.
@@ -365,6 +434,100 @@ mod tests {
         let a = run(&parsed(&["audit", "--topo", &topo, "--trace", &trace])).unwrap();
         assert!(a.contains("forwarding loops: 0"), "{a}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reports_malformed_op_instead_of_crashing() {
+        let dir = temp_dir("badop");
+        let out = dir.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "generate",
+            "--dataset",
+            "4switch",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        let topo = dir.join("4switch.topo").to_str().unwrap().to_string();
+        let trace_path = dir.join("4switch.trace");
+        // Append a removal of a rule that was never installed.
+        let mut text = std::fs::read_to_string(&trace_path).unwrap();
+        text.push_str("R 999999\n");
+        std::fs::write(&trace_path, text).unwrap();
+        let trace = trace_path.to_str().unwrap().to_string();
+        for checker in ["deltanet", "veriflow"] {
+            let err = run(&parsed(&[
+                "replay",
+                "--topo",
+                &topo,
+                "--trace",
+                &trace,
+                "--checker",
+                checker,
+            ]))
+            .unwrap_err()
+            .to_string();
+            assert!(err.contains("unknown rule"), "{err}");
+            assert!(err.contains("R 999999"), "{err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_with_compaction_reclaims_churn_garbage() {
+        let dir = temp_dir("compact");
+        let out = dir.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "generate",
+            "--dataset",
+            "churn",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        let topo = dir.join("churn.topo").to_str().unwrap().to_string();
+        let trace = dir.join("churn.trace").to_str().unwrap().to_string();
+        let json_path = dir.join("churn.json");
+        let json_arg = json_path.to_str().unwrap().to_string();
+        // Eager compaction: every removal leaving garbage triggers a pass.
+        let r = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--no-loops",
+            "--compact",
+            "1",
+            "--json",
+            &json_arg,
+        ]))
+        .unwrap();
+        assert!(r.contains("compaction passes:"), "{r}");
+        assert!(r.contains("reclaimable bounds: 0"), "{r}");
+        let json_text = std::fs::read_to_string(&json_path).unwrap();
+        for key in ["allocated_atoms", "reclaimable_bounds", "compactions"] {
+            assert!(json_text.contains(key), "missing {key} in:\n{json_text}");
+        }
+        // The flag is deltanet-only.
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "veriflow",
+            "--compact",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

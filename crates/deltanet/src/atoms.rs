@@ -65,6 +65,21 @@ pub struct DeltaPair {
     pub new: AtomId,
 }
 
+/// The inverse of a [`DeltaPair`], produced by [`AtomMap::remove_bound`]
+/// when two adjacent atoms merge: `kept` absorbs `freed`'s interval and
+/// `freed`'s identifier goes onto the free list for reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AtomMerge {
+    /// The surviving atom (the lower neighbour; its interval grew).
+    pub kept: AtomId,
+    /// The reclaimed atom (the upper neighbour; its id is now free).
+    pub freed: AtomId,
+}
+
+/// The value marking a dead (reclaimed) atom id in the remap table returned
+/// by [`AtomMap::renumber`].
+pub const REMAP_DEAD: u32 = u32::MAX;
+
 /// The ordered map `M` of interval bounds to atom identifiers.
 ///
 /// # Examples
@@ -85,7 +100,11 @@ pub struct AtomMap {
     /// `M`: bound ↦ atom id. Always contains `MIN` and `MAX`.
     map: BTreeMap<Bound, AtomId>,
     /// Interval currently denoted by each atom id (dense, indexed by id).
+    /// Slots of reclaimed ids hold stale intervals until reuse.
     intervals: Vec<Interval>,
+    /// Atom ids reclaimed by [`AtomMap::remove_bound`], awaiting reuse by
+    /// the next split (the §3.2.2 garbage-collection remark).
+    free: Vec<AtomId>,
     /// Exclusive upper bound of the whole field space (`MAX = 2^width`).
     max: Bound,
 }
@@ -102,6 +121,7 @@ impl AtomMap {
         AtomMap {
             map,
             intervals: vec![Interval::new(0, max)],
+            free: Vec::new(),
             max,
         }
     }
@@ -118,12 +138,20 @@ impl AtomMap {
         self.map.len() - 1
     }
 
-    /// The total number of atom identifiers ever allocated (atoms are never
-    /// renumbered, so this equals `atom_count()` unless a compaction API is
-    /// layered on top).
+    /// Size of the atom-identifier table: the high-water mark of ids handed
+    /// out since the last [`AtomMap::renumber`]. Dense structures indexed by
+    /// atom id (the owner arena, label bitsets) scale with this, not with
+    /// [`AtomMap::atom_count`], which is why long-running churn needs the
+    /// compaction pass to bring it back down.
     #[inline]
     pub fn allocated_atoms(&self) -> usize {
         self.intervals.len()
+    }
+
+    /// Number of reclaimed atom ids currently awaiting reuse.
+    #[inline]
+    pub fn free_atoms(&self) -> usize {
+        self.free.len()
     }
 
     /// The half-closed interval currently denoted by `atom`.
@@ -202,13 +230,94 @@ impl AtomMap {
             .expect("MIN is always present and bound > MIN here");
         let old_interval = self.intervals[old.index()];
         debug_assert!(old_interval.contains(bound));
-        let new = AtomId(self.intervals.len() as u32);
-        assert!(new != AtomId::INF, "atom identifier space exhausted");
+        // Prefer a reclaimed id over growing the table, so churn with
+        // compaction stays at a bounded high-water mark.
+        let upper = Interval::new(bound, old_interval.hi());
+        let new = match self.free.pop() {
+            Some(id) => {
+                self.intervals[id.index()] = upper;
+                id
+            }
+            None => {
+                let id = AtomId(self.intervals.len() as u32);
+                assert!(id != AtomId::INF, "atom identifier space exhausted");
+                self.intervals.push(upper);
+                id
+            }
+        };
         // The old atom keeps the lower part; the new atom takes the upper.
         self.intervals[old.index()] = Interval::new(old_interval.lo(), bound);
-        self.intervals.push(Interval::new(bound, old_interval.hi()));
         self.map.insert(bound, new);
         Some(DeltaPair { old, new })
+    }
+
+    /// The inverse of [`AtomMap::insert_bound`] — the merge step of the
+    /// compaction pass (§3.2.2 remark): removes `bound` from `M`, so the
+    /// atom starting at `bound` is absorbed by its lower neighbour, whose
+    /// interval grows accordingly. The absorbed id goes onto the free list.
+    ///
+    /// Returns `None` if `bound` is not a key of `M`. The caller is
+    /// responsible for ensuring no live rule references `bound` (otherwise
+    /// the merged atom would no longer be a Boolean-combination building
+    /// block of the rule set) and for erasing the freed id from the owner
+    /// and label structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is the structural `MIN` or `MAX` key.
+    pub fn remove_bound(&mut self, bound: Bound) -> Option<AtomMerge> {
+        assert!(
+            bound != 0 && bound != self.max,
+            "cannot remove the structural MIN/MAX bound"
+        );
+        let freed = self.map.remove(&bound)?;
+        let (_, &kept) = self
+            .map
+            .range(..bound)
+            .next_back()
+            .expect("MIN is always present and bound > MIN here");
+        let freed_interval = self.intervals[freed.index()];
+        let kept_interval = self.intervals[kept.index()];
+        debug_assert_eq!(kept_interval.hi(), bound, "map and interval table diverged");
+        debug_assert_eq!(
+            freed_interval.lo(),
+            bound,
+            "map and interval table diverged"
+        );
+        self.intervals[kept.index()] = Interval::new(kept_interval.lo(), freed_interval.hi());
+        self.free.push(freed);
+        Some(AtomMerge { kept, freed })
+    }
+
+    /// Renumbers the surviving atoms densely (`0..atom_count()`) in
+    /// increasing address order, truncating the interval table and clearing
+    /// the free list. Returns the remap table `old id → new id`, with
+    /// [`REMAP_DEAD`] marking reclaimed ids; callers must apply the same
+    /// remapping to every structure indexed by atom id.
+    pub fn renumber(&mut self) -> Vec<u32> {
+        let mut remap = vec![REMAP_DEAD; self.intervals.len()];
+        let mut new_intervals = Vec::with_capacity(self.atom_count());
+        for atom in self.map.values_mut() {
+            if *atom == AtomId::INF {
+                continue;
+            }
+            let new = AtomId(new_intervals.len() as u32);
+            remap[atom.index()] = new.0;
+            new_intervals.push(self.intervals[atom.index()]);
+            *atom = new;
+        }
+        self.intervals = new_intervals;
+        self.free.clear();
+        remap
+    }
+
+    /// All keys of `M` except the structural `MIN` and `MAX` — the bounds a
+    /// compaction pass inspects for liveness.
+    pub fn interior_bounds(&self) -> impl Iterator<Item = Bound> + '_ {
+        self.map
+            .keys()
+            .copied()
+            .filter(move |&b| b != 0 && b != self.max)
     }
 
     /// The atoms whose union is exactly `interval` (the paper's
@@ -257,7 +366,9 @@ impl AtomMap {
     pub fn memory_bytes(&self) -> usize {
         // BTreeMap nodes: key + value + per-entry overhead (~2 words).
         let entry = std::mem::size_of::<Bound>() + std::mem::size_of::<AtomId>() + 16;
-        self.map.len() * entry + self.intervals.capacity() * std::mem::size_of::<Interval>()
+        self.map.len() * entry
+            + self.intervals.capacity() * std::mem::size_of::<Interval>()
+            + self.free.capacity() * std::mem::size_of::<AtomId>()
     }
 }
 
@@ -458,6 +569,95 @@ mod tests {
             m.create_atoms(iv(i * 10, i * 10 + 5));
         }
         assert!(m.memory_bytes() > before);
+    }
+
+    #[test]
+    fn remove_bound_merges_into_lower_neighbour() {
+        let mut m = AtomMap::new(16);
+        m.create_atoms(iv(10, 20));
+        m.create_atoms(iv(15, 40));
+        // atoms: [0,10) [10,15) [15,20) [20,40) [40,2^16)
+        assert_eq!(m.atom_count(), 5);
+        let left = m.atom_of_value(14);
+        let right = m.atom_of_value(15);
+        let merge = m.remove_bound(15).unwrap();
+        assert_eq!(
+            merge,
+            AtomMerge {
+                kept: left,
+                freed: right
+            }
+        );
+        assert_eq!(m.atom_count(), 4);
+        assert_eq!(m.atom_interval(left), iv(10, 20));
+        assert_eq!(m.free_atoms(), 1);
+        assert!(!m.contains_bound(15));
+        // Removing an absent bound is a no-op.
+        assert!(m.remove_bound(15).is_none());
+        // Consecutive merges chain through the surviving neighbour.
+        let first = m.atom_of_value(0);
+        m.remove_bound(10);
+        m.remove_bound(20);
+        assert_eq!(m.atom_interval(first), iv(0, 40));
+        assert_eq!(m.atom_count(), 2);
+        assert_eq!(m.free_atoms(), 3);
+    }
+
+    #[test]
+    fn split_after_merge_reuses_freed_ids() {
+        let mut m = AtomMap::new(16);
+        m.create_atoms(iv(10, 20));
+        let allocated = m.allocated_atoms();
+        m.remove_bound(10);
+        m.remove_bound(20);
+        assert_eq!(m.free_atoms(), 2);
+        // New splits pop the free list instead of growing the table.
+        m.create_atoms(iv(100, 200));
+        assert_eq!(m.allocated_atoms(), allocated);
+        assert_eq!(m.free_atoms(), 0);
+        assert_eq!(m.atoms_of(iv(100, 200)).len(), 1);
+        // Point queries and partition stay correct with recycled ids.
+        for x in [0u128, 99, 100, 199, 200, 65535] {
+            assert!(m.atom_interval(m.atom_of_value(x)).contains(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "structural MIN/MAX")]
+    fn remove_bound_rejects_min() {
+        let mut m = AtomMap::new(16);
+        m.remove_bound(0);
+    }
+
+    #[test]
+    fn renumber_makes_ids_dense_in_address_order() {
+        let mut m = AtomMap::new(16);
+        m.create_atoms(iv(20, 30));
+        m.create_atoms(iv(5, 8)); // allocated after but lower in address order
+        m.remove_bound(30);
+        let remap = m.renumber();
+        assert_eq!(m.atom_count(), 4); // [0,5) [5,8) [8,20) [20,2^16)
+        assert_eq!(m.allocated_atoms(), m.atom_count());
+        assert_eq!(m.free_atoms(), 0);
+        assert_eq!(remap.iter().filter(|&&n| n == REMAP_DEAD).count(), 1);
+        // Ids follow address order after the renumbering.
+        let ids: Vec<u32> = m.iter().map(|(a, _)| a.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let intervals: Vec<Interval> = m.iter().map(|(_, i)| i).collect();
+        assert_eq!(
+            intervals,
+            vec![iv(0, 5), iv(5, 8), iv(8, 20), iv(20, 1 << 16)]
+        );
+        // The remap table maps every surviving old id onto its new id.
+        for (old, &new) in remap.iter().enumerate() {
+            if new != REMAP_DEAD {
+                let _ = old;
+                assert!((new as usize) < m.atom_count());
+            }
+        }
+        // Splitting keeps working after a renumber.
+        let delta = m.create_atoms(iv(6, 10));
+        assert_eq!(delta.len(), 2);
     }
 
     #[test]

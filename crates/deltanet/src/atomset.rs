@@ -234,6 +234,30 @@ impl AtomSet {
         self.words.shrink_to_fit();
     }
 
+    /// Rewrites every member through the remap table produced by a
+    /// compaction pass (`remap[old id] = new id`). Members must map to live
+    /// ids — the engine erases reclaimed atoms from every label *before*
+    /// renumbering. Renumbered ids are dense, so the rebuilt set is usually
+    /// smaller; the old allocation is released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is out of range of `remap` or maps to
+    /// [`crate::atoms::REMAP_DEAD`].
+    pub fn remap(&mut self, remap: &[u32]) {
+        let mut out = AtomSet::new();
+        for atom in self.iter() {
+            let new = remap[atom.index()];
+            assert!(
+                new != crate::atoms::REMAP_DEAD,
+                "label still references reclaimed atom {atom:?}"
+            );
+            out.insert(AtomId(new));
+        }
+        out.shrink_to_fit();
+        *self = out;
+    }
+
     /// Estimated heap usage in bytes (allocated capacity).
     pub fn memory_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
@@ -375,6 +399,28 @@ mod tests {
         s.remove(AtomId(1000));
         assert_eq!(s.live_bytes(), 16);
         assert!(s.memory_bytes() >= s.live_bytes());
+    }
+
+    #[test]
+    fn remap_rewrites_members_and_shrinks() {
+        let mut s = set(&[0, 3, 900]);
+        let mut remap = vec![u32::MAX; 901];
+        remap[0] = 2;
+        remap[3] = 0;
+        remap[900] = 1;
+        s.remap(&remap);
+        assert_eq!(s, set(&[0, 1, 2]));
+        assert_eq!(s.len(), 3);
+        // Dense ids: the backing storage shrank with the highest bit.
+        assert_eq!(s.words().len(), 1);
+        assert_eq!(s.memory_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaimed atom")]
+    fn remap_rejects_dead_members() {
+        let mut s = set(&[5]);
+        s.remap(&[0, 0, 0, 0, 0, u32::MAX]);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::delta_graph::DeltaGraph;
 use crate::labels::Labels;
 use crate::loops;
 use crate::owner::Owner;
-use netmodel::checker::{Checker, UpdateReport, WhatIfReport};
+use netmodel::checker::{Checker, UpdateError, UpdateReport, WhatIfReport};
 use netmodel::interval::{normalize, Bound};
 use netmodel::rule::{Rule, RuleId};
 use netmodel::topology::{LinkId, Topology};
@@ -27,6 +27,13 @@ pub struct DeltaNetConfig {
     /// Whether to run forwarding-loop detection on the delta-graph of every
     /// update (the experiment of §4.3.1).
     pub check_loops_per_update: bool,
+    /// When `Some(t)`, a rule removal that leaves at least `max(t, 1)`
+    /// reclaimable interval bounds triggers an automatic
+    /// [`DeltaNet::compact`] pass (deferred while a delta-graph aggregation
+    /// is in progress). `None` (the default) matches the paper's
+    /// presentation: atoms only ever split, and memory grows monotonically
+    /// under rule churn.
+    pub compact_threshold: Option<usize>,
 }
 
 impl Default for DeltaNetConfig {
@@ -34,8 +41,25 @@ impl Default for DeltaNetConfig {
         DeltaNetConfig {
             field_width: 32,
             check_loops_per_update: true,
+            compact_threshold: None,
         }
     }
+}
+
+/// What one [`DeltaNet::compact`] pass accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Atoms merged into their lower neighbour (one per reclaimed bound).
+    pub merged_atoms: usize,
+    /// Size of the atom-id table before the pass.
+    pub allocated_before: usize,
+    /// Size of the atom-id table after renumbering (equals the live atom
+    /// count).
+    pub allocated_after: usize,
+    /// Estimated engine heap bytes before the pass.
+    pub bytes_before: usize,
+    /// Estimated engine heap bytes after the pass.
+    pub bytes_after: usize,
 }
 
 /// The Delta-net real-time data-plane checker.
@@ -71,6 +95,14 @@ pub struct DeltaNet {
     /// Reference counts of interval bounds contributed by live rules; used
     /// by the garbage-collection bookkeeping of §3.2.2.
     bound_refs: HashMap<Bound, u32>,
+    /// Interior bounds of `M` no longer referenced by any live rule,
+    /// maintained incrementally so the compaction trigger is O(1) per
+    /// update. Invariant: equals the number of keys of `M` that are neither
+    /// `MIN`/`MAX` nor keys of `bound_refs`.
+    reclaimable: usize,
+    /// Number of compaction passes run so far (explicit or threshold-
+    /// triggered).
+    compactions: usize,
     /// The delta-graph of the most recent update.
     last_delta: DeltaGraph,
     /// An aggregation buffer for multi-update delta-graphs (§3.3).
@@ -94,6 +126,8 @@ impl DeltaNet {
             labels: Labels::with_links(link_count),
             rules: HashMap::new(),
             bound_refs: HashMap::new(),
+            reclaimable: 0,
+            compactions: 0,
             last_delta: DeltaGraph::new(),
             aggregate: None,
             pair_scratch: Vec::with_capacity(2),
@@ -155,9 +189,25 @@ impl DeltaNet {
         self.aggregate = Some(DeltaGraph::new());
     }
 
-    /// Stops aggregating and returns the combined delta-graph.
+    /// Stops aggregating and returns the combined delta-graph. Any
+    /// automatic compaction deferred while the aggregation was in progress
+    /// runs now, so a threshold crossed mid-aggregation is not silently
+    /// dropped.
     pub fn take_aggregate(&mut self) -> DeltaGraph {
-        self.aggregate.take().unwrap_or_default()
+        let aggregate = self.aggregate.take().unwrap_or_default();
+        self.maybe_auto_compact();
+        aggregate
+    }
+
+    /// Runs a compaction pass if the configured threshold is crossed and no
+    /// aggregation is in progress (the aggregate holds atom ids a pass
+    /// would invalidate).
+    fn maybe_auto_compact(&mut self) {
+        if let Some(threshold) = self.config.compact_threshold {
+            if self.reclaimable >= threshold.max(1) && self.aggregate.is_none() {
+                self.compact();
+            }
+        }
     }
 
     /// Algorithm 1: inserts `rule` into its switch's forwarding table,
@@ -167,19 +217,25 @@ impl DeltaNet {
     /// # Panics
     ///
     /// Panics if a rule with the same id is already installed or the rule
-    /// references a link outside the topology.
+    /// references a link outside the topology. Use
+    /// [`DeltaNet::try_insert_rule`] to get an error instead.
     pub fn insert_rule(&mut self, rule: Rule) -> UpdateReport {
-        assert!(
-            !self.rules.contains_key(&rule.id),
-            "rule {:?} inserted twice",
-            rule.id
-        );
-        assert!(
-            rule.link.index() < self.topology.link_count(),
-            "rule {:?} references unknown link {:?}",
-            rule.id,
-            rule.link
-        );
+        self.try_insert_rule(rule).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DeltaNet::insert_rule`]: a duplicate rule id or an
+    /// out-of-topology link is reported as an [`UpdateError`] without
+    /// touching the engine state.
+    pub fn try_insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, UpdateError> {
+        if self.rules.contains_key(&rule.id) {
+            return Err(UpdateError::DuplicateRule(rule.id));
+        }
+        if rule.link.index() >= self.topology.link_count() {
+            return Err(UpdateError::UnknownLink {
+                rule: rule.id,
+                link: rule.link,
+            });
+        }
         debug_assert_eq!(
             self.topology.link(rule.link).src,
             rule.source,
@@ -188,6 +244,19 @@ impl DeltaNet {
 
         let interval = rule.interval();
         let mut delta = DeltaGraph::new();
+
+        // Garbage-collection bookkeeping (§3.2.2): a bound that is in `M`
+        // but referenced by no live rule was counted reclaimable; this rule
+        // revives it. Checked before `create_atoms_into` mutates `M`.
+        for bound in [interval.lo(), interval.hi()] {
+            if bound != 0
+                && bound != self.atoms.max_bound()
+                && !self.bound_refs.contains_key(&bound)
+                && self.atoms.contains_bound(bound)
+            {
+                self.reclaimable -= 1;
+            }
+        }
 
         // Lines 2–9: create atoms and propagate splits to owners and labels.
         // The delta-pair buffer is engine-owned scratch; `labels` and `owner`
@@ -218,14 +287,28 @@ impl DeltaNet {
             let rules = self.owner.get_mut(alpha, rule.source);
             let incumbent = rules.highest();
             rules.insert(rule.priority, rule.id, rule.link);
-            let wins = incumbent.map_or(true, |r_prime| r_prime.priority < rule.priority);
+            // Equal priorities tie-break by rule id — the same order
+            // `RuleStore::highest()` uses, so the label update always agrees
+            // with later `highest()` reads (splits, removals, queries).
+            let wins = incumbent.map_or(true, |r_prime| {
+                (r_prime.priority, r_prime.id) < (rule.priority, rule.id)
+            });
             if wins {
-                self.labels.insert(rule.link, alpha);
-                delta.add(rule.link, alpha);
-                if let Some(r_prime) = incumbent {
-                    if r_prime.link != rule.link {
+                match incumbent {
+                    // Ownership moved but the forwarding link did not: the
+                    // label is unchanged, so the delta-graph must record
+                    // nothing (a spurious entry would inflate
+                    // `affected_classes` and re-seed the per-update checks).
+                    Some(r_prime) if r_prime.link == rule.link => {}
+                    Some(r_prime) => {
+                        self.labels.insert(rule.link, alpha);
+                        delta.add(rule.link, alpha);
                         self.labels.remove(r_prime.link, alpha);
                         delta.remove(r_prime.link, alpha);
+                    }
+                    None => {
+                        self.labels.insert(rule.link, alpha);
+                        delta.add(rule.link, alpha);
                     }
                 }
             }
@@ -236,7 +319,7 @@ impl DeltaNet {
         *self.bound_refs.entry(interval.hi()).or_insert(0) += 1;
         self.rules.insert(rule.id, rule);
 
-        self.finish_update(delta, Some(rule.id), true)
+        Ok(self.finish_update(delta, Some(rule.id), true))
     }
 
     /// Algorithm 2: removes the rule with id `id` and returns the per-update
@@ -244,12 +327,21 @@ impl DeltaNet {
     ///
     /// # Panics
     ///
-    /// Panics if no rule with that id is installed.
+    /// Panics if no rule with that id is installed. Use
+    /// [`DeltaNet::try_remove_rule`] to get an error instead.
     pub fn remove_rule(&mut self, id: RuleId) -> UpdateReport {
-        let rule = self
-            .rules
-            .remove(&id)
-            .unwrap_or_else(|| panic!("removal of unknown rule {id:?}"));
+        self.try_remove_rule(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DeltaNet::remove_rule`]: an unknown rule id is
+    /// reported as an [`UpdateError`] without touching the engine state, so
+    /// trace replay survives malformed input (double withdrawals, traces
+    /// referencing rules that were never installed).
+    pub fn try_remove_rule(&mut self, id: RuleId) -> Result<UpdateReport, UpdateError> {
+        let rule = match self.rules.remove(&id) {
+            Some(rule) => rule,
+            None => return Err(UpdateError::UnknownRule(id)),
+        };
         let interval = rule.interval();
         let mut delta = DeltaGraph::new();
 
@@ -262,28 +354,105 @@ impl DeltaNet {
             debug_assert!(removed, "owner store out of sync for {:?}", rule.id);
             let next_owner = rules.highest();
             if owner_before.map(|r| r.id) == Some(rule.id) {
-                self.labels.remove(rule.link, alpha);
-                delta.remove(rule.link, alpha);
-                if let Some(next_owner) = next_owner {
-                    self.labels.insert(next_owner.link, alpha);
-                    delta.add(next_owner.link, alpha);
+                match next_owner {
+                    // The successor forwards on the same link: label and
+                    // delta-graph are unchanged (mirror of the insert path).
+                    Some(next) if next.link == rule.link => {}
+                    Some(next) => {
+                        self.labels.remove(rule.link, alpha);
+                        delta.remove(rule.link, alpha);
+                        self.labels.insert(next.link, alpha);
+                        delta.add(next.link, alpha);
+                    }
+                    None => {
+                        self.labels.remove(rule.link, alpha);
+                        delta.remove(rule.link, alpha);
+                    }
                 }
             }
         }
 
-        // Garbage-collection bookkeeping (§3.2.2 remark): track bounds that
-        // no live rule uses any longer. Atom identifiers are not reclaimed,
-        // matching the paper's presentation.
+        // Garbage-collection bookkeeping (§3.2.2 remark): count bounds that
+        // no live rule uses any longer; they are what a compaction pass
+        // merges away.
         for bound in [interval.lo(), interval.hi()] {
             if let Some(count) = self.bound_refs.get_mut(&bound) {
                 *count -= 1;
                 if *count == 0 {
                     self.bound_refs.remove(&bound);
+                    if bound != 0 && bound != self.atoms.max_bound() {
+                        self.reclaimable += 1;
+                    }
                 }
             }
         }
 
-        self.finish_update(delta, Some(id), false)
+        let report = self.finish_update(delta, Some(id), false);
+        self.maybe_auto_compact();
+        Ok(report)
+    }
+
+    /// The compaction pass of the §3.2.2 garbage-collection remark — the
+    /// operation the paper leaves as future work. Every interval bound no
+    /// live rule references is removed from `M`, merging its upper
+    /// neighbouring atom into the lower one (the two atoms are
+    /// indistinguishable to every installed rule, so all owner cells and
+    /// labels already agree); the surviving atoms are then renumbered
+    /// densely so the id-indexed structures (owner arena, label bitsets,
+    /// interval table) shrink back to the live atom count.
+    ///
+    /// After the pass, [`DeltaNet::reclaimable_bounds`] is `0` and
+    /// [`DeltaNet::allocated_atoms`] equals [`DeltaNet::atom_count`].
+    ///
+    /// Atom ids are *not stable* across a compaction: ids obtained before
+    /// the pass (label snapshots, delta-graphs) must not be used afterwards.
+    /// [`DeltaNet::last_delta`] is therefore reset to empty, as is any
+    /// in-progress aggregate (automatic compaction is deferred while
+    /// aggregating; only an explicit call discards an aggregate).
+    pub fn compact(&mut self) -> CompactReport {
+        let allocated_before = self.atoms.allocated_atoms();
+        let bytes_before = self.memory_estimate();
+
+        // Phase 1 — merge: drop every unreferenced interior bound. The
+        // freed (upper) atom rides exactly one link per owning source — its
+        // cell's highest rule's link — and the kept atom is already on those
+        // links, because no live rule separates the two atoms.
+        let dead: Vec<Bound> = self
+            .atoms
+            .interior_bounds()
+            .filter(|b| !self.bound_refs.contains_key(b))
+            .collect();
+        for &bound in &dead {
+            let merge = self.atoms.remove_bound(bound).expect("dead bound is in M");
+            for (_source, rules) in self.owner.sources(merge.freed) {
+                if let Some(hp) = rules.highest() {
+                    self.labels.remove(hp.link, merge.freed);
+                }
+            }
+            self.owner.clear_atom(merge.freed);
+        }
+        self.reclaimable = 0;
+
+        // Phase 2 — renumber: dense ids again, every structure remapped in
+        // lock-step.
+        let remap = self.atoms.renumber();
+        self.owner.remap(&remap, self.atoms.atom_count());
+        self.labels.remap(&remap);
+
+        // Delta-graph state recorded before the pass refers to stale ids.
+        self.last_delta = DeltaGraph::new();
+        if let Some(agg) = self.aggregate.as_mut() {
+            *agg = DeltaGraph::new();
+        }
+
+        self.compactions += 1;
+        CompactReport {
+            merged_atoms: dead.len(),
+            allocated_before,
+            allocated_after: self.atoms.allocated_atoms(),
+            bytes_before,
+            bytes_after: self.memory_estimate(),
+        }
     }
 
     /// Shared tail of both algorithms: run the configured per-update checks
@@ -319,19 +488,36 @@ impl DeltaNet {
     }
 
     /// Number of interval bounds no longer referenced by any live rule —
-    /// atoms that a compaction pass could merge away (the "garbage
-    /// collection" remark of §3.2.2).
+    /// atoms that a [`DeltaNet::compact`] pass merges away (the "garbage
+    /// collection" remark of §3.2.2). Maintained incrementally, so reading
+    /// it — and the automatic compaction trigger built on it — is O(1).
     pub fn reclaimable_bounds(&self) -> usize {
-        // Bounds in M: atom_count + 1 (including MIN and MAX).
-        // Bounds still referenced: bound_refs keys plus MIN/MAX which are
-        // structural.
-        let structural = 2; // MIN and MAX
-        let referenced: usize = self
-            .bound_refs
-            .keys()
-            .filter(|&&b| b != 0 && b != self.atoms.max_bound())
-            .count();
-        (self.atoms.atom_count() + 1).saturating_sub(referenced + structural)
+        self.reclaimable
+    }
+
+    /// Size of the atom-id table: the high-water mark of ids since the last
+    /// compaction. The gap to [`DeltaNet::atom_count`] plus
+    /// [`DeltaNet::reclaimable_bounds`] is the churn waste a compaction
+    /// reclaims.
+    pub fn allocated_atoms(&self) -> usize {
+        self.atoms.allocated_atoms()
+    }
+
+    /// Number of compaction passes run so far (explicit and automatic).
+    pub fn compactions(&self) -> usize {
+        self.compactions
+    }
+
+    /// Heap bytes actually addressed by live state: like
+    /// [`DeltaNet::memory_estimate`] but counting label words up to the
+    /// highest live atom rather than allocated capacity, so churn-induced
+    /// over-allocation is visible as the gap between the two.
+    pub fn live_bytes(&self) -> usize {
+        self.atoms.memory_bytes()
+            + self.owner.memory_bytes()
+            + self.labels.live_bytes()
+            + self.rules.len() * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
+            + self.bound_refs.len() * (std::mem::size_of::<Bound>() + 4 + 8)
     }
 
     /// Checks the entire data plane for forwarding loops (not just the last
@@ -418,6 +604,13 @@ impl Checker for DeltaNet {
         match op {
             Op::Insert(rule) => self.insert_rule(*rule),
             Op::Remove(id) => self.remove_rule(*id),
+        }
+    }
+
+    fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
+        match op {
+            Op::Insert(rule) => self.try_insert_rule(*rule),
+            Op::Remove(id) => self.try_remove_rule(*id),
         }
     }
 
@@ -808,6 +1001,284 @@ mod tests {
     fn unknown_removal_panics() {
         let mut ex = paper_example();
         ex.net.remove_rule(RuleId(77));
+    }
+
+    #[test]
+    fn same_link_takeover_records_no_delta() {
+        // Satellite regression: a higher-priority rule that forwards on the
+        // *same* link as the incumbent changes no label, so the delta-graph
+        // (and affected_classes) must stay empty — otherwise per-update loop
+        // checks are re-seeded for nothing.
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        let shadow = Rule::forward(RuleId(8), IpPrefix::new(0, 28, 32), 50, ex.s[1], ex.l12);
+        let report = ex.net.insert_rule(shadow);
+        assert_eq!(report.affected_classes, 0);
+        assert!(report.changed_links.is_empty());
+        assert!(ex.net.last_delta().is_empty());
+        // Same on removal: ownership falls back to r1 on the same link.
+        let report = ex.net.remove_rule(RuleId(8));
+        assert_eq!(report.affected_classes, 0);
+        assert!(report.changed_links.is_empty());
+        assert!(ex.net.last_delta().is_empty());
+        // The label itself never flickered.
+        for a in ex.net.atoms().atoms_of(r1.interval()) {
+            assert!(ex.net.label(ex.l12).contains(a));
+        }
+    }
+
+    #[test]
+    fn equal_priority_tie_breaks_by_rule_id_like_the_owner_store() {
+        // Two equal-priority overlapping rules at one switch: the insert-time
+        // `wins` predicate must pick the same winner as
+        // `RuleStore::highest()` (higher rule id), or labels and owner reads
+        // diverge on later splits/removals.
+        let mut ex = paper_example();
+        let lo_id = Rule::forward(RuleId(3), IpPrefix::new(0, 28, 32), 10, ex.s[1], ex.l12);
+        let hi_id = Rule::forward(RuleId(9), IpPrefix::new(0, 28, 32), 10, ex.s[1], ex.l14);
+        ex.net.insert_rule(lo_id);
+        ex.net.insert_rule(hi_id);
+        // The higher id owns every atom, and the labels agree with the owner
+        // structure's highest() on every (atom, source).
+        for a in ex.net.atoms().atoms_of(hi_id.interval()) {
+            assert!(ex.net.label(ex.l14).contains(a), "labels disagree on {a:?}");
+            assert!(!ex.net.label(ex.l12).contains(a));
+            assert_eq!(ex.net.successor_via_owner(ex.s[1], a), Some(ex.l14));
+        }
+        // Removing the winner hands ownership back, consistently again.
+        ex.net.remove_rule(RuleId(9));
+        for a in ex.net.atoms().atoms_of(lo_id.interval()) {
+            assert!(ex.net.label(ex.l12).contains(a));
+            assert!(!ex.net.label(ex.l14).contains(a));
+            assert_eq!(ex.net.successor_via_owner(ex.s[1], a), Some(ex.l12));
+        }
+        // Insertion order must not matter.
+        let mut other = paper_example();
+        other.net.insert_rule(hi_id);
+        other.net.insert_rule(lo_id);
+        for a in other.net.atoms().atoms_of(hi_id.interval()) {
+            assert!(other.net.label(other.l14).contains(a));
+            assert!(!other.net.label(other.l12).contains(a));
+        }
+    }
+
+    #[test]
+    fn try_remove_unknown_rule_is_an_error_not_a_panic() {
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        let before_atoms = ex.net.atom_count();
+        let err = ex.net.try_remove_rule(RuleId(77)).unwrap_err();
+        assert_eq!(err, netmodel::checker::UpdateError::UnknownRule(RuleId(77)));
+        assert!(err.to_string().contains("unknown rule"));
+        // Nothing changed.
+        assert_eq!(ex.net.rule_count(), 1);
+        assert_eq!(ex.net.atom_count(), before_atoms);
+        // And the engine keeps working afterwards.
+        assert!(ex.net.try_remove_rule(RuleId(1)).is_ok());
+    }
+
+    #[test]
+    fn try_insert_duplicate_and_bad_link_are_errors() {
+        let mut ex = paper_example();
+        let (r1, _, _, _) = figure2_rules(&ex);
+        ex.net.insert_rule(r1);
+        let err = ex.net.try_insert_rule(r1).unwrap_err();
+        assert!(err.to_string().contains("inserted twice"));
+        let mut bad = r1;
+        bad.id = RuleId(99);
+        bad.link = LinkId(10_000);
+        let err = ex.net.try_insert_rule(bad).unwrap_err();
+        assert!(err.to_string().contains("unknown link"));
+        assert_eq!(ex.net.rule_count(), 1);
+    }
+
+    #[test]
+    fn try_replay_reports_failing_op_index() {
+        use netmodel::checker::Checker as _;
+        let mut ex = paper_example();
+        let (r1, r2, _, _) = figure2_rules(&ex);
+        let ops = vec![
+            Op::Insert(r1),
+            Op::Insert(r2),
+            Op::Remove(RuleId(42)), // bad
+            Op::Remove(RuleId(1)),
+        ];
+        let err = ex.net.try_replay(&ops).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(
+            err.error,
+            netmodel::checker::UpdateError::UnknownRule(RuleId(42))
+        );
+        // The prefix before the bad op stayed applied.
+        assert_eq!(ex.net.rule_count(), 2);
+    }
+
+    #[test]
+    fn compact_reclaims_atoms_and_preserves_labels() {
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        for r in [r1, r2, r3, r4] {
+            ex.net.insert_rule(r);
+        }
+        // Narrow churn rule splits atoms, then disappears.
+        let churn = Rule::forward(RuleId(50), IpPrefix::new(9, 31, 32), 99, ex.s[2], ex.l23);
+        ex.net.insert_rule(churn);
+        ex.net.remove_rule(RuleId(50));
+        assert!(ex.net.reclaimable_bounds() > 0);
+        let allocated_before = ex.net.allocated_atoms();
+
+        let labels_before: Vec<(LinkId, Vec<Interval>)> = [ex.l12, ex.l23, ex.l34, ex.l14]
+            .into_iter()
+            .map(|l| {
+                let ivs: Vec<Interval> = ex
+                    .net
+                    .label(l)
+                    .iter()
+                    .map(|a| ex.net.atoms().atom_interval(a))
+                    .collect();
+                (l, normalize(ivs))
+            })
+            .collect();
+
+        let report = ex.net.compact();
+        assert!(report.merged_atoms > 0);
+        assert_eq!(report.allocated_before, allocated_before);
+        assert_eq!(report.allocated_after, ex.net.atom_count());
+        assert_eq!(ex.net.reclaimable_bounds(), 0);
+        assert_eq!(ex.net.allocated_atoms(), ex.net.atom_count());
+        assert_eq!(ex.net.compactions(), 1);
+        assert!(ex.net.last_delta().is_empty());
+
+        // Same normalized forwarding behaviour, ids renumbered densely.
+        for (l, before) in labels_before {
+            let after: Vec<Interval> = ex
+                .net
+                .label(l)
+                .iter()
+                .map(|a| ex.net.atoms().atom_interval(a))
+                .collect();
+            assert_eq!(normalize(after), before, "labels changed on {l:?}");
+            for a in ex.net.label(l).iter() {
+                assert!(a.index() < ex.net.atom_count(), "stale id {a:?} on {l:?}");
+            }
+        }
+        // Updates keep working after the pass.
+        ex.net.remove_rule(RuleId(4));
+        for a in ex.net.atoms().atoms_of(r1.interval()) {
+            assert!(ex.net.label(ex.l12).contains(a));
+        }
+    }
+
+    #[test]
+    fn compact_after_removing_everything_returns_to_one_atom() {
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        for r in [r1, r2, r3, r4] {
+            ex.net.insert_rule(r);
+        }
+        for id in [1, 2, 3, 4] {
+            ex.net.remove_rule(RuleId(id));
+        }
+        assert!(ex.net.reclaimable_bounds() > 0);
+        ex.net.compact();
+        assert_eq!(ex.net.atom_count(), 1);
+        assert_eq!(ex.net.allocated_atoms(), 1);
+        assert_eq!(ex.net.reclaimable_bounds(), 0);
+        for link in ex.net.topology().links().to_vec() {
+            assert!(ex.net.label(link.id).is_empty());
+        }
+        // The engine is fully reusable after a to-empty compaction.
+        ex.net.insert_rule(r1);
+        assert!(!ex.net.label(ex.l12).is_empty());
+    }
+
+    #[test]
+    fn compact_threshold_triggers_automatically_and_bounds_growth() {
+        let mut topo = Topology::new();
+        let s = topo.add_nodes("s", 3);
+        let l12 = topo.add_link(s[1], s[2]);
+        let mut net = DeltaNet::new(
+            topo,
+            DeltaNetConfig {
+                check_loops_per_update: false,
+                compact_threshold: Some(4),
+                ..Default::default()
+            },
+        );
+        // A long-lived rule plus many short-lived narrow rules with fresh
+        // bounds: without compaction allocated_atoms would grow by ~2 per
+        // flap.
+        let base = Rule::forward(RuleId(0), IpPrefix::new(0, 8, 32), 1, s[1], l12);
+        net.insert_rule(base);
+        for i in 0..200u64 {
+            let p = IpPrefix::new(u128::from(i) * 64, 27, 32);
+            let r = Rule::forward(RuleId(1000 + i), p, 10, s[1], l12);
+            net.insert_rule(r);
+            net.remove_rule(r.id);
+        }
+        assert!(net.compactions() > 0, "threshold never triggered");
+        // Bounded by the threshold, not by the 200 flaps.
+        assert!(
+            net.allocated_atoms() <= net.atom_count() + 2 * 4 + 2,
+            "allocated_atoms {} not reclaimed (atoms {})",
+            net.allocated_atoms(),
+            net.atom_count()
+        );
+        assert!(net.reclaimable_bounds() < 4 + 2);
+    }
+
+    #[test]
+    fn begin_aggregate_defers_automatic_compaction() {
+        let mut ex = paper_example();
+        ex.net.config.compact_threshold = Some(1);
+        let (r1, _, _, r4) = figure2_rules(&ex);
+        ex.net.begin_aggregate();
+        ex.net.insert_rule(r1);
+        ex.net.insert_rule(r4);
+        ex.net.remove_rule(RuleId(4));
+        ex.net.remove_rule(RuleId(1));
+        // Garbage accrued but no pass ran while aggregating.
+        assert!(ex.net.reclaimable_bounds() > 0);
+        assert_eq!(ex.net.compactions(), 0);
+        // The deferred pass runs when the aggregate is taken, after the
+        // returned delta-graph (which holds pre-compaction ids) is detached.
+        let agg = ex.net.take_aggregate();
+        assert!(!agg.is_empty());
+        assert_eq!(ex.net.compactions(), 1);
+        assert_eq!(ex.net.reclaimable_bounds(), 0);
+        assert_eq!(ex.net.atom_count(), 1);
+    }
+
+    #[test]
+    fn reclaimable_counter_matches_first_principles_recount() {
+        // The O(1) counter must agree with a from-scratch recount (interior
+        // bounds of M not used by any live rule) through arbitrary churn.
+        let mut ex = paper_example();
+        let (r1, r2, r3, r4) = figure2_rules(&ex);
+        let recount = |net: &DeltaNet| {
+            let referenced: std::collections::HashSet<u128> = net
+                .rules()
+                .flat_map(|r| [r.interval().lo(), r.interval().hi()])
+                .filter(|&b| b != 0 && b != net.atoms().max_bound())
+                .collect();
+            net.atoms()
+                .interior_bounds()
+                .filter(|b| !referenced.contains(b))
+                .count()
+        };
+        for r in [r1, r2, r3, r4] {
+            ex.net.insert_rule(r);
+            assert_eq!(ex.net.reclaimable_bounds(), recount(&ex.net));
+        }
+        for id in [2, 4, 1, 3] {
+            ex.net.remove_rule(RuleId(id));
+            assert_eq!(ex.net.reclaimable_bounds(), recount(&ex.net));
+        }
+        // Re-inserting a rule over dead bounds revives them.
+        ex.net.insert_rule(r2);
+        assert_eq!(ex.net.reclaimable_bounds(), recount(&ex.net));
     }
 
     #[test]

@@ -115,6 +115,19 @@ impl Labels {
             set.shrink_to_fit();
         }
     }
+
+    /// Rewrites every label through the remap table of a compaction pass
+    /// (see [`AtomSet::remap`]); compacted ids are dense, so this also
+    /// releases the label words beyond the new id range.
+    pub fn remap(&mut self, remap: &[u32]) {
+        for set in &mut self.per_link {
+            if !set.is_empty() {
+                set.remap(remap);
+            } else {
+                set.shrink_to_fit();
+            }
+        }
+    }
 }
 
 /// A tiny helper module providing a `'static` empty [`AtomSet`] so that
@@ -179,6 +192,25 @@ mod tests {
         let l = Labels::with_links(10);
         assert_eq!(l.link_capacity(), 10);
         assert_eq!(l.non_empty_links(), 0);
+    }
+
+    #[test]
+    fn remap_rewrites_every_label() {
+        let mut l = Labels::with_links(3);
+        l.insert(LinkId(0), AtomId(7));
+        l.insert(LinkId(2), AtomId(7));
+        l.insert(LinkId(2), AtomId(300));
+        let mut remap = vec![u32::MAX; 301];
+        remap[7] = 0;
+        remap[300] = 1;
+        l.remap(&remap);
+        assert!(l.contains(LinkId(0), AtomId(0)));
+        assert!(l.contains(LinkId(2), AtomId(0)));
+        assert!(l.contains(LinkId(2), AtomId(1)));
+        assert!(!l.contains(LinkId(2), AtomId(300)));
+        assert_eq!(l.get(LinkId(2)).len(), 2);
+        // Dense ids released the high words.
+        assert!(l.live_bytes() <= 3 * std::mem::size_of::<AtomSet>() + 2 * 8);
     }
 
     #[test]

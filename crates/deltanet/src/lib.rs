@@ -69,6 +69,6 @@ pub mod reachability;
 pub use atoms::{AtomId, AtomMap, DeltaPair};
 pub use atomset::AtomSet;
 pub use delta_graph::DeltaGraph;
-pub use engine::{DeltaNet, DeltaNetConfig};
+pub use engine::{CompactReport, DeltaNet, DeltaNetConfig};
 pub use labels::Labels;
 pub use reachability::ReachabilityMatrix;

@@ -410,6 +410,38 @@ impl Owner {
         }
     }
 
+    /// Frees an atom's slot list entirely, releasing its heap storage — the
+    /// counterpart of [`Owner::clone_atom`] used when a compaction pass
+    /// merges the atom away.
+    pub fn clear_atom(&mut self, atom: AtomId) {
+        if let Some(slots) = self.per_atom.get_mut(atom.index()) {
+            *slots = Vec::new();
+        }
+    }
+
+    /// Applies the id remapping of a compaction pass: slot lists move from
+    /// their old atom index to `remap[old]`, the arena shrinks to `new_len`
+    /// entries, and reclaimed ids (marked [`crate::atoms::REMAP_DEAD`]) must
+    /// have been cleared beforehand.
+    pub fn remap(&mut self, remap: &[u32], new_len: usize) {
+        let old = std::mem::take(&mut self.per_atom);
+        self.per_atom.resize_with(new_len, Vec::new);
+        for (old_index, slots) in old.into_iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let new = remap
+                .get(old_index)
+                .copied()
+                .unwrap_or(crate::atoms::REMAP_DEAD);
+            assert!(
+                new != crate::atoms::REMAP_DEAD,
+                "owner slots survive for reclaimed atom α{old_index}"
+            );
+            self.per_atom[new as usize] = slots;
+        }
+    }
+
     /// Number of atoms for which the structure has been allocated.
     pub fn atom_capacity(&self) -> usize {
         self.per_atom.len()
@@ -526,6 +558,36 @@ pub mod legacy {
             self.ensure_atom(new.max(old));
             let copied = self.per_atom[old.index()].clone();
             self.per_atom[new.index()] = copied;
+        }
+
+        /// Frees an atom's table (compaction merge), mirroring
+        /// [`super::Owner::clear_atom`].
+        pub fn clear_atom(&mut self, atom: AtomId) {
+            if let Some(table) = self.per_atom.get_mut(atom.index()) {
+                *table = HashMap::new();
+            }
+        }
+
+        /// Applies a compaction remapping, mirroring [`super::Owner::remap`]
+        /// so differential tests can drive identical compaction traces
+        /// through both layouts.
+        pub fn remap(&mut self, remap: &[u32], new_len: usize) {
+            let old = std::mem::take(&mut self.per_atom);
+            self.per_atom.resize_with(new_len, HashMap::new);
+            for (old_index, table) in old.into_iter().enumerate() {
+                if table.is_empty() {
+                    continue;
+                }
+                let new = remap
+                    .get(old_index)
+                    .copied()
+                    .unwrap_or(crate::atoms::REMAP_DEAD);
+                assert!(
+                    new != crate::atoms::REMAP_DEAD,
+                    "owner cells survive for reclaimed atom α{old_index}"
+                );
+                self.per_atom[new as usize] = table;
+            }
         }
 
         /// Read-only access to one cell.
@@ -733,6 +795,54 @@ mod tests {
         // ensure_atom extended the arena to cover atoms 1..=5 as well.
         assert_eq!(o.atom_capacity(), 6);
         assert_eq!(o.sources(AtomId(3)).count(), 0);
+    }
+
+    #[test]
+    fn clear_atom_frees_slots_and_remap_moves_them() {
+        let mut o = Owner::new();
+        o.get_mut(AtomId(0), NodeId(1)).insert(5, rid(1), LinkId(0));
+        o.get_mut(AtomId(2), NodeId(0)).insert(7, rid(2), LinkId(1));
+        o.get_mut(AtomId(4), NodeId(3)).insert(9, rid(3), LinkId(2));
+        // Merge α2 away, then renumber {α0 → 0, α4 → 1}.
+        o.clear_atom(AtomId(2));
+        assert_eq!(o.sources(AtomId(2)).count(), 0);
+        let remap = [0, u32::MAX, u32::MAX, u32::MAX, 1];
+        o.remap(&remap, 2);
+        assert_eq!(o.atom_capacity(), 2);
+        assert_eq!(
+            o.get(AtomId(0), NodeId(1)).unwrap().highest().unwrap().id,
+            rid(1)
+        );
+        assert_eq!(
+            o.get(AtomId(1), NodeId(3)).unwrap().highest().unwrap().id,
+            rid(3)
+        );
+        assert_eq!(o.total_entries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaimed atom")]
+    fn remap_rejects_uncleaned_dead_atoms() {
+        let mut o = Owner::new();
+        o.get_mut(AtomId(1), NodeId(0)).insert(5, rid(1), LinkId(0));
+        o.remap(&[0, u32::MAX], 1);
+    }
+
+    #[test]
+    fn legacy_owner_clear_and_remap_mirror_arena() {
+        let mut o = legacy::HashOwner::new();
+        o.get_mut(AtomId(0), NodeId(1)).insert(5, rid(1), LinkId(0));
+        o.get_mut(AtomId(3), NodeId(2)).insert(7, rid(2), LinkId(1));
+        o.clear_atom(AtomId(0));
+        assert!(o.get(AtomId(0), NodeId(1)).is_none());
+        o.remap(&[u32::MAX, u32::MAX, u32::MAX, 0], 1);
+        assert_eq!(
+            RuleStore::highest(o.get(AtomId(0), NodeId(2)).unwrap())
+                .unwrap()
+                .id,
+            rid(2)
+        );
+        assert_eq!(o.total_entries(), 1);
     }
 
     #[test]

@@ -253,6 +253,155 @@ fn smallvec_and_btree_stores_agree_on_random_traces() {
     }
 }
 
+/// Compaction differential for the two owner layouts: randomized traces of
+/// splits (`clone_atom`), merges (`clear_atom`) and renumberings (`remap`)
+/// through the arena [`Owner`] and the legacy [`HashOwner`] must keep every
+/// `(atom, source)` cell identical.
+#[test]
+fn arena_and_hash_owner_agree_under_compaction_traces() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0417 ^ seed);
+        let mut arena = Owner::new();
+        let mut hash = HashOwner::new();
+        let sources = 4u32;
+        let mut alive: Vec<u32> = vec![0]; // live atom ids
+        let mut next_atom = 1u32;
+        let mut live: Vec<(u32, u32, u32, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..300 {
+            match rng.gen_range(0..12) {
+                // Split.
+                0 | 1 if alive.len() < 40 => {
+                    let old = alive[rng.gen_range(0..alive.len())];
+                    let new = next_atom;
+                    next_atom += 1;
+                    alive.push(new);
+                    arena.clone_atom(AtomId(old), AtomId(new));
+                    hash.clone_atom(AtomId(old), AtomId(new));
+                    let copied: Vec<_> = live
+                        .iter()
+                        .filter(|&&(a, ..)| a == old)
+                        .map(|&(_, s, p, id)| (new, s, p, id))
+                        .collect();
+                    live.extend(copied);
+                }
+                // Merge: an atom dies; its cells are freed in both layouts.
+                2 if alive.len() > 1 => {
+                    let pos = rng.gen_range(0..alive.len());
+                    let dead = alive.swap_remove(pos);
+                    arena.clear_atom(AtomId(dead));
+                    hash.clear_atom(AtomId(dead));
+                    live.retain(|&(a, ..)| a != dead);
+                }
+                // Renumber: dense ids for the survivors, in id order.
+                3 => {
+                    alive.sort_unstable();
+                    let mut remap = vec![u32::MAX; next_atom as usize];
+                    for (new, &old) in alive.iter().enumerate() {
+                        remap[old as usize] = new as u32;
+                    }
+                    arena.remap(&remap, alive.len());
+                    hash.remap(&remap, alive.len());
+                    for entry in &mut live {
+                        entry.0 = remap[entry.0 as usize];
+                    }
+                    alive = (0..alive.len() as u32).collect();
+                    next_atom = alive.len() as u32;
+                }
+                // Remove a live entry.
+                4 | 5 if !live.is_empty() => {
+                    let (atom, source, priority, id) =
+                        live.swap_remove(rng.gen_range(0..live.len()));
+                    let a = arena
+                        .get_mut(AtomId(atom), NodeId(source))
+                        .remove(priority, RuleId(id));
+                    let b = RuleStore::remove(
+                        hash.get_mut(AtomId(atom), NodeId(source)),
+                        priority,
+                        RuleId(id),
+                    );
+                    assert_eq!(a, b, "seed {seed} step {step}");
+                    assert!(a, "seed {seed} step {step}");
+                }
+                // Insert.
+                _ => {
+                    let atom = alive[rng.gen_range(0..alive.len())];
+                    let source = rng.gen_range(0..sources);
+                    let priority = rng.gen_range(1..20);
+                    let id = next_id;
+                    next_id += 1;
+                    let link = LinkId(id as u32 % 5);
+                    arena
+                        .get_mut(AtomId(atom), NodeId(source))
+                        .insert(priority, RuleId(id), link);
+                    RuleStore::insert(
+                        hash.get_mut(AtomId(atom), NodeId(source)),
+                        priority,
+                        RuleId(id),
+                        link,
+                    );
+                    live.push((atom, source, priority, id));
+                }
+            }
+            assert_eq!(
+                arena.total_entries(),
+                hash.total_entries(),
+                "seed {seed} step {step}"
+            );
+        }
+        for &atom in &alive {
+            for source in 0..sources {
+                let a = arena
+                    .get(AtomId(atom), NodeId(source))
+                    .and_then(|r| r.highest());
+                let b = hash
+                    .get(AtomId(atom), NodeId(source))
+                    .and_then(RuleStore::highest);
+                assert_eq!(a, b, "seed {seed}: owner[α{atom}][n{source}] differs");
+            }
+        }
+    }
+}
+
+/// Equal-priority differential test: with priorities drawn from a tiny
+/// range (collisions on nearly every step), the small-vec store, the BTree
+/// store, and the sorted-vector model must still agree on `highest()` — the
+/// `(priority, rule-id)` tie-break the engine's insert-time `wins` predicate
+/// relies on for label/owner consistency.
+#[test]
+fn equal_priority_ties_agree_across_stores_and_model() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(0x71E ^ seed);
+        let mut small = SourceRules::default();
+        let mut btree = BTreeSourceRules::default();
+        let mut model: Vec<(u32, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..150 {
+            if model.is_empty() || rng.gen_bool(0.6) {
+                let priority = rng.gen_range(1..4); // heavy collisions
+                let id = next_id;
+                next_id += 1;
+                let link = LinkId((id % 3) as u32);
+                small.insert(priority, RuleId(id), link);
+                RuleStore::insert(&mut btree, priority, RuleId(id), link);
+                model.push((priority, id));
+            } else {
+                let (p, id) = model.swap_remove(rng.gen_range(0..model.len()));
+                assert!(small.remove(p, RuleId(id)), "seed {seed} step {step}");
+                assert!(
+                    RuleStore::remove(&mut btree, p, RuleId(id)),
+                    "seed {seed} step {step}"
+                );
+            }
+            let expected = model.iter().max().copied();
+            let got_small = small.highest().map(|r| (r.priority, r.id.0));
+            let got_btree = RuleStore::highest(&btree).map(|r| (r.priority, r.id.0));
+            assert_eq!(got_small, expected, "seed {seed} step {step}: small-vec");
+            assert_eq!(got_btree, expected, "seed {seed} step {step}: btree");
+        }
+    }
+}
+
 /// Differential test of the two *owner* layouts: identical randomized traces
 /// of `clone_atom` (atom splits), per-atom inserts and removals through the
 /// arena [`Owner`] and the legacy hash-of-trees [`HashOwner`] must yield the

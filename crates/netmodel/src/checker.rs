@@ -11,6 +11,62 @@ use crate::topology::{LinkId, NodeId};
 use crate::trace::Op;
 use std::fmt;
 
+/// Why a single update could not be applied.
+///
+/// Checkers historically panicked on malformed updates; the fallible
+/// `try_*` entry points return this error instead, so trace replay can
+/// report *which* operation was bad (a withdrawn-twice BGP route, a trace
+/// referencing an unknown rule id) without tearing the process down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// A removal referenced a rule id that is not installed.
+    UnknownRule(RuleId),
+    /// An insertion reused a rule id that is already installed.
+    DuplicateRule(RuleId),
+    /// An insertion referenced a link outside the checker's topology.
+    UnknownLink {
+        /// The offending rule.
+        rule: RuleId,
+        /// The link the rule referenced.
+        link: LinkId,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownRule(id) => write!(f, "removal of unknown rule {id:?}"),
+            UpdateError::DuplicateRule(id) => write!(f, "rule {id:?} inserted twice"),
+            UpdateError::UnknownLink { rule, link } => {
+                write!(f, "rule {rule:?} references unknown link {link:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// A failed trace replay: which operation failed, and why.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 0-based index of the failing operation in the replayed slice.
+    pub index: usize,
+    /// The underlying update error.
+    pub error: UpdateError,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace op {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// A violation of a network-wide invariant found while checking an update.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InvariantViolation {
@@ -122,6 +178,11 @@ pub trait Checker {
     /// affected part of the data plane.
     fn apply(&mut self, op: &Op) -> UpdateReport;
 
+    /// Fallible form of [`Checker::apply`]: a malformed operation (unknown
+    /// rule removal, duplicate insertion) is reported as an
+    /// [`UpdateError`] without mutating the checker, instead of panicking.
+    fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError>;
+
     /// Answers the link-failure "what if" query of §4.3.2: which packets and
     /// which parts of the network are affected if `link` fails? When
     /// `check_loops` is true, also checks the affected portion for
@@ -142,6 +203,19 @@ pub trait Checker {
     /// Replays a whole trace, returning one report per operation.
     fn replay(&mut self, ops: &[Op]) -> Vec<UpdateReport> {
         ops.iter().map(|op| self.apply(op)).collect()
+    }
+
+    /// Fallible replay: stops at the first malformed operation and reports
+    /// its index. Operations before the failing one stay applied, so a
+    /// caller can resume or inspect the partially replayed state.
+    fn try_replay(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
+        ops.iter()
+            .enumerate()
+            .map(|(index, op)| {
+                self.try_apply(op)
+                    .map_err(|error| ReplayError { index, error })
+            })
+            .collect()
     }
 }
 

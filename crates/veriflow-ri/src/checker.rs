@@ -12,7 +12,7 @@
 use crate::ec::equivalence_classes;
 use crate::forwarding_graph::ForwardingGraph;
 use crate::trie::PrefixTrie;
-use netmodel::checker::{Checker, InvariantViolation, UpdateReport, WhatIfReport};
+use netmodel::checker::{Checker, InvariantViolation, UpdateError, UpdateReport, WhatIfReport};
 use netmodel::interval::{normalize, Interval};
 use netmodel::rule::{Rule, RuleId};
 use netmodel::topology::{LinkId, Topology};
@@ -120,12 +120,28 @@ impl VeriflowRi {
 
     /// Inserts a rule, recomputing the affected equivalence classes and their
     /// forwarding graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule with the same id is already installed. Use
+    /// [`VeriflowRi::try_insert_rule`] to get an error instead.
     pub fn insert_rule(&mut self, rule: Rule) -> UpdateReport {
-        assert!(
-            !self.rules.contains_key(&rule.id),
-            "rule {:?} inserted twice",
-            rule.id
-        );
+        self.try_insert_rule(rule).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`VeriflowRi::insert_rule`]: a duplicate rule id or
+    /// an out-of-topology link is reported as an [`UpdateError`] without
+    /// touching the checker state.
+    pub fn try_insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, UpdateError> {
+        if self.rules.contains_key(&rule.id) {
+            return Err(UpdateError::DuplicateRule(rule.id));
+        }
+        if rule.link.index() >= self.topology.link_count() {
+            return Err(UpdateError::UnknownLink {
+                rule: rule.id,
+                link: rule.link,
+            });
+        }
         self.trie.insert(&rule.prefix, rule.id);
         self.rules.insert(rule.id, rule);
         self.rules_by_link
@@ -135,21 +151,32 @@ impl VeriflowRi {
 
         let candidates = self.overlapping_rules(&rule);
         let (affected, violations) = self.process_update(rule.interval(), &candidates, rule.link);
-        UpdateReport {
+        Ok(UpdateReport {
             rule_id: Some(rule.id),
             was_insert: true,
             affected_classes: affected,
             changed_links: vec![rule.link],
             violations,
-        }
+        })
     }
 
     /// Removes a rule, recomputing the affected equivalence classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule with that id is installed. Use
+    /// [`VeriflowRi::try_remove_rule`] to get an error instead.
     pub fn remove_rule(&mut self, id: RuleId) -> UpdateReport {
-        let rule = self
-            .rules
-            .remove(&id)
-            .unwrap_or_else(|| panic!("removal of unknown rule {id:?}"));
+        self.try_remove_rule(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`VeriflowRi::remove_rule`]: an unknown rule id is
+    /// reported as an [`UpdateError`] without touching the checker state.
+    pub fn try_remove_rule(&mut self, id: RuleId) -> Result<UpdateReport, UpdateError> {
+        let rule = match self.rules.remove(&id) {
+            Some(rule) => rule,
+            None => return Err(UpdateError::UnknownRule(id)),
+        };
         let removed = self.trie.remove(&rule.prefix, id);
         debug_assert!(removed, "trie out of sync for {id:?}");
         if let Some(ids) = self.rules_by_link.get_mut(&rule.link) {
@@ -158,13 +185,13 @@ impl VeriflowRi {
 
         let candidates = self.overlapping_rules(&rule);
         let (affected, violations) = self.process_update(rule.interval(), &candidates, rule.link);
-        UpdateReport {
+        Ok(UpdateReport {
             rule_id: Some(id),
             was_insert: false,
             affected_classes: affected,
             changed_links: vec![rule.link],
             violations,
-        }
+        })
     }
 
     /// The "what if" link-failure query: Veriflow has to construct the
@@ -237,6 +264,13 @@ impl Checker for VeriflowRi {
         match op {
             Op::Insert(rule) => self.insert_rule(*rule),
             Op::Remove(id) => self.remove_rule(*id),
+        }
+    }
+
+    fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
+        match op {
+            Op::Insert(rule) => self.try_insert_rule(*rule),
+            Op::Remove(id) => self.try_remove_rule(*id),
         }
     }
 
@@ -402,5 +436,38 @@ mod tests {
         let (topo, _) = square();
         let mut vf = VeriflowRi::with_topology(topo);
         vf.remove_rule(RuleId(5));
+    }
+
+    #[test]
+    fn try_paths_report_errors_without_mutation() {
+        let (topo, n) = square();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let mut vf = VeriflowRi::with_topology(topo);
+        let r = Rule::forward(RuleId(1), p("10.0.0.0/8"), 1, n[0], l01);
+        vf.insert_rule(r);
+        assert!(vf
+            .try_insert_rule(r)
+            .unwrap_err()
+            .to_string()
+            .contains("inserted twice"));
+        // An out-of-topology link must error instead of poisoning the trie
+        // and panicking later inside forwarding-graph construction.
+        let mut bad = r;
+        bad.id = RuleId(2);
+        bad.link = netmodel::topology::LinkId(9_999);
+        assert!(vf
+            .try_insert_rule(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown link"));
+        assert!(vf
+            .try_remove_rule(RuleId(77))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown rule"));
+        assert_eq!(vf.rule_count(), 1);
+        // The checker still works after the rejected updates.
+        assert!(vf.try_remove_rule(RuleId(1)).is_ok());
+        assert_eq!(vf.rule_count(), 0);
     }
 }

@@ -43,10 +43,15 @@ pub enum DatasetId {
     Airtel2,
     /// SDN-IP rounds on a 4-switch ring, insertions only.
     FourSwitch,
+    /// Flapping-prefix churn on a ring backbone (not part of Table 2; the
+    /// rule-removal-heavy workload behind the atom-compaction evaluation).
+    Churn,
 }
 
 impl DatasetId {
-    /// All datasets, in the order of Table 2.
+    /// The eight Table 2 datasets ([`DatasetId::Churn`] is deliberately not
+    /// listed: the paper's tables stay at eight rows, and the churn workload
+    /// is reported separately by the compaction experiment).
     pub const ALL: [DatasetId; 8] = [
         DatasetId::Berkeley,
         DatasetId::Inet,
@@ -69,6 +74,7 @@ impl DatasetId {
             DatasetId::Airtel1 => "Airtel 1",
             DatasetId::Airtel2 => "Airtel 2",
             DatasetId::FourSwitch => "4Switch",
+            DatasetId::Churn => "Churn",
         }
     }
 }
@@ -130,6 +136,21 @@ impl ScaleProfile {
             ScaleProfile::Tiny => (50, 2),
             ScaleProfile::Small => (1_000, 4),
             ScaleProfile::Medium => (2_500, 14),
+        }
+    }
+
+    /// Parameters of the flapping-prefix churn workload.
+    pub fn churn_config(self) -> crate::churn::ChurnConfig {
+        let (stable_prefixes, flapping_prefixes, cycles) = match self {
+            ScaleProfile::Tiny => (40, 15, 8),
+            ScaleProfile::Small => (200, 80, 20),
+            ScaleProfile::Medium => (400, 150, 50),
+        };
+        crate::churn::ChurnConfig {
+            stable_prefixes,
+            flapping_prefixes,
+            cycles,
+            seed: 0xF1A9,
         }
     }
 }
@@ -249,6 +270,15 @@ pub fn build(id: DatasetId, scale: ScaleProfile) -> Dataset {
                 trace,
             }
         }
+        DatasetId::Churn => {
+            let topology = crate::churn::churn_topology();
+            let churn = crate::churn::flapping_churn(&topology, scale.churn_config());
+            Dataset {
+                id,
+                topology,
+                trace: churn.trace,
+            }
+        }
     }
 }
 
@@ -296,6 +326,19 @@ mod tests {
         assert!(ds.trace.remove_count() > 0);
         let ds2 = build(DatasetId::Airtel2, ScaleProfile::Tiny);
         assert!(ds2.trace.remove_count() > 0);
+    }
+
+    #[test]
+    fn churn_dataset_flaps_and_returns_to_baseline() {
+        let ds = build(DatasetId::Churn, ScaleProfile::Tiny);
+        assert!(ds.trace.remove_count() > 0);
+        assert_eq!(
+            ds.trace.insert_count() - ds.trace.remove_count(),
+            ds.trace.final_data_plane().len()
+        );
+        // Not part of Table 2.
+        assert!(!DatasetId::ALL.contains(&DatasetId::Churn));
+        assert_eq!(DatasetId::Churn.name(), "Churn");
     }
 
     #[test]

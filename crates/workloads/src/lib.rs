@@ -14,6 +14,8 @@
 //!   longest-prefix priorities, plus insert-then-remove trace construction.
 //! * [`sdnip`] — an SDN-IP/ONOS controller simulator producing rule churn
 //!   for link failures and recoveries.
+//! * [`churn`] — sustained flapping-prefix insert/remove churn, the
+//!   workload behind the atom-compaction evaluation.
 //! * [`datasets`] — the eight named datasets of Table 2 at configurable
 //!   scale ([`datasets::ScaleProfile`]).
 //!
@@ -24,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod bgp;
+pub mod churn;
 pub mod datasets;
 pub mod rulegen;
 pub mod sdnip;
 pub mod topologies;
 
+pub use churn::{ChurnConfig, ChurnTrace};
 pub use datasets::{build, build_all, Dataset, DatasetId, ScaleProfile, Table2Row};
 pub use topologies::GeneratedTopology;

@@ -86,6 +86,7 @@ fn deltanet_labels_match_reference_fib_under_random_churn() {
             DeltaNetConfig {
                 field_width: 8,
                 check_loops_per_update: false,
+                ..DeltaNetConfig::default()
             },
         );
         let mut fib = NetworkFib::new(topo.clone());
@@ -132,6 +133,7 @@ fn loop_reports_agree_with_exhaustive_packet_tracing() {
             DeltaNetConfig {
                 field_width: 8,
                 check_loops_per_update: true,
+                ..DeltaNetConfig::default()
             },
         );
         let mut fib = NetworkFib::new(topo.clone());
@@ -182,6 +184,7 @@ fn veriflow_and_deltanet_agree_on_per_update_loops() {
             DeltaNetConfig {
                 field_width: 8,
                 check_loops_per_update: true,
+                ..DeltaNetConfig::default()
             },
         );
         let mut vf = VeriflowRi::new(
@@ -246,6 +249,7 @@ fn whatif_affected_packets_agree_between_checkers() {
         DeltaNetConfig {
             field_width: 8,
             check_loops_per_update: false,
+            ..DeltaNetConfig::default()
         },
     );
     let mut vf = VeriflowRi::new(

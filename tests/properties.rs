@@ -126,6 +126,7 @@ proptest! {
             let mut net = DeltaNet::new(topo.clone(), DeltaNetConfig {
                 field_width: 8,
                 check_loops_per_update: false,
+                ..DeltaNetConfig::default()
             });
             for r in ordered {
                 net.insert_rule(*r);
@@ -160,6 +161,7 @@ proptest! {
         let mut net = DeltaNet::new(topo.clone(), DeltaNetConfig {
             field_width: 8,
             check_loops_per_update: false,
+            ..DeltaNetConfig::default()
         });
         let mut id = 0u64;
         let mut installed: Vec<Rule> = Vec::new();
@@ -221,6 +223,7 @@ proptest! {
         let mut net = DeltaNet::new(topo.clone(), DeltaNetConfig {
             field_width: 8,
             check_loops_per_update: false,
+            ..DeltaNetConfig::default()
         });
         let mut fib = NetworkFib::new(topo.clone());
         let mut installed: Vec<Rule> = Vec::new();

@@ -131,6 +131,7 @@ proptest! {
         let mut net = DeltaNet::new(topo.clone(), DeltaNetConfig {
             field_width: 8,
             check_loops_per_update: false,
+            ..DeltaNetConfig::default()
         });
         let mut fib = NetworkFib::new(topo.clone());
         let mut installed: Vec<Rule> = Vec::new();
