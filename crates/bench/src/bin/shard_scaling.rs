@@ -1,0 +1,42 @@
+//! Runs the shard-scaling experiment: the Berkeley and churn update traces
+//! applied through `ShardedDeltaNet::apply_batch` at each requested shard
+//! count, reporting update throughput, the speedup relative to the first
+//! shard count, and per-shard atom/byte occupancy.
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin shard_scaling [-- --scale tiny|small|medium]
+//!    [--shards 1,2,4,8] [--batch 256] [--json <path>]`
+//!
+//! The committed `BENCH_PR4.json` baseline is produced by this binary; the
+//! report records `available_parallelism`, so a flat curve captured on a
+//! small machine is distinguishable from a scaling failure.
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let shard_counts = bench::usize_list_from_args("shards")
+        .unwrap_or_else(|raw| {
+            eprintln!("--shards expects a comma-separated list of integers, got `{raw}`");
+            std::process::exit(1);
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let batch = bench::usize_from_args("batch")
+        .unwrap_or_else(|raw| {
+            eprintln!("--batch expects an integer, got `{raw}`");
+            std::process::exit(1);
+        })
+        .unwrap_or(256);
+    if shard_counts.is_empty() || shard_counts.contains(&0) || batch == 0 {
+        eprintln!("--shards needs a comma-separated list of positive counts, --batch >= 1");
+        std::process::exit(1);
+    }
+    let report = bench::experiments::shard_scaling_json(scale, &shard_counts, batch).render();
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote shard-scaling report ({scale:?} scale, shards {shard_counts:?}) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

@@ -9,7 +9,7 @@
 use crate::json::Json;
 use crate::ownerbench::{owner_microbench, OwnerBenchResult};
 use crate::{megabytes, render_table, replay_timed, with_commas, Summary, Timings};
-use deltanet::{DeltaNet, DeltaNetConfig};
+use deltanet::{DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet};
 use netmodel::checker::Checker;
 use netmodel::rule::Rule;
 use netmodel::topology::LinkId;
@@ -564,6 +564,86 @@ pub fn owner_bench_json(r: &OwnerBenchResult) -> Json {
     ])
 }
 
+/// The shard-scaling experiment: the full update trace of the Berkeley and
+/// churn workloads applied through [`ShardedDeltaNet::apply_batch`] at each
+/// requested shard count, per-update checks off so the measured quantity is
+/// pure update throughput. `speedup_vs_first` is relative to the first
+/// entry of `shard_counts` (conventionally 1 shard). Each result carries
+/// per-shard atom/byte fields, and the report records the machine's
+/// `available_parallelism` and the effective worker count, because the
+/// scaling curve is only meaningful relative to the cores that ran it —
+/// on a single-core machine the curve is flat by construction.
+pub fn shard_scaling_json(scale: ScaleProfile, shard_counts: &[usize], batch: usize) -> Json {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut results = Vec::new();
+    for id in [DatasetId::Berkeley, DatasetId::Churn] {
+        let ds = build(id, scale);
+        let ops = ds.trace.ops();
+        let mut baseline_ops_per_sec: Option<f64> = None;
+        for &shards in shard_counts {
+            // Fastest of two runs keeps committed baselines stable.
+            let mut best_ms = f64::INFINITY;
+            let mut net = None;
+            for _ in 0..2 {
+                let mut candidate = ShardedDeltaNet::new(
+                    ds.topology.topology.clone(),
+                    DeltaNetConfig {
+                        check_loops_per_update: false,
+                        ..Default::default()
+                    },
+                    shards,
+                );
+                let start = Instant::now();
+                for window in ops.chunks(batch) {
+                    candidate
+                        .apply_batch(window)
+                        .expect("generated traces are well-formed");
+                }
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                net = Some(candidate);
+            }
+            let net = net.expect("at least one run");
+            let ops_per_sec = ops.len() as f64 / (best_ms / 1e3).max(1e-9);
+            let baseline = *baseline_ops_per_sec.get_or_insert(ops_per_sec);
+            let per_shard: Vec<Json> = net
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    Json::obj([
+                        ("shard", Json::int(i)),
+                        ("rules", Json::int(shard.rule_count())),
+                        ("atoms", Json::int(shard.owned_atom_count())),
+                        ("allocated_atoms", Json::int(shard.allocated_atoms())),
+                        ("live_bytes", Json::int(shard.live_bytes())),
+                    ])
+                })
+                .collect();
+            results.push(Json::obj([
+                ("dataset", Json::str(id.name())),
+                ("shards", Json::int(shards)),
+                ("operations", Json::int(ops.len())),
+                ("total_ms", Json::ms(best_ms)),
+                ("ops_per_sec", Json::ms(ops_per_sec)),
+                ("speedup_vs_first", Json::ms(ops_per_sec / baseline)),
+                ("classes", Json::int(net.class_count())),
+                ("live_bytes", Json::int(net.live_bytes())),
+                ("per_shard", Json::arr(per_shard)),
+            ]));
+        }
+    }
+    Json::obj([
+        ("schema", Json::str("deltanet-shards-v1")),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+        ("batch", Json::int(batch)),
+        ("workers", Json::int(Parallelism::from_env().workers())),
+        ("available_parallelism", Json::int(available)),
+        ("results", Json::arr(results)),
+    ])
+}
+
 /// The full machine-readable report behind `all_experiments --json`: the
 /// `updates` end-to-end replay, the isolated `insert_hot_path`, and the
 /// old-vs-new owner `microbench`. `BENCH_*.json` baselines committed to the
@@ -576,6 +656,7 @@ pub fn json_report(scale: ScaleProfile) -> Json {
         ("insert_hot_path", insert_hot_path_json(scale)),
         ("microbench", microbench_json(scale)),
         ("churn", churn_json(scale)),
+        ("shard_scaling", shard_scaling_json(scale, &[1, 2, 4], 256)),
     ])
 }
 
@@ -689,6 +770,42 @@ mod tests {
         );
         assert_eq!(field(compacted, "reclaimable_bounds"), 0.0);
         assert_eq!(field(compacted, "atoms"), field(baseline, "atoms"));
+    }
+
+    #[test]
+    fn shard_scaling_json_reports_per_shard_fields() {
+        let report = shard_scaling_json(ScaleProfile::Tiny, &[1, 3], 32);
+        let text = report.render();
+        for key in [
+            "deltanet-shards-v1",
+            "available_parallelism",
+            "ops_per_sec",
+            "speedup_vs_first",
+            "per_shard",
+            "live_bytes",
+            "allocated_atoms",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        // Two datasets x two shard counts, and the 3-shard runs carry three
+        // per-shard entries.
+        let Json::Obj(fields) = &report else {
+            panic!("report is not an object")
+        };
+        let Some(Json::Arr(results)) = fields.iter().find(|(k, _)| k == "results").map(|(_, v)| v)
+        else {
+            panic!("no results array")
+        };
+        assert_eq!(results.len(), 4);
+        let Json::Obj(last) = &results[3] else {
+            panic!("result is not an object")
+        };
+        let Some(Json::Arr(per_shard)) =
+            last.iter().find(|(k, _)| k == "per_shard").map(|(_, v)| v)
+        else {
+            panic!("no per_shard array")
+        };
+        assert_eq!(per_shard.len(), 3);
     }
 
     #[test]

@@ -205,6 +205,31 @@ pub fn json_path_from_args() -> Option<String> {
     string_option_from_args("json")
 }
 
+/// Parses a `--<name> <usize>` command-line argument of the experiment
+/// binaries: `Ok(None)` when absent, `Err` (with the offending value) when
+/// present but unparsable, so a typo cannot silently fall back to a default.
+pub fn usize_from_args(name: &str) -> Result<Option<usize>, String> {
+    match string_option_from_args(name) {
+        None => Ok(None),
+        Some(raw) => raw.trim().parse().map(Some).map_err(|_| raw),
+    }
+}
+
+/// Parses a `--<name> a,b,c` comma-separated list of non-negative integers:
+/// `Ok(None)` when absent, `Err` (with the raw value) when present but any
+/// element fails to parse.
+pub fn usize_list_from_args(name: &str) -> Result<Option<Vec<usize>>, String> {
+    match string_option_from_args(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .split(',')
+            .map(|part| part.trim().parse::<usize>().ok())
+            .collect::<Option<Vec<usize>>>()
+            .map(Some)
+            .ok_or(raw),
+    }
+}
+
 /// Extracts `--name value` / `--name=value` from the process arguments.
 fn string_option_from_args(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);

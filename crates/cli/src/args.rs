@@ -111,6 +111,21 @@ impl ParsedArgs {
     }
 }
 
+/// Parses an optional `--<name> <usize>` option.
+pub fn parse_usize_option(args: &ParsedArgs, name: &str) -> Result<Option<usize>, ArgError> {
+    match args.options.get(name) {
+        None => Ok(None),
+        Some(value) => value
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| ArgError::InvalidValue {
+                option: name.to_string(),
+                value: value.clone(),
+                expected: "a non-negative integer",
+            }),
+    }
+}
+
 /// Parses a `--scale` value.
 pub fn parse_scale(args: &ParsedArgs) -> Result<workloads::ScaleProfile, ArgError> {
     match args.get_or("scale", "tiny") {
@@ -203,6 +218,15 @@ mod tests {
         // Defaults to tiny when --scale is absent.
         let p = parse(&["generate", "--dataset", "inet"]).unwrap();
         assert_eq!(parse_scale(&p).unwrap(), workloads::ScaleProfile::Tiny);
+    }
+
+    #[test]
+    fn usize_option_parsing() {
+        let p = parse(&["replay", "--shards", "4"]).unwrap();
+        assert_eq!(parse_usize_option(&p, "shards").unwrap(), Some(4));
+        assert_eq!(parse_usize_option(&p, "batch").unwrap(), None);
+        let p = parse(&["replay", "--shards", "many"]).unwrap();
+        assert!(parse_usize_option(&p, "shards").is_err());
     }
 
     #[test]

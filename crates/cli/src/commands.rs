@@ -4,10 +4,10 @@
 //! filesystem) to a report string, so the binary stays a two-line wrapper
 //! and the behaviour is unit-testable.
 
-use crate::args::{parse_dataset, parse_scale, ArgError, ParsedArgs};
+use crate::args::{parse_dataset, parse_scale, parse_usize_option, ArgError, ParsedArgs};
 use crate::topo_text;
-use deltanet::{blackholes, DeltaNet, DeltaNetConfig};
-use netmodel::checker::Checker;
+use deltanet::{blackholes, DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet};
+use netmodel::checker::{Checker, InvariantViolation};
 use netmodel::topology::Topology;
 use netmodel::trace::{Op, Trace};
 use std::fmt;
@@ -68,11 +68,17 @@ pub fn help() -> String {
                  Generate one of the eight evaluation datasets (or the flapping-prefix\n\
                  `churn` workload) as <name>.topo + <name>.trace\n\
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
-                 [--compact [<threshold>]] [--json <file>]\n\
+                 [--compact [<threshold>]] [--json <file>] [--shards <n>] [--batch <w>]\n\
+                 [--workers <n>] [--check blackholes]\n\
                  Replay a trace through a checker and print Table-3 style statistics;\n\
                  with --json, also write them machine-readable (BENCH_*.json shape).\n\
                  --compact enables automatic atom compaction (deltanet only): a removal\n\
                  leaving >= <threshold> reclaimable bounds (default 1024) triggers a pass.\n\
+                 --shards partitions the address space across <n> independent engines\n\
+                 (deltanet only); with --batch, updates apply in windows of <w> with the\n\
+                 per-shard groups running concurrently (--workers / DELTANET_WORKERS\n\
+                 caps the threads). --check blackholes audits the final data plane for\n\
+                 blackholes after the replay.\n\
                  Malformed operations (unknown rule removal, duplicate insert) are\n\
                  reported with their line position instead of crashing the replay\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
@@ -141,6 +147,50 @@ fn describe_op(op: &Op) -> String {
     }
 }
 
+/// The engine a replay runs through; concrete so the sharded batch path and
+/// the post-replay audits can reach past the [`Checker`] trait.
+enum ReplayEngine {
+    Delta(Box<DeltaNet>),
+    Sharded(Box<ShardedDeltaNet>),
+    Veriflow(Box<VeriflowRi>),
+}
+
+impl ReplayEngine {
+    fn checker(&mut self) -> &mut dyn Checker {
+        match self {
+            ReplayEngine::Delta(net) => net.as_mut(),
+            ReplayEngine::Sharded(net) => net.as_mut(),
+            ReplayEngine::Veriflow(vf) => vf.as_mut(),
+        }
+    }
+
+    /// `(allocated atoms, reclaimable bounds, compaction passes)` for the
+    /// engines that compact; summed over shards for the sharded engine.
+    fn compaction_stats(&self) -> Option<(usize, usize, usize)> {
+        match self {
+            ReplayEngine::Delta(net) => Some((
+                net.allocated_atoms(),
+                net.reclaimable_bounds(),
+                net.compactions(),
+            )),
+            ReplayEngine::Sharded(net) => Some((
+                net.allocated_atoms(),
+                net.reclaimable_bounds(),
+                net.compactions(),
+            )),
+            ReplayEngine::Veriflow(_) => None,
+        }
+    }
+
+    fn check_all_blackholes(&self) -> Option<Vec<InvariantViolation>> {
+        match self {
+            ReplayEngine::Delta(net) => Some(net.check_all_blackholes()),
+            ReplayEngine::Sharded(net) => Some(net.check_all_blackholes()),
+            ReplayEngine::Veriflow(_) => None,
+        }
+    }
+}
+
 /// `deltanet replay` — replay a trace through a checker with timing.
 pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     let mut topo = load_topology(args.require("topo")?)?;
@@ -158,31 +208,61 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     } else {
         None
     };
+    let shards = parse_usize_option(args, "shards")?;
+    let batch = parse_usize_option(args, "batch")?;
+    let workers = parse_usize_option(args, "workers")?;
+    let check_blackholes = match args.options.get("check").map(String::as_str) {
+        None => false,
+        Some("blackholes") => true,
+        Some(other) => {
+            return Err(CommandError::Other(format!(
+                "unknown --check `{other}` (expected blackholes)"
+            )))
+        }
+    };
+    if (batch.is_some() || workers.is_some()) && shards.is_none() {
+        return Err(CommandError::Other(
+            "--batch/--workers require --shards".to_string(),
+        ));
+    }
+    if [shards, batch].into_iter().flatten().any(|n| n == 0) {
+        return Err(CommandError::Other(
+            "--shards/--batch must be at least 1".to_string(),
+        ));
+    }
+    let parallelism = workers.map_or_else(Parallelism::from_env, Parallelism::fixed);
 
-    let mut delta_checker: Option<DeltaNet> = None;
-    let mut veriflow_checker: Option<VeriflowRi> = None;
-    let checker: &mut dyn Checker = match checker_name.as_str() {
-        "deltanet" => delta_checker.insert(DeltaNet::new(
-            topo,
-            DeltaNetConfig {
+    let mut engine = match checker_name.as_str() {
+        "deltanet" => {
+            let config = DeltaNetConfig {
                 check_loops_per_update: check_loops,
                 compact_threshold,
                 ..Default::default()
-            },
-        )),
+            };
+            match shards {
+                Some(n) => ReplayEngine::Sharded(Box::new(ShardedDeltaNet::with_parallelism(
+                    topo,
+                    config,
+                    n,
+                    parallelism,
+                ))),
+                None => ReplayEngine::Delta(Box::new(DeltaNet::new(topo, config))),
+            }
+        }
         "veriflow" | "veriflow-ri" => {
-            if compact_threshold.is_some() {
+            if compact_threshold.is_some() || shards.is_some() || check_blackholes {
                 return Err(CommandError::Other(
-                    "--compact is only supported by the deltanet checker".to_string(),
+                    "--compact/--shards/--check are only supported by the deltanet checker"
+                        .to_string(),
                 ));
             }
-            veriflow_checker.insert(VeriflowRi::new(
+            ReplayEngine::Veriflow(Box::new(VeriflowRi::new(
                 topo,
                 VeriflowConfig {
                     check_loops_per_update: check_loops,
                     ..Default::default()
                 },
-            ))
+            )))
         }
         other => {
             return Err(CommandError::Other(format!(
@@ -195,32 +275,62 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         micros: Vec::with_capacity(trace.len()),
     };
     let mut loops = 0usize;
-    for (index, op) in trace.ops().iter().enumerate() {
-        let start = Instant::now();
-        let report = checker.try_apply(op).map_err(|error| {
-            CommandError::Other(format!(
-                "trace op {} ({}): {error}",
-                index + 1,
-                describe_op(op)
-            ))
-        })?;
-        timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
-        if report.has_loop() {
-            loops += 1;
+    match (&mut engine, batch) {
+        // Batched sharded replay: each window's shard groups apply
+        // concurrently; per-op time is the window average, so the summary
+        // statistics keep their shape.
+        (ReplayEngine::Sharded(net), Some(window)) => {
+            let mut offset = 0usize;
+            for chunk in trace.ops().chunks(window) {
+                let start = Instant::now();
+                let reports = net.apply_batch(chunk).map_err(|e| {
+                    CommandError::Other(format!(
+                        "trace op {} ({}): {}",
+                        offset + e.index + 1,
+                        describe_op(&chunk[e.index]),
+                        e.error
+                    ))
+                })?;
+                let per_op_us = start.elapsed().as_secs_f64() * 1e6 / chunk.len() as f64;
+                for report in reports {
+                    timings.micros.push(per_op_us);
+                    if report.has_loop() {
+                        loops += 1;
+                    }
+                }
+                offset += chunk.len();
+            }
+        }
+        (engine, _) => {
+            let checker = engine.checker();
+            for (index, op) in trace.ops().iter().enumerate() {
+                let start = Instant::now();
+                let report = checker.try_apply(op).map_err(|error| {
+                    CommandError::Other(format!(
+                        "trace op {} ({}): {error}",
+                        index + 1,
+                        describe_op(op)
+                    ))
+                })?;
+                timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
+                if report.has_loop() {
+                    loops += 1;
+                }
+            }
         }
     }
     let summary = timings.summary();
+    let checker = engine.checker();
     let name = checker.name();
     let class_count = checker.class_count();
     let rule_count = checker.rule_count();
     let memory_bytes = checker.memory_bytes();
-    let compaction = delta_checker.as_ref().map(|net| {
-        (
-            net.allocated_atoms(),
-            net.reclaimable_bounds(),
-            net.compactions(),
-        )
-    });
+    let compaction = engine.compaction_stats();
+    let blackhole_report = if check_blackholes {
+        engine.check_all_blackholes()
+    } else {
+        None
+    };
 
     if let Some(json_path) = args.options.get("json") {
         use bench::json::Json;
@@ -242,6 +352,15 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                 ("reclaimable_bounds", Json::int(reclaimable)),
                 ("compactions", Json::int(passes)),
             ]);
+        }
+        if let Some(n) = shards {
+            fields.push(("shards", Json::int(n)));
+        }
+        if let Some(w) = batch {
+            fields.push(("batch", Json::int(w)));
+        }
+        if let Some(holes) = &blackhole_report {
+            fields.push(("blackholes", Json::int(holes.len())));
         }
         std::fs::write(json_path, Json::obj(fields).render())?;
     }
@@ -266,6 +385,22 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             "atoms allocated:    {allocated} (reclaimable bounds: {reclaimable})\n\
              compaction passes:  {passes}\n"
         ));
+    }
+    if let Some(n) = shards {
+        out.push_str(&format!("shards:             {n}"));
+        match batch {
+            Some(w) => out.push_str(&format!(
+                " (batched x{w}, {} workers)\n",
+                parallelism.workers()
+            )),
+            None => out.push('\n'),
+        }
+    }
+    if let Some(holes) = &blackhole_report {
+        out.push_str(&format!("blackholes:         {}\n", holes.len()));
+        for v in holes.iter().take(5) {
+            out.push_str(&format!("  {v}\n"));
+        }
     }
     Ok(out)
 }
@@ -525,6 +660,144 @@ mod tests {
             "veriflow",
             "--compact",
             "1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_replay_matches_single_engine_statistics() {
+        let dir = temp_dir("sharded");
+        let out = dir.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "generate",
+            "--dataset",
+            "4switch",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        let topo = dir.join("4switch.topo").to_str().unwrap().to_string();
+        let trace = dir.join("4switch.trace").to_str().unwrap().to_string();
+        let json_path = dir.join("sharded.json");
+        let json_arg = json_path.to_str().unwrap().to_string();
+
+        // Per-op sharded replay.
+        let r = run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--shards", "3",
+        ]))
+        .unwrap();
+        assert!(r.contains("delta-net-sharded"), "{r}");
+        assert!(r.contains("shards:             3"), "{r}");
+
+        // Batched sharded replay with a pinned worker count and JSON output.
+        let b = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--shards",
+            "4",
+            "--batch",
+            "16",
+            "--workers",
+            "2",
+            "--json",
+            &json_arg,
+        ]))
+        .unwrap();
+        assert!(b.contains("batched x16, 2 workers"), "{b}");
+        let json_text = std::fs::read_to_string(&json_path).unwrap();
+        for key in ["\"shards\": 4", "\"batch\": 16", "delta-net-sharded"] {
+            assert!(json_text.contains(key), "missing {key} in:\n{json_text}");
+        }
+
+        // Guard rails.
+        let err = run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--batch", "8",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("require --shards"), "{err}");
+        let err = run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--shards", "2", "--batch", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "veriflow",
+            "--shards",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_check_blackholes_pins_a_known_blackhole_trace() {
+        // A 3-switch chain forwarding 10.0.0.0/8 to a terminal switch with
+        // no rule: the traffic dies at s2 (see `deltanet::blackholes`).
+        let dir = temp_dir("blackhole");
+        let topo_path = dir.join("chain.topo");
+        let trace_path = dir.join("chain.trace");
+        std::fs::write(
+            &topo_path,
+            "node s0\nnode s1\nnode s2\nlink 0 1\nlink 1 2\n",
+        )
+        .unwrap();
+        std::fs::write(&trace_path, "I 1 0 1 10.0.0.0/8 1\nI 2 1 2 10.0.0.0/8 1\n").unwrap();
+        let topo = topo_path.to_str().unwrap().to_string();
+        let trace = trace_path.to_str().unwrap().to_string();
+        let json_path = dir.join("blackhole.json");
+        let json_arg = json_path.to_str().unwrap().to_string();
+
+        // Both the single and the sharded engine find exactly one blackhole.
+        for extra in [&[][..], &["--shards", "2"][..]] {
+            let mut argv = vec![
+                "replay",
+                "--topo",
+                &topo,
+                "--trace",
+                &trace,
+                "--check",
+                "blackholes",
+                "--json",
+                &json_arg,
+            ];
+            argv.extend_from_slice(extra);
+            let r = run(&parsed(&argv)).unwrap();
+            assert!(r.contains("blackholes:         1"), "{r}");
+            assert!(r.contains("blackhole at n2"), "{r}");
+            let json_text = std::fs::read_to_string(&json_path).unwrap();
+            assert!(json_text.contains("\"blackholes\": 1"), "{json_text}");
+        }
+
+        // Unknown --check values and veriflow are rejected.
+        let err = run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--check", "teapots",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown --check"), "{err}");
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "veriflow",
+            "--check",
+            "blackholes",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("only supported"), "{err}");

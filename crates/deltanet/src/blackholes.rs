@@ -8,6 +8,10 @@
 //! graph answers them directly: an atom arriving at a switch over some
 //! in-link but not present on any of its out-links (including the drop link)
 //! is blackholed there.
+//!
+//! Surfaced end-to-end through [`DeltaNet::check_all_blackholes`] (and its
+//! shard-wise counterpart on [`crate::shard::ShardedDeltaNet`]) and the
+//! `deltanet replay --check blackholes` CLI flag.
 
 use crate::atoms::AtomMap;
 use crate::atomset::AtomSet;

@@ -6,6 +6,13 @@
 //! incrementally on every rule insertion and removal. Each update also
 //! produces a [`DeltaGraph`] (the by-product described in §3.3) on which the
 //! configured per-update property checks run.
+//!
+//! The update core is written against an explicit interval rather than the
+//! rule's full match range, so an engine can be *clipped* to a contiguous
+//! slice of the address space ([`DeltaNet::clipped`]) and used as one shard
+//! of a [`crate::shard::ShardedDeltaNet`] — the §6 observation that the main
+//! loops over atoms parallelize, realized by partitioning the atoms
+//! themselves.
 
 use crate::atoms::{AtomId, AtomMap, DeltaPair};
 use crate::delta_graph::DeltaGraph;
@@ -13,7 +20,7 @@ use crate::labels::Labels;
 use crate::loops;
 use crate::owner::Owner;
 use netmodel::checker::{Checker, UpdateError, UpdateReport, WhatIfReport};
-use netmodel::interval::{normalize, Bound};
+use netmodel::interval::{normalize, Bound, Interval};
 use netmodel::rule::{Rule, RuleId};
 use netmodel::topology::{LinkId, Topology};
 use netmodel::trace::Op;
@@ -112,6 +119,11 @@ pub struct DeltaNet {
     /// allocation. Invariant: empty between updates (taken at the start of
     /// `insert_rule`, cleared and put back before the update returns).
     pair_scratch: Vec<DeltaPair>,
+    /// When `Some(range)`, this engine owns only that contiguous slice of
+    /// the address space: every applied rule interval is intersected with it
+    /// before the update core runs. This is the per-shard building block of
+    /// [`crate::shard::ShardedDeltaNet`]; a stand-alone engine has `None`.
+    clip: Option<Interval>,
 }
 
 impl DeltaNet {
@@ -131,6 +143,7 @@ impl DeltaNet {
             last_delta: DeltaGraph::new(),
             aggregate: None,
             pair_scratch: Vec::with_capacity(2),
+            clip: None,
         }
     }
 
@@ -138,6 +151,53 @@ impl DeltaNet {
     /// loop checking).
     pub fn with_topology(topology: Topology) -> Self {
         DeltaNet::new(topology, DeltaNetConfig::default())
+    }
+
+    /// Creates a *shard* engine: a checker that owns only the contiguous
+    /// address range `clip` of the field space. Every rule applied to it is
+    /// intersected with `clip` before the update core runs, so disjoint
+    /// shards maintain disjoint atoms, owners, and label bits — the
+    /// conflict-freedom [`crate::shard::ShardedDeltaNet`] relies on to apply
+    /// shard groups concurrently.
+    ///
+    /// The clip bounds are seeded into the atom map and pinned in the
+    /// garbage-collection bookkeeping, so [`DeltaNet::compact`] never merges
+    /// across the shard boundary and [`DeltaNet::owned_atom_count`] stays
+    /// well defined across compactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clip` is empty or extends beyond the configured field
+    /// space.
+    pub fn clipped(topology: Topology, config: DeltaNetConfig, clip: Interval) -> Self {
+        let mut net = DeltaNet::new(topology, config);
+        assert!(!clip.is_empty(), "empty shard range {clip}");
+        assert!(
+            clip.hi() <= net.atoms.max_bound(),
+            "shard range {clip} outside field space [0 : {})",
+            net.atoms.max_bound()
+        );
+        net.atoms.create_atoms(clip);
+        *net.bound_refs.entry(clip.lo()).or_insert(0) += 1;
+        *net.bound_refs.entry(clip.hi()).or_insert(0) += 1;
+        net.clip = Some(clip);
+        net
+    }
+
+    /// The address range this engine owns, when it is a shard of a
+    /// [`crate::shard::ShardedDeltaNet`]; `None` for a stand-alone engine.
+    pub fn clip(&self) -> Option<Interval> {
+        self.clip
+    }
+
+    /// The interval of `rule` this engine is responsible for: the rule's
+    /// interval intersected with the clip range, or the full interval for a
+    /// stand-alone engine.
+    fn clipped_interval(&self, rule: &Rule) -> Interval {
+        match self.clip {
+            Some(clip) => rule.interval().intersection(&clip),
+            None => rule.interval(),
+        }
     }
 
     /// The topology this checker verifies.
@@ -223,9 +283,10 @@ impl DeltaNet {
         self.try_insert_rule(rule).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible form of [`DeltaNet::insert_rule`]: a duplicate rule id or an
-    /// out-of-topology link is reported as an [`UpdateError`] without
-    /// touching the engine state.
+    /// Fallible form of [`DeltaNet::insert_rule`]: a duplicate rule id, an
+    /// out-of-topology link, or (on a [`DeltaNet::clipped`] engine) a rule
+    /// that does not intersect the shard range is reported as an
+    /// [`UpdateError`] without touching the engine state.
     pub fn try_insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, UpdateError> {
         if self.rules.contains_key(&rule.id) {
             return Err(UpdateError::DuplicateRule(rule.id));
@@ -242,7 +303,23 @@ impl DeltaNet {
             "rule source does not match its link"
         );
 
-        let interval = rule.interval();
+        let interval = self.clipped_interval(&rule);
+        if interval.is_empty() {
+            // Only reachable on a clipped engine: rule intervals are never
+            // empty, so an empty clipped interval means no intersection.
+            return Err(UpdateError::OutsideShard {
+                rule: rule.id,
+                range: self.clip.expect("empty interval implies a clip"),
+            });
+        }
+        Ok(self.apply_insert(rule, interval))
+    }
+
+    /// The per-update core of Algorithm 1, applied to an explicit (possibly
+    /// shard-clipped) interval. This is the reusable unit one shard of a
+    /// [`crate::shard::ShardedDeltaNet`] executes; callers have already
+    /// validated the rule and computed the interval this engine owns.
+    fn apply_insert(&mut self, rule: Rule, interval: Interval) -> UpdateReport {
         let mut delta = DeltaGraph::new();
 
         // Garbage-collection bookkeeping (§3.2.2): a bound that is in `M`
@@ -319,7 +396,7 @@ impl DeltaNet {
         *self.bound_refs.entry(interval.hi()).or_insert(0) += 1;
         self.rules.insert(rule.id, rule);
 
-        Ok(self.finish_update(delta, Some(rule.id), true))
+        self.finish_update(delta, Some(rule.id), true)
     }
 
     /// Algorithm 2: removes the rule with id `id` and returns the per-update
@@ -342,7 +419,18 @@ impl DeltaNet {
             Some(rule) => rule,
             None => return Err(UpdateError::UnknownRule(id)),
         };
-        let interval = rule.interval();
+        // The same deterministic clipping as the insert path, so the removal
+        // touches exactly the bounds and atoms the insertion created.
+        let interval = self.clipped_interval(&rule);
+        let report = self.apply_remove(rule, interval);
+        self.maybe_auto_compact();
+        Ok(report)
+    }
+
+    /// The per-update core of Algorithm 2, the mirror of
+    /// [`DeltaNet::apply_insert`]: the rule has already been detached from
+    /// the rule table and its (possibly shard-clipped) interval computed.
+    fn apply_remove(&mut self, rule: Rule, interval: Interval) -> UpdateReport {
         let mut delta = DeltaGraph::new();
 
         // One owner lookup per atom: the post-removal successor is read from
@@ -387,9 +475,7 @@ impl DeltaNet {
             }
         }
 
-        let report = self.finish_update(delta, Some(id), false);
-        self.maybe_auto_compact();
-        Ok(report)
+        self.finish_update(delta, Some(rule.id), false)
     }
 
     /// The compaction pass of the §3.2.2 garbage-collection remark — the
@@ -487,6 +573,18 @@ impl DeltaNet {
         self.atoms.atom_count()
     }
 
+    /// Number of atoms inside the range this engine owns: for a shard, the
+    /// atoms of its clip range (the seeded clip bounds are always keys of
+    /// `M`, so this is exact); for a stand-alone engine, simply
+    /// [`DeltaNet::atom_count`]. Summing this over the shards of a
+    /// [`crate::shard::ShardedDeltaNet`] counts every atom exactly once.
+    pub fn owned_atom_count(&self) -> usize {
+        match self.clip {
+            Some(clip) => self.atoms.atoms_of_count(clip),
+            None => self.atom_count(),
+        }
+    }
+
     /// Number of interval bounds no longer referenced by any live rule —
     /// atoms that a [`DeltaNet::compact`] pass merges away (the "garbage
     /// collection" remark of §3.2.2). Maintained incrementally, so reading
@@ -524,6 +622,14 @@ impl DeltaNet {
     /// delta-graph). Used by offline audits and the differential tests.
     pub fn check_all_loops(&self) -> Vec<netmodel::checker::InvariantViolation> {
         loops::find_all_loops(&self.topology, &self.labels, &self.atoms)
+    }
+
+    /// Checks the entire data plane for blackholes: traffic arriving at a
+    /// switch that has no rule (forward or drop) for it. The engine-level
+    /// entry point for [`crate::blackholes::find_blackholes`], surfaced
+    /// end-to-end through `deltanet replay --check blackholes`.
+    pub fn check_all_blackholes(&self) -> Vec<netmodel::checker::InvariantViolation> {
+        crate::blackholes::find_blackholes(&self.topology, &self.labels, &self.atoms)
     }
 
     /// The successor of `node` for an `atom`-packet, resolved through the
@@ -1077,6 +1183,42 @@ mod tests {
         assert_eq!(ex.net.atom_count(), before_atoms);
         // And the engine keeps working afterwards.
         assert!(ex.net.try_remove_rule(RuleId(1)).is_ok());
+    }
+
+    #[test]
+    fn clipped_engine_rejects_rules_outside_its_range() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let l = topo.add_link(a, b);
+        let half = Interval::new(0, 1u128 << 31);
+        let mut net = DeltaNet::clipped(topo, DeltaNetConfig::default(), half);
+        assert_eq!(net.clip(), Some(half));
+        // Entirely outside the shard range: a clean error, no state change.
+        let outside = Rule::forward(RuleId(1), prefix("128.0.0.0/1"), 1, a, l);
+        let err = net.try_insert_rule(outside).unwrap_err();
+        assert_eq!(
+            err,
+            netmodel::checker::UpdateError::OutsideShard {
+                rule: RuleId(1),
+                range: half,
+            }
+        );
+        assert!(err.to_string().contains("does not intersect shard range"));
+        assert_eq!(net.rule_count(), 0);
+        // Straddling the range: clipped to the owned half.
+        let wide = Rule::forward(RuleId(2), prefix("0.0.0.0/0"), 1, a, l);
+        net.insert_rule(wide);
+        assert_eq!(net.owned_atom_count(), 1);
+        let labelled: Vec<Interval> = net
+            .label(l)
+            .iter()
+            .map(|x| net.atoms().atom_interval(x))
+            .collect();
+        assert_eq!(normalize(labelled), vec![half]);
+        // Removal recomputes the same clipping.
+        net.remove_rule(RuleId(2));
+        assert!(net.label(l).is_empty());
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`loops`] — forwarding-loop detection on the edge-labelled graph.
 //! * [`blackholes`] — blackhole detection (traffic arriving at a switch that
 //!   has no rule for it).
-//! * [`parallel`] — parallel bulk queries (the §6 future-work direction).
+//! * [`parallel`] — parallel bulk queries and the shared [`Parallelism`]
+//!   worker-count configuration (the §6 future-work direction).
+//! * [`shard`] — [`ShardedDeltaNet`]: the engine partitioned across the
+//!   address space so rule updates on disjoint ranges apply concurrently
+//!   (§6: the main loops over atoms are highly parallelizable).
 //! * [`reachability`] — Algorithm 3: all-pairs reachability of all atoms.
 //! * [`query`] — flow queries (which packets can reach B from A) and
 //!   "what if" link-failure analysis (§4.3.2).
@@ -65,10 +69,13 @@ pub mod owner;
 pub mod parallel;
 pub mod query;
 pub mod reachability;
+pub mod shard;
 
 pub use atoms::{AtomId, AtomMap, DeltaPair};
 pub use atomset::AtomSet;
 pub use delta_graph::DeltaGraph;
 pub use engine::{CompactReport, DeltaNet, DeltaNetConfig};
 pub use labels::Labels;
+pub use parallel::Parallelism;
 pub use reachability::ReachabilityMatrix;
+pub use shard::ShardedDeltaNet;

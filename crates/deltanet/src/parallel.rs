@@ -1,36 +1,146 @@
-//! Parallel query evaluation (the future-work direction of §6).
+//! Parallel query evaluation and the shared worker-count configuration.
 //!
 //! "One advantage of Delta-net is that its main loops over atoms in
-//! Algorithm 1 and 2 are highly parallelizable." The per-update hot path in
-//! this implementation is already fast enough that threading it would be
-//! dominated by synchronization, but the *query* side — what-if analysis of
-//! many links, loop audits over many atoms — parallelizes cleanly because it
-//! only reads the persistent edge-labelled graph. This module provides those
-//! parallel entry points using `std::thread::scope` (no `unsafe`, no
-//! external dependency, no global thread pool).
+//! Algorithm 1 and 2 are highly parallelizable" (§6). The *query* side —
+//! what-if analysis of many links, loop audits over many atoms — lives here:
+//! it only reads the persistent edge-labelled graph, so it partitions across
+//! threads with no synchronization beyond the final merge. The *update*
+//! side is parallelized by [`crate::shard::ShardedDeltaNet`], which
+//! partitions the address space itself so disjoint shards apply rule updates
+//! concurrently; both sides size their thread pools from the same
+//! [`Parallelism`] configuration, so a bench run pinned to `N` workers
+//! behaves identically across query and update code.
+//!
+//! Everything uses `std::thread::scope` (no `unsafe`, no external
+//! dependency, no global thread pool).
 
 use crate::engine::DeltaNet;
 use crate::loops;
 use netmodel::checker::{InvariantViolation, WhatIfReport};
+use netmodel::interval::normalize;
 use netmodel::topology::LinkId;
+use std::collections::BTreeMap;
 
-/// Default number of worker threads: the available parallelism, capped so
-/// that small queries do not pay for thread start-up.
-fn default_workers(work_items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    cores.min(work_items).max(1)
+/// How many worker threads the parallel entry points (bulk queries, sharded
+/// batch updates) may use.
+///
+/// The single knob replaces the old per-call `available_parallelism`
+/// heuristic, so bench runs are reproducible: construct one value — from the
+/// CLI, from [`Parallelism::from_env`] (`DELTANET_WORKERS`), or explicitly —
+/// and pass it everywhere. The worker count is always at least 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    workers: usize,
+}
+
+impl Parallelism {
+    /// Exactly `workers` threads (clamped to at least 1).
+    pub fn fixed(workers: usize) -> Self {
+        Parallelism {
+            workers: workers.max(1),
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        Parallelism::fixed(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// [`Parallelism::auto`], overridden by the `DELTANET_WORKERS`
+    /// environment variable when it holds a positive integer.
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var("DELTANET_WORKERS").ok().as_deref())
+    }
+
+    /// The parsing behind [`Parallelism::from_env`], split out so it is
+    /// testable without mutating the process environment.
+    fn from_env_value(value: Option<&str>) -> Self {
+        match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n > 0 => Parallelism::fixed(n),
+            _ => Parallelism::auto(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(self) -> usize {
+        self.workers
+    }
+
+    /// Workers to actually spawn for `items` units of work: never more
+    /// threads than items, never fewer than one.
+    pub fn for_items(self, items: usize) -> usize {
+        self.workers.min(items).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::from_env()
+    }
+}
+
+/// Merges violations found by independent partitions of one analysis (atom
+/// ranges, shards) into the canonical combined form: forwarding loops are
+/// grouped by their node cycle and blackholes by their node, with the packet
+/// intervals of each group normalized. Loops sort before blackholes; each
+/// group sorts by its key.
+pub fn merge_violations(
+    parts: impl IntoIterator<Item = InvariantViolation>,
+) -> Vec<InvariantViolation> {
+    let mut loops: BTreeMap<Vec<netmodel::topology::NodeId>, Vec<netmodel::interval::Interval>> =
+        BTreeMap::new();
+    let mut holes: BTreeMap<netmodel::topology::NodeId, Vec<netmodel::interval::Interval>> =
+        BTreeMap::new();
+    for violation in parts {
+        match violation {
+            InvariantViolation::ForwardingLoop { nodes, packets } => {
+                loops.entry(nodes).or_default().extend(packets);
+            }
+            InvariantViolation::Blackhole { node, packets } => {
+                holes.entry(node).or_default().extend(packets);
+            }
+        }
+    }
+    loops
+        .into_iter()
+        .map(|(nodes, packets)| InvariantViolation::ForwardingLoop {
+            nodes,
+            packets: normalize(packets),
+        })
+        .chain(
+            holes
+                .into_iter()
+                .map(|(node, packets)| InvariantViolation::Blackhole {
+                    node,
+                    packets: normalize(packets),
+                }),
+        )
+        .collect()
 }
 
 /// Answers the link-failure "what if" query for many links concurrently,
-/// returning one report per queried link in the input order.
+/// returning one report per queried link in the input order. Worker count
+/// from [`Parallelism::from_env`]; use [`what_if_many_with`] to pin it.
 ///
 /// This is the bulk form of [`DeltaNet::link_failure_impact`] used by the
 /// failure-scenario sweeps (e.g. "test every possible single link failure",
 /// §6 concluding remarks).
 pub fn what_if_many(net: &DeltaNet, links: &[LinkId], check_loops: bool) -> Vec<WhatIfReport> {
-    let workers = default_workers(links.len());
+    what_if_many_with(net, links, check_loops, Parallelism::from_env())
+}
+
+/// [`what_if_many`] with an explicit worker-count configuration.
+pub fn what_if_many_with(
+    net: &DeltaNet,
+    links: &[LinkId],
+    check_loops: bool,
+    parallelism: Parallelism,
+) -> Vec<WhatIfReport> {
+    let workers = parallelism.for_items(links.len());
     if workers <= 1 || links.len() <= 1 {
         return links
             .iter()
@@ -54,9 +164,19 @@ pub fn what_if_many(net: &DeltaNet, links: &[LinkId], check_loops: bool) -> Vec<
 /// Audits the whole data plane for forwarding loops by partitioning the atom
 /// space across threads. Produces the same set of violations as
 /// [`DeltaNet::check_all_loops`], merely faster on large atom counts.
+/// Worker count from [`Parallelism::from_env`]; use
+/// [`check_all_loops_parallel_with`] to pin it.
 pub fn check_all_loops_parallel(net: &DeltaNet) -> Vec<InvariantViolation> {
+    check_all_loops_parallel_with(net, Parallelism::from_env())
+}
+
+/// [`check_all_loops_parallel`] with an explicit worker-count configuration.
+pub fn check_all_loops_parallel_with(
+    net: &DeltaNet,
+    parallelism: Parallelism,
+) -> Vec<InvariantViolation> {
     let all_atoms: Vec<crate::atoms::AtomId> = net.atoms().iter().map(|(a, _)| a).collect();
-    let workers = default_workers(all_atoms.len() / 64 + 1);
+    let workers = parallelism.for_items(all_atoms.len() / 64 + 1);
     if workers <= 1 {
         return net.check_all_loops();
     }
@@ -74,33 +194,19 @@ pub fn check_all_loops_parallel(net: &DeltaNet) -> Vec<InvariantViolation> {
             partial.push(h.join().expect("loop-audit worker panicked"));
         }
     });
-    // Merge and deduplicate: the same cycle may be found from different
-    // atom partitions; keep one violation per cycle with packets merged.
-    let mut merged: std::collections::BTreeMap<
-        Vec<netmodel::topology::NodeId>,
-        Vec<netmodel::interval::Interval>,
-    > = std::collections::BTreeMap::new();
-    for violation in partial.into_iter().flatten() {
-        if let InvariantViolation::ForwardingLoop { nodes, packets } = violation {
-            merged.entry(nodes).or_default().extend(packets);
-        }
-    }
-    merged
-        .into_iter()
-        .map(|(nodes, packets)| InvariantViolation::ForwardingLoop {
-            nodes,
-            packets: netmodel::interval::normalize(packets),
-        })
-        .collect()
+    // The same cycle may be found from different atom partitions; merge to
+    // one violation per cycle with the packets combined.
+    merge_violations(partial.into_iter().flatten())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::DeltaNetConfig;
+    use netmodel::interval::Interval;
     use netmodel::ip::IpPrefix;
     use netmodel::rule::{Rule, RuleId};
-    use netmodel::topology::Topology;
+    use netmodel::topology::{NodeId, Topology};
 
     fn prefix(s: &str) -> IpPrefix {
         s.parse().unwrap()
@@ -149,12 +255,18 @@ mod tests {
     #[test]
     fn parallel_loop_audit_matches_sequential() {
         for with_loop in [false, true] {
-            let net = ring_net(with_loop);
-            let seq = net.check_all_loops();
-            let par = check_all_loops_parallel(&net);
-            assert_eq!(seq.len(), par.len(), "with_loop={with_loop}");
-            if with_loop {
-                assert!(!par.is_empty());
+            for workers in [1, 2, 5] {
+                let net = ring_net(with_loop);
+                let seq = net.check_all_loops();
+                let par = check_all_loops_parallel_with(&net, Parallelism::fixed(workers));
+                assert_eq!(
+                    seq.len(),
+                    par.len(),
+                    "with_loop={with_loop} workers={workers}"
+                );
+                if with_loop {
+                    assert!(!par.is_empty());
+                }
             }
         }
     }
@@ -163,11 +275,16 @@ mod tests {
     fn what_if_many_matches_single_queries() {
         let net = ring_net(false);
         let links: Vec<LinkId> = net.topology().links().iter().map(|l| l.id).collect();
-        let bulk = what_if_many(&net, &links, false);
-        assert_eq!(bulk.len(), links.len());
-        for (i, &link) in links.iter().enumerate() {
-            let single = net.link_failure_impact(link, false);
-            assert_eq!(bulk[i], single, "mismatch for {link:?}");
+        for workers in [1, 3, 16] {
+            let bulk = what_if_many_with(&net, &links, false, Parallelism::fixed(workers));
+            assert_eq!(bulk.len(), links.len());
+            for (i, &link) in links.iter().enumerate() {
+                let single = net.link_failure_impact(link, false);
+                assert_eq!(
+                    bulk[i], single,
+                    "mismatch for {link:?} at {workers} workers"
+                );
+            }
         }
     }
 
@@ -175,5 +292,62 @@ mod tests {
     fn what_if_many_empty_input() {
         let net = ring_net(false);
         assert!(what_if_many(&net, &[], true).is_empty());
+    }
+
+    #[test]
+    fn parallelism_clamps_and_parses() {
+        assert_eq!(Parallelism::fixed(0).workers(), 1);
+        assert_eq!(Parallelism::fixed(8).workers(), 8);
+        assert_eq!(Parallelism::fixed(8).for_items(3), 3);
+        assert_eq!(Parallelism::fixed(2).for_items(0), 1);
+        assert!(Parallelism::auto().workers() >= 1);
+        // Environment parsing: positive integers override, junk falls back.
+        assert_eq!(Parallelism::from_env_value(Some("6")).workers(), 6);
+        assert_eq!(Parallelism::from_env_value(Some(" 3 ")).workers(), 3);
+        assert_eq!(
+            Parallelism::from_env_value(Some("0")),
+            Parallelism::auto(),
+            "zero falls back to auto"
+        );
+        assert_eq!(
+            Parallelism::from_env_value(Some("nope")),
+            Parallelism::auto()
+        );
+        assert_eq!(Parallelism::from_env_value(None), Parallelism::auto());
+    }
+
+    #[test]
+    fn merge_violations_groups_and_normalizes() {
+        let merged = merge_violations([
+            InvariantViolation::ForwardingLoop {
+                nodes: vec![NodeId(0), NodeId(1)],
+                packets: vec![Interval::new(0, 8)],
+            },
+            InvariantViolation::Blackhole {
+                node: NodeId(2),
+                packets: vec![Interval::new(16, 20)],
+            },
+            InvariantViolation::ForwardingLoop {
+                nodes: vec![NodeId(0), NodeId(1)],
+                packets: vec![Interval::new(8, 12)],
+            },
+            InvariantViolation::Blackhole {
+                node: NodeId(2),
+                packets: vec![Interval::new(20, 32)],
+            },
+        ]);
+        assert_eq!(
+            merged,
+            vec![
+                InvariantViolation::ForwardingLoop {
+                    nodes: vec![NodeId(0), NodeId(1)],
+                    packets: vec![Interval::new(0, 12)],
+                },
+                InvariantViolation::Blackhole {
+                    node: NodeId(2),
+                    packets: vec![Interval::new(16, 32)],
+                },
+            ]
+        );
     }
 }

@@ -1,0 +1,755 @@
+//! Sharding the Delta-net engine across the address space.
+//!
+//! §6 of the paper observes that "its main loops over atoms in Algorithm 1
+//! and 2 are highly parallelizable". Atoms are disjoint half-closed
+//! intervals, so the cleanest realization is to partition the address space
+//! itself: [`ShardedDeltaNet`] splits `[0 : 2^w)` into `N` fixed contiguous
+//! ranges, each backed by an independent clipped [`DeltaNet`]
+//! ([`DeltaNet::clipped`]). A rule whose interval crosses shard boundaries
+//! is split at those boundaries and routed to every shard it touches; the
+//! per-shard [`UpdateReport`]s and delta-graphs merge back into one report,
+//! so callers — the [`Checker`] harness, the replay CLI, the bench
+//! experiments — cannot tell the difference.
+//!
+//! Because shards share no mutable state (disjoint atoms, owners, and label
+//! bits), a *batch* of updates groups by shard and the groups apply
+//! concurrently with `std::thread::scope` ([`ShardedDeltaNet::apply_batch`])
+//! — the same scale-by-replicating-the-core-logic move network functions
+//! use to scale across cores.
+//!
+//! ## Semantics at shard boundaries
+//!
+//! Each interior boundary permanently splits the address space, so an atom
+//! that would straddle a boundary in a single engine exists as one atom per
+//! touched shard here. Every *observable* quantity is unaffected — labels
+//! as normalized intervals, what-if packets, loop and blackhole verdicts are
+//! identical to the single-engine answers — but raw class counts
+//! ([`ShardedDeltaNet::class_count`]) can exceed the single engine's by at
+//! most `N - 1`, and `affected_classes` of a boundary-straddling update
+//! counts its split atoms per shard. The differential suite in
+//! `crates/deltanet/tests/sharded_differential.rs` pins both the observable
+//! equality and the exact boundary accounting.
+
+use crate::engine::{CompactReport, DeltaNet, DeltaNetConfig};
+use crate::parallel::{merge_violations, Parallelism};
+use netmodel::checker::{
+    Checker, InvariantViolation, ReplayError, UpdateError, UpdateReport, WhatIfReport,
+};
+use netmodel::interval::{normalize, Bound, Interval};
+use netmodel::rule::{Rule, RuleId};
+use netmodel::topology::{LinkId, Topology};
+use netmodel::trace::Op;
+use std::collections::{BTreeSet, HashMap};
+
+/// The Delta-net engine sharded across the address space: `N` clipped
+/// engines over fixed contiguous ranges of `[0 : 2^w)`, behind the same
+/// update/query surface as a single [`DeltaNet`].
+///
+/// # Examples
+///
+/// ```
+/// use deltanet::{DeltaNetConfig, ShardedDeltaNet};
+/// use netmodel::checker::Checker;
+/// use netmodel::rule::{Rule, RuleId};
+/// use netmodel::topology::Topology;
+///
+/// let mut topo = Topology::new();
+/// let s1 = topo.add_node("s1");
+/// let s2 = topo.add_node("s2");
+/// let link = topo.add_link(s1, s2);
+/// let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 4);
+///
+/// // 10.0.0.0/8 lies inside one quarter of the IPv4 space: one shard.
+/// let narrow = Rule::forward(RuleId(0), "10.0.0.0/8".parse().unwrap(), 10, s1, link);
+/// // 0.0.0.0/0 covers the whole space: split across all four shards.
+/// let wide = Rule::forward(RuleId(1), "0.0.0.0/0".parse().unwrap(), 1, s1, link);
+/// net.insert_rule(narrow);
+/// let report = net.insert_rule(wide);
+/// assert!(report.violations.is_empty());
+/// assert_eq!(net.rule_count(), 2);
+/// assert!(net.class_count() >= 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedDeltaNet {
+    topology: Topology,
+    /// Shard range boundaries: `boundaries[i] .. boundaries[i + 1]` is the
+    /// range of shard `i`; strictly increasing, first `0`, last `2^w`.
+    boundaries: Vec<Bound>,
+    shards: Vec<DeltaNet>,
+    /// The global rule registry: duplicate detection and removal routing
+    /// need the full (unclipped) intervals of every installed rule.
+    rules: HashMap<RuleId, Rule>,
+    parallelism: Parallelism,
+}
+
+impl ShardedDeltaNet {
+    /// Creates a sharded checker with `shards` equal contiguous address
+    /// ranges and the worker count from [`Parallelism::from_env`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the number of addresses in the
+    /// configured field space.
+    pub fn new(topology: Topology, config: DeltaNetConfig, shards: usize) -> Self {
+        Self::with_parallelism(topology, config, shards, Parallelism::from_env())
+    }
+
+    /// [`ShardedDeltaNet::new`] with an explicit worker-count configuration
+    /// for [`ShardedDeltaNet::apply_batch`].
+    pub fn with_parallelism(
+        topology: Topology,
+        config: DeltaNetConfig,
+        shards: usize,
+        parallelism: Parallelism,
+    ) -> Self {
+        let max: Bound = 1u128 << config.field_width;
+        assert!(shards >= 1, "at least one shard is required");
+        assert!(
+            (shards as u128) <= max,
+            "cannot split {max} addresses into {shards} shards"
+        );
+        // floor(max * i / shards) without overflowing u128.
+        let q = max / shards as u128;
+        let r = max % shards as u128;
+        let boundaries: Vec<Bound> = (0..=shards as u128)
+            .map(|i| q * i + (r * i) / shards as u128)
+            .collect();
+        let shards = boundaries
+            .windows(2)
+            .map(|w| DeltaNet::clipped(topology.clone(), config, Interval::new(w[0], w[1])))
+            .collect();
+        ShardedDeltaNet {
+            topology,
+            boundaries,
+            shards,
+            rules: HashMap::new(),
+            parallelism,
+        }
+    }
+
+    /// The topology this checker verifies.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard engines, in address order (read-only; for diagnostics and
+    /// the bench memory accounting).
+    pub fn shards(&self) -> &[DeltaNet] {
+        &self.shards
+    }
+
+    /// The contiguous address range owned by each shard, in address order.
+    pub fn shard_ranges(&self) -> Vec<Interval> {
+        self.boundaries
+            .windows(2)
+            .map(|w| Interval::new(w[0], w[1]))
+            .collect()
+    }
+
+    /// The worker-count configuration used by batched updates.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The rule with the given id, if currently installed.
+    pub fn rule(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(&id)
+    }
+
+    /// Iterates all currently installed rules (unspecified order).
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.values()
+    }
+
+    /// The shard whose range contains the address `value`.
+    fn shard_of(&self, value: Bound) -> usize {
+        self.boundaries.partition_point(|&b| b <= value) - 1
+    }
+
+    /// The shards `interval` touches (it is split at each boundary crossed).
+    fn shard_span(&self, interval: Interval) -> std::ops::RangeInclusive<usize> {
+        self.shard_of(interval.lo())..=self.shard_of(interval.hi() - 1)
+    }
+
+    fn validate_insert(&self, rule: &Rule) -> Result<(), UpdateError> {
+        if self.rules.contains_key(&rule.id) {
+            return Err(UpdateError::DuplicateRule(rule.id));
+        }
+        if rule.link.index() >= self.topology.link_count() {
+            return Err(UpdateError::UnknownLink {
+                rule: rule.id,
+                link: rule.link,
+            });
+        }
+        Ok(())
+    }
+
+    /// Algorithm 1, sharded: splits `rule` at the shard boundaries it
+    /// crosses, applies each piece to its shard, and merges the per-shard
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate rule id or an out-of-topology link; use
+    /// [`ShardedDeltaNet::try_insert_rule`] for an error instead.
+    pub fn insert_rule(&mut self, rule: Rule) -> UpdateReport {
+        self.try_insert_rule(rule).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ShardedDeltaNet::insert_rule`].
+    pub fn try_insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, UpdateError> {
+        self.validate_insert(&rule)?;
+        self.rules.insert(rule.id, rule);
+        let parts: Vec<UpdateReport> = self
+            .shard_span(rule.interval())
+            .map(|s| {
+                self.shards[s]
+                    .try_insert_rule(rule)
+                    .expect("validated insert cannot fail inside a shard")
+            })
+            .collect();
+        Ok(merge_update_reports(Some(rule.id), true, parts))
+    }
+
+    /// Algorithm 2, sharded: routes the removal to every shard the rule's
+    /// interval touches and merges the per-shard reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule with that id is installed; use
+    /// [`ShardedDeltaNet::try_remove_rule`] for an error instead.
+    pub fn remove_rule(&mut self, id: RuleId) -> UpdateReport {
+        self.try_remove_rule(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ShardedDeltaNet::remove_rule`].
+    pub fn try_remove_rule(&mut self, id: RuleId) -> Result<UpdateReport, UpdateError> {
+        let rule = self.rules.remove(&id).ok_or(UpdateError::UnknownRule(id))?;
+        let parts: Vec<UpdateReport> = self
+            .shard_span(rule.interval())
+            .map(|s| {
+                self.shards[s]
+                    .try_remove_rule(id)
+                    .expect("registered rule cannot be missing from its shard")
+            })
+            .collect();
+        Ok(merge_update_reports(Some(id), false, parts))
+    }
+
+    /// Applies a window of updates with the per-shard groups running
+    /// concurrently: operations are validated and routed in order (so a
+    /// shard sees its sub-sequence in trace order), each shard's group is
+    /// applied on its own thread — conflict-free, because shards share no
+    /// state — and the per-shard reports merge back into one report per
+    /// operation, in input order.
+    ///
+    /// A malformed operation (duplicate insert, unknown removal) stops the
+    /// batch: like [`Checker::try_replay`], the operations before it stay
+    /// applied and the error reports the failing index.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
+        let shard_count = self.shards.len();
+        let mut routed: Vec<Vec<(usize, Op)>> = vec![Vec::new(); shard_count];
+        let mut meta: Vec<(Option<RuleId>, bool)> = Vec::with_capacity(ops.len());
+        let mut failure: Option<ReplayError> = None;
+        for (index, op) in ops.iter().enumerate() {
+            let interval = match op {
+                Op::Insert(rule) => match self.validate_insert(rule) {
+                    Ok(()) => {
+                        self.rules.insert(rule.id, *rule);
+                        meta.push((Some(rule.id), true));
+                        rule.interval()
+                    }
+                    Err(error) => {
+                        failure = Some(ReplayError { index, error });
+                        break;
+                    }
+                },
+                Op::Remove(id) => match self.rules.remove(id) {
+                    Some(rule) => {
+                        meta.push((Some(*id), false));
+                        rule.interval()
+                    }
+                    None => {
+                        failure = Some(ReplayError {
+                            index,
+                            error: UpdateError::UnknownRule(*id),
+                        });
+                        break;
+                    }
+                },
+            };
+            for s in self.shard_span(interval) {
+                routed[s].push((index, *op));
+            }
+        }
+
+        // Apply each shard's sub-sequence. `chunks_mut` hands out disjoint
+        // `&mut` shard slices, so the scope needs no further synchronization.
+        let busy = routed.iter().filter(|r| !r.is_empty()).count();
+        let workers = self.parallelism.for_items(busy);
+        let mut partials: Vec<Vec<(usize, UpdateReport)>> = Vec::with_capacity(shard_count);
+        if workers <= 1 {
+            for (shard, group) in self.shards.iter_mut().zip(&routed) {
+                partials.push(apply_routed(shard, group));
+            }
+        } else {
+            let chunk = shard_count.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (shards, groups) in self.shards.chunks_mut(chunk).zip(routed.chunks(chunk)) {
+                    handles.push(scope.spawn(move || {
+                        shards
+                            .iter_mut()
+                            .zip(groups)
+                            .map(|(shard, group)| apply_routed(shard, group))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for handle in handles {
+                    partials.extend(handle.join().expect("shard worker panicked"));
+                }
+            });
+        }
+
+        if let Some(error) = failure {
+            return Err(error);
+        }
+        let mut parts: Vec<Vec<UpdateReport>> = (0..meta.len()).map(|_| Vec::new()).collect();
+        for shard_parts in partials {
+            for (index, report) in shard_parts {
+                parts[index].push(report);
+            }
+        }
+        Ok(parts
+            .into_iter()
+            .zip(meta)
+            .map(|(p, (rule_id, was_insert))| merge_update_reports(rule_id, was_insert, p))
+            .collect())
+    }
+
+    /// Runs a compaction pass on every shard (see [`DeltaNet::compact`]) and
+    /// returns the summed report. Shards with an auto-compaction threshold
+    /// configured also compact independently as their own garbage accrues.
+    pub fn compact(&mut self) -> CompactReport {
+        let mut total = CompactReport::default();
+        for shard in &mut self.shards {
+            let report = shard.compact();
+            total.merged_atoms += report.merged_atoms;
+            total.allocated_before += report.allocated_before;
+            total.allocated_after += report.allocated_after;
+            total.bytes_before += report.bytes_before;
+            total.bytes_after += report.bytes_after;
+        }
+        total
+    }
+
+    /// Checks the entire data plane for forwarding loops, shard-wise; the
+    /// same verdicts as [`DeltaNet::check_all_loops`] on an unsharded
+    /// engine, with cycles found in several shards merged.
+    pub fn check_all_loops(&self) -> Vec<InvariantViolation> {
+        merge_violations(self.shards.iter().flat_map(DeltaNet::check_all_loops))
+    }
+
+    /// Checks the entire data plane for blackholes, shard-wise (see
+    /// [`DeltaNet::check_all_blackholes`]), merging per-node findings.
+    pub fn check_all_blackholes(&self) -> Vec<InvariantViolation> {
+        merge_violations(self.shards.iter().flat_map(DeltaNet::check_all_blackholes))
+    }
+
+    /// The what-if link-failure query (§4.3.2), shard-wise: each shard
+    /// reports the impact among its own atoms and the partial reports merge
+    /// — packets normalized, affected links deduplicated, violations
+    /// combined.
+    pub fn link_failure_impact(&self, link: LinkId, check_loops: bool) -> WhatIfReport {
+        let mut affected_classes = 0;
+        let mut packets = Vec::new();
+        let mut links: BTreeSet<LinkId> = BTreeSet::new();
+        let mut violations = Vec::new();
+        for shard in &self.shards {
+            let report = shard.link_failure_impact(link, check_loops);
+            affected_classes += report.affected_classes;
+            packets.extend(report.affected_packets);
+            links.extend(report.affected_links);
+            violations.extend(report.violations);
+        }
+        WhatIfReport {
+            link: Some(link),
+            affected_classes,
+            affected_packets: normalize(packets),
+            affected_links: links.into_iter().collect(),
+            violations: merge_violations(violations),
+        }
+    }
+
+    /// The atoms of `link`'s labels across all shards, as normalized
+    /// intervals — the shard-agnostic form of [`DeltaNet::label`].
+    pub fn label_intervals(&self, link: LinkId) -> Vec<Interval> {
+        normalize(
+            self.shards
+                .iter()
+                .flat_map(|shard| {
+                    shard
+                        .label(link)
+                        .iter()
+                        .map(|a| shard.atoms().atom_interval(a))
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of packet classes: the sum of each shard's atoms within its
+    /// own range. Exceeds an unsharded engine's [`DeltaNet::atom_count`] by
+    /// exactly one per interior shard boundary no rule bound coincides with
+    /// (see the module docs on boundary semantics).
+    pub fn atom_count(&self) -> usize {
+        self.shards.iter().map(DeltaNet::owned_atom_count).sum()
+    }
+
+    /// Sum of the shards' atom-id table sizes (see
+    /// [`DeltaNet::allocated_atoms`]).
+    pub fn allocated_atoms(&self) -> usize {
+        self.shards.iter().map(DeltaNet::allocated_atoms).sum()
+    }
+
+    /// Sum of the shards' reclaimable interval bounds (see
+    /// [`DeltaNet::reclaimable_bounds`]).
+    pub fn reclaimable_bounds(&self) -> usize {
+        self.shards.iter().map(DeltaNet::reclaimable_bounds).sum()
+    }
+
+    /// Total compaction passes run across all shards.
+    pub fn compactions(&self) -> usize {
+        self.shards.iter().map(DeltaNet::compactions).sum()
+    }
+
+    /// Heap bytes addressed by live state: the shards summed, plus the
+    /// global rule registry. The shared [`Topology`] is cloned into each
+    /// shard but — like the single engine — never counted, so the sum does
+    /// not multiply it; a boundary-straddling rule's per-shard copies are
+    /// counted, which is the real cost of splitting it.
+    pub fn live_bytes(&self) -> usize {
+        self.shards.iter().map(DeltaNet::live_bytes).sum::<usize>()
+            + self.rules.len() * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
+    }
+
+    /// Estimated heap memory used by the sharded engine (allocated
+    /// capacities; same accounting rules as [`ShardedDeltaNet::live_bytes`]).
+    pub fn memory_estimate(&self) -> usize {
+        self.shards
+            .iter()
+            .map(DeltaNet::memory_estimate)
+            .sum::<usize>()
+            + self.rules.capacity()
+                * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
+    }
+}
+
+/// Applies one shard's routed sub-sequence, tagging each report with the
+/// batch index of its operation.
+fn apply_routed(shard: &mut DeltaNet, group: &[(usize, Op)]) -> Vec<(usize, UpdateReport)> {
+    group
+        .iter()
+        .map(|&(index, op)| {
+            let report = shard
+                .try_apply(&op)
+                .expect("validated op cannot fail inside a shard");
+            (index, report)
+        })
+        .collect()
+}
+
+/// Merges the per-shard reports of one operation: affected classes are
+/// disjoint across shards and sum; changed links deduplicate; violations
+/// found in several shards merge per cycle / per node.
+fn merge_update_reports(
+    rule_id: Option<RuleId>,
+    was_insert: bool,
+    parts: Vec<UpdateReport>,
+) -> UpdateReport {
+    let mut affected_classes = 0;
+    let mut links: BTreeSet<LinkId> = BTreeSet::new();
+    let mut violations = Vec::new();
+    for part in parts {
+        affected_classes += part.affected_classes;
+        links.extend(part.changed_links);
+        violations.extend(part.violations);
+    }
+    UpdateReport {
+        rule_id,
+        was_insert,
+        affected_classes,
+        changed_links: links.into_iter().collect(),
+        violations: merge_violations(violations),
+    }
+}
+
+impl Checker for ShardedDeltaNet {
+    fn name(&self) -> &'static str {
+        "delta-net-sharded"
+    }
+
+    fn apply(&mut self, op: &Op) -> UpdateReport {
+        self.try_apply(op).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
+        match op {
+            Op::Insert(rule) => self.try_insert_rule(*rule),
+            Op::Remove(id) => self.try_remove_rule(*id),
+        }
+    }
+
+    fn what_if_link_failure(&self, link: LinkId, check_loops: bool) -> WhatIfReport {
+        self.link_failure_impact(link, check_loops)
+    }
+
+    fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn class_count(&self) -> usize {
+        self.atom_count()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::ip::IpPrefix;
+    use netmodel::topology::NodeId;
+
+    fn prefix(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn two_switch() -> (Topology, NodeId, NodeId, LinkId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let l = topo.add_link(a, b);
+        (topo, a, b, l)
+    }
+
+    #[test]
+    fn boundaries_partition_the_space_evenly() {
+        for shards in [1usize, 2, 3, 4, 7, 8] {
+            let (topo, _, _, _) = two_switch();
+            let net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), shards);
+            let ranges = net.shard_ranges();
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].lo(), 0);
+            assert_eq!(ranges[shards - 1].hi(), 1u128 << 32);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].hi(), w[1].lo());
+            }
+            // Even to within one address.
+            let sizes: Vec<u128> = ranges.iter().map(Interval::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "uneven split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_of_respects_boundaries() {
+        let (topo, _, _, _) = two_switch();
+        let net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 4);
+        let quarter = 1u128 << 30;
+        assert_eq!(net.shard_of(0), 0);
+        assert_eq!(net.shard_of(quarter - 1), 0);
+        assert_eq!(net.shard_of(quarter), 1);
+        assert_eq!(net.shard_of(4 * quarter - 1), 3);
+    }
+
+    #[test]
+    fn straddling_rule_is_split_and_rejoined() {
+        let (topo, a, _, l) = two_switch();
+        let mut net = ShardedDeltaNet::new(topo.clone(), DeltaNetConfig::default(), 4);
+        let mut plain = DeltaNet::with_topology(topo);
+        // 0.0.0.0/0 crosses all three interior boundaries.
+        let wide = Rule::forward(RuleId(1), prefix("0.0.0.0/0"), 1, a, l);
+        let sharded_report = net.insert_rule(wide);
+        let plain_report = plain.insert_rule(wide);
+        assert_eq!(sharded_report.changed_links, plain_report.changed_links);
+        // One atom per shard vs one atom total.
+        assert_eq!(sharded_report.affected_classes, 4);
+        assert_eq!(plain_report.affected_classes, 1);
+        // Observable labels agree.
+        assert_eq!(net.label_intervals(l), vec![Interval::new(0, 1u128 << 32)]);
+        // Removal undoes it everywhere.
+        net.remove_rule(RuleId(1));
+        assert!(net.label_intervals(l).is_empty());
+        assert_eq!(net.rule_count(), 0);
+        for shard in net.shards() {
+            assert_eq!(shard.rule_count(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ops_error_without_partial_application() {
+        let (topo, a, _, l) = two_switch();
+        let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 2);
+        let r = Rule::forward(RuleId(1), prefix("0.0.0.0/1"), 1, a, l);
+        net.insert_rule(r);
+        assert_eq!(
+            net.try_insert_rule(r).unwrap_err(),
+            UpdateError::DuplicateRule(RuleId(1))
+        );
+        assert_eq!(
+            net.try_remove_rule(RuleId(9)).unwrap_err(),
+            UpdateError::UnknownRule(RuleId(9))
+        );
+        let mut bad = r;
+        bad.id = RuleId(2);
+        bad.link = LinkId(100);
+        assert!(matches!(
+            net.try_insert_rule(bad).unwrap_err(),
+            UpdateError::UnknownLink { .. }
+        ));
+        assert_eq!(net.rule_count(), 1);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_application() {
+        let (topo, a, b, l) = two_switch();
+        let mut topo = topo;
+        let back = topo.add_link(b, a);
+        let ops: Vec<Op> = (0..32u64)
+            .map(|i| {
+                let p = IpPrefix::ipv4((i as u32) << 27, 6);
+                let (src, link) = if i % 2 == 0 { (a, l) } else { (b, back) };
+                Op::Insert(Rule::forward(RuleId(i), p, (i % 7 + 1) as u32, src, link))
+            })
+            .chain((0..16u64).map(|i| Op::Remove(RuleId(i * 2))))
+            .collect();
+        let mut batched = ShardedDeltaNet::new(topo.clone(), DeltaNetConfig::default(), 3);
+        let mut sequential = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 3);
+        let mut batch_reports = Vec::new();
+        for window in ops.chunks(5) {
+            batch_reports.extend(batched.apply_batch(window).expect("well-formed"));
+        }
+        let mut seq_reports = Vec::new();
+        for op in &ops {
+            seq_reports.push(sequential.apply(op));
+        }
+        assert_eq!(batch_reports, seq_reports);
+        for link in [l, back] {
+            assert_eq!(
+                batched.label_intervals(link),
+                sequential.label_intervals(link)
+            );
+        }
+        assert_eq!(batched.atom_count(), sequential.atom_count());
+    }
+
+    #[test]
+    fn apply_batch_error_keeps_prefix_applied() {
+        let (topo, a, _, l) = two_switch();
+        let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 2);
+        let r1 = Rule::forward(RuleId(1), prefix("0.0.0.0/2"), 1, a, l);
+        let r2 = Rule::forward(RuleId(2), prefix("128.0.0.0/2"), 1, a, l);
+        let err = net
+            .apply_batch(&[
+                Op::Insert(r1),
+                Op::Insert(r2),
+                Op::Remove(RuleId(99)),
+                Op::Remove(RuleId(1)),
+            ])
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.error, UpdateError::UnknownRule(RuleId(99)));
+        // The prefix before the failing op stayed applied, the suffix did not.
+        assert_eq!(net.rule_count(), 2);
+        assert!(net.rule(RuleId(1)).is_some());
+    }
+
+    #[test]
+    fn one_shard_memory_close_to_plain_engine() {
+        // The satellite guarantee: summing shards never double-counts the
+        // shared Topology, so a 1-shard sharded engine costs what the plain
+        // engine costs plus only its own small rule registry.
+        let (topo, a, _, l) = two_switch();
+        let mut sharded = ShardedDeltaNet::new(topo.clone(), DeltaNetConfig::default(), 1);
+        let mut plain = DeltaNet::with_topology(topo);
+        for i in 0..200u64 {
+            let r = Rule::forward(
+                RuleId(i),
+                IpPrefix::ipv4((i as u32) * 0x0100_0000 / 4, 10),
+                (i % 13 + 1) as u32,
+                a,
+                l,
+            );
+            sharded.insert_rule(r);
+            plain.insert_rule(r);
+        }
+        let plain_live = plain.live_bytes();
+        let sharded_live = sharded.live_bytes();
+        assert!(sharded_live >= plain_live);
+        let registry = sharded.rules().count()
+            * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8);
+        assert!(
+            sharded_live <= plain_live + registry + plain_live / 10,
+            "sharded {sharded_live} vs plain {plain_live} (+registry {registry})"
+        );
+        assert!(sharded.memory_estimate() >= sharded_live);
+        assert_eq!(sharded.class_count(), plain.atom_count());
+    }
+
+    #[test]
+    fn checker_surface_and_compaction() {
+        let (topo, a, _, l) = two_switch();
+        let mut net = ShardedDeltaNet::new(
+            topo,
+            DeltaNetConfig {
+                check_loops_per_update: false,
+                ..Default::default()
+            },
+            4,
+        );
+        assert_eq!(net.name(), "delta-net-sharded");
+        assert_eq!(
+            net.parallelism().workers(),
+            Parallelism::from_env().workers()
+        );
+        let wide = Rule::forward(RuleId(1), prefix("0.0.0.0/0"), 1, a, l);
+        let narrow = Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 9, a, l);
+        net.apply(&Op::Insert(wide));
+        net.apply(&Op::Insert(narrow));
+        assert_eq!(net.rule_count(), 2);
+        let whatif = net.what_if_link_failure(l, true);
+        assert_eq!(whatif.affected_packets, vec![Interval::new(0, 1u128 << 32)]);
+        assert!(net.memory_bytes() > 0);
+        net.apply(&Op::Remove(RuleId(2)));
+        assert!(net.reclaimable_bounds() > 0);
+        let report = net.compact();
+        assert!(report.merged_atoms > 0);
+        assert_eq!(net.reclaimable_bounds(), 0);
+        assert_eq!(net.compactions(), 4);
+        // After a pass every shard's id table equals its full atom count —
+        // owned atoms plus the structural out-of-range remainder pieces.
+        assert_eq!(
+            net.allocated_atoms(),
+            net.shards().iter().map(DeltaNet::atom_count).sum::<usize>()
+        );
+        assert!(net.allocated_atoms() >= net.atom_count());
+        // Boundary pins survive compaction: one class per shard remains.
+        assert_eq!(net.class_count(), 4);
+        assert_eq!(net.label_intervals(l), vec![Interval::new(0, 1u128 << 32)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let (topo, _, _, _) = two_switch();
+        ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 0);
+    }
+}

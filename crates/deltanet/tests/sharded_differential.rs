@@ -1,0 +1,348 @@
+//! Sharded-vs-single differential tests: identical randomized traces —
+//! inserts, removals, compaction passes, and rules straddling shard
+//! boundaries — replayed through a plain [`DeltaNet`] and a
+//! [`ShardedDeltaNet`] at several shard counts (including a non-power-of-two
+//! count, so boundaries fall at non-prefix positions and straddling is
+//! common) must be observationally identical: the same per-update changed
+//! links, the same loop and blackhole verdicts, the same labels and what-if
+//! answers as normalized intervals, and atom counts that agree exactly once
+//! the interior shard boundaries are accounted for.
+
+use deltanet::{DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet};
+use netmodel::checker::{Checker, InvariantViolation};
+use netmodel::interval::{normalize, Interval};
+use netmodel::ip::IpPrefix;
+use netmodel::rule::{Rule, RuleId};
+use netmodel::topology::{LinkId, NodeId, Topology};
+use netmodel::trace::Op;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Shard counts exercised by every test; 7 is deliberately not a power of
+/// two, so its boundaries align with no prefix and wide rules straddle.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// A strongly connected 5-switch topology with drop links, over an 8-bit
+/// address space (small enough to churn hard in a few hundred ops).
+fn small_topology(rng: &mut StdRng) -> Topology {
+    let mut topo = Topology::new();
+    let n = 5;
+    let nodes = topo.add_nodes("s", n);
+    for i in 0..n {
+        topo.add_bidi_link(nodes[i], nodes[(i + 1) % n]);
+    }
+    for _ in 0..n {
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        if a != b {
+            topo.add_link(a, b);
+        }
+    }
+    for node in topo.switch_nodes().collect::<Vec<_>>() {
+        topo.drop_link(node);
+    }
+    topo
+}
+
+fn random_rule(rng: &mut StdRng, topo: &mut Topology, id: u64) -> Rule {
+    let switches: Vec<NodeId> = topo.switch_nodes().collect();
+    let source = switches[rng.gen_range(0..switches.len())];
+    // Short prefix lengths are common, so many rules span several shards.
+    let len = rng.gen_range(0..=8u8);
+    let value = rng.gen_range(0u32..256) as u128;
+    let prefix = IpPrefix::new(value, len, 8);
+    let priority = rng.gen_range(1..=40);
+    if rng.gen_bool(0.1) {
+        let dl = topo.drop_link(source);
+        Rule::drop(RuleId(id), prefix, priority, source, dl)
+    } else {
+        let out: Vec<LinkId> = topo
+            .out_links(source)
+            .iter()
+            .copied()
+            .filter(|&l| !topo.is_drop_link(l))
+            .collect();
+        let link = out[rng.gen_range(0..out.len())];
+        Rule::forward(RuleId(id), prefix, priority, source, link)
+    }
+}
+
+fn plain_label_intervals(net: &DeltaNet, link: LinkId) -> Vec<Interval> {
+    normalize(
+        net.label(link)
+            .iter()
+            .map(|a| net.atoms().atom_interval(a))
+            .collect(),
+    )
+}
+
+/// Forwarding loops keyed by their node cycle, with normalized packets —
+/// invariant under atom numbering and shard partitioning.
+fn loops_by_cycle(violations: &[InvariantViolation]) -> BTreeMap<Vec<NodeId>, Vec<Interval>> {
+    let mut out: BTreeMap<NodeId2, Vec<Interval>> = BTreeMap::new();
+    type NodeId2 = Vec<NodeId>;
+    for v in violations {
+        if let InvariantViolation::ForwardingLoop { nodes, packets } = v {
+            out.entry(nodes.clone())
+                .or_default()
+                .extend(packets.clone());
+        }
+    }
+    for packets in out.values_mut() {
+        *packets = normalize(std::mem::take(packets));
+    }
+    out
+}
+
+/// Blackholed address space per node, invariant under atom numbering.
+fn blackholes_by_node(violations: &[InvariantViolation]) -> BTreeMap<NodeId, Vec<Interval>> {
+    let mut out: BTreeMap<NodeId, Vec<Interval>> = BTreeMap::new();
+    for v in violations {
+        if let InvariantViolation::Blackhole { node, packets } = v {
+            out.entry(*node).or_default().extend(packets.clone());
+        }
+    }
+    for packets in out.values_mut() {
+        *packets = normalize(std::mem::take(packets));
+    }
+    out
+}
+
+/// How many packet classes the sharded engine counts beyond the single
+/// engine: one per interior shard boundary that is not also an interval
+/// bound of the single engine's atom map (those boundaries split an atom the
+/// single engine keeps whole).
+fn boundary_extra(plain: &DeltaNet, sharded: &ShardedDeltaNet) -> usize {
+    sharded
+        .shard_ranges()
+        .iter()
+        .skip(1)
+        .filter(|range| !plain.atoms().contains_bound(range.lo()))
+        .count()
+}
+
+/// Whether `interval` crosses at least one interior shard boundary.
+fn straddles(sharded: &ShardedDeltaNet, interval: Interval) -> bool {
+    sharded
+        .shard_ranges()
+        .iter()
+        .skip(1)
+        .any(|range| interval.lo() < range.lo() && range.lo() < interval.hi())
+}
+
+/// Asserts every observable quantity agrees. `exact_atoms` additionally
+/// pins the atom-count sum; it must be off while threshold-triggered
+/// compaction is live, because the plain engine compacts on a *global*
+/// reclaimable count while each shard compacts on its own, so their
+/// dead-bound sets (never their observable behaviour) drift between passes.
+fn assert_observationally_equal(
+    plain: &DeltaNet,
+    sharded: &ShardedDeltaNet,
+    exact_atoms: bool,
+    tag: &str,
+) {
+    assert_eq!(
+        plain.rule_count(),
+        sharded.rule_count(),
+        "{tag}: rule count"
+    );
+    for link in plain.topology().links().to_vec() {
+        assert_eq!(
+            plain_label_intervals(plain, link.id),
+            sharded.label_intervals(link.id),
+            "{tag}: labels diverge on {:?}",
+            link.id
+        );
+        let a = plain.link_failure_impact(link.id, true);
+        let b = sharded.link_failure_impact(link.id, true);
+        assert_eq!(
+            a.affected_packets, b.affected_packets,
+            "{tag}: what-if packets diverge on {:?}",
+            link.id
+        );
+        assert_eq!(
+            a.affected_links, b.affected_links,
+            "{tag}: what-if links diverge on {:?}",
+            link.id
+        );
+        assert_eq!(
+            loops_by_cycle(&a.violations),
+            loops_by_cycle(&b.violations),
+            "{tag}: what-if loop verdicts diverge on {:?}",
+            link.id
+        );
+    }
+    assert_eq!(
+        loops_by_cycle(&plain.check_all_loops()),
+        loops_by_cycle(&sharded.check_all_loops()),
+        "{tag}: full loop audits diverge"
+    );
+    assert_eq!(
+        blackholes_by_node(&plain.check_all_blackholes()),
+        blackholes_by_node(&sharded.check_all_blackholes()),
+        "{tag}: blackhole verdicts diverge"
+    );
+    // Atom-count sums: exact once the interior boundaries are accounted.
+    if exact_atoms {
+        assert_eq!(
+            sharded.atom_count(),
+            plain.atom_count() + boundary_extra(plain, sharded),
+            "{tag}: atom-count sums diverge (boundary extra {})",
+            boundary_extra(plain, sharded)
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_matches_single_engine_under_random_churn() {
+    for seed in 0..4u64 {
+        for shards in SHARD_COUNTS {
+            let mut rng = StdRng::seed_from_u64(0x5AAD ^ (seed << 8) ^ shards as u64);
+            let mut topo = small_topology(&mut rng);
+            // Odd seeds churn with per-shard automatic compaction on, so the
+            // equivalence also covers threshold-triggered passes.
+            let config = DeltaNetConfig {
+                field_width: 8,
+                check_loops_per_update: true,
+                compact_threshold: if seed % 2 == 1 { Some(3) } else { None },
+            };
+            // Class/atom counts are compared exactly only while no automatic
+            // compaction can fire (see `assert_observationally_equal`).
+            let aligned_compaction = config.compact_threshold.is_none();
+            let mut plain = DeltaNet::new(topo.clone(), config);
+            let mut sharded = ShardedDeltaNet::new(topo.clone(), config, shards);
+            let mut live: Vec<Rule> = Vec::new();
+            let mut next_id = 0u64;
+            for step in 0..200 {
+                let remove = !live.is_empty() && rng.gen_bool(0.35);
+                let (op, interval) = if remove {
+                    let rule = live.swap_remove(rng.gen_range(0..live.len()));
+                    (Op::Remove(rule.id), rule.interval())
+                } else {
+                    let rule = random_rule(&mut rng, &mut topo, next_id);
+                    next_id += 1;
+                    if live.iter().any(|r| r.conflicts_with(&rule)) {
+                        continue;
+                    }
+                    live.push(rule);
+                    (Op::Insert(rule), rule.interval())
+                };
+                let a = plain.apply(&op);
+                let b = sharded.apply(&op);
+                let tag = format!("seed {seed} shards {shards} step {step}");
+                assert_eq!(a.changed_links, b.changed_links, "{tag}: changed links");
+                assert_eq!(
+                    loops_by_cycle(&a.violations),
+                    loops_by_cycle(&b.violations),
+                    "{tag}: per-update loop verdicts"
+                );
+                // Merged delta-graph class counts: identical unless the rule
+                // straddles a boundary, in which case the sharded engine
+                // counts each split piece (never fewer, at most one extra
+                // per interior boundary crossed). Only comparable while
+                // compaction timing cannot diverge.
+                if !aligned_compaction {
+                    // Observable parts (changed links, verdicts) were already
+                    // compared above; class counts drift with pass timing.
+                } else if straddles(&sharded, interval) {
+                    assert!(
+                        b.affected_classes >= a.affected_classes,
+                        "{tag}: straddling op lost classes ({} vs {})",
+                        b.affected_classes,
+                        a.affected_classes
+                    );
+                    assert!(
+                        b.affected_classes < a.affected_classes + shards,
+                        "{tag}: straddling op over-counted ({} vs {})",
+                        b.affected_classes,
+                        a.affected_classes
+                    );
+                } else {
+                    assert_eq!(
+                        a.affected_classes, b.affected_classes,
+                        "{tag}: non-straddling class counts"
+                    );
+                }
+                // An explicit compaction pass mid-trace on both engines.
+                if step == 120 {
+                    plain.compact();
+                    sharded.compact();
+                }
+                if step % 25 == 24 {
+                    assert_observationally_equal(&plain, &sharded, aligned_compaction, &tag);
+                }
+            }
+            // A final explicit pass on both engines erases all dead bounds,
+            // so the atom-count sum is exact again even after divergent
+            // threshold-triggered compaction timing.
+            plain.compact();
+            sharded.compact();
+            assert_observationally_equal(
+                &plain,
+                &sharded,
+                true,
+                &format!("seed {seed} shards {shards} final"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_application_matches_single_engine() {
+    for shards in SHARD_COUNTS {
+        let mut rng = StdRng::seed_from_u64(0xBA7C ^ shards as u64);
+        let mut topo = small_topology(&mut rng);
+        let config = DeltaNetConfig {
+            field_width: 8,
+            check_loops_per_update: true,
+            compact_threshold: None,
+        };
+        // Record a well-formed trace first.
+        let mut ops: Vec<Op> = Vec::new();
+        let mut live: Vec<Rule> = Vec::new();
+        let mut next_id = 0u64;
+        while ops.len() < 160 {
+            if !live.is_empty() && rng.gen_bool(0.35) {
+                let rule = live.swap_remove(rng.gen_range(0..live.len()));
+                ops.push(Op::Remove(rule.id));
+            } else {
+                let rule = random_rule(&mut rng, &mut topo, next_id);
+                next_id += 1;
+                if live.iter().any(|r| r.conflicts_with(&rule)) {
+                    continue;
+                }
+                live.push(rule);
+                ops.push(Op::Insert(rule));
+            }
+        }
+        let mut plain = DeltaNet::new(topo.clone(), config);
+        let mut sharded =
+            ShardedDeltaNet::with_parallelism(topo.clone(), config, shards, Parallelism::fixed(3));
+        let plain_reports: Vec<_> = ops.iter().map(|op| plain.apply(op)).collect();
+        let mut sharded_reports = Vec::new();
+        for window in ops.chunks(16) {
+            sharded_reports.extend(sharded.apply_batch(window).expect("trace is well-formed"));
+        }
+        assert_eq!(plain_reports.len(), sharded_reports.len());
+        for (i, (a, b)) in plain_reports.iter().zip(&sharded_reports).enumerate() {
+            assert_eq!(a.rule_id, b.rule_id, "shards {shards} op {i}");
+            assert_eq!(a.was_insert, b.was_insert, "shards {shards} op {i}");
+            assert_eq!(
+                a.changed_links, b.changed_links,
+                "shards {shards} op {i}: changed links"
+            );
+            assert_eq!(
+                loops_by_cycle(&a.violations),
+                loops_by_cycle(&b.violations),
+                "shards {shards} op {i}: loop verdicts"
+            );
+        }
+        assert_observationally_equal(
+            &plain,
+            &sharded,
+            true,
+            &format!("shards {shards} batched final"),
+        );
+    }
+}

@@ -30,6 +30,15 @@ pub enum UpdateError {
         /// The link the rule referenced.
         link: LinkId,
     },
+    /// An insertion whose match interval does not intersect a clipped
+    /// (shard) engine's address range. Only produced by engines created
+    /// with a clip; a sharded front-end routes rules so this never fires.
+    OutsideShard {
+        /// The offending rule.
+        rule: RuleId,
+        /// The address range the engine owns.
+        range: Interval,
+    },
 }
 
 impl fmt::Display for UpdateError {
@@ -39,6 +48,9 @@ impl fmt::Display for UpdateError {
             UpdateError::DuplicateRule(id) => write!(f, "rule {id:?} inserted twice"),
             UpdateError::UnknownLink { rule, link } => {
                 write!(f, "rule {rule:?} references unknown link {link:?}")
+            }
+            UpdateError::OutsideShard { rule, range } => {
+                write!(f, "rule {rule:?} does not intersect shard range {range}")
             }
         }
     }

@@ -32,7 +32,10 @@ pub use workloads;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
-    pub use deltanet::{AtomId, AtomMap, AtomSet, DeltaNet, DeltaNetConfig, ReachabilityMatrix};
+    pub use deltanet::{
+        AtomId, AtomMap, AtomSet, DeltaNet, DeltaNetConfig, Parallelism, ReachabilityMatrix,
+        ShardedDeltaNet,
+    };
     pub use netmodel::checker::{Checker, InvariantViolation, UpdateReport, WhatIfReport};
     pub use netmodel::fib::NetworkFib;
     pub use netmodel::interval::Interval;

@@ -5,13 +5,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "lattice_demo",
     "whatif_link_failure",
     "all_pairs_reachability",
     "failure_sweep",
     "sdn_ip_churn",
+    "sharded_updates",
 ];
 
 /// Runs each example through `cargo run --example` (a cache hit for the
