@@ -1,0 +1,26 @@
+//! Runs the incremental violation-monitoring experiment on the
+//! flapping-prefix churn workload: per-update monitor maintenance vs full
+//! loop + blackhole rescans after every operation, with the maintained
+//! state audited against the full scans after every op (the `mismatches` /
+//! `counts_match` fields).
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin monitor [-- --scale tiny|small|medium] [--json <path>]`
+//!
+//! Without `--json`, the machine-readable report is printed to stdout; the
+//! same object appears as the `monitor` section of `all_experiments --json`.
+//! The committed `BENCH_PR5.json` is produced by this binary.
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = bench::experiments::monitor_churn_json(scale).render();
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote monitor report ({scale:?} scale) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

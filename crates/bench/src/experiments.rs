@@ -524,6 +524,99 @@ pub fn churn_json(scale: ScaleProfile) -> Json {
     ])
 }
 
+/// The `monitor` section of the JSON report: the churn workload replayed
+/// twice to compare the two ways of answering "which violations exist right
+/// now?" after every operation —
+///
+/// * **incremental**: a monitored engine
+///   ([`DeltaNetConfig::monitor_violations`]); per-update maintenance cost
+///   is timed, and (outside the timed section) the maintained state is
+///   audited against full scans after every op, so the emitted
+///   `mismatches` / `counts_match` fields prove incremental == full-scan;
+/// * **rescan**: a plain engine calling `check_all_loops` +
+///   `check_all_blackholes` after every op — the O(plane) baseline.
+///
+/// The committed `BENCH_PR5.json` acceptance (`speedup` ≥ 5, `mismatches`
+/// = 0) is read off this section.
+pub fn monitor_churn_json(scale: ScaleProfile) -> Json {
+    let topology = workloads::churn::churn_topology();
+    let config = scale.churn_config();
+    let churn = workloads::churn::flapping_churn(&topology, config);
+    let ops = churn.trace.ops();
+
+    // Incremental run: only the monitored apply is timed; the per-op
+    // equality audit (itself a pair of full scans) runs outside the timer.
+    let mut net = DeltaNet::new(
+        topology.topology.clone(),
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            monitor_violations: true,
+            ..Default::default()
+        },
+    );
+    let mut incremental_s = 0f64;
+    let mut mismatches = 0usize;
+    let mut transitions = 0usize;
+    for op in ops {
+        let start = Instant::now();
+        net.apply(op);
+        incremental_s += start.elapsed().as_secs_f64();
+        transitions += net.monitor().map_or(0, |m| m.last_events().len());
+        let mut expect = net.check_all_loops();
+        expect.extend(net.check_all_blackholes());
+        if net.active_violations().expect("monitoring is on") != expect {
+            mismatches += 1;
+        }
+    }
+    let monitor = net.monitor().expect("monitoring is on");
+    let (inc_loops, inc_holes) = (monitor.loop_count(), monitor.blackhole_count());
+
+    // Rescan baseline: apply + both full scans, all timed.
+    let mut net = DeltaNet::new(
+        topology.topology.clone(),
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    let mut rescan_s = 0f64;
+    let mut scan_loops = 0usize;
+    let mut scan_holes = 0usize;
+    for op in ops {
+        let start = Instant::now();
+        net.apply(op);
+        scan_loops = net.check_all_loops().len();
+        scan_holes = net.check_all_blackholes().len();
+        rescan_s += start.elapsed().as_secs_f64();
+    }
+
+    let counts_match = mismatches == 0 && inc_loops == scan_loops && inc_holes == scan_holes;
+    Json::obj([
+        ("schema", Json::str("deltanet-monitor-v1")),
+        ("dataset", Json::str("Churn")),
+        ("operations", Json::int(ops.len())),
+        ("incremental_ms", Json::ms(incremental_s * 1e3)),
+        ("rescan_ms", Json::ms(rescan_s * 1e3)),
+        ("speedup", Json::ms(rescan_s / incremental_s.max(1e-9))),
+        (
+            "incremental_us_per_op",
+            Json::ms(incremental_s * 1e6 / ops.len().max(1) as f64),
+        ),
+        (
+            "rescan_us_per_op",
+            Json::ms(rescan_s * 1e6 / ops.len().max(1) as f64),
+        ),
+        ("violation_transitions", Json::int(transitions)),
+        ("mismatches", Json::int(mismatches)),
+        ("counts_match", Json::Bool(counts_match)),
+        ("final_loops_incremental", Json::int(inc_loops)),
+        ("final_loops_rescan", Json::int(scan_loops)),
+        ("final_blackholes_incremental", Json::int(inc_holes)),
+        ("final_blackholes_rescan", Json::int(scan_holes)),
+        ("final_atoms", Json::int(net.atom_count())),
+    ])
+}
+
 /// The `microbench` section: the owner-representation comparison (see
 /// [`crate::ownerbench`]) at a rule count scaled to the profile — at least
 /// 10k rules from `small` upwards so the committed numbers exercise the
@@ -657,6 +750,7 @@ pub fn json_report(scale: ScaleProfile) -> Json {
         ("microbench", microbench_json(scale)),
         ("churn", churn_json(scale)),
         ("shard_scaling", shard_scaling_json(scale, &[1, 2, 4], 256)),
+        ("monitor", monitor_churn_json(scale)),
     ])
 }
 
@@ -770,6 +864,23 @@ mod tests {
         );
         assert_eq!(field(compacted, "reclaimable_bounds"), 0.0);
         assert_eq!(field(compacted, "atoms"), field(baseline, "atoms"));
+    }
+
+    #[test]
+    fn monitor_json_proves_incremental_equals_rescan() {
+        let report = monitor_churn_json(ScaleProfile::Tiny);
+        let text = report.render();
+        for key in [
+            "deltanet-monitor-v1",
+            "incremental_ms",
+            "rescan_ms",
+            "speedup",
+            "violation_transitions",
+            "\"mismatches\": 0",
+            "\"counts_match\": true",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
     }
 
     #[test]

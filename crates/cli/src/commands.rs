@@ -6,10 +6,11 @@
 
 use crate::args::{parse_dataset, parse_scale, parse_usize_option, ArgError, ParsedArgs};
 use crate::topo_text;
-use deltanet::{blackholes, DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet};
+use deltanet::{blackholes, DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet, ViolationKey};
 use netmodel::checker::{Checker, InvariantViolation};
 use netmodel::topology::Topology;
 use netmodel::trace::{Op, Trace};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
 use std::time::Instant;
@@ -69,7 +70,7 @@ pub fn help() -> String {
                  `churn` workload) as <name>.topo + <name>.trace\n\
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
                  [--compact [<threshold>]] [--json <file>] [--shards <n>] [--batch <w>]\n\
-                 [--workers <n>] [--check blackholes]\n\
+                 [--workers <n>] [--check blackholes] [--monitor]\n\
                  Replay a trace through a checker and print Table-3 style statistics;\n\
                  with --json, also write them machine-readable (BENCH_*.json shape).\n\
                  --compact enables automatic atom compaction (deltanet only): a removal\n\
@@ -78,7 +79,10 @@ pub fn help() -> String {
                  (deltanet only); with --batch, updates apply in windows of <w> with the\n\
                  per-shard groups running concurrently (--workers / DELTANET_WORKERS\n\
                  caps the threads). --check blackholes audits the final data plane for\n\
-                 blackholes after the replay.\n\
+                 blackholes after the replay. --monitor (deltanet only) maintains the\n\
+                 live loop+blackhole violation set incrementally, streams appeared/\n\
+                 resolved transitions per trace op, and cross-checks the final state\n\
+                 against a full rescan.\n\
                  Malformed operations (unknown rule removal, duplicate insert) are\n\
                  reported with their line position instead of crashing the replay\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
@@ -189,6 +193,79 @@ impl ReplayEngine {
             ReplayEngine::Veriflow(_) => None,
         }
     }
+
+    /// The identities of the currently active violations, when the engine
+    /// is monitored (merged across shards for the sharded engine).
+    fn monitor_keys(&self) -> Option<BTreeSet<ViolationKey>> {
+        match self {
+            ReplayEngine::Delta(net) => {
+                net.monitor().map(|m| m.active_keys().into_iter().collect())
+            }
+            ReplayEngine::Sharded(net) => net.monitor_keys(),
+            ReplayEngine::Veriflow(_) => None,
+        }
+    }
+
+    /// `(loops, blackholes)` counts of the live monitor state.
+    fn monitor_counts(&self) -> Option<(usize, usize)> {
+        let keys = self.monitor_keys()?;
+        let loops = keys
+            .iter()
+            .filter(|k| matches!(k, ViolationKey::Loop(_)))
+            .count();
+        Some((loops, keys.len() - loops))
+    }
+
+    /// Whether the maintained violation state equals a fresh full rescan —
+    /// surfaced in the `--monitor` report so an operator (or the CI smoke)
+    /// can see the incremental and O(plane) answers agree.
+    fn monitor_matches_rescan(&self) -> Option<bool> {
+        let active = match self {
+            ReplayEngine::Delta(net) => net.active_violations()?,
+            ReplayEngine::Sharded(net) => net.active_violations()?,
+            ReplayEngine::Veriflow(_) => return None,
+        };
+        let mut expect = match self {
+            ReplayEngine::Delta(net) => net.check_all_loops(),
+            ReplayEngine::Sharded(net) => net.check_all_loops(),
+            ReplayEngine::Veriflow(_) => return None,
+        };
+        expect.extend(self.check_all_blackholes()?);
+        Some(active == expect)
+    }
+}
+
+/// How many `--monitor` transition lines the replay report prints before
+/// eliding the rest (the counts are always exact).
+const MAX_TRANSITION_LINES: usize = 50;
+
+/// Accumulates the appeared/resolved stream of a monitored replay.
+#[derive(Default)]
+struct TransitionLog {
+    lines: Vec<String>,
+    appeared: usize,
+    resolved: usize,
+    prev: BTreeSet<ViolationKey>,
+}
+
+impl TransitionLog {
+    /// Diffs the violation identities before/after one operation (or batch
+    /// window) and records the transitions under `label`.
+    fn observe(&mut self, label: &str, now: BTreeSet<ViolationKey>) {
+        for key in now.difference(&self.prev) {
+            self.appeared += 1;
+            if self.lines.len() < MAX_TRANSITION_LINES {
+                self.lines.push(format!("  {label}: + {key}"));
+            }
+        }
+        for key in self.prev.difference(&now) {
+            self.resolved += 1;
+            if self.lines.len() < MAX_TRANSITION_LINES {
+                self.lines.push(format!("  {label}: - {key}"));
+            }
+        }
+        self.prev = now;
+    }
 }
 
 /// `deltanet replay` — replay a trace through a checker with timing.
@@ -220,6 +297,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             )))
         }
     };
+    let monitor = args.has_flag("monitor");
     if (batch.is_some() || workers.is_some()) && shards.is_none() {
         return Err(CommandError::Other(
             "--batch/--workers require --shards".to_string(),
@@ -237,6 +315,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             let config = DeltaNetConfig {
                 check_loops_per_update: check_loops,
                 compact_threshold,
+                monitor_violations: monitor,
                 ..Default::default()
             };
             match shards {
@@ -250,9 +329,10 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             }
         }
         "veriflow" | "veriflow-ri" => {
-            if compact_threshold.is_some() || shards.is_some() || check_blackholes {
+            if compact_threshold.is_some() || shards.is_some() || check_blackholes || monitor {
                 return Err(CommandError::Other(
-                    "--compact/--shards/--check are only supported by the deltanet checker"
+                    "--compact/--shards/--check/--monitor are only supported by the deltanet \
+                     checker"
                         .to_string(),
                 ));
             }
@@ -275,10 +355,13 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         micros: Vec::with_capacity(trace.len()),
     };
     let mut loops = 0usize;
+    let mut transitions = monitor.then(TransitionLog::default);
     match (&mut engine, batch) {
         // Batched sharded replay: each window's shard groups apply
         // concurrently; per-op time is the window average, so the summary
-        // statistics keep their shape.
+        // statistics keep their shape. With --monitor, transitions are
+        // observed at window granularity (per-op order inside a window is
+        // not observable through a batch).
         (ReplayEngine::Sharded(net), Some(window)) => {
             let mut offset = 0usize;
             for chunk in trace.ops().chunks(window) {
@@ -299,13 +382,17 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     }
                 }
                 offset += chunk.len();
+                if let Some(log) = transitions.as_mut() {
+                    let label = format!("ops {}..{}", offset - chunk.len() + 1, offset);
+                    let keys = net.monitor_keys().unwrap_or_default();
+                    log.observe(&label, keys);
+                }
             }
         }
         (engine, _) => {
-            let checker = engine.checker();
             for (index, op) in trace.ops().iter().enumerate() {
                 let start = Instant::now();
-                let report = checker.try_apply(op).map_err(|error| {
+                let report = engine.checker().try_apply(op).map_err(|error| {
                     CommandError::Other(format!(
                         "trace op {} ({}): {error}",
                         index + 1,
@@ -315,6 +402,11 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                 timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
                 if report.has_loop() {
                     loops += 1;
+                }
+                if let Some(log) = transitions.as_mut() {
+                    let label = format!("op {} ({})", index + 1, describe_op(op));
+                    let keys = engine.monitor_keys().unwrap_or_default();
+                    log.observe(&label, keys);
                 }
             }
         }
@@ -331,6 +423,8 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     } else {
         None
     };
+    let monitor_counts = engine.monitor_counts();
+    let monitor_matches = engine.monitor_matches_rescan();
 
     if let Some(json_path) = args.options.get("json") {
         use bench::json::Json;
@@ -361,6 +455,20 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         }
         if let Some(holes) = &blackhole_report {
             fields.push(("blackholes", Json::int(holes.len())));
+        }
+        if let (Some((active_loops, active_holes)), Some(log)) =
+            (monitor_counts, transitions.as_ref())
+        {
+            fields.extend([
+                ("monitor_loops", Json::int(active_loops)),
+                ("monitor_blackholes", Json::int(active_holes)),
+                ("monitor_appeared", Json::int(log.appeared)),
+                ("monitor_resolved", Json::int(log.resolved)),
+                (
+                    "monitor_matches_rescan",
+                    Json::Bool(monitor_matches.unwrap_or(false)),
+                ),
+            ]);
         }
         std::fs::write(json_path, Json::obj(fields).render())?;
     }
@@ -401,6 +509,35 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         for v in holes.iter().take(5) {
             out.push_str(&format!("  {v}\n"));
         }
+    }
+    if let (Some((active_loops, active_holes)), Some(log)) = (monitor_counts, transitions.as_ref())
+    {
+        out.push_str(&format!(
+            "violations active:  {} ({active_loops} loops, {active_holes} blackholes)\n\
+             violation events:   {} appeared, {} resolved\n",
+            active_loops + active_holes,
+            log.appeared,
+            log.resolved,
+        ));
+        if !log.lines.is_empty() {
+            out.push_str("violation transitions:\n");
+            for line in &log.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+            let elided = (log.appeared + log.resolved).saturating_sub(log.lines.len());
+            if elided > 0 {
+                out.push_str(&format!("  ... ({elided} more)\n"));
+            }
+        }
+        out.push_str(&format!(
+            "monitor matches full rescan: {}\n",
+            if monitor_matches == Some(true) {
+                "yes"
+            } else {
+                "NO — this is a bug, please report it"
+            }
+        ));
     }
     Ok(out)
 }
@@ -798,6 +935,90 @@ mod tests {
             "veriflow",
             "--check",
             "blackholes",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_monitor_streams_violation_transitions() {
+        // A loop raised and retracted inside the trace: r1 a->b, r2 b->a
+        // (loop appears), then r2 withdrawn (loop resolves, the blackhole
+        // at b re-appears because r1's traffic strands there).
+        let dir = temp_dir("monitor");
+        let topo_path = dir.join("loop.topo");
+        let trace_path = dir.join("loop.trace");
+        std::fs::write(&topo_path, "node a\nnode b\nlink 0 1\nlink 1 0\n").unwrap();
+        std::fs::write(
+            &trace_path,
+            "I 1 0 1 10.0.0.0/8 1\nI 2 1 0 10.0.0.0/8 1\nR 2\n",
+        )
+        .unwrap();
+        let topo = topo_path.to_str().unwrap().to_string();
+        let trace = trace_path.to_str().unwrap().to_string();
+        let json_path = dir.join("monitor.json");
+        let json_arg = json_path.to_str().unwrap().to_string();
+
+        // Single-engine and sharded monitored replays stream the same story.
+        for extra in [&[][..], &["--shards", "3"][..]] {
+            let mut argv = vec![
+                "replay",
+                "--topo",
+                &topo,
+                "--trace",
+                &trace,
+                "--monitor",
+                "--json",
+                &json_arg,
+            ];
+            argv.extend_from_slice(extra);
+            let r = run(&parsed(&argv)).unwrap();
+            assert!(r.contains("+ forwarding loop through n0 -> n1"), "{r}");
+            assert!(r.contains("- forwarding loop through n0 -> n1"), "{r}");
+            assert!(r.contains("+ blackhole at n1"), "{r}");
+            assert!(r.contains("monitor matches full rescan: yes"), "{r}");
+            assert!(
+                r.contains("violations active:  1 (0 loops, 1 blackholes)"),
+                "{r}"
+            );
+            let json_text = std::fs::read_to_string(&json_path).unwrap();
+            for key in [
+                "\"monitor_loops\": 0",
+                "\"monitor_blackholes\": 1",
+                "\"monitor_matches_rescan\": true",
+            ] {
+                assert!(json_text.contains(key), "missing {key} in:\n{json_text}");
+            }
+        }
+
+        // Batched sharded replay reports at window granularity.
+        let b = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--monitor",
+            "--shards",
+            "2",
+            "--batch",
+            "2",
+        ]))
+        .unwrap();
+        assert!(b.contains("ops 1..2: + forwarding loop"), "{b}");
+        assert!(b.contains("monitor matches full rescan: yes"), "{b}");
+
+        // The flag is deltanet-only.
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "veriflow",
+            "--monitor",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("only supported"), "{err}");

@@ -10,8 +10,30 @@
 //! is blackholed there.
 //!
 //! Surfaced end-to-end through [`DeltaNet::check_all_blackholes`] (and its
-//! shard-wise counterpart on [`crate::shard::ShardedDeltaNet`]) and the
-//! `deltanet replay --check blackholes` CLI flag.
+//! shard-wise counterpart on [`crate::shard::ShardedDeltaNet`]), the
+//! incrementally maintained [`crate::monitor::ViolationMonitor`], and the
+//! `deltanet replay --check blackholes` / `--monitor` CLI flags.
+//!
+//! ## Edge-case semantics (pinned by the regression tests below)
+//!
+//! The distinction that matters operationally is *silent* loss versus
+//! *intended* loss:
+//!
+//! * **No rule at the switch** — an atom arrives over some in-link and no
+//!   rule (of any kind) matches it there: a blackhole. The traffic vanishes
+//!   without anyone having asked for it.
+//! * **Explicit drop rule** — the atom's owner at the switch resolves to the
+//!   switch's drop link. The drop link is an out-link like any other, so the
+//!   atom counts as *handled* and is **not** a blackhole: dropping was a
+//!   policy decision, and reporting it would bury real faults in noise.
+//! * **[`Topology::is_drop_node`] sinks** — the synthetic node at the far
+//!   end of every drop link. It is not a switch (`switch_nodes` excludes
+//!   it), it is never evaluated for blackholes, and walks terminate there;
+//!   atoms "arriving" at it are exactly the explicitly dropped ones.
+//!
+//! Packets originating *at* a switch (rather than arriving over a link) are
+//! not considered, mirroring the usual formulation where traffic enters the
+//! network at edge ports that are themselves modelled as links.
 
 use crate::atoms::AtomMap;
 use crate::atomset::AtomSet;
@@ -19,47 +41,82 @@ use crate::engine::DeltaNet;
 use crate::labels::Labels;
 use netmodel::checker::InvariantViolation;
 use netmodel::interval::normalize;
-use netmodel::topology::Topology;
+use netmodel::topology::{NodeId, Topology};
+
+/// The atoms blackholed at `node`: arriving over some in-link but neither
+/// forwarded nor explicitly dropped by any out-link (see the module docs for
+/// the drop-rule / no-rule distinction).
+pub(crate) fn blackholed_atoms_at(topology: &Topology, labels: &Labels, node: NodeId) -> AtomSet {
+    // Atoms arriving at `node` over any in-link.
+    let mut incoming = AtomSet::new();
+    for &l in topology.in_links(node) {
+        incoming.union_with(labels.get(l));
+    }
+    if incoming.is_empty() {
+        return incoming;
+    }
+    // Atoms the switch handles: forwarded on some out-link or dropped.
+    let mut handled = AtomSet::new();
+    for &l in topology.out_links(node) {
+        handled.union_with(labels.get(l));
+    }
+    incoming.difference_with(&handled);
+    incoming
+}
+
+/// Whether the single atom `atom` is blackholed at `node` — the point form
+/// of [`blackholed_atoms_at`] used by the monitor's per-delta re-checks.
+pub(crate) fn is_blackholed_at(
+    topology: &Topology,
+    labels: &Labels,
+    node: NodeId,
+    atom: crate::atoms::AtomId,
+) -> bool {
+    topology
+        .in_links(node)
+        .iter()
+        .any(|&l| labels.contains(l, atom))
+        && !topology
+            .out_links(node)
+            .iter()
+            .any(|&l| labels.contains(l, atom))
+}
+
+/// Renders per-node blackholed atom sets as sorted [`InvariantViolation`]s —
+/// shared by the full scan and the monitor so their reports are
+/// bit-identical. Empty sets are skipped.
+pub(crate) fn render_blackholes<'a>(
+    holes: impl IntoIterator<Item = (NodeId, &'a AtomSet)>,
+    atoms: &AtomMap,
+) -> Vec<InvariantViolation> {
+    let mut out: Vec<InvariantViolation> = holes
+        .into_iter()
+        .filter(|(_, set)| !set.is_empty())
+        .map(|(node, set)| {
+            let packets = normalize(
+                set.iter()
+                    .map(|a| atoms.atom_interval(a))
+                    .collect::<Vec<_>>(),
+            );
+            InvariantViolation::Blackhole { node, packets }
+        })
+        .collect();
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out
+}
 
 /// Finds all blackholes in the current data plane: for every switch, the set
 /// of atoms that can arrive there but match no rule.
-///
-/// Packets originating *at* a switch (rather than arriving over a link) are
-/// not considered, mirroring the usual formulation where traffic enters the
-/// network at edge ports that are themselves modelled as links.
 pub fn find_blackholes(
     topology: &Topology,
     labels: &Labels,
     atoms: &AtomMap,
 ) -> Vec<InvariantViolation> {
-    let mut out = Vec::new();
-    for node in topology.switch_nodes() {
-        // Atoms arriving at `node` over any in-link.
-        let mut incoming = AtomSet::new();
-        for &l in topology.in_links(node) {
-            incoming.union_with(labels.get(l));
-        }
-        if incoming.is_empty() {
-            continue;
-        }
-        // Atoms the switch handles: forwarded on some out-link or dropped.
-        let mut handled = AtomSet::new();
-        for &l in topology.out_links(node) {
-            handled.union_with(labels.get(l));
-        }
-        incoming.difference_with(&handled);
-        if !incoming.is_empty() {
-            let packets = normalize(
-                incoming
-                    .iter()
-                    .map(|a| atoms.atom_interval(a))
-                    .collect::<Vec<_>>(),
-            );
-            out.push(InvariantViolation::Blackhole { node, packets });
-        }
-    }
-    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
-    out
+    let holes: Vec<(NodeId, AtomSet)> = topology
+        .switch_nodes()
+        .map(|node| (node, blackholed_atoms_at(topology, labels, node)))
+        .collect();
+    render_blackholes(holes.iter().map(|(n, s)| (*n, s)), atoms)
 }
 
 /// Convenience wrapper running [`find_blackholes`] on a checker's state.
@@ -172,6 +229,109 @@ mod tests {
         let (topo, _) = chain();
         let net = DeltaNet::new(topo, DeltaNetConfig::default());
         assert!(check_blackholes(&net).is_empty());
+    }
+
+    #[test]
+    fn drop_rule_vs_no_rule_distinction_is_per_atom() {
+        // The module-docs distinction, pinned: at the *same* switch, the
+        // half of the traffic covered by an explicit drop rule is intended
+        // loss (not reported), while the half matching no rule at all is a
+        // blackhole — the boundary between them is exact.
+        let (mut topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let d1 = topo.drop_link(n[1]);
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::drop(RuleId(2), prefix("10.0.0.0/9"), 1, n[1], d1));
+        let holes = check_blackholes(&net);
+        assert_eq!(holes.len(), 1);
+        match &holes[0] {
+            InvariantViolation::Blackhole { node, packets } => {
+                assert_eq!(*node, n[1]);
+                // Only the undropped upper half is silently lost.
+                assert_eq!(packets, &vec![prefix("10.128.0.0/9").interval()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Covering the gap with a second drop rule silences the report —
+        // everything that arrives is now explicitly handled.
+        net.insert_rule(Rule::drop(
+            RuleId(3),
+            prefix("10.128.0.0/9"),
+            1,
+            n[1],
+            topo_drop(&net, n[1]),
+        ));
+        assert!(check_blackholes(&net).is_empty());
+    }
+
+    /// The (pre-created) drop link of `node` — read-only lookup for tests.
+    fn topo_drop(net: &DeltaNet, node: netmodel::topology::NodeId) -> netmodel::topology::LinkId {
+        net.topology()
+            .out_links(node)
+            .iter()
+            .copied()
+            .find(|&l| net.topology().is_drop_link(l))
+            .expect("drop link pre-created")
+    }
+
+    #[test]
+    fn drop_node_sinks_are_never_reported_as_blackholes() {
+        // The virtual sink behind every drop link receives all explicitly
+        // dropped traffic and, by design, has no rules of its own. It must
+        // never be evaluated as a blackhole — only real switches are.
+        let (mut topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let d1 = topo.drop_link(n[1]);
+        let sink = topo.drop_node().unwrap();
+        assert!(topo.is_drop_node(sink));
+        let mut net = DeltaNet::new(topo, DeltaNetConfig::default());
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::drop(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], d1));
+        // Traffic flows a -> b -> sink; nothing is a blackhole, and the
+        // sink never appears in any report.
+        let holes = check_blackholes(&net);
+        assert!(holes.is_empty());
+        // Same verdict from the incrementally maintained monitor.
+        let mut monitored = DeltaNet::new(
+            net.topology().clone(),
+            DeltaNetConfig {
+                monitor_violations: true,
+                ..DeltaNetConfig::default()
+            },
+        );
+        monitored.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        monitored.insert_rule(Rule::drop(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], d1));
+        assert!(monitored.monitor().unwrap().is_clean());
+    }
+
+    #[test]
+    fn node_with_no_rule_at_all_is_the_blackhole_case() {
+        // The third leg of the distinction: a switch that receives traffic
+        // and has *no* rule of any kind (the terminal s2 in the chain) is
+        // exactly what the invariant exists to catch.
+        let (topo, n) = chain();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let l12 = topo.link_between(n[1], n[2]).unwrap();
+        let mut net = DeltaNet::new(
+            topo,
+            DeltaNetConfig {
+                monitor_violations: true,
+                ..DeltaNetConfig::default()
+            },
+        );
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, n[0], l01));
+        net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, n[1], l12));
+        let holes = check_blackholes(&net);
+        assert_eq!(holes.len(), 1);
+        assert!(matches!(
+            &holes[0],
+            InvariantViolation::Blackhole { node, .. } if *node == n[2]
+        ));
+        // The monitor tracked it live, and full scan == live state.
+        let mut expect = net.check_all_loops();
+        expect.extend(net.check_all_blackholes());
+        assert_eq!(net.active_violations().unwrap(), expect);
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! added pairs: removing an atom from a label can only break loops, never
 //! create them.
 
-use crate::atoms::AtomId;
+use crate::atoms::{AtomId, DeltaPair};
 use crate::atomset::AtomSet;
 use netmodel::topology::LinkId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The changes one or more rule updates made to the edge-labelled graph.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -27,6 +27,15 @@ pub struct DeltaGraph {
     pub added: Vec<(LinkId, AtomId)>,
     /// `(link, atom)` pairs removed from `label[link]`.
     pub removed: Vec<(LinkId, AtomId)>,
+    /// Atom splits performed by the update(s), in order: `old` kept the
+    /// lower part of its interval and `new` took the upper part, cloning
+    /// `old`'s labels everywhere. Splits carry no label *change* (the new
+    /// atom behaves exactly like the old one at the instant of the split),
+    /// so they do not seed property checks and do not count towards
+    /// [`DeltaGraph::affected_atoms`]; they exist so consumers that key
+    /// state by atom id — the [`crate::monitor::ViolationMonitor`] — can
+    /// clone that state for the new id before applying the label changes.
+    pub splits: Vec<DeltaPair>,
 }
 
 impl DeltaGraph {
@@ -50,11 +59,72 @@ impl DeltaGraph {
         self.removed.push((link, atom));
     }
 
+    /// Records an atom split `old → new`.
+    pub fn split(&mut self, pair: DeltaPair) {
+        self.splits.push(pair);
+    }
+
     /// Aggregates another delta-graph into this one (multiple rule updates
-    /// may be aggregated, §3.3).
+    /// may be aggregated, §3.3). Merging is plain concatenation — O(other)
+    /// per call, so a long aggregation window stays linear in its total
+    /// pair count; the window's owner (e.g.
+    /// [`DeltaNet::take_aggregate`](crate::DeltaNet::take_aggregate)) runs
+    /// [`DeltaGraph::canonicalize`] once when the window closes.
     pub fn merge(&mut self, other: &DeltaGraph) {
         self.added.extend_from_slice(&other.added);
         self.removed.extend_from_slice(&other.removed);
+        self.splits.extend_from_slice(&other.splits);
+    }
+
+    /// Reduces an aggregated delta-graph to its *net* effect: every
+    /// `(link, atom)` pair occurring in both `added` and `removed` (a
+    /// same-window insert+remove of the same rule, or a flap) cancels, one
+    /// cancellation per opposing occurrence. Without this the window would
+    /// claim label changes that, end to end, never happened — re-seeding
+    /// property checks and inflating `affected_atoms` — and a consumer
+    /// keying state off the pairs (the violation monitor) would see a
+    /// phantom addition *and* a phantom removal whose relative order was
+    /// lost in aggregation. Because a label either holds a pair or it does
+    /// not, additions and removals of one pair strictly alternate in time,
+    /// so after cancellation each pair appears at most once, on the side
+    /// of its net effect. Splits are permanent and never cancel.
+    pub fn canonicalize(&mut self) {
+        if self.added.is_empty() || self.removed.is_empty() {
+            return;
+        }
+        let mut removed_count: HashMap<(LinkId, AtomId), usize> = HashMap::new();
+        for &pair in &self.removed {
+            *removed_count.entry(pair).or_insert(0) += 1;
+        }
+        let mut cancel: HashMap<(LinkId, AtomId), usize> = HashMap::new();
+        let mut added_count: HashMap<(LinkId, AtomId), usize> = HashMap::new();
+        for &pair in &self.added {
+            *added_count.entry(pair).or_insert(0) += 1;
+        }
+        for (&pair, &a) in &added_count {
+            if let Some(&r) = removed_count.get(&pair) {
+                cancel.insert(pair, a.min(r));
+            }
+        }
+        if cancel.is_empty() {
+            return;
+        }
+        let mut budget = cancel.clone();
+        self.added.retain(|pair| match budget.get_mut(pair) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        });
+        let mut budget = cancel;
+        self.removed.retain(|pair| match budget.get_mut(pair) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        });
     }
 
     /// The distinct links whose labels changed, in id order.
@@ -83,6 +153,7 @@ impl DeltaGraph {
     pub fn clear(&mut self) {
         self.added.clear();
         self.removed.clear();
+        self.splits.clear();
     }
 }
 
@@ -134,5 +205,75 @@ mod tests {
         assert_eq!(a.added.len(), 1);
         assert_eq!(a.removed.len(), 1);
         assert_eq!(a.changed_links(), vec![LinkId(0), LinkId(1)]);
+    }
+
+    #[test]
+    fn canonicalize_cancels_same_window_insert_plus_remove() {
+        // An insert's delta adds (l0, α0); the same rule's removal in the
+        // same window removes it again. The canonical aggregate must record
+        // *no* net change for that pair (the regression: it used to keep
+        // the pair in both lists).
+        let mut agg = DeltaGraph::new();
+        let mut insert = DeltaGraph::new();
+        insert.add(LinkId(0), AtomId(0));
+        insert.add(LinkId(2), AtomId(1));
+        agg.merge(&insert);
+        let mut remove = DeltaGraph::new();
+        remove.remove(LinkId(0), AtomId(0));
+        agg.merge(&remove);
+        agg.canonicalize();
+        assert_eq!(agg.added, vec![(LinkId(2), AtomId(1))]);
+        assert!(agg.removed.is_empty());
+        assert_eq!(agg.affected_atom_count(), 1);
+        assert_eq!(agg.changed_links(), vec![LinkId(2)]);
+    }
+
+    #[test]
+    fn canonicalize_keeps_net_effect_across_a_flap() {
+        // add, remove, add of the same pair: net effect is one addition.
+        let mut agg = DeltaGraph::new();
+        for is_add in [true, false, true] {
+            let mut step = DeltaGraph::new();
+            if is_add {
+                step.add(LinkId(3), AtomId(7));
+            } else {
+                step.remove(LinkId(3), AtomId(7));
+            }
+            agg.merge(&step);
+        }
+        agg.canonicalize();
+        assert_eq!(agg.added, vec![(LinkId(3), AtomId(7))]);
+        assert!(agg.removed.is_empty());
+        // remove, add of the same pair: back where it started, net nothing.
+        let mut agg = DeltaGraph::new();
+        let mut down = DeltaGraph::new();
+        down.remove(LinkId(3), AtomId(7));
+        agg.merge(&down);
+        let mut up = DeltaGraph::new();
+        up.add(LinkId(3), AtomId(7));
+        agg.merge(&up);
+        agg.canonicalize();
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn splits_are_recorded_merged_and_cleared() {
+        let mut a = DeltaGraph::new();
+        a.split(DeltaPair {
+            old: AtomId(0),
+            new: AtomId(1),
+        });
+        // Splits are bookkeeping, not label changes.
+        assert!(a.is_empty());
+        assert_eq!(a.affected_atom_count(), 0);
+        let mut b = DeltaGraph::new();
+        b.split(DeltaPair {
+            old: AtomId(1),
+            new: AtomId(2),
+        });
+        a.merge(&b);
+        assert_eq!(a.splits.len(), 2);
+        a.clear();
+        assert!(a.splits.is_empty());
     }
 }

@@ -18,6 +18,7 @@ use crate::atoms::{AtomId, AtomMap, DeltaPair};
 use crate::delta_graph::DeltaGraph;
 use crate::labels::Labels;
 use crate::loops;
+use crate::monitor::ViolationMonitor;
 use crate::owner::Owner;
 use netmodel::checker::{Checker, UpdateError, UpdateReport, WhatIfReport};
 use netmodel::interval::{normalize, Bound, Interval};
@@ -41,6 +42,12 @@ pub struct DeltaNetConfig {
     /// presentation: atoms only ever split, and memory grows monotonically
     /// under rule churn.
     pub compact_threshold: Option<usize>,
+    /// Whether to maintain the current set of forwarding-loop and blackhole
+    /// violations as live state, updated incrementally from every update's
+    /// delta-graph (see [`crate::monitor::ViolationMonitor`]). Off by
+    /// default; a monitor can also be attached to a running engine with
+    /// [`DeltaNet::enable_monitor`].
+    pub monitor_violations: bool,
 }
 
 impl Default for DeltaNetConfig {
@@ -49,6 +56,7 @@ impl Default for DeltaNetConfig {
             field_width: 32,
             check_loops_per_update: true,
             compact_threshold: None,
+            monitor_violations: false,
         }
     }
 }
@@ -124,6 +132,11 @@ pub struct DeltaNet {
     /// before the update core runs. This is the per-shard building block of
     /// [`crate::shard::ShardedDeltaNet`]; a stand-alone engine has `None`.
     clip: Option<Interval>,
+    /// The incrementally maintained violation state, when monitoring is on
+    /// ([`DeltaNetConfig::monitor_violations`] or
+    /// [`DeltaNet::enable_monitor`]). Fed by every update's delta-graph in
+    /// [`DeltaNet::finish_update`]; remapped across [`DeltaNet::compact`].
+    monitor: Option<ViolationMonitor>,
 }
 
 impl DeltaNet {
@@ -144,6 +157,7 @@ impl DeltaNet {
             aggregate: None,
             pair_scratch: Vec::with_capacity(2),
             clip: None,
+            monitor: config.monitor_violations.then(ViolationMonitor::new),
         }
     }
 
@@ -232,6 +246,36 @@ impl DeltaNet {
         &self.last_delta
     }
 
+    /// The live violation monitor, if monitoring is enabled.
+    pub fn monitor(&self) -> Option<&ViolationMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Attaches a violation monitor to a running engine, seeding it from
+    /// the current data plane with one full scan; every later update
+    /// maintains it incrementally. Replaces any existing monitor. Engines
+    /// created with [`DeltaNetConfig::monitor_violations`] start monitored
+    /// without the scan.
+    pub fn enable_monitor(&mut self) -> &ViolationMonitor {
+        self.monitor = Some(ViolationMonitor::from_state(
+            &self.topology,
+            &self.labels,
+            &self.atoms,
+        ));
+        self.monitor.as_ref().expect("just attached")
+    }
+
+    /// The violations currently active in the data plane, rendered exactly
+    /// like [`DeltaNet::check_all_loops`] followed by
+    /// [`DeltaNet::check_all_blackholes`] — but read from the maintained
+    /// state instead of rescanning the plane. `None` when monitoring is
+    /// off.
+    pub fn active_violations(&self) -> Option<Vec<netmodel::checker::InvariantViolation>> {
+        self.monitor
+            .as_ref()
+            .map(|monitor| monitor.active_violations(&self.atoms))
+    }
+
     /// The rule with the given id, if currently installed.
     pub fn rule(&self, id: RuleId) -> Option<&Rule> {
         self.rules.get(&id)
@@ -249,12 +293,14 @@ impl DeltaNet {
         self.aggregate = Some(DeltaGraph::new());
     }
 
-    /// Stops aggregating and returns the combined delta-graph. Any
-    /// automatic compaction deferred while the aggregation was in progress
-    /// runs now, so a threshold crossed mid-aggregation is not silently
-    /// dropped.
+    /// Stops aggregating and returns the combined delta-graph, canonicalized
+    /// to its net effect ([`DeltaGraph::canonicalize`]: same-window
+    /// insert+remove pairs cancel). Any automatic compaction deferred while
+    /// the aggregation was in progress runs now, so a threshold crossed
+    /// mid-aggregation is not silently dropped.
     pub fn take_aggregate(&mut self) -> DeltaGraph {
-        let aggregate = self.aggregate.take().unwrap_or_default();
+        let mut aggregate = self.aggregate.take().unwrap_or_default();
+        aggregate.canonicalize();
         self.maybe_auto_compact();
         aggregate
     }
@@ -343,6 +389,7 @@ impl DeltaNet {
         let mut delta_pairs = std::mem::take(&mut self.pair_scratch);
         self.atoms.create_atoms_into(interval, &mut delta_pairs);
         for pair in &delta_pairs {
+            delta.split(*pair);
             self.owner.clone_atom(pair.old, pair.new);
             // Every switch that had an owner for the old atom forwards the
             // new atom along the same link.
@@ -520,10 +567,15 @@ impl DeltaNet {
         self.reclaimable = 0;
 
         // Phase 2 — renumber: dense ids again, every structure remapped in
-        // lock-step.
+        // lock-step. The monitor's violation sets are atom-id-keyed state
+        // like the labels, so they remap too (reclaimed ids drop out; their
+        // label-identical survivors keep every violation alive).
         let remap = self.atoms.renumber();
         self.owner.remap(&remap, self.atoms.atom_count());
         self.labels.remap(&remap);
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.remap(&remap);
+        }
 
         // Delta-graph state recorded before the pass refers to stale ids.
         self.last_delta = DeltaGraph::new();
@@ -554,6 +606,9 @@ impl DeltaNet {
         } else {
             Vec::new()
         };
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.apply_update(&self.topology, &self.labels, &delta);
+        }
         let report = UpdateReport {
             rule_id,
             was_insert,
@@ -734,6 +789,10 @@ impl Checker for DeltaNet {
 
     fn memory_bytes(&self) -> usize {
         self.memory_estimate()
+    }
+
+    fn active_violations(&self) -> Option<Vec<netmodel::checker::InvariantViolation>> {
+        DeltaNet::active_violations(self)
     }
 }
 

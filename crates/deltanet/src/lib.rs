@@ -20,6 +20,8 @@
 //! * [`loops`] — forwarding-loop detection on the edge-labelled graph.
 //! * [`blackholes`] — blackhole detection (traffic arriving at a switch that
 //!   has no rule for it).
+//! * [`monitor`] — [`ViolationMonitor`]: loops and blackholes maintained as
+//!   live state, repaired incrementally from every update's delta-graph.
 //! * [`parallel`] — parallel bulk queries and the shared [`Parallelism`]
 //!   worker-count configuration (the §6 future-work direction).
 //! * [`shard`] — [`ShardedDeltaNet`]: the engine partitioned across the
@@ -65,6 +67,7 @@ pub mod engine;
 pub mod labels;
 pub mod lattice;
 pub mod loops;
+pub mod monitor;
 pub mod owner;
 pub mod parallel;
 pub mod query;
@@ -76,6 +79,7 @@ pub use atomset::AtomSet;
 pub use delta_graph::DeltaGraph;
 pub use engine::{CompactReport, DeltaNet, DeltaNetConfig};
 pub use labels::Labels;
+pub use monitor::{MonitorEvent, ViolationKey, ViolationMonitor};
 pub use parallel::Parallelism;
 pub use reachability::ReachabilityMatrix;
 pub use shard::ShardedDeltaNet;

@@ -71,7 +71,7 @@ fn walk_for_cycle(
 
 /// Canonical rotation of a cycle so that identical cycles discovered from
 /// different seeds compare equal.
-fn canonicalize(mut cycle: Vec<NodeId>) -> Vec<NodeId> {
+pub(crate) fn canonicalize(mut cycle: Vec<NodeId>) -> Vec<NodeId> {
     if cycle.is_empty() {
         return cycle;
     }
@@ -140,6 +140,27 @@ pub fn find_loops_for_atoms_via<F>(
 where
     F: Fn(NodeId, AtomId) -> Option<LinkId>,
 {
+    into_violations(
+        cycles_for_atoms_via(topology, labels, candidates, succ),
+        atoms,
+    )
+}
+
+/// The cycle-level core of [`find_loops_for_atoms_via`]: every forwarding
+/// cycle any candidate atom traverses, as a map from the canonical cycle to
+/// the set of candidate atoms looping through it. The
+/// [`crate::monitor::ViolationMonitor`] maintains exactly this shape as live
+/// state, so it recomputes entries through the same function the full scans
+/// use — a differential test then reduces to map equality.
+pub(crate) fn cycles_for_atoms_via<F>(
+    topology: &Topology,
+    labels: &Labels,
+    candidates: &AtomSet,
+    succ: F,
+) -> HashMap<Vec<NodeId>, AtomSet>
+where
+    F: Fn(NodeId, AtomId) -> Option<LinkId>,
+{
     // One pass over the labelled links collects, per candidate atom, the
     // switches that emit it; the per-atom functional-graph walks then start
     // only from those switches. This keeps the cost at
@@ -196,7 +217,7 @@ where
             }
         }
     }
-    into_violations(cycles, atoms)
+    cycles
 }
 
 /// Checks the entire data plane for forwarding loops over all atoms.
@@ -209,8 +230,10 @@ pub fn find_all_loops(
     find_loops_for_atoms(topology, labels, atoms, &all)
 }
 
-fn into_violations(
-    cycles: HashMap<Vec<NodeId>, AtomSet>,
+/// Renders a cycle → atoms map as sorted [`InvariantViolation`]s — shared by
+/// the full scans and the monitor so their reports are bit-identical.
+pub(crate) fn into_violations(
+    cycles: impl IntoIterator<Item = (Vec<NodeId>, AtomSet)>,
     atoms: &AtomMap,
 ) -> Vec<InvariantViolation> {
     let mut out: Vec<InvariantViolation> = cycles

@@ -361,6 +361,34 @@ impl ShardedDeltaNet {
         merge_violations(self.shards.iter().flat_map(DeltaNet::check_all_blackholes))
     }
 
+    /// The violations currently active, merged shard-wise from the
+    /// per-shard [`crate::monitor::ViolationMonitor`]s: each shard tracks
+    /// the loops and blackholes of its own atoms, and a cycle or switch
+    /// reported by several shards merges into one violation — the same
+    /// merge the full-scan queries use, so the answer matches
+    /// [`ShardedDeltaNet::check_all_loops`] +
+    /// [`ShardedDeltaNet::check_all_blackholes`]. `None` when monitoring is
+    /// off ([`DeltaNetConfig::monitor_violations`]).
+    pub fn active_violations(&self) -> Option<Vec<InvariantViolation>> {
+        let mut parts = Vec::new();
+        for shard in &self.shards {
+            parts.extend(shard.active_violations()?);
+        }
+        Some(merge_violations(parts))
+    }
+
+    /// The identities of the currently active violations, merged across
+    /// shards (sorted, deduplicated). Cheap — no packet rendering; the
+    /// `deltanet replay --monitor` stream diffs this per operation. `None`
+    /// when monitoring is off.
+    pub fn monitor_keys(&self) -> Option<BTreeSet<crate::monitor::ViolationKey>> {
+        let mut keys = BTreeSet::new();
+        for shard in &self.shards {
+            keys.extend(shard.monitor()?.active_keys());
+        }
+        Some(keys)
+    }
+
     /// The what-if link-failure query (§4.3.2), shard-wise: each shard
     /// reports the impact among its own atoms and the partial reports merge
     /// — packets normalized, affected links deduplicated, violations
@@ -519,6 +547,10 @@ impl Checker for ShardedDeltaNet {
 
     fn memory_bytes(&self) -> usize {
         self.memory_estimate()
+    }
+
+    fn active_violations(&self) -> Option<Vec<InvariantViolation>> {
+        ShardedDeltaNet::active_violations(self)
     }
 }
 

@@ -27,9 +27,7 @@ fn atom_map_partitions_field_space_under_random_inserts() {
         let mut m = AtomMap::new(width);
         let mut inserted: Vec<Interval> = Vec::new();
         for _ in 0..rng.gen_range(1..60) {
-            let lo = rng.gen_range(0..max - 1);
-            let hi = rng.gen_range(lo + 1..=max);
-            let interval = Interval::new(lo, hi);
+            let interval = testutil::random_interval(&mut rng, width);
             let delta = m.create_atoms(interval);
             assert!(delta.len() <= 2, "seed {seed}: more than two splits");
             inserted.push(interval);

@@ -10,7 +10,6 @@ use deltanet::blackholes;
 use deltanet::{DeltaNet, DeltaNetConfig};
 use netmodel::checker::{Checker, InvariantViolation};
 use netmodel::interval::{normalize, Interval};
-use netmodel::ip::IpPrefix;
 use netmodel::rule::{Rule, RuleId};
 use netmodel::topology::{LinkId, NodeId, Topology};
 use rand::rngs::StdRng;
@@ -20,48 +19,14 @@ use std::collections::BTreeMap;
 const THRESHOLD: usize = 3;
 
 /// A strongly connected 5-switch topology with drop links, over an 8-bit
-/// address space (small enough to churn hard in a few hundred ops).
+/// address space (small enough to churn hard in a few hundred ops) — the
+/// shared `testutil` generator.
 fn churn_topology(rng: &mut StdRng) -> Topology {
-    let mut topo = Topology::new();
-    let n = 5;
-    let nodes = topo.add_nodes("s", n);
-    for i in 0..n {
-        topo.add_bidi_link(nodes[i], nodes[(i + 1) % n]);
-    }
-    for _ in 0..n {
-        let a = nodes[rng.gen_range(0..n)];
-        let b = nodes[rng.gen_range(0..n)];
-        if a != b {
-            topo.add_link(a, b);
-        }
-    }
-    for node in topo.switch_nodes().collect::<Vec<_>>() {
-        topo.drop_link(node);
-    }
-    topo
+    testutil::random_topology(rng, 5, true)
 }
 
 fn random_rule(rng: &mut StdRng, topo: &mut Topology, id: u64) -> Rule {
-    let switches: Vec<NodeId> = topo.switch_nodes().collect();
-    let source = switches[rng.gen_range(0..switches.len())];
-    let len = rng.gen_range(0..=8u8);
-    let value = rng.gen_range(0u32..256) as u128;
-    let prefix = IpPrefix::new(value, len, 8);
-    let priority = rng.gen_range(1..=40);
-    if rng.gen_bool(0.1) {
-        // Drop links were pre-created, so this lookup does not mutate.
-        let dl = topo.drop_link(source);
-        Rule::drop(RuleId(id), prefix, priority, source, dl)
-    } else {
-        let out: Vec<LinkId> = topo
-            .out_links(source)
-            .iter()
-            .copied()
-            .filter(|&l| !topo.is_drop_link(l))
-            .collect();
-        let link = out[rng.gen_range(0..out.len())];
-        Rule::forward(RuleId(id), prefix, priority, source, link)
-    }
+    testutil::random_rule(rng, topo, id, 8, 40)
 }
 
 fn link_intervals(net: &DeltaNet, link: LinkId) -> Vec<Interval> {
@@ -143,7 +108,7 @@ fn compaction_on_and_off_agree_under_random_churn() {
         let base = DeltaNetConfig {
             field_width: 8,
             check_loops_per_update: false,
-            compact_threshold: None,
+            ..DeltaNetConfig::default()
         };
         let mut plain = DeltaNet::new(topo.clone(), base);
         let mut compacting = DeltaNet::new(
@@ -207,6 +172,7 @@ fn removing_every_rule_and_compacting_resets_the_engine() {
                 field_width: 8,
                 check_loops_per_update: false,
                 compact_threshold: Some(THRESHOLD),
+                ..DeltaNetConfig::default()
             },
         );
         let mut ids = Vec::new();

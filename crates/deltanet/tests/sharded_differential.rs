@@ -9,63 +9,32 @@
 //! the interior shard boundaries are accounted for.
 
 use deltanet::{DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet};
-use netmodel::checker::{Checker, InvariantViolation};
+use netmodel::checker::Checker;
 use netmodel::interval::{normalize, Interval};
-use netmodel::ip::IpPrefix;
-use netmodel::rule::{Rule, RuleId};
-use netmodel::topology::{LinkId, NodeId, Topology};
+use netmodel::rule::Rule;
+use netmodel::topology::{LinkId, Topology};
 use netmodel::trace::Op;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use testutil::{
+    blackholes_by_node, loops_by_cycle, random_rule as random_rule_in, random_topology,
+};
 
 /// Shard counts exercised by every test; 7 is deliberately not a power of
 /// two, so its boundaries align with no prefix and wide rules straddle.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
 /// A strongly connected 5-switch topology with drop links, over an 8-bit
-/// address space (small enough to churn hard in a few hundred ops).
+/// address space (small enough to churn hard in a few hundred ops) — the
+/// shared `testutil` generator.
 fn small_topology(rng: &mut StdRng) -> Topology {
-    let mut topo = Topology::new();
-    let n = 5;
-    let nodes = topo.add_nodes("s", n);
-    for i in 0..n {
-        topo.add_bidi_link(nodes[i], nodes[(i + 1) % n]);
-    }
-    for _ in 0..n {
-        let a = nodes[rng.gen_range(0..n)];
-        let b = nodes[rng.gen_range(0..n)];
-        if a != b {
-            topo.add_link(a, b);
-        }
-    }
-    for node in topo.switch_nodes().collect::<Vec<_>>() {
-        topo.drop_link(node);
-    }
-    topo
+    random_topology(rng, 5, true)
 }
 
+/// Short prefix lengths are common (uniform `0..=8`), so many rules span
+/// several shards.
 fn random_rule(rng: &mut StdRng, topo: &mut Topology, id: u64) -> Rule {
-    let switches: Vec<NodeId> = topo.switch_nodes().collect();
-    let source = switches[rng.gen_range(0..switches.len())];
-    // Short prefix lengths are common, so many rules span several shards.
-    let len = rng.gen_range(0..=8u8);
-    let value = rng.gen_range(0u32..256) as u128;
-    let prefix = IpPrefix::new(value, len, 8);
-    let priority = rng.gen_range(1..=40);
-    if rng.gen_bool(0.1) {
-        let dl = topo.drop_link(source);
-        Rule::drop(RuleId(id), prefix, priority, source, dl)
-    } else {
-        let out: Vec<LinkId> = topo
-            .out_links(source)
-            .iter()
-            .copied()
-            .filter(|&l| !topo.is_drop_link(l))
-            .collect();
-        let link = out[rng.gen_range(0..out.len())];
-        Rule::forward(RuleId(id), prefix, priority, source, link)
-    }
+    random_rule_in(rng, topo, id, 8, 40)
 }
 
 fn plain_label_intervals(net: &DeltaNet, link: LinkId) -> Vec<Interval> {
@@ -75,38 +44,6 @@ fn plain_label_intervals(net: &DeltaNet, link: LinkId) -> Vec<Interval> {
             .map(|a| net.atoms().atom_interval(a))
             .collect(),
     )
-}
-
-/// Forwarding loops keyed by their node cycle, with normalized packets —
-/// invariant under atom numbering and shard partitioning.
-fn loops_by_cycle(violations: &[InvariantViolation]) -> BTreeMap<Vec<NodeId>, Vec<Interval>> {
-    let mut out: BTreeMap<NodeId2, Vec<Interval>> = BTreeMap::new();
-    type NodeId2 = Vec<NodeId>;
-    for v in violations {
-        if let InvariantViolation::ForwardingLoop { nodes, packets } = v {
-            out.entry(nodes.clone())
-                .or_default()
-                .extend(packets.clone());
-        }
-    }
-    for packets in out.values_mut() {
-        *packets = normalize(std::mem::take(packets));
-    }
-    out
-}
-
-/// Blackholed address space per node, invariant under atom numbering.
-fn blackholes_by_node(violations: &[InvariantViolation]) -> BTreeMap<NodeId, Vec<Interval>> {
-    let mut out: BTreeMap<NodeId, Vec<Interval>> = BTreeMap::new();
-    for v in violations {
-        if let InvariantViolation::Blackhole { node, packets } = v {
-            out.entry(*node).or_default().extend(packets.clone());
-        }
-    }
-    for packets in out.values_mut() {
-        *packets = normalize(std::mem::take(packets));
-    }
-    out
 }
 
 /// How many packet classes the sharded engine counts beyond the single
@@ -183,6 +120,26 @@ fn assert_observationally_equal(
         blackholes_by_node(&sharded.check_all_blackholes()),
         "{tag}: blackhole verdicts diverge"
     );
+    // When monitoring is on, the maintained violation state must agree with
+    // the full scans on both engines: exactly on the single engine, and at
+    // the cycle/node level across the shard merge.
+    if let Some(active) = plain.active_violations() {
+        let mut expect = plain.check_all_loops();
+        expect.extend(plain.check_all_blackholes());
+        assert_eq!(active, expect, "{tag}: plain monitor diverges from scans");
+    }
+    if let Some(active) = sharded.active_violations() {
+        assert_eq!(
+            loops_by_cycle(&active),
+            loops_by_cycle(&sharded.check_all_loops()),
+            "{tag}: sharded monitor loops diverge from scans"
+        );
+        assert_eq!(
+            blackholes_by_node(&active),
+            blackholes_by_node(&sharded.check_all_blackholes()),
+            "{tag}: sharded monitor blackholes diverge from scans"
+        );
+    }
     // Atom-count sums: exact once the interior boundaries are accounted.
     if exact_atoms {
         assert_eq!(
@@ -202,10 +159,13 @@ fn sharded_engine_matches_single_engine_under_random_churn() {
             let mut topo = small_topology(&mut rng);
             // Odd seeds churn with per-shard automatic compaction on, so the
             // equivalence also covers threshold-triggered passes.
+            // Monitoring is on throughout, so this suite also pins the
+            // shard-wise merged live violation state against the full scans.
             let config = DeltaNetConfig {
                 field_width: 8,
                 check_loops_per_update: true,
                 compact_threshold: if seed % 2 == 1 { Some(3) } else { None },
+                monitor_violations: true,
             };
             // Class/atom counts are compared exactly only while no automatic
             // compaction can fire (see `assert_observationally_equal`).
@@ -297,6 +257,7 @@ fn batched_application_matches_single_engine() {
             field_width: 8,
             check_loops_per_update: true,
             compact_threshold: None,
+            monitor_violations: true,
         };
         // Record a well-formed trace first.
         let mut ops: Vec<Op> = Vec::new();

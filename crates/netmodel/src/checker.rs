@@ -212,6 +212,16 @@ pub trait Checker {
     /// (Table 5 / Appendix D).
     fn memory_bytes(&self) -> usize;
 
+    /// The invariant violations currently active in the data plane, when
+    /// the checker maintains them as live state (incremental violation
+    /// monitoring). `None` — the default — means the checker does not
+    /// monitor and callers must fall back to full-plane scans. A `Some`
+    /// answer must equal what full loop + blackhole scans of the current
+    /// data plane would report.
+    fn active_violations(&self) -> Option<Vec<InvariantViolation>> {
+        None
+    }
+
     /// Replays a whole trace, returning one report per operation.
     fn replay(&mut self, ops: &[Op]) -> Vec<UpdateReport> {
         ops.iter().map(|op| self.apply(op)).collect()

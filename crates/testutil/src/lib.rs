@@ -1,0 +1,282 @@
+//! Shared, seeded generators for the randomized differential suites.
+//!
+//! Before this crate existed, `tests/differential.rs`,
+//! `crates/deltanet/tests/sharded_differential.rs`,
+//! `crates/deltanet/tests/compaction.rs` and
+//! `crates/deltanet/tests/atom_invariants.rs` each carried their own copy of
+//! the same ad-hoc topology/rule generators, drifting in small ways
+//! (priority ranges, drop-link setup). The shared versions here are:
+//!
+//! * **Seeded** — every generator is a pure function of the caller's
+//!   [`StdRng`], so a failing case reproduces from its printed seed alone.
+//! * **Shrink-friendly** — [`random_ops`] returns a *well-formed trace as
+//!   data*: every `Remove` refers to a rule inserted earlier and still
+//!   live, so **any prefix of the trace is itself a well-formed trace**.
+//!   Minimizing a failure is replaying prefixes (binary-search the length),
+//!   no generator state needed.
+//!
+//! The generators intentionally target a *small* (8-bit by default) address
+//! space: the oracles exhaustively check all 256 addresses, and narrow
+//! spaces make rules overlap and atoms split aggressively — the regime the
+//! differential suites exist to stress.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netmodel::checker::InvariantViolation;
+use netmodel::interval::{normalize, Interval};
+use netmodel::ip::IpPrefix;
+use netmodel::rule::{Rule, RuleId};
+use netmodel::topology::{LinkId, NodeId, Topology};
+use netmodel::trace::Op;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Builds a random strongly-connected topology with `n` switches: a ring
+/// for strong connectivity plus `n` random chords, and (when requested) one
+/// drop link per switch so drop rules can be generated without mutating the
+/// topology mid-trace.
+pub fn random_topology(rng: &mut StdRng, n: usize, with_drop_links: bool) -> Topology {
+    let mut topo = Topology::new();
+    let nodes = topo.add_nodes("s", n);
+    for i in 0..n {
+        topo.add_bidi_link(nodes[i], nodes[(i + 1) % n]);
+    }
+    for _ in 0..n {
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        if a != b {
+            topo.add_link(a, b);
+        }
+    }
+    if with_drop_links {
+        for node in topo.switch_nodes().collect::<Vec<_>>() {
+            topo.drop_link(node);
+        }
+    }
+    topo
+}
+
+/// Draws a random non-empty interval inside a `width`-bit field space.
+pub fn random_interval(rng: &mut StdRng, width: u8) -> Interval {
+    let max = 1u128 << width;
+    let lo = rng.gen_range(0..max - 1);
+    let hi = rng.gen_range(lo + 1..=max);
+    Interval::new(lo, hi)
+}
+
+/// Generates a random rule over a `width`-bit address space: a random
+/// prefix (all lengths `0..=width` equally likely, so wide rules straddling
+/// shard boundaries are common), a random source switch, priority in
+/// `1..=max_priority`, and a 10% chance of being an explicit drop rule —
+/// taken only when the switch has a pre-created drop link
+/// ([`random_topology`] with `with_drop_links: true`). The topology is
+/// never mutated: a trace generated after an engine cloned the topology
+/// must not reference links the engine has never seen.
+pub fn random_rule(
+    rng: &mut StdRng,
+    topo: &Topology,
+    id: u64,
+    width: u8,
+    max_priority: u32,
+) -> Rule {
+    let switches: Vec<NodeId> = topo.switch_nodes().collect();
+    let source = switches[rng.gen_range(0..switches.len())];
+    let len = rng.gen_range(0..=width);
+    let value = rng.gen_range(0u128..1u128 << width);
+    let prefix = IpPrefix::new(value, len, width);
+    let priority = rng.gen_range(1..=max_priority);
+    let drop_link = topo
+        .out_links(source)
+        .iter()
+        .copied()
+        .find(|&l| topo.is_drop_link(l));
+    if let (true, Some(dl)) = (rng.gen_bool(0.1), drop_link) {
+        Rule::drop(RuleId(id), prefix, priority, source, dl)
+    } else {
+        let out: Vec<LinkId> = topo
+            .out_links(source)
+            .iter()
+            .copied()
+            .filter(|&l| !topo.is_drop_link(l))
+            .collect();
+        let link = out[rng.gen_range(0..out.len())];
+        Rule::forward(RuleId(id), prefix, priority, source, link)
+    }
+}
+
+/// Stateful insert/remove generator tracking the live rule set, for suites
+/// that interleave generation with checking.
+///
+/// Rule ids are globally unique across the generator's lifetime. Candidate
+/// insertions that would create a same-priority overlap at one switch (a
+/// data plane with no well-defined winner) are rejected —
+/// [`OpGen::next_op`] returns `None` for that draw, exactly like the
+/// `continue` in the suites this replaces, keeping RNG streams
+/// deterministic per seed.
+#[derive(Clone, Debug)]
+pub struct OpGen {
+    width: u8,
+    max_priority: u32,
+    remove_bias: f64,
+    live: Vec<Rule>,
+    next_id: u64,
+}
+
+impl OpGen {
+    /// A generator over a `width`-bit space with the given probability of
+    /// drawing a removal (when any rule is live) and priority range.
+    pub fn new(width: u8, max_priority: u32, remove_bias: f64) -> Self {
+        OpGen {
+            width,
+            max_priority,
+            remove_bias,
+            live: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The rules currently live (inserted and not yet removed).
+    pub fn live(&self) -> &[Rule] {
+        &self.live
+    }
+
+    /// Draws the next operation: a removal of a random live rule with
+    /// probability `remove_bias`, otherwise an insertion of a fresh random
+    /// rule. Returns `None` if the drawn insertion conflicted (skip and
+    /// draw again).
+    pub fn next_op(&mut self, rng: &mut StdRng, topo: &Topology) -> Option<Op> {
+        if !self.live.is_empty() && rng.gen_bool(self.remove_bias) {
+            let rule = self.live.swap_remove(rng.gen_range(0..self.live.len()));
+            Some(Op::Remove(rule.id))
+        } else {
+            let rule = random_rule(rng, topo, self.next_id, self.width, self.max_priority);
+            self.next_id += 1;
+            if self.live.iter().any(|r| r.conflicts_with(&rule)) {
+                return None;
+            }
+            self.live.push(rule);
+            Some(Op::Insert(rule))
+        }
+    }
+}
+
+/// Generates a complete well-formed trace of exactly `len` operations
+/// (see the module docs for why prefixes of the result shrink cleanly).
+pub fn random_ops(
+    rng: &mut StdRng,
+    topo: &Topology,
+    len: usize,
+    width: u8,
+    max_priority: u32,
+    remove_bias: f64,
+) -> Vec<Op> {
+    let mut gen = OpGen::new(width, max_priority, remove_bias);
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        if let Some(op) = gen.next_op(rng, topo) {
+            ops.push(op);
+        }
+    }
+    ops
+}
+
+/// Forwarding loops keyed by their node cycle, with normalized packets —
+/// the comparison form that is invariant under atom numbering, shard
+/// partitioning, and report ordering, shared by every differential suite.
+pub fn loops_by_cycle(violations: &[InvariantViolation]) -> BTreeMap<Vec<NodeId>, Vec<Interval>> {
+    let mut out: BTreeMap<Vec<NodeId>, Vec<Interval>> = BTreeMap::new();
+    for v in violations {
+        if let InvariantViolation::ForwardingLoop { nodes, packets } = v {
+            out.entry(nodes.clone())
+                .or_default()
+                .extend(packets.clone());
+        }
+    }
+    for packets in out.values_mut() {
+        *packets = normalize(std::mem::take(packets));
+    }
+    out
+}
+
+/// Blackholed address space per node, invariant under atom numbering (the
+/// blackhole counterpart of [`loops_by_cycle`]).
+pub fn blackholes_by_node(violations: &[InvariantViolation]) -> BTreeMap<NodeId, Vec<Interval>> {
+    let mut out: BTreeMap<NodeId, Vec<Interval>> = BTreeMap::new();
+    for v in violations {
+        if let InvariantViolation::Blackhole { node, packets } = v {
+            out.entry(*node).or_default().extend(packets.clone());
+        }
+    }
+    for packets in out.values_mut() {
+        *packets = normalize(std::mem::take(packets));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn topology_is_strongly_connected_with_drop_links() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = random_topology(&mut rng, 5, true);
+            assert!(topo.is_strongly_connected());
+            assert!(topo.drop_node().is_some());
+            for node in topo.switch_nodes().collect::<Vec<_>>() {
+                assert!(topo.out_links(node).iter().any(|&l| topo.is_drop_link(l)));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = |seed: u64| -> Vec<Op> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = random_topology(&mut rng, 4, true);
+            random_ops(&mut rng, &topo, 50, 8, 40, 0.35)
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn traces_are_well_formed_prefix_closed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let topo = random_topology(&mut rng, 5, true);
+        let ops = random_ops(&mut rng, &topo, 200, 8, 40, 0.4);
+        assert_eq!(ops.len(), 200);
+        // Every prefix is well-formed: removals only of live rules, no
+        // duplicate inserts, no same-priority overlaps among live rules.
+        let mut live: Vec<Rule> = Vec::new();
+        let mut ever: HashSet<u64> = HashSet::new();
+        for op in &ops {
+            match op {
+                Op::Insert(r) => {
+                    assert!(ever.insert(r.id.0), "rule id reused");
+                    assert!(!live.iter().any(|l| l.conflicts_with(r)));
+                    live.push(*r);
+                }
+                Op::Remove(id) => {
+                    let pos = live.iter().position(|r| r.id == *id);
+                    live.swap_remove(pos.expect("removal of a non-live rule"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_intervals_fit_the_field_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let iv = random_interval(&mut rng, 10);
+            assert!(!iv.is_empty());
+            assert!(iv.hi() <= 1 << 10);
+        }
+    }
+}

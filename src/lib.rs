@@ -33,8 +33,8 @@ pub use workloads;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use deltanet::{
-        AtomId, AtomMap, AtomSet, DeltaNet, DeltaNetConfig, Parallelism, ReachabilityMatrix,
-        ShardedDeltaNet,
+        AtomId, AtomMap, AtomSet, DeltaNet, DeltaNetConfig, MonitorEvent, Parallelism,
+        ReachabilityMatrix, ShardedDeltaNet, ViolationKey, ViolationMonitor,
     };
     pub use netmodel::checker::{Checker, InvariantViolation, UpdateReport, WhatIfReport};
     pub use netmodel::fib::NetworkFib;

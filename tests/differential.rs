@@ -12,47 +12,18 @@ use delta_net::prelude::*;
 use deltanet::loops::successor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use testutil::{random_rule as random_rule_in, random_topology as random_topology_in};
 
-/// Builds a random strongly-connected topology with `n` switches.
+/// Builds a random strongly-connected topology with `n` switches and one
+/// drop link per switch (shared generator, see the `testutil` crate).
 fn random_topology(rng: &mut StdRng, n: usize) -> Topology {
-    let mut topo = Topology::new();
-    let nodes = topo.add_nodes("s", n);
-    // Ring for strong connectivity, then random chords.
-    for i in 0..n {
-        topo.add_bidi_link(nodes[i], nodes[(i + 1) % n]);
-    }
-    for _ in 0..n {
-        let a = nodes[rng.gen_range(0..n)];
-        let b = nodes[rng.gen_range(0..n)];
-        if a != b {
-            topo.add_link(a, b);
-        }
-    }
-    topo
+    random_topology_in(rng, n, true)
 }
 
 /// Generates a random rule over an 8-bit address space (small enough that
 /// the oracle can exhaustively check every address).
 fn random_rule(rng: &mut StdRng, topo: &mut Topology, id: u64) -> Rule {
-    let switches: Vec<NodeId> = topo.switch_nodes().collect();
-    let source = switches[rng.gen_range(0..switches.len())];
-    let len = rng.gen_range(0..=8u8);
-    let value = rng.gen_range(0u32..256) as u128;
-    let prefix = IpPrefix::new(value, len, 8);
-    let priority = rng.gen_range(1..=1000);
-    if rng.gen_bool(0.1) {
-        let dl = topo.drop_link(source);
-        Rule::drop(RuleId(id), prefix, priority, source, dl)
-    } else {
-        let out: Vec<LinkId> = topo
-            .out_links(source)
-            .iter()
-            .copied()
-            .filter(|&l| !topo.is_drop_link(l))
-            .collect();
-        let link = out[rng.gen_range(0..out.len())];
-        Rule::forward(RuleId(id), prefix, priority, source, link)
-    }
+    random_rule_in(rng, topo, id, 8, 1000)
 }
 
 /// Every address, at every switch, must be forwarded along the same link by
@@ -77,10 +48,6 @@ fn deltanet_labels_match_reference_fib_under_random_churn() {
     let mut rng = StdRng::seed_from_u64(0xD1FF);
     for trial in 0..10 {
         let mut topo = random_topology(&mut rng, 5);
-        // Pre-create drop links so both structures share the same topology.
-        for node in topo.switch_nodes().collect::<Vec<_>>() {
-            topo.drop_link(node);
-        }
         let mut net = DeltaNet::new(
             topo.clone(),
             DeltaNetConfig {
@@ -125,9 +92,6 @@ fn loop_reports_agree_with_exhaustive_packet_tracing() {
     let mut rng = StdRng::seed_from_u64(0x100F);
     for _ in 0..8 {
         let mut topo = random_topology(&mut rng, 4);
-        for node in topo.switch_nodes().collect::<Vec<_>>() {
-            topo.drop_link(node);
-        }
         let mut net = DeltaNet::new(
             topo.clone(),
             DeltaNetConfig {
@@ -176,9 +140,6 @@ fn veriflow_and_deltanet_agree_on_per_update_loops() {
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     for _ in 0..6 {
         let mut topo = random_topology(&mut rng, 4);
-        for node in topo.switch_nodes().collect::<Vec<_>>() {
-            topo.drop_link(node);
-        }
         let mut net = DeltaNet::new(
             topo.clone(),
             DeltaNetConfig {
@@ -241,9 +202,6 @@ fn veriflow_and_deltanet_agree_on_per_update_loops() {
 fn whatif_affected_packets_agree_between_checkers() {
     let mut rng = StdRng::seed_from_u64(0xFA11);
     let mut topo = random_topology(&mut rng, 5);
-    for node in topo.switch_nodes().collect::<Vec<_>>() {
-        topo.drop_link(node);
-    }
     let mut net = DeltaNet::new(
         topo.clone(),
         DeltaNetConfig {
