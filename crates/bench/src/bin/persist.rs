@@ -1,0 +1,27 @@
+//! Runs the persistence experiment on the flapping-prefix churn workload:
+//! the write-path overhead of the append-only delta log (logged vs
+//! unlogged µs/op), plus an end-to-end audit — recover from the half-way
+//! snapshot + log tail and compare against the live engine
+//! (`round_trip_equal`), and prove damaged artifacts fail with clean
+//! errors (`truncated_log_error`, `corrupted_snapshot_error`).
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin persist [-- --scale tiny|small|medium] [--json <path>]`
+//!
+//! Without `--json`, the machine-readable report is printed to stdout; the
+//! same object appears as the `persist` section of `all_experiments --json`.
+//! The committed `BENCH_PR6.json` is produced by this binary.
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = bench::experiments::persist_churn_json(scale).render();
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote persist report ({scale:?} scale) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

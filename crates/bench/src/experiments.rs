@@ -9,7 +9,11 @@
 use crate::json::Json;
 use crate::ownerbench::{owner_microbench, OwnerBenchResult};
 use crate::{megabytes, render_table, replay_timed, with_commas, Summary, Timings};
-use deltanet::{DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet};
+use deltanet::persist;
+use deltanet::{
+    DeltaNet, DeltaNetConfig, LoggedNet, Parallelism, PersistError, PersistNet, ShardedDeltaNet,
+    Snapshot,
+};
 use netmodel::checker::Checker;
 use netmodel::rule::Rule;
 use netmodel::topology::LinkId;
@@ -737,6 +741,135 @@ pub fn shard_scaling_json(scale: ScaleProfile, shard_counts: &[usize], batch: us
     ])
 }
 
+/// The `persist` section (BENCH_PR6.json): write-path overhead of the
+/// append-only delta log on the flapping-prefix churn workload, plus an
+/// end-to-end snapshot + recovery audit.
+///
+/// Two replays of the same trace in windows of 64 ops:
+///
+/// * **unlogged**: a plain engine applying each window;
+/// * **logged**: the same engine behind [`LoggedNet`] — ops are encoded
+///   into the write-behind buffer as they apply and flushed once per
+///   window; a snapshot is taken (outside the timed section) at the
+///   halfway point.
+///
+/// Afterwards the run is recovered from the half-way snapshot plus the log
+/// tail, and `round_trip_equal` reports whether the recovered engine
+/// matches the live one on rules, atoms, `live_bytes`, and full loop +
+/// blackhole rescans. `truncated_log_error` / `corrupted_snapshot_error`
+/// prove that damaged artifacts fail with clean errors rather than panics
+/// or silent misreads.
+pub fn persist_churn_json(scale: ScaleProfile) -> Json {
+    const WINDOW: usize = 64;
+    let topology = workloads::churn::churn_topology();
+    let config = scale.churn_config();
+    let churn = workloads::churn::flapping_churn(&topology, config);
+    let ops = churn.trace.ops();
+    let engine_config = DeltaNetConfig {
+        check_loops_per_update: false,
+        ..Default::default()
+    };
+
+    // Unlogged baseline.
+    let mut plain = PersistNet::Single(Box::new(DeltaNet::new(
+        topology.topology.clone(),
+        engine_config,
+    )));
+    let mut unlogged_s = 0f64;
+    for chunk in ops.chunks(WINDOW) {
+        let start = Instant::now();
+        plain
+            .apply_batch(chunk)
+            .expect("churn trace replays cleanly");
+        unlogged_s += start.elapsed().as_secs_f64();
+    }
+
+    // Logged run: buffered appends, one flush per window, snapshotted at
+    // the halfway point (snapshotting itself is not timed).
+    let dir = std::env::temp_dir().join(format!("deltanet-bench-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let log_path = dir.join("churn.dnlog");
+    let snap_path = dir.join("churn.snap");
+    let net = PersistNet::Single(Box::new(DeltaNet::new(
+        topology.topology.clone(),
+        engine_config,
+    )));
+    let mut logged = LoggedNet::new(net, &log_path, 0).expect("create delta log");
+    let mut logged_s = 0f64;
+    let half = ops.len() / 2;
+    let mut snapshot_bytes = 0usize;
+    let mut snapshot_at = 0usize;
+    let mut done = 0usize;
+    for chunk in ops.chunks(WINDOW) {
+        let start = Instant::now();
+        logged
+            .apply_batch(chunk)
+            .expect("churn trace replays cleanly");
+        logged_s += start.elapsed().as_secs_f64();
+        done += chunk.len();
+        if snapshot_at == 0 && done >= half {
+            let snap = logged.snapshot().expect("snapshot the half-way state");
+            let bytes = snap.to_bytes();
+            snapshot_bytes = bytes.len();
+            snapshot_at = done;
+            std::fs::write(&snap_path, &bytes).expect("write snapshot");
+        }
+    }
+    let live = logged.into_net().expect("flush the delta log");
+
+    // Recovery: half-way snapshot + log tail must reproduce the live state.
+    let (recovered, recovered_ops) =
+        persist::recover(&topology.topology, &snap_path, &log_path).expect("recover churn run");
+    let mut live_scan = live.check_all_loops();
+    live_scan.extend(live.check_all_blackholes());
+    let mut recovered_scan = recovered.check_all_loops();
+    recovered_scan.extend(recovered.check_all_blackholes());
+    let round_trip_equal = recovered_ops as usize == ops.len()
+        && recovered.rule_count() == live.rule_count()
+        && recovered.atom_count() == live.atom_count()
+        && recovered.live_bytes() == live.live_bytes()
+        && recovered_scan == live_scan;
+
+    // Damaged artifacts fail cleanly (a one-byte truncation always lands
+    // mid-record; a flipped byte always fails the snapshot checksum).
+    let log_bytes = std::fs::read(&log_path).expect("read log back");
+    let truncated_path = dir.join("truncated.dnlog");
+    std::fs::write(&truncated_path, &log_bytes[..log_bytes.len() - 1])
+        .expect("write truncated log");
+    let truncated_log_error = matches!(
+        persist::read_log(&truncated_path),
+        Err(PersistError::Corrupt(_))
+    );
+    let mut corrupt = std::fs::read(&snap_path).expect("read snapshot back");
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x20;
+    let corrupted_snapshot_error = matches!(
+        Snapshot::from_bytes(&corrupt),
+        Err(PersistError::Corrupt(_))
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    let per_op = |total_s: f64| total_s * 1e6 / ops.len().max(1) as f64;
+    Json::obj([
+        ("schema", Json::str("deltanet-persist-v1")),
+        ("dataset", Json::str("Churn")),
+        ("operations", Json::int(ops.len())),
+        ("unlogged_us_per_op", Json::ms(per_op(unlogged_s))),
+        ("logged_us_per_op", Json::ms(per_op(logged_s))),
+        ("overhead_ratio", Json::ms(logged_s / unlogged_s.max(1e-9))),
+        ("log_bytes", Json::int(log_bytes.len())),
+        ("snapshot_bytes", Json::int(snapshot_bytes)),
+        ("snapshot_at_op", Json::int(snapshot_at)),
+        ("recovered_ops", Json::int(recovered_ops as usize)),
+        ("round_trip_equal", Json::Bool(round_trip_equal)),
+        ("truncated_log_error", Json::Bool(truncated_log_error)),
+        (
+            "corrupted_snapshot_error",
+            Json::Bool(corrupted_snapshot_error),
+        ),
+    ])
+}
+
 /// The full machine-readable report behind `all_experiments --json`: the
 /// `updates` end-to-end replay, the isolated `insert_hot_path`, and the
 /// old-vs-new owner `microbench`. `BENCH_*.json` baselines committed to the
@@ -751,6 +884,7 @@ pub fn json_report(scale: ScaleProfile) -> Json {
         ("churn", churn_json(scale)),
         ("shard_scaling", shard_scaling_json(scale, &[1, 2, 4], 256)),
         ("monitor", monitor_churn_json(scale)),
+        ("persist", persist_churn_json(scale)),
     ])
 }
 
@@ -878,6 +1012,24 @@ mod tests {
             "violation_transitions",
             "\"mismatches\": 0",
             "\"counts_match\": true",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn persist_json_proves_roundtrip_and_clean_errors() {
+        let report = persist_churn_json(ScaleProfile::Tiny);
+        let text = report.render();
+        for key in [
+            "deltanet-persist-v1",
+            "unlogged_us_per_op",
+            "logged_us_per_op",
+            "overhead_ratio",
+            "snapshot_bytes",
+            "\"round_trip_equal\": true",
+            "\"truncated_log_error\": true",
+            "\"corrupted_snapshot_error\": true",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }

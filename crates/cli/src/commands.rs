@@ -6,7 +6,11 @@
 
 use crate::args::{parse_dataset, parse_scale, parse_usize_option, ArgError, ParsedArgs};
 use crate::topo_text;
-use deltanet::{blackholes, DeltaNet, DeltaNetConfig, Parallelism, ShardedDeltaNet, ViolationKey};
+use deltanet::persist;
+use deltanet::{
+    blackholes, DeltaLog, DeltaNet, DeltaNetConfig, LoggedNet, Parallelism, PersistError,
+    PersistNet, ShardedDeltaNet, Snapshot, ViolationKey,
+};
 use netmodel::checker::{Checker, InvariantViolation};
 use netmodel::topology::Topology;
 use netmodel::trace::{Op, Trace};
@@ -58,6 +62,15 @@ impl From<std::io::Error> for CommandError {
     }
 }
 
+impl From<PersistError> for CommandError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(io) => CommandError::Io(io),
+            other => CommandError::Other(other.to_string()),
+        }
+    }
+}
+
 /// The help text.
 pub fn help() -> String {
     "deltanet — real-time data-plane verification using atoms (NSDI 2017)\n\
@@ -71,6 +84,7 @@ pub fn help() -> String {
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
                  [--compact [<threshold>]] [--json <file>] [--shards <n>] [--batch <w>]\n\
                  [--workers <n>] [--check blackholes] [--monitor]\n\
+                 [--from-snapshot <file>] [--log <file>]\n\
                  Replay a trace through a checker and print Table-3 style statistics;\n\
                  with --json, also write them machine-readable (BENCH_*.json shape).\n\
                  --compact enables automatic atom compaction (deltanet only): a removal\n\
@@ -83,8 +97,25 @@ pub fn help() -> String {
                  live loop+blackhole violation set incrementally, streams appeared/\n\
                  resolved transitions per trace op, and cross-checks the final state\n\
                  against a full rescan.\n\
+                 --from-snapshot restores a saved snapshot and replays the trace on top\n\
+                 of it (deltanet only; the engine shape and config come from the\n\
+                 snapshot, so --shards/--compact cannot be combined with it). --log\n\
+                 appends every successfully applied op to a binary delta log; on a\n\
+                 mid-trace failure the log holds exactly the applied prefix, so\n\
+                 `snapshot --load --log` recovery reproduces the post-failure state.\n\
                  Malformed operations (unknown rule removal, duplicate insert) are\n\
                  reported with their line position instead of crashing the replay\n\
+       snapshot  --topo <file> --trace <file> --save <file> [--shards <n>] [--monitor]\n\
+                 [--log <file>]\n\
+                 Replay the trace and save its final engine state as a checksummed\n\
+                 binary snapshot; with --log, also write the ops to a delta log\n\
+                 (together they form a recovery pair)\n\
+       snapshot  --topo <file> --load <file> [--log <file>]\n\
+                 Restore a snapshot and print its state; with --log, recover by\n\
+                 replaying the log tail past the snapshot's position\n\
+       snapshot  --topo <file> --log <file> --at <n> [--load <file>]\n\
+                 Time-travel: the violations active after exactly n logged ops,\n\
+                 replayed forward from the snapshot when one is given\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
                  Load the trace's final data plane and analyse the failure of link src->dst\n\
        audit     --topo <file> --trace <file>\n\
@@ -98,6 +129,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CommandError> {
     match args.command.as_str() {
         "generate" => generate(args),
         "replay" => replay(args),
+        "snapshot" => snapshot(args),
         "whatif" => whatif(args),
         "audit" => audit(args),
         "help" | "--help" | "-h" => Ok(help()),
@@ -298,6 +330,8 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         }
     };
     let monitor = args.has_flag("monitor");
+    let from_snapshot = args.options.get("from-snapshot").cloned();
+    let log_to = args.options.get("log").cloned();
     if (batch.is_some() || workers.is_some()) && shards.is_none() {
         return Err(CommandError::Other(
             "--batch/--workers require --shards".to_string(),
@@ -310,52 +344,84 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     }
     let parallelism = workers.map_or_else(Parallelism::from_env, Parallelism::fixed);
 
-    let mut engine = match checker_name.as_str() {
-        "deltanet" => {
-            let config = DeltaNetConfig {
-                check_loops_per_update: check_loops,
-                compact_threshold,
-                monitor_violations: monitor,
-                ..Default::default()
-            };
-            match shards {
-                Some(n) => ReplayEngine::Sharded(Box::new(ShardedDeltaNet::with_parallelism(
+    let mut baseline_ops = 0u64;
+    let mut engine =
+        match checker_name.as_str() {
+            "deltanet" => match &from_snapshot {
+                Some(snap_path) => {
+                    if shards.is_some() || compact_threshold.is_some() {
+                        return Err(CommandError::Other(
+                            "--shards/--compact come from the snapshot and cannot be combined \
+                         with --from-snapshot"
+                                .to_string(),
+                        ));
+                    }
+                    let snap = Snapshot::read_from(Path::new(snap_path))?;
+                    baseline_ops = snap.ops_applied();
+                    let mut net = snap.restore(&topo)?;
+                    if monitor && !net.is_monitored() {
+                        net.enable_monitor();
+                    }
+                    match net {
+                        PersistNet::Single(n) => ReplayEngine::Delta(n),
+                        PersistNet::Sharded(n) => ReplayEngine::Sharded(n),
+                    }
+                }
+                None => {
+                    let config = DeltaNetConfig {
+                        check_loops_per_update: check_loops,
+                        compact_threshold,
+                        monitor_violations: monitor,
+                        ..Default::default()
+                    };
+                    match shards {
+                        Some(n) => ReplayEngine::Sharded(Box::new(
+                            ShardedDeltaNet::with_parallelism(topo, config, n, parallelism),
+                        )),
+                        None => ReplayEngine::Delta(Box::new(DeltaNet::new(topo, config))),
+                    }
+                }
+            },
+            "veriflow" | "veriflow-ri" => {
+                if compact_threshold.is_some()
+                    || shards.is_some()
+                    || check_blackholes
+                    || monitor
+                    || from_snapshot.is_some()
+                    || log_to.is_some()
+                {
+                    return Err(CommandError::Other(
+                        "--compact/--shards/--check/--monitor/--from-snapshot/--log are only \
+                     supported by the deltanet checker"
+                            .to_string(),
+                    ));
+                }
+                ReplayEngine::Veriflow(Box::new(VeriflowRi::new(
                     topo,
-                    config,
-                    n,
-                    parallelism,
-                ))),
-                None => ReplayEngine::Delta(Box::new(DeltaNet::new(topo, config))),
+                    VeriflowConfig {
+                        check_loops_per_update: check_loops,
+                        ..Default::default()
+                    },
+                )))
             }
-        }
-        "veriflow" | "veriflow-ri" => {
-            if compact_threshold.is_some() || shards.is_some() || check_blackholes || monitor {
-                return Err(CommandError::Other(
-                    "--compact/--shards/--check/--monitor are only supported by the deltanet \
-                     checker"
-                        .to_string(),
-                ));
+            other => {
+                return Err(CommandError::Other(format!(
+                    "unknown checker `{other}` (expected deltanet | veriflow)"
+                )))
             }
-            ReplayEngine::Veriflow(Box::new(VeriflowRi::new(
-                topo,
-                VeriflowConfig {
-                    check_loops_per_update: check_loops,
-                    ..Default::default()
-                },
-            )))
-        }
-        other => {
-            return Err(CommandError::Other(format!(
-                "unknown checker `{other}` (expected deltanet | veriflow)"
-            )))
-        }
-    };
+        };
 
     let mut timings = bench::Timings {
         micros: Vec::with_capacity(trace.len()),
     };
     let mut loops = 0usize;
     let mut transitions = monitor.then(TransitionLog::default);
+    // Write-behind delta log: an op is appended only after it applied, so on
+    // a mid-trace failure the log holds exactly the applied prefix.
+    let mut dlog = match &log_to {
+        Some(path) => Some(DeltaLog::create(Path::new(path))?),
+        None => None,
+    };
     match (&mut engine, batch) {
         // Batched sharded replay: each window's shard groups apply
         // concurrently; per-op time is the window average, so the summary
@@ -366,14 +432,28 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             let mut offset = 0usize;
             for chunk in trace.ops().chunks(window) {
                 let start = Instant::now();
-                let reports = net.apply_batch(chunk).map_err(|e| {
-                    CommandError::Other(format!(
-                        "trace op {} ({}): {}",
-                        offset + e.index + 1,
-                        describe_op(&chunk[e.index]),
-                        e.error
-                    ))
-                })?;
+                let reports = match net.apply_batch(chunk) {
+                    Ok(reports) => reports,
+                    Err(e) => {
+                        if let Some(log) = dlog.as_mut() {
+                            for op in &chunk[..e.index] {
+                                log.append(op);
+                            }
+                            log.flush()?;
+                        }
+                        return Err(CommandError::Other(format!(
+                            "trace op {} ({}): {}",
+                            offset + e.index + 1,
+                            describe_op(&chunk[e.index]),
+                            e.error
+                        )));
+                    }
+                };
+                if let Some(log) = dlog.as_mut() {
+                    for op in chunk {
+                        log.append(op);
+                    }
+                }
                 let per_op_us = start.elapsed().as_secs_f64() * 1e6 / chunk.len() as f64;
                 for report in reports {
                     timings.micros.push(per_op_us);
@@ -392,13 +472,22 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         (engine, _) => {
             for (index, op) in trace.ops().iter().enumerate() {
                 let start = Instant::now();
-                let report = engine.checker().try_apply(op).map_err(|error| {
-                    CommandError::Other(format!(
-                        "trace op {} ({}): {error}",
-                        index + 1,
-                        describe_op(op)
-                    ))
-                })?;
+                let report = match engine.checker().try_apply(op) {
+                    Ok(report) => report,
+                    Err(error) => {
+                        if let Some(log) = dlog.as_mut() {
+                            log.flush()?;
+                        }
+                        return Err(CommandError::Other(format!(
+                            "trace op {} ({}): {error}",
+                            index + 1,
+                            describe_op(op)
+                        )));
+                    }
+                };
+                if let Some(log) = dlog.as_mut() {
+                    log.append(op);
+                }
                 timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
                 if report.has_loop() {
                     loops += 1;
@@ -411,6 +500,13 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             }
         }
     }
+    let log_ops = match dlog.as_mut() {
+        Some(log) => {
+            log.flush()?;
+            Some(log.ops_logged())
+        }
+        None => None,
+    };
     let summary = timings.summary();
     let checker = engine.checker();
     let name = checker.name();
@@ -455,6 +551,12 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         }
         if let Some(holes) = &blackhole_report {
             fields.push(("blackholes", Json::int(holes.len())));
+        }
+        if from_snapshot.is_some() {
+            fields.push(("resumed_from_op", Json::int(baseline_ops as usize)));
+        }
+        if let Some(n) = log_ops {
+            fields.push(("log_ops", Json::int(n as usize)));
         }
         if let (Some((active_loops, active_holes)), Some(log)) =
             (monitor_counts, transitions.as_ref())
@@ -504,6 +606,12 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             None => out.push('\n'),
         }
     }
+    if from_snapshot.is_some() {
+        out.push_str(&format!("resumed from snapshot: op {baseline_ops}\n"));
+    }
+    if let (Some(n), Some(path)) = (log_ops, &log_to) {
+        out.push_str(&format!("delta log:          {n} ops -> {path}\n"));
+    }
     if let Some(holes) = &blackhole_report {
         out.push_str(&format!("blackholes:         {}\n", holes.len()));
         for v in holes.iter().take(5) {
@@ -540,6 +648,154 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         ));
     }
     Ok(out)
+}
+
+/// `deltanet snapshot` — save, restore/recover, or time-travel snapshots.
+///
+/// Three modes, selected by which options are given: `--save <file>`
+/// replays a trace and writes its final state; `--load <file>` restores a
+/// snapshot (recovering through the `--log` tail when one is given);
+/// `--at <n>` answers a time-travel query against a delta log.
+pub fn snapshot(args: &ParsedArgs) -> Result<String, CommandError> {
+    let save = args.options.get("save").cloned();
+    let load = args.options.get("load").cloned();
+    let at = parse_usize_option(args, "at")?;
+    match (save, load, at) {
+        (Some(out), None, None) => snapshot_save(args, &out),
+        (None, Some(path), None) => snapshot_load(args, &path),
+        (None, load, Some(op_n)) => snapshot_at(args, load.as_deref(), op_n),
+        _ => Err(CommandError::Other(
+            "snapshot expects exactly one of --save <file>, --load <file>, or --at <n> \
+             (--at may be combined with --load); try `deltanet help`"
+                .to_string(),
+        )),
+    }
+}
+
+/// `snapshot --save`: replay the trace, write the final state (and
+/// optionally the ops) to disk.
+fn snapshot_save(args: &ParsedArgs, out_path: &str) -> Result<String, CommandError> {
+    let mut topo = load_topology(args.require("topo")?)?;
+    let trace = load_trace(args.require("trace")?, &mut topo)?;
+    let shards = parse_usize_option(args, "shards")?;
+    if shards == Some(0) {
+        return Err(CommandError::Other(
+            "--shards must be at least 1".to_string(),
+        ));
+    }
+    let config = DeltaNetConfig {
+        check_loops_per_update: false,
+        monitor_violations: args.has_flag("monitor"),
+        ..Default::default()
+    };
+    let net = match shards {
+        Some(n) => PersistNet::Sharded(Box::new(ShardedDeltaNet::new(topo, config, n))),
+        None => PersistNet::Single(Box::new(DeltaNet::new(topo, config))),
+    };
+    let op_error = |index: usize, op: &Op, error: &dyn fmt::Display| {
+        CommandError::Other(format!(
+            "trace op {} ({}): {error}",
+            index + 1,
+            describe_op(op)
+        ))
+    };
+    let (net, ops_applied) = match args.options.get("log") {
+        Some(log_path) => {
+            let mut logged = LoggedNet::new(net, Path::new(log_path), 0)?;
+            for (index, op) in trace.ops().iter().enumerate() {
+                logged.try_apply(op).map_err(|e| op_error(index, op, &e))?;
+            }
+            let applied = logged.ops_applied();
+            (logged.into_net()?, applied)
+        }
+        None => {
+            let mut net = net;
+            for (index, op) in trace.ops().iter().enumerate() {
+                net.try_apply(op).map_err(|e| op_error(index, op, &e))?;
+            }
+            (net, trace.len() as u64)
+        }
+    };
+    let snap = Snapshot::of_net(&net, ops_applied);
+    snap.write_to(Path::new(out_path))?;
+    let bytes = std::fs::metadata(out_path)?.len();
+    let mut out = format!(
+        "wrote snapshot {out_path} ({bytes} bytes)\n\
+         ops applied: {ops_applied}\n{}",
+        describe_persist_net(&net),
+    );
+    if let Some(log_path) = args.options.get("log") {
+        out.push_str(&format!("delta log: {ops_applied} ops -> {log_path}\n"));
+    }
+    Ok(out)
+}
+
+/// `snapshot --load`: restore, or recover through the log tail.
+fn snapshot_load(args: &ParsedArgs, snap_path: &str) -> Result<String, CommandError> {
+    let topo = load_topology(args.require("topo")?)?;
+    let (net, total) = match args.options.get("log") {
+        Some(log_path) => persist::recover(&topo, Path::new(snap_path), Path::new(log_path))?,
+        None => {
+            let snap = Snapshot::read_from(Path::new(snap_path))?;
+            let at = snap.ops_applied();
+            (snap.restore(&topo)?, at)
+        }
+    };
+    Ok(format!(
+        "restored {snap_path}\nops incorporated: {total}\n{}",
+        describe_persist_net(&net)
+    ))
+}
+
+/// `snapshot --at`: the violations active after exactly `op_n` logged ops.
+fn snapshot_at(
+    args: &ParsedArgs,
+    snap_path: Option<&str>,
+    op_n: usize,
+) -> Result<String, CommandError> {
+    let topo = load_topology(args.require("topo")?)?;
+    let log = persist::read_log(Path::new(args.require("log")?))?;
+    let snap = snap_path
+        .map(|p| Snapshot::read_from(Path::new(p)))
+        .transpose()?;
+    let config = DeltaNetConfig {
+        check_loops_per_update: false,
+        monitor_violations: true,
+        ..Default::default()
+    };
+    let violations = persist::violations_at(&topo, snap, &log, op_n, config)?;
+    let mut out = format!(
+        "violations after op {op_n} (of {} logged): {}\n",
+        log.len(),
+        violations.len()
+    );
+    for v in violations.iter().take(20) {
+        out.push_str(&format!("  {v}\n"));
+    }
+    if violations.len() > 20 {
+        out.push_str(&format!("  ... ({} more)\n", violations.len() - 20));
+    }
+    Ok(out)
+}
+
+/// Shared state summary of a restored/built [`PersistNet`] for reports.
+fn describe_persist_net(net: &PersistNet) -> String {
+    let engine = match net.as_sharded() {
+        Some(sharded) => format!("delta-net-sharded x{}", sharded.shards().len()),
+        None => "delta-net".to_string(),
+    };
+    let mut out = format!(
+        "engine: {engine}\nrules: {}, packet classes: {}\n",
+        net.rule_count(),
+        net.atom_count()
+    );
+    if let Some(violations) = net.active_violations() {
+        out.push_str(&format!("violations active: {}\n", violations.len()));
+        for v in violations.iter().take(10) {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
 }
 
 /// Builds the final data plane of a trace inside a Delta-net checker.
@@ -1022,6 +1278,129 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_save_load_timetravel_and_resume() {
+        // The full persistence workflow on a tiny hand-written network: a
+        // loop raised by two ops, snapshotted with its delta log, restored,
+        // time-travelled, and finally resumed from with a removal trace.
+        let dir = temp_dir("persist");
+        let topo_path = dir.join("loop.topo");
+        let trace_path = dir.join("loop.trace");
+        std::fs::write(&topo_path, "node a\nnode b\nlink 0 1\nlink 1 0\n").unwrap();
+        std::fs::write(&trace_path, "I 1 0 1 10.0.0.0/8 1\nI 2 1 0 10.0.0.0/8 1\n").unwrap();
+        let topo = topo_path.to_str().unwrap().to_string();
+        let trace = trace_path.to_str().unwrap().to_string();
+        let snap = dir.join("state.snap").to_str().unwrap().to_string();
+        let log = dir.join("state.dnlog").to_str().unwrap().to_string();
+
+        // Save (monitored, with the recovery log).
+        let s = run(&parsed(&[
+            "snapshot",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--save",
+            &snap,
+            "--log",
+            &log,
+            "--monitor",
+        ]))
+        .unwrap();
+        assert!(s.contains("wrote snapshot"), "{s}");
+        assert!(s.contains("ops applied: 2"), "{s}");
+        assert!(s.contains("rules: 2"), "{s}");
+
+        // Plain restore and log-tail recovery agree (the log holds exactly
+        // the snapshotted ops, so the tail is empty).
+        for extra in [&[][..], &["--log", &log][..]] {
+            let mut argv = vec!["snapshot", "--topo", &topo, "--load", &snap];
+            argv.extend_from_slice(extra);
+            let l = run(&parsed(&argv)).unwrap();
+            assert!(l.contains("ops incorporated: 2"), "{l}");
+            assert!(l.contains("violations active: 1"), "{l}");
+            assert!(l.contains("forwarding loop"), "{l}");
+        }
+
+        // Time-travel: after op 1 only the blackhole at b exists (before
+        // the snapshot's position, so it replays from scratch); after op 2
+        // the loop is live (answered from the snapshot itself).
+        let t1 = run(&parsed(&[
+            "snapshot", "--topo", &topo, "--log", &log, "--at", "1",
+        ]))
+        .unwrap();
+        assert!(t1.contains("violations after op 1"), "{t1}");
+        assert!(t1.contains("blackhole at n1"), "{t1}");
+        let t2 = run(&parsed(&[
+            "snapshot", "--topo", &topo, "--log", &log, "--at", "2", "--load", &snap,
+        ]))
+        .unwrap();
+        assert!(t2.contains("forwarding loop"), "{t2}");
+
+        // Resume a replay from the snapshot: withdrawing r2 breaks the loop
+        // and strands r1's traffic at b.
+        let tail_path = dir.join("tail.trace");
+        std::fs::write(&tail_path, "R 2\n").unwrap();
+        let tail = tail_path.to_str().unwrap().to_string();
+        let log2 = dir.join("tail.dnlog").to_str().unwrap().to_string();
+        let r = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &tail,
+            "--from-snapshot",
+            &snap,
+            "--monitor",
+            "--log",
+            &log2,
+        ]))
+        .unwrap();
+        assert!(r.contains("resumed from snapshot: op 2"), "{r}");
+        assert!(r.contains("delta log:          1 ops"), "{r}");
+        assert!(r.contains("+ blackhole at n1"), "{r}");
+        assert!(r.contains("monitor matches full rescan: yes"), "{r}");
+
+        // Guard rails: snapshot-incompatible flags, mode confusion, the
+        // veriflow checker, and corrupted artifacts all fail cleanly.
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &tail,
+            "--from-snapshot",
+            &snap,
+            "--shards",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot be combined"), "{err}");
+        let err = run(&parsed(&["snapshot", "--topo", &topo])).unwrap_err();
+        assert!(err.to_string().contains("exactly one of"), "{err}");
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &tail,
+            "--checker",
+            "veriflow",
+            "--log",
+            &log2,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
+        let bad = dir.join("bad.snap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        bytes.truncate(bytes.len() - 4);
+        std::fs::write(&bad, bytes).unwrap();
+        let bad = bad.to_str().unwrap().to_string();
+        let err = run(&parsed(&["snapshot", "--topo", &topo, "--load", &bad])).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

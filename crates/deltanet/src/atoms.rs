@@ -370,6 +370,99 @@ impl AtomMap {
             + self.intervals.capacity() * std::mem::size_of::<Interval>()
             + self.free.capacity() * std::mem::size_of::<AtomId>()
     }
+
+    /// Heap bytes addressed by live entries (≤ [`AtomMap::memory_bytes`],
+    /// which counts allocated capacity). A function of the logical state
+    /// alone — two maps holding the same bounds, ids and free list report
+    /// the same value regardless of how their allocations grew — which is
+    /// what lets a snapshot-restored engine reproduce the live engine's
+    /// byte accounting exactly.
+    pub fn live_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Bound>() + std::mem::size_of::<AtomId>() + 16;
+        self.map.len() * entry
+            + self.intervals.len() * std::mem::size_of::<Interval>()
+            + self.free.len() * std::mem::size_of::<AtomId>()
+    }
+
+    /// Every `(bound, atom id)` entry of `M` in ascending bound order,
+    /// *excluding* the structural `MAX ↦ α∞` sentinel (it is implied by the
+    /// field width). The snapshot export of the map.
+    pub fn export_entries(&self) -> Vec<(Bound, AtomId)> {
+        self.map
+            .iter()
+            .filter(|(_, &a)| a != AtomId::INF)
+            .map(|(&b, &a)| (b, a))
+            .collect()
+    }
+
+    /// The reclaimed-id free list, most recently freed last. Order matters:
+    /// it is a stack, and replay determinism after a restore depends on the
+    /// next split popping the same id the live engine would.
+    pub fn free_list(&self) -> &[AtomId] {
+        &self.free
+    }
+
+    /// Rebuilds an atom map from snapshot parts: the field width, the id
+    /// table size (`allocated_atoms`), the `M` entries of
+    /// [`AtomMap::export_entries`] and the free list of
+    /// [`AtomMap::free_list`]. Validates the structural invariants —
+    /// ascending bounds starting at `0`, unique live ids, live ids and free
+    /// ids together covering `0..allocated` exactly once — and returns a
+    /// description of the first violation otherwise, so a corrupted
+    /// snapshot surfaces as a clean error.
+    pub fn from_parts(
+        width: u8,
+        allocated: usize,
+        entries: &[(Bound, AtomId)],
+        free: Vec<AtomId>,
+    ) -> Result<AtomMap, String> {
+        if width == 0 || width > 127 {
+            return Err(format!("unsupported field width {width}"));
+        }
+        let max = 1u128 << width;
+        if entries.first().map(|&(b, _)| b) != Some(0) {
+            return Err("atom map must start at bound 0".to_string());
+        }
+        if entries.len() + free.len() != allocated {
+            return Err(format!(
+                "atom table size mismatch: {} live + {} free != {allocated} allocated",
+                entries.len(),
+                free.len()
+            ));
+        }
+        let mut seen = vec![false; allocated];
+        let mut claim = |atom: AtomId| -> Result<(), String> {
+            match seen.get_mut(atom.index()) {
+                Some(slot) if !*slot => {
+                    *slot = true;
+                    Ok(())
+                }
+                Some(_) => Err(format!("atom id {atom} occurs twice")),
+                None => Err(format!("atom id {atom} outside table of {allocated}")),
+            }
+        };
+        let mut map = BTreeMap::new();
+        let mut intervals = vec![Interval::new(0, 0); allocated];
+        for (i, &(bound, atom)) in entries.iter().enumerate() {
+            let next = entries.get(i + 1).map(|&(b, _)| b).unwrap_or(max);
+            if bound >= next {
+                return Err(format!("atom bounds not ascending at {bound}"));
+            }
+            claim(atom)?;
+            intervals[atom.index()] = Interval::new(bound, next);
+            map.insert(bound, atom);
+        }
+        for &atom in &free {
+            claim(atom)?;
+        }
+        map.insert(max, AtomId::INF);
+        Ok(AtomMap {
+            map,
+            intervals,
+            free,
+            max,
+        })
+    }
 }
 
 #[cfg(test)]

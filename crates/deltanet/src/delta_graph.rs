@@ -14,7 +14,7 @@
 //! added pairs: removing an atom from a label can only break loops, never
 //! create them.
 
-use crate::atoms::{AtomId, DeltaPair};
+use crate::atoms::{AtomId, DeltaPair, REMAP_DEAD};
 use crate::atomset::AtomSet;
 use netmodel::topology::LinkId;
 use std::collections::{BTreeSet, HashMap};
@@ -147,6 +147,44 @@ impl DeltaGraph {
     /// "affected packet classes" metric reported by the experiments.
     pub fn affected_atom_count(&self) -> usize {
         self.affected_atoms().len()
+    }
+
+    /// Rewrites every recorded atom id through the remap table of a
+    /// compaction pass ([`crate::atoms::AtomMap::renumber`]), so a
+    /// delta-graph recorded before the pass stays meaningful afterwards.
+    ///
+    /// Entries of reclaimed atoms (mapped to [`crate::atoms::REMAP_DEAD`])
+    /// drop out: a reclaimed atom merged into a label-identical lower
+    /// neighbour, so consumers keying state by atom id lose nothing — the
+    /// surviving neighbour carries the same labels. A split whose *new*
+    /// atom was reclaimed drops for the same reason; a split whose *old*
+    /// atom was reclaimed cannot name the state to clone from and drops
+    /// too (the new side, if live, already appears in the label changes
+    /// that made it distinguishable).
+    pub fn remap(&mut self, remap: &[u32]) {
+        let lookup = |atom: AtomId| -> Option<AtomId> {
+            let new = remap.get(atom.index()).copied().unwrap_or(REMAP_DEAD);
+            (new != REMAP_DEAD).then_some(AtomId(new))
+        };
+        let map_pairs = |pairs: &mut Vec<(LinkId, AtomId)>| {
+            pairs.retain_mut(|(_, atom)| match lookup(*atom) {
+                Some(new) => {
+                    *atom = new;
+                    true
+                }
+                None => false,
+            });
+        };
+        map_pairs(&mut self.added);
+        map_pairs(&mut self.removed);
+        self.splits
+            .retain_mut(|pair| match (lookup(pair.old), lookup(pair.new)) {
+                (Some(old), Some(new)) => {
+                    *pair = DeltaPair { old, new };
+                    true
+                }
+                _ => false,
+            });
     }
 
     /// Clears the delta-graph, keeping allocations for reuse.

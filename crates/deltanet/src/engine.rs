@@ -539,9 +539,14 @@ impl DeltaNet {
     ///
     /// Atom ids are *not stable* across a compaction: ids obtained before
     /// the pass (label snapshots, delta-graphs) must not be used afterwards.
-    /// [`DeltaNet::last_delta`] is therefore reset to empty, as is any
-    /// in-progress aggregate (automatic compaction is deferred while
-    /// aggregating; only an explicit call discards an aggregate).
+    /// [`DeltaNet::last_delta`] is therefore reset to empty. An in-progress
+    /// aggregate (automatic compaction is deferred while one is open, so
+    /// only an explicit call reaches this case) is *remapped* through the
+    /// pass's renumbering table instead of being discarded
+    /// ([`DeltaGraph::remap`]): the window's surviving label changes stay
+    /// in the aggregate under their new ids, so a consumer of
+    /// [`DeltaNet::take_aggregate`] — e.g. an external violation monitor —
+    /// still sees every change the window made.
     pub fn compact(&mut self) -> CompactReport {
         let allocated_before = self.atoms.allocated_atoms();
         let bytes_before = self.memory_estimate();
@@ -577,10 +582,13 @@ impl DeltaNet {
             monitor.remap(&remap);
         }
 
-        // Delta-graph state recorded before the pass refers to stale ids.
+        // Delta-graph state recorded before the pass refers to stale ids:
+        // the last delta is reset (it describes a completed update), but an
+        // open aggregate is rewritten in place — discarding it would lose
+        // the window's changes for whoever takes it.
         self.last_delta = DeltaGraph::new();
         if let Some(agg) = self.aggregate.as_mut() {
-            *agg = DeltaGraph::new();
+            agg.remap(&remap);
         }
 
         self.compactions += 1;
@@ -662,12 +670,14 @@ impl DeltaNet {
     }
 
     /// Heap bytes actually addressed by live state: like
-    /// [`DeltaNet::memory_estimate`] but counting label words up to the
-    /// highest live atom rather than allocated capacity, so churn-induced
-    /// over-allocation is visible as the gap between the two.
+    /// [`DeltaNet::memory_estimate`] but counting entries rather than
+    /// allocated capacity, so churn-induced over-allocation is visible as
+    /// the gap between the two. A function of the logical state alone,
+    /// which makes it one of the fields the persistence round-trip tests
+    /// compare exactly between a live engine and its snapshot restore.
     pub fn live_bytes(&self) -> usize {
-        self.atoms.memory_bytes()
-            + self.owner.memory_bytes()
+        self.atoms.live_bytes()
+            + self.owner.live_bytes()
             + self.labels.live_bytes()
             + self.rules.len() * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
             + self.bound_refs.len() * (std::mem::size_of::<Bound>() + 4 + 8)
@@ -754,6 +764,60 @@ impl DeltaNet {
                 * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
             + self.bound_refs.capacity() * (std::mem::size_of::<Bound>() + 4 + 8)
     }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> DeltaNetConfig {
+        self.config
+    }
+
+    /// The bound reference counts of the §3.2.2 garbage-collection
+    /// bookkeeping (snapshot export).
+    pub(crate) fn bound_refs(&self) -> &HashMap<Bound, u32> {
+        &self.bound_refs
+    }
+
+    /// Rebuilds an engine from snapshot parts. The parts must come from a
+    /// consistent export of one engine: `bound_refs` already contains the
+    /// clip pins of a shard (so this constructor must *not* re-seed them the
+    /// way [`DeltaNet::clipped`] does), and `reclaimable`/`compactions`
+    /// carry the exported counters verbatim.
+    pub(crate) fn from_restored(parts: RestoredParts) -> DeltaNet {
+        DeltaNet {
+            topology: parts.topology,
+            config: parts.config,
+            atoms: parts.atoms,
+            owner: parts.owner,
+            labels: parts.labels,
+            rules: parts.rules,
+            bound_refs: parts.bound_refs,
+            reclaimable: parts.reclaimable,
+            compactions: parts.compactions,
+            last_delta: DeltaGraph::new(),
+            aggregate: None,
+            pair_scratch: Vec::with_capacity(2),
+            clip: parts.clip,
+            monitor: parts.monitor,
+        }
+    }
+}
+
+/// The deserialized pieces of one engine, handed to
+/// [`DeltaNet::from_restored`] by the snapshot restore path
+/// ([`crate::persist`]). Transient per-update state (last delta-graph, open
+/// aggregation window, scratch buffers) is intentionally absent: a snapshot
+/// is only taken between updates, where that state is empty.
+pub(crate) struct RestoredParts {
+    pub topology: Topology,
+    pub config: DeltaNetConfig,
+    pub clip: Option<Interval>,
+    pub atoms: AtomMap,
+    pub owner: Owner,
+    pub labels: Labels,
+    pub rules: HashMap<RuleId, Rule>,
+    pub bound_refs: HashMap<Bound, u32>,
+    pub reclaimable: usize,
+    pub compactions: usize,
+    pub monitor: Option<ViolationMonitor>,
 }
 
 impl Checker for DeltaNet {
@@ -1450,6 +1514,54 @@ mod tests {
         assert_eq!(ex.net.compactions(), 1);
         assert_eq!(ex.net.reclaimable_bounds(), 0);
         assert_eq!(ex.net.atom_count(), 1);
+    }
+
+    #[test]
+    fn explicit_compact_inside_aggregation_window_remaps_the_aggregate() {
+        // Regression: an explicit `compact()` while an aggregation window is
+        // open used to clear the pending aggregate along with `last_delta`,
+        // silently dropping every change recorded so far in the window. The
+        // pass must instead remap the aggregate's atom ids so the window
+        // survives renumbering.
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_link(a, b);
+        let ba = topo.add_link(b, a);
+        let mut net = DeltaNet::with_topology(topo);
+        let mut external = ViolationMonitor::new();
+
+        net.begin_aggregate();
+        // A loop on 10/8 recorded in the open window.
+        net.insert_rule(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, a, ab));
+        net.insert_rule(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, b, ba));
+        // Churn a narrower rule so its bounds go dead and a compaction pass
+        // has atoms to renumber.
+        net.insert_rule(Rule::forward(RuleId(3), prefix("10.128.0.0/9"), 9, a, ab));
+        net.remove_rule(RuleId(3));
+        assert!(net.reclaimable_bounds() > 0);
+        let report = net.compact();
+        assert!(report.merged_atoms > 0);
+        assert!(report.allocated_after < report.allocated_before);
+        // The window continues across the pass.
+        net.insert_rule(Rule::forward(RuleId(4), prefix("192.0.0.0/8"), 1, a, ab));
+        let agg = net.take_aggregate();
+
+        // The pre-compaction changes are still in the aggregate, and every
+        // atom id in it is valid post-renumbering.
+        assert!(!agg.is_empty());
+        let allocated = net.allocated_atoms() as u32;
+        for &(_, atom) in agg.added.iter().chain(agg.removed.iter()) {
+            assert!(atom.0 < allocated, "stale atom id {atom:?} in aggregate");
+        }
+        // The remapped aggregate must repair a monitor bit-identically to a
+        // from-scratch rescan — the differential that fails if the window's
+        // contents were dropped or left holding stale ids.
+        external.apply_update(net.topology(), net.labels(), &agg);
+        let mut expect = net.check_all_loops();
+        expect.extend(net.check_all_blackholes());
+        assert_eq!(external.active_violations(net.atoms()), expect);
+        assert_eq!(external.loop_count(), 1);
     }
 
     #[test]

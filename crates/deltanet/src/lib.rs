@@ -24,6 +24,11 @@
 //!   live state, repaired incrementally from every update's delta-graph.
 //! * [`parallel`] — parallel bulk queries and the shared [`Parallelism`]
 //!   worker-count configuration (the §6 future-work direction).
+//! * [`persist`] — snapshot + delta-log persistence: checksummed binary
+//!   snapshots of the full engine state, an append-only update log written
+//!   through [`persist::LoggedNet`], crash recovery
+//!   ([`persist::recover`] = nearest snapshot + log tail), and time-travel
+//!   queries ([`persist::violations_at`]).
 //! * [`shard`] — [`ShardedDeltaNet`]: the engine partitioned across the
 //!   address space so rule updates on disjoint ranges apply concurrently
 //!   (§6: the main loops over atoms are highly parallelizable).
@@ -70,6 +75,7 @@ pub mod loops;
 pub mod monitor;
 pub mod owner;
 pub mod parallel;
+pub mod persist;
 pub mod query;
 pub mod reachability;
 pub mod shard;
@@ -81,5 +87,6 @@ pub use engine::{CompactReport, DeltaNet, DeltaNetConfig};
 pub use labels::Labels;
 pub use monitor::{MonitorEvent, ViolationKey, ViolationMonitor};
 pub use parallel::Parallelism;
+pub use persist::{DeltaLog, LoggedNet, PersistError, PersistNet, Snapshot};
 pub use reachability::ReachabilityMatrix;
 pub use shard::ShardedDeltaNet;

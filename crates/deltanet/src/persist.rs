@@ -1,0 +1,1347 @@
+//! Snapshot + delta-log persistence with time-travel replay.
+//!
+//! A long-lived deployment of the engine needs to survive restarts and to
+//! answer "what did the network look like after operation *n*?" without
+//! re-ingesting the full update history. This module provides both on top
+//! of two artifacts:
+//!
+//! * a **snapshot** ([`Snapshot`]): a compact, versioned, checksummed
+//!   binary image of the *full* engine state — atom bounds, owner arena,
+//!   edge labels, rule registry, configuration, garbage-collection
+//!   bookkeeping, and the monitor's active violation set — for a single
+//!   [`DeltaNet`] or a [`ShardedDeltaNet`] (per-shard sections sharing one
+//!   rule registry, since a boundary-straddling rule is one rule);
+//! * a **delta log** ([`DeltaLog`]): an append-only record of the update
+//!   operations applied *after* some snapshot, written through the
+//!   [`LoggedNet`] wrapper. The log is write-behind — an operation is
+//!   appended only once the engine accepted it — so the log's contents are
+//!   exactly the applied ops even when a batch fails midway.
+//!
+//! Recovery ([`recover`]) is then "load nearest snapshot, replay the log
+//! tail"; time-travel ([`violations_at`]) replays forward from the nearest
+//! snapshot with the violation monitor enabled and reads the active set at
+//! the requested operation index.
+//!
+//! The restore path re-validates everything a decoder can get wrong — the
+//! header checksum, structural invariants of every arena
+//! ([`AtomMap::from_parts`], [`crate::owner::Owner::from_cells`]), and the
+//! monitor's violation set, which is checked **bit-for-bit** against a
+//! fresh full scan of the restored data plane
+//! ([`ViolationMonitor::state_eq`]) — so a corrupted or truncated artifact
+//! surfaces as a clean [`PersistError`], never as a wrong answer.
+//!
+//! The container is deliberately dependency-free: LEB128 varints for the
+//! dense integer arenas, raw little-endian words for the label bitsets,
+//! and an FNV-1a 64 trailer checksum.
+
+use crate::atoms::{AtomId, AtomMap};
+use crate::engine::{DeltaNet, DeltaNetConfig, RestoredParts};
+use crate::monitor::ViolationMonitor;
+use crate::owner::{OwnedRule, Owner};
+use crate::shard::ShardedDeltaNet;
+use crate::{CompactReport, Labels};
+use netmodel::checker::{
+    Checker, InvariantViolation, ReplayError, UpdateError, UpdateReport, WhatIfReport,
+};
+use netmodel::interval::{Bound, Interval};
+use netmodel::ip::IpPrefix;
+use netmodel::rule::{Action, Rule, RuleId};
+use netmodel::topology::{LinkId, NodeId, Topology};
+use netmodel::trace::Op;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic bytes opening a snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"DNSP";
+/// Magic bytes opening a delta-log file.
+const LOG_MAGIC: &[u8; 4] = b"DNLG";
+/// Format version of both containers.
+const FORMAT_VERSION: u8 = 1;
+
+/// What went wrong while saving, loading, or recovering persistent state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The artifact's bytes are not a well-formed snapshot or log:
+    /// truncation, a checksum mismatch, or a structural invariant violated
+    /// by the decoded state.
+    Corrupt(String),
+    /// The artifact is well-formed but inconsistent with its surroundings:
+    /// wrong topology, a log shorter than the snapshot's operation count,
+    /// or a restored monitor that disagrees with a fresh scan.
+    Mismatch(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            PersistError::Mismatch(msg) => write!(f, "inconsistent artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary primitives: LEB128 varints, raw words, FNV-1a 64.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 over a byte slice — the trailer checksum of both containers.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn varint_wide(&mut self, mut v: u128) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn words(&mut self, words: &[u64]) {
+        self.varint(words.len() as u64);
+        for &w in words {
+            self.buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Appends the FNV-1a checksum of everything written so far.
+    fn seal(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn corrupt<T>(&self, what: &str) -> Result<T, PersistError> {
+        Err(PersistError::Corrupt(format!(
+            "{what} at byte {}",
+            self.pos
+        )))
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.corrupt("unexpected end of data"),
+        }
+    }
+
+    fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => self.corrupt("invalid boolean"),
+        }
+    }
+
+    fn varint_wide(&mut self) -> Result<u128, PersistError> {
+        let mut v: u128 = 0;
+        for shift in (0..).step_by(7) {
+            if shift >= 128 {
+                return self.corrupt("varint overflow");
+            }
+            let byte = self.u8()?;
+            v |= u128::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!()
+    }
+
+    fn varint(&mut self) -> Result<u64, PersistError> {
+        let v = self.varint_wide()?;
+        u64::try_from(v).or_else(|_| self.corrupt("varint exceeds 64 bits"))
+    }
+
+    /// A varint that must fit in `usize` and stay under a sanity cap, so a
+    /// corrupted length prefix fails cleanly instead of attempting a huge
+    /// allocation.
+    fn len(&mut self) -> Result<usize, PersistError> {
+        const MAX_LEN: u64 = 1 << 32;
+        let v = self.varint()?;
+        if v > MAX_LEN {
+            return self.corrupt("implausible length prefix");
+        }
+        Ok(v as usize)
+    }
+
+    fn words(&mut self) -> Result<Vec<u64>, PersistError> {
+        let n = self.len()?;
+        let mut words = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let end = self.pos + 8;
+            let Some(bytes) = self.buf.get(self.pos..end) else {
+                return self.corrupt("truncated word array");
+            };
+            words.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+            self.pos = end;
+        }
+        Ok(words)
+    }
+
+    fn finish(&self) -> Result<(), PersistError> {
+        if self.pos != self.buf.len() {
+            return self.corrupt("trailing garbage after snapshot body");
+        }
+        Ok(())
+    }
+}
+
+/// Strips and verifies the FNV-1a trailer, returning the body.
+fn checked_body<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8], PersistError> {
+    let Some(body_len) = bytes.len().checked_sub(8) else {
+        return Err(PersistError::Corrupt(format!(
+            "{what} shorter than its checksum trailer"
+        )));
+    };
+    let (body, trailer) = bytes.split_at(body_len);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(PersistError::Corrupt(format!("{what} checksum mismatch")));
+    }
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// The decoded per-engine state of one snapshot section: everything a
+/// single (possibly clipped) [`DeltaNet`] needs to be rebuilt exactly.
+struct EngineSection {
+    clip: Option<Interval>,
+    rule_ids: Vec<RuleId>,
+    allocated: usize,
+    atom_entries: Vec<(Bound, AtomId)>,
+    free: Vec<AtomId>,
+    owner_cells: Vec<Vec<(NodeId, bool, Vec<OwnedRule>)>>,
+    label_capacity: usize,
+    labels: Vec<(LinkId, Vec<u64>)>,
+    bound_refs: Vec<(Bound, u32)>,
+    reclaimable: usize,
+    compactions: usize,
+    #[allow(clippy::type_complexity)]
+    monitor: Option<(Vec<(Vec<NodeId>, Vec<u64>)>, Vec<(NodeId, Vec<u64>)>)>,
+}
+
+impl EngineSection {
+    fn export(net: &DeltaNet) -> EngineSection {
+        let mut rule_ids: Vec<RuleId> = net.rules().map(|r| r.id).collect();
+        rule_ids.sort_unstable();
+        let (label_capacity, labels) = net.labels().export_parts();
+        let mut bound_refs: Vec<(Bound, u32)> =
+            net.bound_refs().iter().map(|(&b, &c)| (b, c)).collect();
+        bound_refs.sort_unstable_by_key(|&(b, _)| b);
+        EngineSection {
+            clip: net.clip(),
+            rule_ids,
+            allocated: net.allocated_atoms(),
+            atom_entries: net.atoms().export_entries(),
+            free: net.atoms().free_list().to_vec(),
+            owner_cells: net.owner().export_cells(),
+            label_capacity,
+            labels,
+            bound_refs,
+            reclaimable: net.reclaimable_bounds(),
+            compactions: net.compactions(),
+            monitor: net.monitor().map(ViolationMonitor::export_parts),
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        match self.clip {
+            Some(clip) => {
+                w.bool(true);
+                w.varint_wide(clip.lo());
+                w.varint_wide(clip.hi());
+            }
+            None => w.bool(false),
+        }
+        w.varint(self.rule_ids.len() as u64);
+        for id in &self.rule_ids {
+            w.varint(id.0);
+        }
+        w.varint(self.allocated as u64);
+        w.varint(self.atom_entries.len() as u64);
+        for &(bound, atom) in &self.atom_entries {
+            w.varint_wide(bound);
+            w.varint(u64::from(atom.0));
+        }
+        w.varint(self.free.len() as u64);
+        for atom in &self.free {
+            w.varint(u64::from(atom.0));
+        }
+        w.varint(self.owner_cells.len() as u64);
+        for slots in &self.owner_cells {
+            w.varint(slots.len() as u64);
+            for (source, spilled, entries) in slots {
+                w.varint(u64::from(source.0));
+                w.bool(*spilled);
+                w.varint(entries.len() as u64);
+                for e in entries {
+                    w.varint(u64::from(e.priority));
+                    w.varint(e.id.0);
+                    w.varint(u64::from(e.link.0));
+                }
+            }
+        }
+        w.varint(self.label_capacity as u64);
+        w.varint(self.labels.len() as u64);
+        for (link, words) in &self.labels {
+            w.varint(u64::from(link.0));
+            w.words(words);
+        }
+        w.varint(self.bound_refs.len() as u64);
+        for &(bound, count) in &self.bound_refs {
+            w.varint_wide(bound);
+            w.varint(u64::from(count));
+        }
+        w.varint(self.reclaimable as u64);
+        w.varint(self.compactions as u64);
+        match &self.monitor {
+            Some((loops, holes)) => {
+                w.bool(true);
+                w.varint(loops.len() as u64);
+                for (cycle, words) in loops {
+                    w.varint(cycle.len() as u64);
+                    for node in cycle {
+                        w.varint(u64::from(node.0));
+                    }
+                    w.words(words);
+                }
+                w.varint(holes.len() as u64);
+                for (node, words) in holes {
+                    w.varint(u64::from(node.0));
+                    w.words(words);
+                }
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<EngineSection, PersistError> {
+        let clip = if r.bool()? {
+            let lo = r.varint_wide()?;
+            let hi = r.varint_wide()?;
+            if lo >= hi {
+                return r.corrupt("inverted clip range");
+            }
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        };
+        let rule_count = r.len()?;
+        let mut rule_ids = Vec::with_capacity(rule_count.min(1024));
+        for _ in 0..rule_count {
+            rule_ids.push(RuleId(r.varint()?));
+        }
+        Ok(EngineSection {
+            clip,
+            rule_ids,
+            allocated: r.len()?,
+            atom_entries: {
+                let n = r.len()?;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let bound = r.varint_wide()?;
+                    let atom = u32::try_from(r.varint()?)
+                        .or_else(|_| r.corrupt("atom id exceeds 32 bits"))?;
+                    entries.push((bound, AtomId(atom)));
+                }
+                entries
+            },
+            free: {
+                let n = r.len()?;
+                let mut free = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let atom = u32::try_from(r.varint()?)
+                        .or_else(|_| r.corrupt("atom id exceeds 32 bits"))?;
+                    free.push(AtomId(atom));
+                }
+                free
+            },
+            owner_cells: {
+                let atoms = r.len()?;
+                let mut cells = Vec::with_capacity(atoms.min(1024));
+                for _ in 0..atoms {
+                    let slot_count = r.len()?;
+                    let mut slots = Vec::with_capacity(slot_count.min(1024));
+                    for _ in 0..slot_count {
+                        let source = NodeId(
+                            u32::try_from(r.varint()?)
+                                .or_else(|_| r.corrupt("node id exceeds 32 bits"))?,
+                        );
+                        let spilled = r.bool()?;
+                        let entry_count = r.len()?;
+                        let mut entries = Vec::with_capacity(entry_count.min(1024));
+                        for _ in 0..entry_count {
+                            let priority = u32::try_from(r.varint()?)
+                                .or_else(|_| r.corrupt("priority exceeds 32 bits"))?;
+                            let id = RuleId(r.varint()?);
+                            let link = LinkId(
+                                u32::try_from(r.varint()?)
+                                    .or_else(|_| r.corrupt("link id exceeds 32 bits"))?,
+                            );
+                            entries.push(OwnedRule { priority, id, link });
+                        }
+                        slots.push((source, spilled, entries));
+                    }
+                    cells.push(slots);
+                }
+                cells
+            },
+            label_capacity: r.len()?,
+            labels: {
+                let n = r.len()?;
+                let mut labels = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let link = LinkId(
+                        u32::try_from(r.varint()?)
+                            .or_else(|_| r.corrupt("link id exceeds 32 bits"))?,
+                    );
+                    labels.push((link, r.words()?));
+                }
+                labels
+            },
+            bound_refs: {
+                let n = r.len()?;
+                let mut refs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let bound = r.varint_wide()?;
+                    let count = u32::try_from(r.varint()?)
+                        .or_else(|_| r.corrupt("bound refcount exceeds 32 bits"))?;
+                    refs.push((bound, count));
+                }
+                refs
+            },
+            reclaimable: r.len()?,
+            compactions: r.len()?,
+            monitor: if r.bool()? {
+                let loop_count = r.len()?;
+                let mut loops = Vec::with_capacity(loop_count.min(1024));
+                for _ in 0..loop_count {
+                    let cycle_len = r.len()?;
+                    let mut cycle = Vec::with_capacity(cycle_len.min(1024));
+                    for _ in 0..cycle_len {
+                        cycle.push(NodeId(
+                            u32::try_from(r.varint()?)
+                                .or_else(|_| r.corrupt("node id exceeds 32 bits"))?,
+                        ));
+                    }
+                    loops.push((cycle, r.words()?));
+                }
+                let hole_count = r.len()?;
+                let mut holes = Vec::with_capacity(hole_count.min(1024));
+                for _ in 0..hole_count {
+                    let node = NodeId(
+                        u32::try_from(r.varint()?)
+                            .or_else(|_| r.corrupt("node id exceeds 32 bits"))?,
+                    );
+                    holes.push((node, r.words()?));
+                }
+                Some((loops, holes))
+            } else {
+                None
+            },
+        })
+    }
+
+    /// Rebuilds one engine from this section, validating every structural
+    /// invariant and — when the section carries a monitor — verifying the
+    /// restored violation set bit-for-bit against a fresh full scan of the
+    /// restored data plane.
+    fn restore(
+        self,
+        topology: &Topology,
+        config: DeltaNetConfig,
+        registry: &HashMap<RuleId, Rule>,
+    ) -> Result<DeltaNet, PersistError> {
+        let atoms = AtomMap::from_parts(
+            config.field_width,
+            self.allocated,
+            &self.atom_entries,
+            self.free,
+        )
+        .map_err(PersistError::Corrupt)?;
+        let owner = Owner::from_cells(self.owner_cells).map_err(PersistError::Corrupt)?;
+        let labels =
+            Labels::from_parts(self.label_capacity, self.labels).map_err(PersistError::Corrupt)?;
+        let mut rules = HashMap::with_capacity(self.rule_ids.len());
+        for id in self.rule_ids {
+            let rule = registry.get(&id).ok_or_else(|| {
+                PersistError::Corrupt(format!("engine section references unregistered {id:?}"))
+            })?;
+            rules.insert(id, *rule);
+        }
+        let monitor = match self.monitor {
+            Some((loops, holes)) => {
+                let restored = ViolationMonitor::from_parts(loops, holes);
+                let rescanned = ViolationMonitor::from_state(topology, &labels, &atoms);
+                if !restored.state_eq(&rescanned) {
+                    return Err(PersistError::Mismatch(
+                        "restored monitor disagrees with a fresh scan of the restored plane"
+                            .to_string(),
+                    ));
+                }
+                Some(restored)
+            }
+            None => None,
+        };
+        Ok(DeltaNet::from_restored(RestoredParts {
+            topology: topology.clone(),
+            config,
+            clip: self.clip,
+            atoms,
+            owner,
+            labels,
+            rules,
+            bound_refs: self.bound_refs.into_iter().collect(),
+            reclaimable: self.reclaimable,
+            compactions: self.compactions,
+            monitor,
+        }))
+    }
+}
+
+/// The decoded engine layout of a snapshot.
+enum SnapshotKind {
+    /// One stand-alone engine.
+    Single(Box<EngineSection>),
+    /// A sharded engine: the boundary table plus one section per shard.
+    Sharded {
+        boundaries: Vec<Bound>,
+        shards: Vec<EngineSection>,
+    },
+}
+
+/// A decoded snapshot of the full engine state at some point in the update
+/// stream, created by [`Snapshot::of_single`] / [`Snapshot::of_sharded`]
+/// (or [`LoggedNet::snapshot`]) and turned back into a live engine by
+/// [`Snapshot::restore`].
+pub struct Snapshot {
+    node_count: usize,
+    link_count: usize,
+    config: DeltaNetConfig,
+    ops_applied: u64,
+    registry: Vec<Rule>,
+    kind: SnapshotKind,
+}
+
+impl Snapshot {
+    /// Captures the full state of a stand-alone engine. `ops_applied` is
+    /// the number of update operations applied so far — the log position
+    /// this snapshot corresponds to.
+    pub fn of_single(net: &DeltaNet, ops_applied: u64) -> Snapshot {
+        let mut registry: Vec<Rule> = net.rules().copied().collect();
+        registry.sort_unstable_by_key(|r| r.id);
+        Snapshot {
+            node_count: net.topology().node_count(),
+            link_count: net.topology().link_count(),
+            config: net.config(),
+            ops_applied,
+            registry,
+            kind: SnapshotKind::Single(Box::new(EngineSection::export(net))),
+        }
+    }
+
+    /// Captures the full state of a sharded engine: one section per shard
+    /// plus the shared rule registry, serialized once (each section only
+    /// stores the ids of the rules it holds a clipped piece of).
+    pub fn of_sharded(net: &ShardedDeltaNet, ops_applied: u64) -> Snapshot {
+        let mut registry: Vec<Rule> = net.rules().copied().collect();
+        registry.sort_unstable_by_key(|r| r.id);
+        let ranges = net.shard_ranges();
+        let mut boundaries: Vec<Bound> = ranges.iter().map(Interval::lo).collect();
+        boundaries.push(ranges.last().expect("at least one shard").hi());
+        let config = net.shards()[0].config();
+        Snapshot {
+            node_count: net.topology().node_count(),
+            link_count: net.topology().link_count(),
+            config,
+            ops_applied,
+            registry,
+            kind: SnapshotKind::Sharded {
+                boundaries,
+                shards: net.shards().iter().map(EngineSection::export).collect(),
+            },
+        }
+    }
+
+    /// Captures whichever engine a [`PersistNet`] wraps.
+    pub fn of_net(net: &PersistNet, ops_applied: u64) -> Snapshot {
+        match net {
+            PersistNet::Single(n) => Snapshot::of_single(n, ops_applied),
+            PersistNet::Sharded(n) => Snapshot::of_sharded(n, ops_applied),
+        }
+    }
+
+    /// The number of update operations that had been applied when this
+    /// snapshot was taken — its position in the delta log.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// The engine configuration stored in the snapshot.
+    pub fn config(&self) -> DeltaNetConfig {
+        self.config
+    }
+
+    /// Number of shards of the snapshotted engine (1 for a stand-alone
+    /// engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.kind {
+            SnapshotKind::Single(_) => 1,
+            SnapshotKind::Sharded { shards, .. } => shards.len(),
+        }
+    }
+
+    /// Serializes the snapshot: versioned header, varint-encoded body,
+    /// FNV-1a 64 trailer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.buf.extend_from_slice(SNAPSHOT_MAGIC);
+        w.u8(FORMAT_VERSION);
+        w.varint(self.node_count as u64);
+        w.varint(self.link_count as u64);
+        w.u8(self.config.field_width);
+        w.bool(self.config.check_loops_per_update);
+        w.bool(self.config.monitor_violations);
+        match self.config.compact_threshold {
+            Some(t) => {
+                w.bool(true);
+                w.varint(t as u64);
+            }
+            None => w.bool(false),
+        }
+        w.varint(self.ops_applied);
+        w.varint(self.registry.len() as u64);
+        for rule in &self.registry {
+            encode_rule(&mut w, rule);
+        }
+        match &self.kind {
+            SnapshotKind::Single(section) => {
+                w.u8(0);
+                section.encode(&mut w);
+            }
+            SnapshotKind::Sharded { boundaries, shards } => {
+                w.u8(1);
+                w.varint(shards.len() as u64);
+                for &b in boundaries {
+                    w.varint_wide(b);
+                }
+                for section in shards {
+                    section.encode(&mut w);
+                }
+            }
+        }
+        w.seal()
+    }
+
+    /// Deserializes a snapshot, verifying the magic, version, and trailer
+    /// checksum. Structural validation of the decoded state happens in
+    /// [`Snapshot::restore`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, PersistError> {
+        let body = checked_body(bytes, "snapshot")?;
+        let mut r = Reader::new(body);
+        let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+        if &magic != SNAPSHOT_MAGIC {
+            return r.corrupt("not a snapshot file (bad magic)");
+        }
+        let version = r.u8()?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let node_count = r.len()?;
+        let link_count = r.len()?;
+        let field_width = r.u8()?;
+        let check_loops_per_update = r.bool()?;
+        let monitor_violations = r.bool()?;
+        let compact_threshold = if r.bool()? { Some(r.len()?) } else { None };
+        let config = DeltaNetConfig {
+            field_width,
+            check_loops_per_update,
+            compact_threshold,
+            monitor_violations,
+        };
+        let ops_applied = r.varint()?;
+        let rule_count = r.len()?;
+        let mut registry = Vec::with_capacity(rule_count.min(1024));
+        for _ in 0..rule_count {
+            registry.push(decode_rule(&mut r, Some(field_width))?);
+        }
+        let kind = match r.u8()? {
+            0 => SnapshotKind::Single(Box::new(EngineSection::decode(&mut r)?)),
+            1 => {
+                let shard_count = r.len()?;
+                if shard_count == 0 {
+                    return r.corrupt("sharded snapshot with zero shards");
+                }
+                let mut boundaries = Vec::with_capacity(shard_count + 1);
+                for _ in 0..=shard_count {
+                    boundaries.push(r.varint_wide()?);
+                }
+                if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+                    return r.corrupt("shard boundaries not strictly increasing");
+                }
+                let mut shards = Vec::with_capacity(shard_count);
+                for _ in 0..shard_count {
+                    shards.push(EngineSection::decode(&mut r)?);
+                }
+                SnapshotKind::Sharded { boundaries, shards }
+            }
+            _ => return r.corrupt("invalid engine-kind tag"),
+        };
+        r.finish()?;
+        Ok(Snapshot {
+            node_count,
+            link_count,
+            config,
+            ops_applied,
+            registry,
+            kind,
+        })
+    }
+
+    /// Writes the serialized snapshot to `path`.
+    pub fn write_to(&self, path: &Path) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and deserializes a snapshot from `path`.
+    pub fn read_from(path: &Path) -> Result<Snapshot, PersistError> {
+        Snapshot::from_bytes(&std::fs::read(path)?)
+    }
+
+    fn check_topology(&self, topology: &Topology) -> Result<(), PersistError> {
+        if topology.node_count() != self.node_count || topology.link_count() != self.link_count {
+            return Err(PersistError::Mismatch(format!(
+                "snapshot was taken over a {}-node / {}-link topology, \
+                 restore target has {} nodes / {} links",
+                self.node_count,
+                self.link_count,
+                topology.node_count(),
+                topology.link_count()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a live engine from the snapshot over the given topology
+    /// (snapshots store a topology fingerprint, not the topology itself).
+    /// Every arena is re-validated on the way in, and a restored monitor is
+    /// verified bit-for-bit against a fresh full scan.
+    pub fn restore(self, topology: &Topology) -> Result<PersistNet, PersistError> {
+        self.check_topology(topology)?;
+        let registry: HashMap<RuleId, Rule> = self.registry.iter().map(|r| (r.id, *r)).collect();
+        match self.kind {
+            SnapshotKind::Single(section) => {
+                if section.clip.is_some() {
+                    return Err(PersistError::Corrupt(
+                        "stand-alone engine section carries a shard clip".to_string(),
+                    ));
+                }
+                let net = section.restore(topology, self.config, &registry)?;
+                if net.rule_count() != registry.len() {
+                    return Err(PersistError::Corrupt(
+                        "registry and engine rule sets disagree".to_string(),
+                    ));
+                }
+                Ok(PersistNet::Single(Box::new(net)))
+            }
+            SnapshotKind::Sharded { boundaries, shards } => {
+                if boundaries.len() != shards.len() + 1 {
+                    return Err(PersistError::Corrupt(
+                        "shard boundary table does not match shard count".to_string(),
+                    ));
+                }
+                let mut engines = Vec::with_capacity(shards.len());
+                for (i, section) in shards.into_iter().enumerate() {
+                    let expected = Interval::new(boundaries[i], boundaries[i + 1]);
+                    if section.clip != Some(expected) {
+                        return Err(PersistError::Corrupt(format!(
+                            "shard {i} clip disagrees with the boundary table"
+                        )));
+                    }
+                    engines.push(section.restore(topology, self.config, &registry)?);
+                }
+                let rules: HashMap<RuleId, Rule> = registry;
+                Ok(PersistNet::Sharded(Box::new(
+                    ShardedDeltaNet::from_restored(topology.clone(), boundaries, engines, rules),
+                )))
+            }
+        }
+    }
+
+    /// An *empty* engine of the same shape as the snapshotted one — same
+    /// configuration, same kind, same shard boundaries — used by
+    /// [`violations_at`] when the requested point in time lies before the
+    /// snapshot.
+    pub fn fresh_like(&self, topology: &Topology) -> Result<PersistNet, PersistError> {
+        self.check_topology(topology)?;
+        match &self.kind {
+            SnapshotKind::Single(_) => Ok(PersistNet::Single(Box::new(DeltaNet::new(
+                topology.clone(),
+                self.config,
+            )))),
+            SnapshotKind::Sharded { shards, .. } => Ok(PersistNet::Sharded(Box::new(
+                ShardedDeltaNet::new(topology.clone(), self.config, shards.len()),
+            ))),
+        }
+    }
+}
+
+fn encode_rule(w: &mut Writer, rule: &Rule) {
+    w.varint(rule.id.0);
+    w.varint_wide(rule.prefix.value());
+    w.u8(rule.prefix.len());
+    w.u8(rule.prefix.width());
+    w.varint(u64::from(rule.priority));
+    w.varint(u64::from(rule.source.0));
+    w.varint(u64::from(rule.link.0));
+    w.u8(match rule.action {
+        Action::Forward => 0,
+        Action::Drop => 1,
+    });
+}
+
+/// Decodes one rule record; when `field_width` is known (snapshot registry)
+/// the record's width must match it, otherwise (delta-log records) any valid
+/// width is accepted.
+fn decode_rule(r: &mut Reader<'_>, field_width: Option<u8>) -> Result<Rule, PersistError> {
+    let id = RuleId(r.varint()?);
+    let value = r.varint_wide()?;
+    let len = r.u8()?;
+    let width = r.u8()?;
+    if width == 0 || width > 127 || len > width || field_width.is_some_and(|w| w != width) {
+        return r.corrupt("rule prefix outside the configured field");
+    }
+    let prefix = IpPrefix::new(value, len, width);
+    let priority = u32::try_from(r.varint()?).or_else(|_| r.corrupt("priority exceeds 32 bits"))?;
+    let source =
+        NodeId(u32::try_from(r.varint()?).or_else(|_| r.corrupt("node id exceeds 32 bits"))?);
+    let link =
+        LinkId(u32::try_from(r.varint()?).or_else(|_| r.corrupt("link id exceeds 32 bits"))?);
+    let action = match r.u8()? {
+        0 => Action::Forward,
+        1 => Action::Drop,
+        _ => return r.corrupt("invalid rule action"),
+    };
+    Ok(Rule {
+        id,
+        prefix,
+        priority,
+        source,
+        link,
+        action,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// PersistNet: a restored engine of either kind
+// ---------------------------------------------------------------------------
+
+/// A live engine restored from (or about to be captured into) a snapshot:
+/// either a stand-alone [`DeltaNet`] or a [`ShardedDeltaNet`], behind one
+/// update/query surface so recovery code does not fork on the kind.
+pub enum PersistNet {
+    /// A stand-alone engine.
+    Single(Box<DeltaNet>),
+    /// A sharded engine.
+    Sharded(Box<ShardedDeltaNet>),
+}
+
+impl PersistNet {
+    /// Fallible single-operation apply (see [`Checker::try_apply`]).
+    pub fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
+        match self {
+            PersistNet::Single(n) => n.try_apply(op),
+            PersistNet::Sharded(n) => n.try_apply(op),
+        }
+    }
+
+    /// Applies a window of operations, stopping at the first malformed one
+    /// (operations before it stay applied — the pinned mid-batch failure
+    /// semantics of [`ShardedDeltaNet::apply_batch`]).
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
+        match self {
+            PersistNet::Single(n) => n.try_replay(ops),
+            PersistNet::Sharded(n) => n.apply_batch(ops),
+        }
+    }
+
+    /// Attaches a violation monitor (idempotent in effect: an existing
+    /// monitor is re-seeded from the current plane).
+    pub fn enable_monitor(&mut self) {
+        match self {
+            PersistNet::Single(n) => {
+                n.enable_monitor();
+            }
+            PersistNet::Sharded(n) => n.enable_monitor(),
+        }
+    }
+
+    /// Whether a violation monitor is attached.
+    pub fn is_monitored(&self) -> bool {
+        match self {
+            PersistNet::Single(n) => n.monitor().is_some(),
+            PersistNet::Sharded(n) => n.shards().iter().all(|s| s.monitor().is_some()),
+        }
+    }
+
+    /// The currently active violations (see [`Checker::active_violations`]).
+    pub fn active_violations(&self) -> Option<Vec<InvariantViolation>> {
+        match self {
+            PersistNet::Single(n) => DeltaNet::active_violations(n),
+            PersistNet::Sharded(n) => ShardedDeltaNet::active_violations(n),
+        }
+    }
+
+    /// Runs a compaction pass (see [`DeltaNet::compact`]).
+    pub fn compact(&mut self) -> CompactReport {
+        match self {
+            PersistNet::Single(n) => n.compact(),
+            PersistNet::Sharded(n) => n.compact(),
+        }
+    }
+
+    /// Full-plane forwarding-loop scan.
+    pub fn check_all_loops(&self) -> Vec<InvariantViolation> {
+        match self {
+            PersistNet::Single(n) => n.check_all_loops(),
+            PersistNet::Sharded(n) => n.check_all_loops(),
+        }
+    }
+
+    /// Full-plane blackhole scan.
+    pub fn check_all_blackholes(&self) -> Vec<InvariantViolation> {
+        match self {
+            PersistNet::Single(n) => n.check_all_blackholes(),
+            PersistNet::Sharded(n) => n.check_all_blackholes(),
+        }
+    }
+
+    /// Number of atoms owned across the engine (atoms of a stand-alone
+    /// engine; per-shard owned atoms summed for a sharded one).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            PersistNet::Single(n) => n.atom_count(),
+            PersistNet::Sharded(n) => n.atom_count(),
+        }
+    }
+
+    /// Heap bytes addressed by live state (see [`DeltaNet::live_bytes`]).
+    pub fn live_bytes(&self) -> usize {
+        match self {
+            PersistNet::Single(n) => n.live_bytes(),
+            PersistNet::Sharded(n) => n.live_bytes(),
+        }
+    }
+
+    /// The stand-alone engine, if this is one.
+    pub fn as_single(&self) -> Option<&DeltaNet> {
+        match self {
+            PersistNet::Single(n) => Some(n),
+            PersistNet::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded engine, if this is one.
+    pub fn as_sharded(&self) -> Option<&ShardedDeltaNet> {
+        match self {
+            PersistNet::Single(_) => None,
+            PersistNet::Sharded(n) => Some(n),
+        }
+    }
+}
+
+impl Checker for PersistNet {
+    fn name(&self) -> &'static str {
+        match self {
+            PersistNet::Single(n) => n.name(),
+            PersistNet::Sharded(n) => n.name(),
+        }
+    }
+
+    fn apply(&mut self, op: &Op) -> UpdateReport {
+        match self {
+            PersistNet::Single(n) => n.apply(op),
+            PersistNet::Sharded(n) => n.apply(op),
+        }
+    }
+
+    fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
+        PersistNet::try_apply(self, op)
+    }
+
+    fn what_if_link_failure(&self, link: LinkId, check_loops: bool) -> WhatIfReport {
+        match self {
+            PersistNet::Single(n) => n.what_if_link_failure(link, check_loops),
+            PersistNet::Sharded(n) => n.what_if_link_failure(link, check_loops),
+        }
+    }
+
+    fn rule_count(&self) -> usize {
+        match self {
+            PersistNet::Single(n) => n.rule_count(),
+            PersistNet::Sharded(n) => n.rule_count(),
+        }
+    }
+
+    fn class_count(&self) -> usize {
+        match self {
+            PersistNet::Single(n) => n.class_count(),
+            PersistNet::Sharded(n) => n.class_count(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            PersistNet::Single(n) => n.memory_bytes(),
+            PersistNet::Sharded(n) => n.memory_bytes(),
+        }
+    }
+
+    fn active_violations(&self) -> Option<Vec<InvariantViolation>> {
+        PersistNet::active_violations(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta log
+// ---------------------------------------------------------------------------
+
+/// An append-only log of update operations, buffered in memory and flushed
+/// per batch. Each record is one [`Op`]; the container opens with a magic +
+/// version header and carries no trailer — the log grows forever, so
+/// [`read_log`] instead validates record framing and reports truncation as
+/// a clean [`PersistError::Corrupt`].
+pub struct DeltaLog {
+    file: std::fs::File,
+    buf: Vec<u8>,
+    ops_logged: u64,
+}
+
+impl DeltaLog {
+    /// Creates (truncating) a log file at `path` and writes the header.
+    pub fn create(path: &Path) -> Result<DeltaLog, PersistError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(LOG_MAGIC)?;
+        file.write_all(&[FORMAT_VERSION])?;
+        Ok(DeltaLog {
+            file,
+            buf: Vec::new(),
+            ops_logged: 0,
+        })
+    }
+
+    /// Appends one operation to the in-memory buffer (no I/O until
+    /// [`DeltaLog::flush`]).
+    pub fn append(&mut self, op: &Op) {
+        let mut w = Writer::default();
+        encode_op(&mut w, op);
+        self.buf.extend_from_slice(&w.buf);
+        self.ops_logged += 1;
+    }
+
+    /// Writes the buffered records to the file.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Number of operations appended so far (flushed or not).
+    pub fn ops_logged(&self) -> u64 {
+        self.ops_logged
+    }
+}
+
+fn encode_op(w: &mut Writer, op: &Op) {
+    match op {
+        Op::Insert(rule) => {
+            w.u8(0);
+            encode_rule(w, rule);
+        }
+        Op::Remove(id) => {
+            w.u8(1);
+            w.varint(id.0);
+        }
+    }
+}
+
+/// Reads every operation of a delta log. A log truncated mid-record — the
+/// typical crash artifact — is reported as a clean
+/// [`PersistError::Corrupt`], not a panic.
+pub fn read_log(path: &Path) -> Result<Vec<Op>, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let mut r = Reader::new(&bytes);
+    let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+    if &magic != LOG_MAGIC {
+        return r.corrupt("not a delta-log file (bad magic)");
+    }
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "unsupported delta-log version {version}"
+        )));
+    }
+    let mut ops = Vec::new();
+    while r.pos < bytes.len() {
+        match r.u8()? {
+            0 => ops.push(Op::Insert(decode_rule(&mut r, None)?)),
+            1 => ops.push(Op::Remove(RuleId(r.varint()?))),
+            _ => return r.corrupt("invalid log record tag"),
+        }
+    }
+    Ok(ops)
+}
+
+/// A [`PersistNet`] that records every *applied* operation to a
+/// [`DeltaLog`]. The log is write-behind: an op is appended only after the
+/// engine accepted it, so on a mid-batch failure the log holds exactly the
+/// applied prefix — recovery replays it and lands on the same state.
+pub struct LoggedNet {
+    net: PersistNet,
+    log: DeltaLog,
+    ops_applied: u64,
+    /// A log-flush failure raised inside [`LoggedNet::apply_batch`] (whose
+    /// error channel is the engine's [`ReplayError`], not I/O); surfaced by
+    /// the next [`LoggedNet::flush`] / [`LoggedNet::snapshot`] call.
+    deferred_io: Option<std::io::Error>,
+}
+
+impl LoggedNet {
+    /// Wraps an engine, creating a fresh log at `log_path`. `ops_applied`
+    /// is the number of ops already incorporated into `net` (the
+    /// `ops_applied` of the snapshot it was restored from; 0 for a fresh
+    /// engine).
+    pub fn new(
+        net: PersistNet,
+        log_path: &Path,
+        ops_applied: u64,
+    ) -> Result<LoggedNet, PersistError> {
+        Ok(LoggedNet {
+            net,
+            log: DeltaLog::create(log_path)?,
+            ops_applied,
+            deferred_io: None,
+        })
+    }
+
+    /// Applies one operation; on success it is appended to the log buffer
+    /// (flushed on the next [`LoggedNet::flush`] / batch / snapshot).
+    pub fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
+        let report = self.net.try_apply(op)?;
+        self.log.append(op);
+        self.ops_applied += 1;
+        Ok(report)
+    }
+
+    /// Applies a window of operations and flushes the log once at the end.
+    /// On a mid-batch failure exactly the applied prefix `ops[..e.index]`
+    /// is logged (and flushed) before the error is returned, so log and
+    /// engine state agree even on the error path.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
+        let (applied, result) = match self.net.apply_batch(ops) {
+            Ok(reports) => (ops.len(), Ok(reports)),
+            Err(e) => (e.index, Err(e)),
+        };
+        for op in &ops[..applied] {
+            self.log.append(op);
+        }
+        self.ops_applied += applied as u64;
+        if let Err(PersistError::Io(e)) = self.log.flush() {
+            self.deferred_io = Some(e);
+        }
+        result
+    }
+
+    /// Flushes buffered log records to disk (surfacing any flush failure a
+    /// previous [`LoggedNet::apply_batch`] had to defer).
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        if let Some(e) = self.deferred_io.take() {
+            return Err(PersistError::Io(e));
+        }
+        self.log.flush()
+    }
+
+    /// Flushes the log and captures a snapshot of the current state at the
+    /// current log position.
+    pub fn snapshot(&mut self) -> Result<Snapshot, PersistError> {
+        self.flush()?;
+        Ok(Snapshot::of_net(&self.net, self.ops_applied))
+    }
+
+    /// Number of operations applied through this wrapper plus the restore
+    /// baseline — the current log position.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// The wrapped engine (read-only).
+    pub fn net(&self) -> &PersistNet {
+        &self.net
+    }
+
+    /// The wrapped engine (mutable — bypasses logging; use for queries and
+    /// maintenance like [`PersistNet::compact`], not for updates).
+    pub fn net_mut(&mut self) -> &mut PersistNet {
+        &mut self.net
+    }
+
+    /// Unwraps into the engine, flushing the log first.
+    pub fn into_net(mut self) -> Result<PersistNet, PersistError> {
+        self.flush()?;
+        Ok(self.net)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery and time-travel
+// ---------------------------------------------------------------------------
+
+/// Recovery: loads the snapshot, restores the engine, and replays the log
+/// tail (`ops[snapshot.ops_applied..]`). Returns the recovered engine and
+/// the total number of operations it has incorporated. A log shorter than
+/// the snapshot's position, or a logged op the restored engine rejects, is
+/// a [`PersistError::Mismatch`].
+pub fn recover(
+    topology: &Topology,
+    snapshot_path: &Path,
+    log_path: &Path,
+) -> Result<(PersistNet, u64), PersistError> {
+    let snapshot = Snapshot::read_from(snapshot_path)?;
+    let baseline = snapshot.ops_applied();
+    let mut net = snapshot.restore(topology)?;
+    let ops = read_log(log_path)?;
+    let start = usize::try_from(baseline)
+        .map_err(|_| PersistError::Corrupt("snapshot op count exceeds usize".to_string()))?;
+    if ops.len() < start {
+        return Err(PersistError::Mismatch(format!(
+            "snapshot is at op {start} but the log holds only {} ops",
+            ops.len()
+        )));
+    }
+    for (i, op) in ops[start..].iter().enumerate() {
+        net.try_apply(op).map_err(|e| {
+            PersistError::Mismatch(format!("logged op {} rejected on replay: {e}", start + i))
+        })?;
+    }
+    Ok((net, ops.len() as u64))
+}
+
+/// Time-travel: the violations active after exactly `op_n` operations of
+/// `log`, answered by replaying forward from the nearest usable snapshot
+/// with the monitor enabled. When the snapshot lies *after* `op_n` (or none
+/// is given) the replay starts from an empty engine of the same shape.
+/// `config` shapes the fresh engine when no snapshot is available at all.
+pub fn violations_at(
+    topology: &Topology,
+    snapshot: Option<Snapshot>,
+    log: &[Op],
+    op_n: usize,
+    config: DeltaNetConfig,
+) -> Result<Vec<InvariantViolation>, PersistError> {
+    if log.len() < op_n {
+        return Err(PersistError::Mismatch(format!(
+            "asked for op {op_n} but the log holds only {} ops",
+            log.len()
+        )));
+    }
+    let (mut net, start) = match snapshot {
+        Some(snap) if usize::try_from(snap.ops_applied()).unwrap_or(usize::MAX) <= op_n => {
+            let start = snap.ops_applied() as usize;
+            (snap.restore(topology)?, start)
+        }
+        Some(snap) => (snap.fresh_like(topology)?, 0),
+        None => (
+            PersistNet::Single(Box::new(DeltaNet::new(topology.clone(), config))),
+            0,
+        ),
+    };
+    if !net.is_monitored() {
+        net.enable_monitor();
+    }
+    for (i, op) in log[start..op_n].iter().enumerate() {
+        net.try_apply(op).map_err(|e| {
+            PersistError::Mismatch(format!("logged op {} rejected on replay: {e}", start + i))
+        })?;
+    }
+    net.active_violations()
+        .ok_or_else(|| PersistError::Mismatch("monitor unavailable after replay".to_string()))
+}

@@ -127,6 +127,35 @@ impl ShardedDeltaNet {
         }
     }
 
+    /// Rebuilds a sharded engine from snapshot parts: the boundary table,
+    /// the already-restored shard engines (in address order, each clipped to
+    /// its boundary range) and the shared rule registry. The worker count is
+    /// taken from the environment — it is runtime configuration, not state.
+    pub(crate) fn from_restored(
+        topology: Topology,
+        boundaries: Vec<Bound>,
+        shards: Vec<DeltaNet>,
+        rules: HashMap<RuleId, Rule>,
+    ) -> Self {
+        debug_assert_eq!(boundaries.len(), shards.len() + 1);
+        ShardedDeltaNet {
+            topology,
+            boundaries,
+            shards,
+            rules,
+            parallelism: Parallelism::from_env(),
+        }
+    }
+
+    /// Attaches a violation monitor to every shard, each seeded from its
+    /// own data plane with one full scan (see [`DeltaNet::enable_monitor`]);
+    /// every later update maintains them incrementally.
+    pub fn enable_monitor(&mut self) {
+        for shard in &mut self.shards {
+            shard.enable_monitor();
+        }
+    }
+
     /// The topology this checker verifies.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -228,8 +257,14 @@ impl ShardedDeltaNet {
     }
 
     /// Fallible form of [`ShardedDeltaNet::remove_rule`].
+    ///
+    /// The shared registry entry is only removed *after* every touched
+    /// shard has completed its removal: popping it first would strand a
+    /// half-removed rule (registry says gone, shards still own atoms for
+    /// it) if a shard panics partway, and the error path — an unknown id —
+    /// must leave the engine completely untouched.
     pub fn try_remove_rule(&mut self, id: RuleId) -> Result<UpdateReport, UpdateError> {
-        let rule = self.rules.remove(&id).ok_or(UpdateError::UnknownRule(id))?;
+        let rule = *self.rules.get(&id).ok_or(UpdateError::UnknownRule(id))?;
         let parts: Vec<UpdateReport> = self
             .shard_span(rule.interval())
             .map(|s| {
@@ -238,6 +273,7 @@ impl ShardedDeltaNet {
                     .expect("registered rule cannot be missing from its shard")
             })
             .collect();
+        self.rules.remove(&id);
         Ok(merge_update_reports(Some(id), false, parts))
     }
 
@@ -702,6 +738,89 @@ mod tests {
         // The prefix before the failing op stayed applied, the suffix did not.
         assert_eq!(net.rule_count(), 2);
         assert!(net.rule(RuleId(1)).is_some());
+    }
+
+    #[test]
+    fn apply_batch_failure_leaves_registry_and_shards_agreeing() {
+        // The pinned mid-batch failure semantics: after a batch fails at op
+        // k, the engine state equals "exactly ops[..k] were applied" — the
+        // registry and the per-shard rule sets must agree with each other
+        // AND with a fresh engine that applied just the prefix. A duplicate
+        // insert is the delicate case, because inserts are registered at
+        // validation time and a desync would leave the duplicate's first
+        // copy half-tracked.
+        let (topo, a, _, l) = two_switch();
+        let mut net = ShardedDeltaNet::new(topo.clone(), DeltaNetConfig::default(), 4);
+        let wide = Rule::forward(RuleId(1), prefix("0.0.0.0/0"), 1, a, l);
+        let narrow = Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 9, a, l);
+        let dup = Rule::forward(RuleId(1), prefix("192.0.0.0/8"), 5, a, l);
+        let late = Rule::forward(RuleId(3), prefix("64.0.0.0/8"), 3, a, l);
+        let err = net
+            .apply_batch(&[
+                Op::Insert(wide),
+                Op::Insert(narrow),
+                Op::Insert(dup),
+                Op::Insert(late),
+            ])
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.error, UpdateError::DuplicateRule(RuleId(1)));
+
+        // Registry holds exactly the applied prefix…
+        assert_eq!(net.rule_count(), 2);
+        assert_eq!(net.rule(RuleId(1)), Some(&wide));
+        assert!(net.rule(RuleId(3)).is_none());
+        // …and every shard agrees with the registry's clipped view: each
+        // registered rule is present in exactly the shards its interval
+        // touches, and nothing else is present anywhere.
+        let ranges = net.shard_ranges();
+        for (shard, range) in net.shards().iter().zip(&ranges) {
+            for rule in [&wide, &narrow] {
+                let touches = !rule.interval().intersection(range).is_empty();
+                assert_eq!(shard.rule(rule.id).is_some(), touches);
+            }
+            assert!(shard.rule(RuleId(3)).is_none());
+        }
+        // Observational check against a fresh engine applying the prefix.
+        let mut fresh = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 4);
+        fresh
+            .apply_batch(&[Op::Insert(wide), Op::Insert(narrow)])
+            .unwrap();
+        assert_eq!(net.label_intervals(l), fresh.label_intervals(l));
+        assert_eq!(net.atom_count(), fresh.atom_count());
+        assert_eq!(net.live_bytes(), fresh.live_bytes());
+    }
+
+    #[test]
+    fn try_remove_rule_error_path_leaves_state_untouched() {
+        // The registry entry must only be popped after every touched shard
+        // succeeded; in particular the unknown-id error path must not
+        // change anything at all.
+        let (topo, a, _, l) = two_switch();
+        let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 4);
+        let wide = Rule::forward(RuleId(1), prefix("0.0.0.0/0"), 1, a, l);
+        net.insert_rule(wide);
+        let rules_before = net.rule_count();
+        let atoms_before = net.atom_count();
+        let bytes_before = net.live_bytes();
+        let labels_before = net.label_intervals(l);
+
+        let err = net.try_remove_rule(RuleId(99)).unwrap_err();
+        assert_eq!(err, UpdateError::UnknownRule(RuleId(99)));
+        assert_eq!(net.rule_count(), rules_before);
+        assert_eq!(net.atom_count(), atoms_before);
+        assert_eq!(net.live_bytes(), bytes_before);
+        assert_eq!(net.label_intervals(l), labels_before);
+        assert!(net.rule(RuleId(1)).is_some());
+        for shard in net.shards() {
+            assert!(shard.rule(RuleId(1)).is_some());
+        }
+
+        // The real removal still works afterwards and clears every shard.
+        net.try_remove_rule(RuleId(1)).unwrap();
+        assert_eq!(net.rule_count(), 0);
+        assert!(net.shards().iter().all(|s| s.rule(RuleId(1)).is_none()));
+        assert!(net.label_intervals(l).is_empty());
     }
 
     #[test]
