@@ -1,16 +1,19 @@
 //! Runs the persistence experiment on the flapping-prefix churn workload:
-//! the write-path overhead of the append-only delta log (logged vs
-//! unlogged µs/op), plus an end-to-end audit — recover from the half-way
-//! snapshot + log tail and compare against the live engine
-//! (`round_trip_equal`), and prove damaged artifacts fail with clean
-//! errors (`truncated_log_error`, `corrupted_snapshot_error`).
+//! the write-path overhead of the append-only delta log at every
+//! durability level (buffered/flush/fsync vs unlogged µs/op), plus an
+//! end-to-end audit — recover from the half-way snapshot + log tail and
+//! compare against the live engine (`round_trip_equal`), prove damaged
+//! artifacts fail with clean errors (`truncated_log_error`,
+//! `corrupted_snapshot_error`), and time a torn-tail checkpoint recovery
+//! (`recovery_ms`, `repaired_tail_ops`, `recovery_bit_identical`).
 //!
 //! Usage:
 //!   `cargo run -p bench --release --bin persist [-- --scale tiny|small|medium] [--json <path>]`
 //!
 //! Without `--json`, the machine-readable report is printed to stdout; the
 //! same object appears as the `persist` section of `all_experiments --json`.
-//! The committed `BENCH_PR6.json` is produced by this binary.
+//! The committed `BENCH_PR6.json` / `BENCH_PR7.json` are produced by this
+//! binary.
 
 fn main() {
     let scale = bench::scale_from_args();

@@ -126,6 +126,17 @@ pub fn parse_usize_option(args: &ParsedArgs, name: &str) -> Result<Option<usize>
     }
 }
 
+/// Parses a `--durability` value (defaults to `flush`, the write-per-batch
+/// no-fsync level the persistence layer also defaults to).
+pub fn parse_durability(args: &ParsedArgs) -> Result<deltanet::Durability, ArgError> {
+    let value = args.get_or("durability", "flush");
+    value.parse().map_err(|_| ArgError::InvalidValue {
+        option: "durability".to_string(),
+        value: value.to_string(),
+        expected: "buffered | flush | fsync",
+    })
+}
+
 /// Parses a `--scale` value.
 pub fn parse_scale(args: &ParsedArgs) -> Result<workloads::ScaleProfile, ArgError> {
     match args.get_or("scale", "tiny") {
@@ -218,6 +229,20 @@ mod tests {
         // Defaults to tiny when --scale is absent.
         let p = parse(&["generate", "--dataset", "inet"]).unwrap();
         assert_eq!(parse_scale(&p).unwrap(), workloads::ScaleProfile::Tiny);
+    }
+
+    #[test]
+    fn durability_parsing() {
+        use deltanet::Durability;
+        let p = parse(&["replay", "--durability", "fsync"]).unwrap();
+        assert_eq!(parse_durability(&p).unwrap(), Durability::FsyncPerBatch);
+        let p = parse(&["replay", "--durability", "buffered"]).unwrap();
+        assert_eq!(parse_durability(&p).unwrap(), Durability::Buffered);
+        // Defaults to flush when absent.
+        let p = parse(&["replay"]).unwrap();
+        assert_eq!(parse_durability(&p).unwrap(), Durability::FlushPerBatch);
+        let p = parse(&["replay", "--durability", "turbo"]).unwrap();
+        assert!(parse_durability(&p).is_err());
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! filesystem) to a report string, so the binary stays a two-line wrapper
 //! and the behaviour is unit-testable.
 
-use crate::args::{parse_dataset, parse_scale, parse_usize_option, ArgError, ParsedArgs};
+use crate::args::{
+    parse_dataset, parse_durability, parse_scale, parse_usize_option, ArgError, ParsedArgs,
+};
 use crate::topo_text;
-use deltanet::persist;
+use deltanet::persist::{self, RecoveryPolicy, TornTail};
 use deltanet::{
-    blackholes, DeltaLog, DeltaNet, DeltaNetConfig, LoggedNet, Parallelism, PersistError,
-    PersistNet, ShardedDeltaNet, Snapshot, ViolationKey,
+    blackholes, CheckpointConfig, CheckpointManager, DeltaLog, DeltaNet, DeltaNetConfig, FsBackend,
+    LoggedNet, Parallelism, PersistError, PersistNet, ShardedDeltaNet, Snapshot, ViolationKey,
 };
 use netmodel::checker::{Checker, InvariantViolation};
 use netmodel::topology::Topology;
@@ -84,7 +86,8 @@ pub fn help() -> String {
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
                  [--compact [<threshold>]] [--json <file>] [--shards <n>] [--batch <w>]\n\
                  [--workers <n>] [--check blackholes] [--monitor]\n\
-                 [--from-snapshot <file>] [--log <file>]\n\
+                 [--from-snapshot <file>] [--log <file> [--durability buffered|flush|fsync]]\n\
+                 [--checkpoint <dir> [--checkpoint-every <n>] [--retain <n>]]\n\
                  Replay a trace through a checker and print Table-3 style statistics;\n\
                  with --json, also write them machine-readable (BENCH_*.json shape).\n\
                  --compact enables automatic atom compaction (deltanet only): a removal\n\
@@ -104,18 +107,35 @@ pub fn help() -> String {
                  mid-trace failure the log holds exactly the applied prefix, so\n\
                  `snapshot --load --log` recovery reproduces the post-failure state.\n\
                  Malformed operations (unknown rule removal, duplicate insert) are\n\
-                 reported with their line position instead of crashing the replay\n\
+                 reported with their line position instead of crashing the replay.\n\
+                 --durability picks how hard each batch is pushed to disk: buffered\n\
+                 (userspace only, synced at exit), flush (write, no fsync — default),\n\
+                 fsync (write + fsync; an acknowledged batch survives power loss).\n\
+                 --checkpoint replays through an auto-snapshotting checkpoint dir\n\
+                 instead of a flat log: the log rotates and a snapshot is written\n\
+                 every --checkpoint-every ops (default 1024), keeping --retain\n\
+                 snapshots (default 2), so recovery time stays bounded\n\
        snapshot  --topo <file> --trace <file> --save <file> [--shards <n>] [--monitor]\n\
                  [--log <file>]\n\
                  Replay the trace and save its final engine state as a checksummed\n\
                  binary snapshot; with --log, also write the ops to a delta log\n\
                  (together they form a recovery pair)\n\
-       snapshot  --topo <file> --load <file> [--log <file>]\n\
+       snapshot  --topo <file> --load <file> [--log <file>] [--repair-tail]\n\
                  Restore a snapshot and print its state; with --log, recover by\n\
-                 replaying the log tail past the snapshot's position\n\
+                 replaying the log tail past the snapshot's position. --repair-tail\n\
+                 truncates a torn log tail to the longest valid checksummed prefix\n\
+                 instead of failing\n\
        snapshot  --topo <file> --log <file> --at <n> [--load <file>]\n\
                  Time-travel: the violations active after exactly n logged ops,\n\
                  replayed forward from the snapshot when one is given\n\
+       recover   --topo <file> (--snapshot <file> --log <file> | --dir <ckpt-dir>)\n\
+                 [--repair-tail]\n\
+                 Recover engine state after a crash. With --snapshot/--log, restore\n\
+                 the snapshot and replay the log tail; with --dir, recover from a\n\
+                 checkpoint directory (newest usable snapshot + log segments, falling\n\
+                 back past corrupt snapshots). The default policy is strict: a torn\n\
+                 or corrupt log record fails, naming the byte offset. --repair-tail\n\
+                 instead truncates the torn tail and reports what was salvaged\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
                  Load the trace's final data plane and analyse the failure of link src->dst\n\
        audit     --topo <file> --trace <file>\n\
@@ -130,6 +150,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CommandError> {
         "generate" => generate(args),
         "replay" => replay(args),
         "snapshot" => snapshot(args),
+        "recover" => recover(args),
         "whatif" => whatif(args),
         "audit" => audit(args),
         "help" | "--help" | "-h" => Ok(help()),
@@ -332,6 +353,27 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     let monitor = args.has_flag("monitor");
     let from_snapshot = args.options.get("from-snapshot").cloned();
     let log_to = args.options.get("log").cloned();
+    let checkpoint_dir = args.options.get("checkpoint").cloned();
+    let durability = parse_durability(args)?;
+    if args.options.contains_key("durability") && log_to.is_none() && checkpoint_dir.is_none() {
+        return Err(CommandError::Other(
+            "--durability only applies when writing a log (--log or --checkpoint)".to_string(),
+        ));
+    }
+    if (args.options.contains_key("checkpoint-every") || args.options.contains_key("retain"))
+        && checkpoint_dir.is_none()
+    {
+        return Err(CommandError::Other(
+            "--checkpoint-every/--retain require --checkpoint".to_string(),
+        ));
+    }
+    if checkpoint_dir.is_some() && (log_to.is_some() || from_snapshot.is_some()) {
+        return Err(CommandError::Other(
+            "--checkpoint manages its own snapshots and log segments and cannot be combined \
+             with --log or --from-snapshot"
+                .to_string(),
+        ));
+    }
     if (batch.is_some() || workers.is_some()) && shards.is_none() {
         return Err(CommandError::Other(
             "--batch/--workers require --shards".to_string(),
@@ -343,6 +385,32 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         ));
     }
     let parallelism = workers.map_or_else(Parallelism::from_env, Parallelism::fixed);
+
+    if let Some(dir) = &checkpoint_dir {
+        if checker_name != "deltanet" {
+            return Err(CommandError::Other(
+                "--checkpoint is only supported by the deltanet checker".to_string(),
+            ));
+        }
+        let config = DeltaNetConfig {
+            check_loops_per_update: check_loops,
+            compact_threshold,
+            monitor_violations: monitor,
+            ..Default::default()
+        };
+        return replay_checkpointed(
+            topo,
+            &trace,
+            args,
+            dir,
+            durability,
+            config,
+            shards,
+            batch,
+            parallelism,
+            check_blackholes,
+        );
+    }
 
     let mut baseline_ops = 0u64;
     let mut engine =
@@ -391,8 +459,8 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     || log_to.is_some()
                 {
                     return Err(CommandError::Other(
-                        "--compact/--shards/--check/--monitor/--from-snapshot/--log are only \
-                     supported by the deltanet checker"
+                        "--compact/--shards/--check/--monitor/--from-snapshot/--log/--checkpoint \
+                     are only supported by the deltanet checker"
                             .to_string(),
                     ));
                 }
@@ -417,9 +485,15 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     let mut loops = 0usize;
     let mut transitions = monitor.then(TransitionLog::default);
     // Write-behind delta log: an op is appended only after it applied, so on
-    // a mid-trace failure the log holds exactly the applied prefix.
+    // a mid-trace failure the log holds exactly the applied prefix. Each
+    // applied window is flushed at the configured durability; the final (and
+    // error-path) sync pushes even Buffered logs to disk.
     let mut dlog = match &log_to {
-        Some(path) => Some(DeltaLog::create(Path::new(path))?),
+        Some(path) => Some(DeltaLog::create_with(
+            Box::new(FsBackend),
+            Path::new(path),
+            durability,
+        )?),
         None => None,
     };
     match (&mut engine, batch) {
@@ -439,7 +513,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                             for op in &chunk[..e.index] {
                                 log.append(op);
                             }
-                            log.flush()?;
+                            log.sync()?;
                         }
                         return Err(CommandError::Other(format!(
                             "trace op {} ({}): {}",
@@ -453,6 +527,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     for op in chunk {
                         log.append(op);
                     }
+                    log.flush()?;
                 }
                 let per_op_us = start.elapsed().as_secs_f64() * 1e6 / chunk.len() as f64;
                 for report in reports {
@@ -476,7 +551,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     Ok(report) => report,
                     Err(error) => {
                         if let Some(log) = dlog.as_mut() {
-                            log.flush()?;
+                            log.sync()?;
                         }
                         return Err(CommandError::Other(format!(
                             "trace op {} ({}): {error}",
@@ -487,6 +562,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                 };
                 if let Some(log) = dlog.as_mut() {
                     log.append(op);
+                    log.flush()?;
                 }
                 timings.micros.push(start.elapsed().as_secs_f64() * 1e6);
                 if report.has_loop() {
@@ -502,7 +578,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     }
     let log_ops = match dlog.as_mut() {
         Some(log) => {
-            log.flush()?;
+            log.sync()?;
             Some(log.ops_logged())
         }
         None => None,
@@ -557,6 +633,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         }
         if let Some(n) = log_ops {
             fields.push(("log_ops", Json::int(n as usize)));
+            fields.push(("durability", Json::str(durability.name())));
         }
         if let (Some((active_loops, active_holes)), Some(log)) =
             (monitor_counts, transitions.as_ref())
@@ -610,7 +687,10 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         out.push_str(&format!("resumed from snapshot: op {baseline_ops}\n"));
     }
     if let (Some(n), Some(path)) = (log_ops, &log_to) {
-        out.push_str(&format!("delta log:          {n} ops -> {path}\n"));
+        out.push_str(&format!(
+            "delta log:          {n} ops -> {path} (durability: {})\n",
+            durability.name()
+        ));
     }
     if let Some(holes) = &blackhole_report {
         out.push_str(&format!("blackholes:         {}\n", holes.len()));
@@ -648,6 +728,222 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         ));
     }
     Ok(out)
+}
+
+/// `replay --checkpoint <dir>`: replay through a [`CheckpointManager`] so
+/// the delta log rotates and a snapshot is written every `--checkpoint-every`
+/// applied ops — recovery cost stays bounded by the cadence, not the trace.
+#[allow(clippy::too_many_arguments)]
+fn replay_checkpointed(
+    topo: Topology,
+    trace: &Trace,
+    args: &ParsedArgs,
+    dir: &str,
+    durability: deltanet::Durability,
+    config: DeltaNetConfig,
+    shards: Option<usize>,
+    batch: Option<usize>,
+    parallelism: Parallelism,
+    check_blackholes: bool,
+) -> Result<String, CommandError> {
+    let every_ops = parse_usize_option(args, "checkpoint-every")?.unwrap_or(1024);
+    let retain = parse_usize_option(args, "retain")?.unwrap_or(2);
+    if every_ops == 0 || retain == 0 {
+        return Err(CommandError::Other(
+            "--checkpoint-every/--retain must be at least 1".to_string(),
+        ));
+    }
+    let net = match shards {
+        Some(n) => PersistNet::Sharded(Box::new(ShardedDeltaNet::with_parallelism(
+            topo,
+            config,
+            n,
+            parallelism,
+        ))),
+        None => PersistNet::Single(Box::new(DeltaNet::new(topo, config))),
+    };
+    let mut mgr = CheckpointManager::create(
+        Box::new(FsBackend),
+        Path::new(dir),
+        net,
+        0,
+        CheckpointConfig {
+            every_ops: every_ops as u64,
+            retain,
+            durability,
+        },
+    )?;
+    let mut timings = bench::Timings {
+        micros: Vec::with_capacity(trace.len()),
+    };
+    let mut loops = 0usize;
+    let window = batch.unwrap_or(1);
+    let mut offset = 0usize;
+    for chunk in trace.ops().chunks(window) {
+        let start = Instant::now();
+        let reports = match mgr.apply_batch(chunk) {
+            Ok(reports) => reports,
+            Err(e) => {
+                // Consume any deferred I/O error so the drop guard stays
+                // quiet; the engine error is the one worth reporting.
+                let sync_err = mgr.sync().err();
+                let mut msg = format!(
+                    "trace op {} ({}): {}",
+                    offset + e.index + 1,
+                    describe_op(&chunk[e.index]),
+                    e.error
+                );
+                if let Some(io) = sync_err {
+                    msg.push_str(&format!("; log sync also failed: {io}"));
+                }
+                return Err(CommandError::Other(msg));
+            }
+        };
+        let per_op_us = start.elapsed().as_secs_f64() * 1e6 / chunk.len() as f64;
+        for report in reports {
+            timings.micros.push(per_op_us);
+            if report.has_loop() {
+                loops += 1;
+            }
+        }
+        offset += chunk.len();
+    }
+    let summary = timings.summary();
+    let checkpoints = mgr.checkpoints_written();
+    let last_checkpoint = mgr.last_checkpoint();
+    let ops_applied = mgr.ops_applied();
+    let net = mgr.close()?;
+    let blackhole_report = check_blackholes.then(|| net.check_all_blackholes());
+    if let Some(json_path) = args.options.get("json") {
+        use bench::json::Json;
+        let mut fields = vec![
+            ("schema", Json::str("deltanet-replay-v1")),
+            ("checker", Json::str("delta-net")),
+        ];
+        fields.extend(bench::experiments::summary_json(&summary));
+        fields.extend([
+            ("packet_classes", Json::int(net.atom_count())),
+            ("rules", Json::int(net.rule_count())),
+            ("ops_with_loops", Json::int(loops)),
+            ("durability", Json::str(durability.name())),
+            ("checkpoint_every", Json::int(every_ops)),
+            ("checkpoints_written", Json::int(checkpoints as usize)),
+            ("last_checkpoint", Json::int(last_checkpoint as usize)),
+        ]);
+        if let Some(n) = shards {
+            fields.push(("shards", Json::int(n)));
+        }
+        if let Some(w) = batch {
+            fields.push(("batch", Json::int(w)));
+        }
+        if let Some(holes) = &blackhole_report {
+            fields.push(("blackholes", Json::int(holes.len())));
+        }
+        std::fs::write(json_path, Json::obj(fields).render())?;
+    }
+    let mut out = format!(
+        "checker:            delta-net\n\
+         operations:         {}\n\
+         median update time: {:.1} us\n\
+         average update time:{:.1} us\n\
+         durability:         {}\n\
+         checkpoint dir:     {dir}\n\
+         checkpoints:        {checkpoints} (every {every_ops} ops, retain {retain})\n\
+         last checkpoint:    op {last_checkpoint}\n\
+         ops applied:        {ops_applied}\n\
+         updates with loops: {loops}\n",
+        trace.len(),
+        summary.median_us,
+        summary.average_us,
+        durability.name(),
+    );
+    if let Some(holes) = &blackhole_report {
+        out.push_str(&format!("blackholes:         {}\n", holes.len()));
+        for v in holes.iter().take(5) {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out.push_str(&describe_persist_net(&net));
+    Ok(out)
+}
+
+/// `deltanet recover` — crash recovery from a snapshot + log pair or a
+/// checkpoint directory, with strict or tail-repairing torn-log handling.
+pub fn recover(args: &ParsedArgs) -> Result<String, CommandError> {
+    let topo = load_topology(args.require("topo")?)?;
+    let policy = if args.has_flag("repair-tail") {
+        RecoveryPolicy::RepairTail
+    } else {
+        RecoveryPolicy::Strict
+    };
+    if let Some(dir) = args.options.get("dir") {
+        let every_ops = parse_usize_option(args, "checkpoint-every")?.unwrap_or(1024);
+        let retain = parse_usize_option(args, "retain")?.unwrap_or(2);
+        let config = CheckpointConfig {
+            every_ops: every_ops as u64,
+            retain,
+            durability: parse_durability(args)?,
+        };
+        let (mgr, report) =
+            CheckpointManager::recover(Box::new(FsBackend), Path::new(dir), &topo, policy, config)?;
+        let net = mgr.close()?;
+        let mut out = format!(
+            "recovered checkpoint dir {dir}\n\
+             baseline snapshot:  op {}\n\
+             log ops replayed:   {} (across {} segments)\n\
+             ops incorporated:   {}\n",
+            report.baseline_ops,
+            report.replayed_ops,
+            report.segments_replayed,
+            report.ops_incorporated,
+        );
+        if report.snapshots_skipped > 0 {
+            out.push_str(&format!(
+                "snapshots skipped:  {} (corrupt or unreadable)\n",
+                report.snapshots_skipped
+            ));
+        }
+        if report.torn.is_some() {
+            out.push_str(&describe_torn(report.torn.as_ref()));
+            out.push_str(&format!(
+                "salvaged from final segment: {} ops\n",
+                report.salvaged_tail_ops
+            ));
+        }
+        out.push_str(&describe_persist_net(&net));
+        Ok(out)
+    } else {
+        let snap_path = args.require("snapshot").map_err(|_| {
+            CommandError::Other(
+                "recover needs either --dir <ckpt-dir> or --snapshot <file> --log <file>"
+                    .to_string(),
+            )
+        })?;
+        let log_path = args.require("log")?;
+        let mut backend = FsBackend;
+        let (net, total, torn) = persist::recover_with(
+            &topo,
+            &mut backend,
+            Path::new(snap_path),
+            Path::new(log_path),
+            policy,
+        )?;
+        let mut out = format!("recovered {snap_path} + {log_path}\nops incorporated: {total}\n");
+        out.push_str(&describe_torn(torn.as_ref()));
+        out.push_str(&describe_persist_net(&net));
+        Ok(out)
+    }
+}
+
+/// One-line report of a repaired torn log tail (empty when the log was clean).
+fn describe_torn(torn: Option<&TornTail>) -> String {
+    match torn {
+        Some(t) => format!(
+            "torn tail repaired: truncated at byte {} ({} bytes dropped)\n",
+            t.offset, t.bytes_dropped
+        ),
+        None => String::new(),
+    }
 }
 
 /// `deltanet snapshot` — save, restore/recover, or time-travel snapshots.
@@ -730,19 +1026,41 @@ fn snapshot_save(args: &ParsedArgs, out_path: &str) -> Result<String, CommandErr
     Ok(out)
 }
 
-/// `snapshot --load`: restore, or recover through the log tail.
+/// `snapshot --load`: restore, or recover through the log tail (repairing a
+/// torn tail when `--repair-tail` is given).
 fn snapshot_load(args: &ParsedArgs, snap_path: &str) -> Result<String, CommandError> {
     let topo = load_topology(args.require("topo")?)?;
-    let (net, total) = match args.options.get("log") {
-        Some(log_path) => persist::recover(&topo, Path::new(snap_path), Path::new(log_path))?,
+    let repair = args.has_flag("repair-tail");
+    let (net, total, torn) = match args.options.get("log") {
+        Some(log_path) => {
+            let policy = if repair {
+                RecoveryPolicy::RepairTail
+            } else {
+                RecoveryPolicy::Strict
+            };
+            let mut backend = FsBackend;
+            persist::recover_with(
+                &topo,
+                &mut backend,
+                Path::new(snap_path),
+                Path::new(log_path),
+                policy,
+            )?
+        }
         None => {
+            if repair {
+                return Err(CommandError::Other(
+                    "--repair-tail requires --log (it repairs the log's torn tail)".to_string(),
+                ));
+            }
             let snap = Snapshot::read_from(Path::new(snap_path))?;
             let at = snap.ops_applied();
-            (snap.restore(&topo)?, at)
+            (snap.restore(&topo)?, at, None)
         }
     };
     Ok(format!(
-        "restored {snap_path}\nops incorporated: {total}\n{}",
+        "restored {snap_path}\nops incorporated: {total}\n{}{}",
+        describe_torn(torn.as_ref()),
         describe_persist_net(&net)
     ))
 }
@@ -1469,5 +1787,321 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(matches!(err, CommandError::Io(_)));
+    }
+
+    #[test]
+    fn recover_command_repairs_torn_tail() {
+        // Save a snapshot + log, tear the log's tail by appending garbage,
+        // then check strict recovery names the torn byte while --repair-tail
+        // salvages the intact prefix.
+        let dir = temp_dir("recover");
+        let topo_path = dir.join("loop.topo");
+        let trace_path = dir.join("loop.trace");
+        std::fs::write(&topo_path, "node a\nnode b\nlink 0 1\nlink 1 0\n").unwrap();
+        std::fs::write(&trace_path, "I 1 0 1 10.0.0.0/8 1\nI 2 1 0 10.0.0.0/8 1\n").unwrap();
+        let topo = topo_path.to_str().unwrap().to_string();
+        let trace = trace_path.to_str().unwrap().to_string();
+        let snap = dir.join("state.snap").to_str().unwrap().to_string();
+        let log = dir.join("state.dnlog").to_str().unwrap().to_string();
+        run(&parsed(&[
+            "snapshot",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--save",
+            &snap,
+            "--log",
+            &log,
+            "--monitor",
+        ]))
+        .unwrap();
+
+        // A clean strict recover works and reports both ops.
+        let r = run(&parsed(&[
+            "recover",
+            "--topo",
+            &topo,
+            "--snapshot",
+            &snap,
+            "--log",
+            &log,
+        ]))
+        .unwrap();
+        assert!(r.contains("ops incorporated: 2"), "{r}");
+        assert!(!r.contains("torn tail repaired"), "{r}");
+
+        // Tear the tail: a varint length claiming bytes that never arrived.
+        let clean_len = std::fs::metadata(&log).unwrap().len();
+        let mut bytes = std::fs::read(&log).unwrap();
+        bytes.extend_from_slice(&[0x09, 0xAB]);
+        std::fs::write(&log, &bytes).unwrap();
+
+        let err = run(&parsed(&[
+            "recover",
+            "--topo",
+            &topo,
+            "--snapshot",
+            &snap,
+            "--log",
+            &log,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        let err = run(&parsed(&[
+            "snapshot", "--topo", &topo, "--load", &snap, "--log", &log,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+
+        for cmd in [
+            &[
+                "recover",
+                "--topo",
+                &topo,
+                "--snapshot",
+                &snap,
+                "--log",
+                &log,
+                "--repair-tail",
+            ][..],
+            &[
+                "snapshot",
+                "--topo",
+                &topo,
+                "--load",
+                &snap,
+                "--log",
+                &log,
+                "--repair-tail",
+            ][..],
+        ] {
+            // Repair truncates on disk, so re-tear before each command.
+            let mut bytes = std::fs::read(&log).unwrap();
+            bytes.truncate(clean_len as usize);
+            bytes.extend_from_slice(&[0x09, 0xAB]);
+            std::fs::write(&log, &bytes).unwrap();
+            let r = run(&parsed(cmd)).unwrap();
+            assert!(r.contains("ops incorporated: 2"), "{r}");
+            assert!(
+                r.contains(&format!(
+                    "torn tail repaired: truncated at byte {clean_len} (2 bytes dropped)"
+                )),
+                "{r}"
+            );
+            assert!(r.contains("forwarding loop"), "{r}");
+        }
+        // Repair truncated the file back to the clean prefix.
+        assert_eq!(std::fs::metadata(&log).unwrap().len(), clean_len);
+
+        // Guard rails.
+        let err = run(&parsed(&["recover", "--topo", &topo])).unwrap_err();
+        assert!(err.to_string().contains("either --dir"), "{err}");
+        let err = run(&parsed(&[
+            "snapshot",
+            "--topo",
+            &topo,
+            "--load",
+            &snap,
+            "--repair-tail",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("requires --log"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_durability_levels_produce_complete_logs() {
+        let dir = temp_dir("durability");
+        let topo_path = dir.join("loop.topo");
+        let trace_path = dir.join("loop.trace");
+        std::fs::write(&topo_path, "node a\nnode b\nlink 0 1\nlink 1 0\n").unwrap();
+        std::fs::write(&trace_path, "I 1 0 1 10.0.0.0/8 1\nI 2 1 0 10.0.0.0/8 1\n").unwrap();
+        let topo = topo_path.to_str().unwrap().to_string();
+        let trace = trace_path.to_str().unwrap().to_string();
+
+        for level in ["buffered", "flush", "fsync"] {
+            let log = dir
+                .join(format!("{level}.dnlog"))
+                .to_str()
+                .unwrap()
+                .to_string();
+            let r = run(&parsed(&[
+                "replay",
+                "--topo",
+                &topo,
+                "--trace",
+                &trace,
+                "--log",
+                &log,
+                "--durability",
+                level,
+            ]))
+            .unwrap();
+            assert!(r.contains(&format!("(durability: {level})")), "{r}");
+            // The log is complete at every level: time-travel to the last op
+            // sees the loop both ops together create.
+            let t = run(&parsed(&[
+                "snapshot", "--topo", &topo, "--log", &log, "--at", "2",
+            ]))
+            .unwrap();
+            assert!(t.contains("violations after op 2 (of 2 logged): 1"), "{t}");
+            assert!(t.contains("forwarding loop"), "{t}");
+        }
+
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--log",
+            dir.join("x.dnlog").to_str().unwrap(),
+            "--durability",
+            "turbo",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid value"), "{err}");
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--durability",
+            "fsync",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only applies"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_checkpoint_end_to_end() {
+        // Replay through a checkpoint directory with a tight cadence, then
+        // recover from the directory and check every op was incorporated.
+        let dir = temp_dir("checkpoint");
+        let out = dir.to_str().unwrap().to_string();
+        run(&parsed(&[
+            "generate",
+            "--dataset",
+            "4switch",
+            "--scale",
+            "tiny",
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        let topo = dir.join("4switch.topo").to_str().unwrap().to_string();
+        let trace = dir.join("4switch.trace").to_str().unwrap().to_string();
+        let ckpt = dir.join("ckpt").to_str().unwrap().to_string();
+        let json = dir.join("ckpt.json").to_str().unwrap().to_string();
+
+        let r = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "8",
+            "--retain",
+            "2",
+            "--json",
+            &json,
+        ]))
+        .unwrap();
+        assert!(r.contains("checkpoint dir:"), "{r}");
+        assert!(r.contains("(every 8 ops, retain 2)"), "{r}");
+        // Every trace op was applied and logged.
+        let trace_len: usize = r
+            .lines()
+            .find_map(|l| l.strip_prefix("operations:"))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(
+            r.contains(&format!("ops applied:        {trace_len}")),
+            "{r}"
+        );
+        let j = std::fs::read_to_string(&json).unwrap();
+        assert!(j.contains("\"checkpoint_every\": 8"), "{j}");
+        assert!(j.contains("\"durability\": \"flush\""), "{j}");
+
+        // The directory holds atomic snapshot + rotated segment artifacts.
+        let names: Vec<String> = std::fs::read_dir(&ckpt)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("snap-") && n.ends_with(".dnsnap")),
+            "{names:?}"
+        );
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("log-") && n.ends_with(".dnlog")),
+            "{names:?}"
+        );
+
+        let r = run(&parsed(&[
+            "recover",
+            "--topo",
+            &topo,
+            "--dir",
+            &ckpt,
+            "--repair-tail",
+        ]))
+        .unwrap();
+        assert!(
+            r.contains(&format!("ops incorporated:   {trace_len}")),
+            "{r}"
+        );
+        assert!(!r.contains("torn tail repaired"), "{r}");
+
+        // Guard rails: checkpoint-only options and incompatible modes.
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checkpoint-every",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("require --checkpoint"), "{err}");
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checkpoint",
+            &ckpt,
+            "--log",
+            dir.join("x.dnlog").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot be combined"), "{err}");
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "veriflow",
+            "--checkpoint",
+            &ckpt,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -293,6 +293,16 @@ impl DeltaNet {
         self.aggregate = Some(DeltaGraph::new());
     }
 
+    /// Whether an aggregation window opened by [`DeltaNet::begin_aggregate`]
+    /// is currently in progress. The violation monitor is repaired per
+    /// update even inside a window, so state captured mid-window is still
+    /// monitor-consistent — but automatic compaction is deferred, so
+    /// callers scheduling maintenance (like checkpoint snapshots) may
+    /// prefer window boundaries.
+    pub fn is_aggregating(&self) -> bool {
+        self.aggregate.is_some()
+    }
+
     /// Stops aggregating and returns the combined delta-graph, canonicalized
     /// to its net effect ([`DeltaGraph::canonicalize`]: same-window
     /// insert+remove pairs cancel). Any automatic compaction deferred while

@@ -24,9 +24,15 @@
 //!   live state, repaired incrementally from every update's delta-graph.
 //! * [`parallel`] — parallel bulk queries and the shared [`Parallelism`]
 //!   worker-count configuration (the §6 future-work direction).
-//! * [`persist`] — snapshot + delta-log persistence: checksummed binary
-//!   snapshots of the full engine state, an append-only update log written
-//!   through [`persist::LoggedNet`], crash recovery
+//! * [`fault`] — the [`StorageBackend`] abstraction all persistence I/O
+//!   goes through: [`FsBackend`] for real files, [`FaultyBackend`] for
+//!   deterministic crash / short-write / fsync-failure injection.
+//! * [`persist`] — crash-consistent snapshot + delta-log persistence:
+//!   checksummed binary snapshots written atomically, a per-record-framed
+//!   append-only update log written through [`persist::LoggedNet`] at a
+//!   configurable [`Durability`], torn-tail log repair
+//!   ([`RecoveryPolicy::RepairTail`]), bounded-time recovery via the
+//!   auto-snapshotting [`CheckpointManager`], crash recovery
 //!   ([`persist::recover`] = nearest snapshot + log tail), and time-travel
 //!   queries ([`persist::violations_at`]).
 //! * [`shard`] — [`ShardedDeltaNet`]: the engine partitioned across the
@@ -69,6 +75,7 @@ pub mod atomset;
 pub mod blackholes;
 pub mod delta_graph;
 pub mod engine;
+pub mod fault;
 pub mod labels;
 pub mod lattice;
 pub mod loops;
@@ -84,9 +91,13 @@ pub use atoms::{AtomId, AtomMap, DeltaPair};
 pub use atomset::AtomSet;
 pub use delta_graph::DeltaGraph;
 pub use engine::{CompactReport, DeltaNet, DeltaNetConfig};
+pub use fault::{FaultPlan, FaultyBackend, FsBackend, StorageBackend};
 pub use labels::Labels;
 pub use monitor::{MonitorEvent, ViolationKey, ViolationMonitor};
 pub use parallel::Parallelism;
-pub use persist::{DeltaLog, LoggedNet, PersistError, PersistNet, Snapshot};
+pub use persist::{
+    CheckpointConfig, CheckpointManager, DeltaLog, Durability, LoggedNet, PersistError, PersistNet,
+    RecoveryPolicy, RecoveryReport, Snapshot,
+};
 pub use reachability::ReachabilityMatrix;
 pub use shard::ShardedDeltaNet;

@@ -33,9 +33,31 @@
 //! The container is deliberately dependency-free: LEB128 varints for the
 //! dense integer arenas, raw little-endian words for the label bitsets,
 //! and an FNV-1a 64 trailer checksum.
+//!
+//! ## Crash consistency
+//!
+//! Every byte this module puts on stable storage goes through the
+//! [`StorageBackend`] trait ([`FsBackend`] in production, the fault-
+//! injecting [`crate::fault::FaultyBackend`] under test), and the write
+//! path is crash-consistent:
+//!
+//! * snapshots are written **atomically** — temp file, fsync, rename,
+//!   directory fsync — so a crash mid-snapshot never clobbers the previous
+//!   good snapshot;
+//! * every delta-log record is **framed** with a length prefix and its own
+//!   FNV-1a checksum, so a torn tail is detectable to the byte;
+//! * the log's flush behaviour is a configurable [`Durability`] ladder
+//!   (`Buffered` / `FlushPerBatch` / `FsyncPerBatch`);
+//! * the read path is self-healing: [`RecoveryPolicy::RepairTail`] keeps
+//!   the longest valid checksummed prefix, truncates the torn tail, and
+//!   reports exactly how many ops were salvaged — recovery always lands
+//!   bit-identical to some applied prefix, never invents ops;
+//! * [`CheckpointManager`] bounds recovery time by auto-snapshotting every
+//!   N ops with log rotation and retention.
 
 use crate::atoms::{AtomId, AtomMap};
 use crate::engine::{DeltaNet, DeltaNetConfig, RestoredParts};
+use crate::fault::{FsBackend, StorageBackend};
 use crate::monitor::ViolationMonitor;
 use crate::owner::{OwnedRule, Owner};
 use crate::shard::ShardedDeltaNet;
@@ -50,15 +72,100 @@ use netmodel::topology::{LinkId, NodeId, Topology};
 use netmodel::trace::Op;
 use std::collections::HashMap;
 use std::fmt;
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic bytes opening a snapshot file.
 const SNAPSHOT_MAGIC: &[u8; 4] = b"DNSP";
 /// Magic bytes opening a delta-log file.
 const LOG_MAGIC: &[u8; 4] = b"DNLG";
-/// Format version of both containers.
+/// Format version of the snapshot container.
 const FORMAT_VERSION: u8 = 1;
+/// Format version of the delta-log container. Version 2 introduced
+/// per-record length + checksum framing (version 1 logs carried bare op
+/// records and cannot distinguish a torn tail from corruption).
+const LOG_FORMAT_VERSION: u8 = 2;
+/// Bytes of the delta-log header (magic + version).
+const LOG_HEADER_LEN: u64 = 5;
+
+/// How eagerly [`DeltaLog::flush`] pushes buffered records toward stable
+/// storage — the classic write-ahead-log durability ladder. Each level
+/// bounds what a crash can lose; [`RecoveryPolicy::RepairTail`] guarantees
+/// that whatever survives recovers to a clean applied prefix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// `flush()` is a no-op: records stay in the userspace buffer until an
+    /// explicit [`DeltaLog::sync`] (or drop). Fastest; a crash loses every
+    /// op since the last sync.
+    Buffered,
+    /// `flush()` writes the buffer to the file but does not fsync (the
+    /// pre-durability behaviour, and the default). A process crash loses
+    /// nothing; an OS crash or power failure can lose ops still in the
+    /// page cache.
+    #[default]
+    FlushPerBatch,
+    /// `flush()` writes the buffer and fsyncs. An acknowledged batch
+    /// survives OS crashes and power failures.
+    FsyncPerBatch,
+}
+
+impl Durability {
+    /// The stable lowercase name (`buffered` / `flush` / `fsync`), used by
+    /// the CLI and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Durability::Buffered => "buffered",
+            Durability::FlushPerBatch => "flush",
+            Durability::FsyncPerBatch => "fsync",
+        }
+    }
+}
+
+impl std::str::FromStr for Durability {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Durability, String> {
+        match s {
+            "buffered" => Ok(Durability::Buffered),
+            "flush" => Ok(Durability::FlushPerBatch),
+            "fsync" => Ok(Durability::FsyncPerBatch),
+            other => Err(format!(
+                "unknown durability '{other}' (expected buffered, flush, or fsync)"
+            )),
+        }
+    }
+}
+
+/// How log readers treat a torn or corrupt record tail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Any framing, checksum, or decode failure is a fatal
+    /// [`PersistError::Corrupt`] naming the byte offset of the torn record.
+    #[default]
+    Strict,
+    /// Keep the longest valid checksummed prefix, truncate the torn tail
+    /// off the file, and report what was dropped. Never panics, never
+    /// invents ops — the result is always some exact applied prefix.
+    RepairTail,
+}
+
+/// A torn (or corrupt) log tail detected — and under
+/// [`RecoveryPolicy::RepairTail`], removed — by a log read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first torn record — the file length after repair.
+    pub offset: u64,
+    /// Bytes dropped from the tail.
+    pub bytes_dropped: u64,
+}
+
+/// The outcome of reading a delta log with an explicit policy.
+pub struct LogReadReport {
+    /// The decoded operations of the valid prefix.
+    pub ops: Vec<Op>,
+    /// The torn tail, if one was found (always `None` under
+    /// [`RecoveryPolicy::Strict`], which errors instead).
+    pub torn: Option<TornTail>,
+}
 
 /// What went wrong while saving, loading, or recovering persistent state.
 #[derive(Debug)]
@@ -269,6 +376,25 @@ fn checked_body<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8], PersistErro
         return Err(PersistError::Corrupt(format!("{what} checksum mismatch")));
     }
     Ok(body)
+}
+
+/// Atomically replaces `path` with `bytes`: write a temp sibling, fsync it,
+/// rename it over `path`, fsync the directory. A crash at any point leaves
+/// either the complete old file or the complete new one.
+fn write_atomic(
+    backend: &mut dyn StorageBackend,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    backend.create(&tmp)?;
+    backend.append(&tmp, bytes)?;
+    backend.sync_file(&tmp)?;
+    backend.rename(&tmp, path)?;
+    backend.sync_parent_dir(path)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -773,15 +899,34 @@ impl Snapshot {
         })
     }
 
-    /// Writes the serialized snapshot to `path`.
+    /// Writes the serialized snapshot to `path` **atomically**: the bytes
+    /// go to a temp sibling which is fsynced, renamed over `path`, and made
+    /// durable with a directory fsync — a crash at any point leaves either
+    /// the old snapshot or the new one, never a torn mix.
     pub fn write_to(&self, path: &Path) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        self.write_to_backend(&mut FsBackend, path)
+    }
+
+    /// [`Snapshot::write_to`] through an explicit [`StorageBackend`].
+    pub fn write_to_backend(
+        &self,
+        backend: &mut dyn StorageBackend,
+        path: &Path,
+    ) -> Result<(), PersistError> {
+        write_atomic(backend, path, &self.to_bytes())
     }
 
     /// Reads and deserializes a snapshot from `path`.
     pub fn read_from(path: &Path) -> Result<Snapshot, PersistError> {
-        Snapshot::from_bytes(&std::fs::read(path)?)
+        Snapshot::read_from_backend(&mut FsBackend, path)
+    }
+
+    /// [`Snapshot::read_from`] through an explicit [`StorageBackend`].
+    pub fn read_from_backend(
+        backend: &mut dyn StorageBackend,
+        path: &Path,
+    ) -> Result<Snapshot, PersistError> {
+        Snapshot::from_bytes(&backend.read(path)?)
     }
 
     fn check_topology(&self, topology: &Topology) -> Result<(), PersistError> {
@@ -1083,45 +1228,130 @@ impl Checker for PersistNet {
 // ---------------------------------------------------------------------------
 
 /// An append-only log of update operations, buffered in memory and flushed
-/// per batch. Each record is one [`Op`]; the container opens with a magic +
-/// version header and carries no trailer — the log grows forever, so
-/// [`read_log`] instead validates record framing and reports truncation as
-/// a clean [`PersistError::Corrupt`].
+/// per batch at a configurable [`Durability`]. Each record is one [`Op`],
+/// framed as `varint(payload_len) ++ payload ++ u32-LE checksum` so a torn
+/// write is detectable (and repairable) to the byte; the container opens
+/// with a magic + version header and carries no trailer — the log grows
+/// forever, so readers validate per-record framing instead.
 pub struct DeltaLog {
-    file: std::fs::File,
+    backend: Box<dyn StorageBackend>,
+    path: PathBuf,
     buf: Vec<u8>,
     ops_logged: u64,
+    durability: Durability,
+    /// Bytes known to be fully and correctly in the file: the truncation
+    /// target if a flush fails partway (see [`DeltaLog::flush`]).
+    committed_len: u64,
+    /// A previous flush failed after possibly landing a partial record in
+    /// the file; the next flush first truncates back to `committed_len`
+    /// before re-appending, so a transient I/O error cannot leave duplicate
+    /// or interleaved partial records mid-file.
+    wounded: bool,
 }
 
 impl DeltaLog {
-    /// Creates (truncating) a log file at `path` and writes the header.
+    /// Creates (truncating) a log file at `path` and writes the header,
+    /// using real files and the default [`Durability::FlushPerBatch`].
     pub fn create(path: &Path) -> Result<DeltaLog, PersistError> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(LOG_MAGIC)?;
-        file.write_all(&[FORMAT_VERSION])?;
+        DeltaLog::create_with(Box::new(FsBackend), path, Durability::default())
+    }
+
+    /// Creates (truncating) a log through an explicit backend at an
+    /// explicit durability level.
+    pub fn create_with(
+        mut backend: Box<dyn StorageBackend>,
+        path: &Path,
+        durability: Durability,
+    ) -> Result<DeltaLog, PersistError> {
+        backend.create(path)?;
+        let mut header = Vec::with_capacity(LOG_HEADER_LEN as usize);
+        header.extend_from_slice(LOG_MAGIC);
+        header.push(LOG_FORMAT_VERSION);
+        backend.append(path, &header)?;
         Ok(DeltaLog {
-            file,
+            backend,
+            path: path.to_path_buf(),
             buf: Vec::new(),
             ops_logged: 0,
+            durability,
+            committed_len: LOG_HEADER_LEN,
+            wounded: false,
+        })
+    }
+
+    /// Reopens an existing log for appending. `ops_logged` is the number of
+    /// valid records already in the file (the caller has just read it); the
+    /// current file length becomes the committed baseline.
+    pub fn resume_with(
+        mut backend: Box<dyn StorageBackend>,
+        path: &Path,
+        durability: Durability,
+        ops_logged: u64,
+    ) -> Result<DeltaLog, PersistError> {
+        let committed_len = backend.read(path)?.len() as u64;
+        if committed_len < LOG_HEADER_LEN {
+            return Err(PersistError::Corrupt(format!(
+                "cannot resume log {}: shorter than its header",
+                path.display()
+            )));
+        }
+        Ok(DeltaLog {
+            backend,
+            path: path.to_path_buf(),
+            buf: Vec::new(),
+            ops_logged,
+            durability,
+            committed_len,
+            wounded: false,
         })
     }
 
     /// Appends one operation to the in-memory buffer (no I/O until
-    /// [`DeltaLog::flush`]).
+    /// [`DeltaLog::flush`] / [`DeltaLog::sync`]).
     pub fn append(&mut self, op: &Op) {
-        let mut w = Writer::default();
-        encode_op(&mut w, op);
-        self.buf.extend_from_slice(&w.buf);
+        self.buf.extend_from_slice(&encode_record(op));
         self.ops_logged += 1;
     }
 
-    /// Writes the buffered records to the file.
-    pub fn flush(&mut self) -> Result<(), PersistError> {
-        if !self.buf.is_empty() {
-            self.file.write_all(&self.buf)?;
-            self.buf.clear();
+    /// Writes the buffered records to the file, honouring a wounded
+    /// truncate-then-retry if a previous write failed partway.
+    fn write_out(&mut self) -> Result<(), PersistError> {
+        if self.wounded {
+            self.backend.truncate(&self.path, self.committed_len)?;
+            self.wounded = false;
         }
-        self.file.flush()?;
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if let Err(e) = self.backend.append(&self.path, &self.buf) {
+            // The append may have landed a partial record; the buffer is
+            // kept so a retry can truncate back and re-append all of it.
+            self.wounded = true;
+            return Err(PersistError::Io(e));
+        }
+        self.committed_len += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Pushes buffered records toward stable storage as far as the
+    /// configured [`Durability`] asks: not at all (`Buffered`), into the
+    /// file (`FlushPerBatch`), or through an fsync (`FsyncPerBatch`) —
+    /// fsync failures surface as [`PersistError::Io`].
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        match self.durability {
+            Durability::Buffered => Ok(()),
+            Durability::FlushPerBatch => self.write_out(),
+            Durability::FsyncPerBatch => self.sync(),
+        }
+    }
+
+    /// Writes buffered records and fsyncs, regardless of the configured
+    /// durability — the "make it stick now" call used before snapshots and
+    /// on shutdown.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.write_out()?;
+        self.backend.sync_file(&self.path)?;
         Ok(())
     }
 
@@ -1129,6 +1359,31 @@ impl DeltaLog {
     pub fn ops_logged(&self) -> u64 {
         self.ops_logged
     }
+
+    /// The configured durability level.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Encodes one operation as a framed log record:
+/// `varint(payload_len) ++ payload ++ u32-LE fnv1a(payload)`. Public within
+/// the crate's test surface so crash suites can compute record boundaries.
+pub fn encode_record(op: &Op) -> Vec<u8> {
+    let mut payload = Writer::default();
+    encode_op(&mut payload, op);
+    let payload = payload.buf;
+    let mut w = Writer::default();
+    w.varint(payload.len() as u64);
+    w.buf.extend_from_slice(&payload);
+    let sum = (fnv1a(&payload) & 0xffff_ffff) as u32;
+    w.buf.extend_from_slice(&sum.to_le_bytes());
+    w.buf
 }
 
 fn encode_op(w: &mut Writer, op: &Op) {
@@ -1144,31 +1399,148 @@ fn encode_op(w: &mut Writer, op: &Op) {
     }
 }
 
-/// Reads every operation of a delta log. A log truncated mid-record — the
-/// typical crash artifact — is reported as a clean
-/// [`PersistError::Corrupt`], not a panic.
-pub fn read_log(path: &Path) -> Result<Vec<Op>, PersistError> {
-    let bytes = std::fs::read(path)?;
-    let mut r = Reader::new(&bytes);
-    let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
-    if &magic != LOG_MAGIC {
-        return r.corrupt("not a delta-log file (bad magic)");
+/// Decodes one framed record payload (tag + body), requiring it to consume
+/// the payload exactly.
+fn decode_payload(payload: &[u8]) -> Result<Op, PersistError> {
+    let mut r = Reader::new(payload);
+    let op = match r.u8()? {
+        0 => Op::Insert(decode_rule(&mut r, None)?),
+        1 => Op::Remove(RuleId(r.varint()?)),
+        _ => return r.corrupt("invalid log record tag"),
+    };
+    if r.pos != payload.len() {
+        return r.corrupt("trailing garbage inside log record");
     }
-    let version = r.u8()?;
-    if version != FORMAT_VERSION {
-        return Err(PersistError::Corrupt(format!(
-            "unsupported delta-log version {version}"
-        )));
-    }
+    Ok(op)
+}
+
+/// Parses the framed records of a delta-log body (after the header),
+/// returning the decoded valid prefix and, if the tail is torn or corrupt,
+/// the byte offset where the first bad record starts.
+fn parse_records(bytes: &[u8]) -> (Vec<Op>, Option<u64>) {
+    // A single op record is tiny; anything claiming to be huge is a torn
+    // or corrupt length prefix, not a real record.
+    const MAX_PAYLOAD: u64 = 1 << 16;
     let mut ops = Vec::new();
-    while r.pos < bytes.len() {
-        match r.u8()? {
-            0 => ops.push(Op::Insert(decode_rule(&mut r, None)?)),
-            1 => ops.push(Op::Remove(RuleId(r.varint()?))),
-            _ => return r.corrupt("invalid log record tag"),
+    let mut pos = LOG_HEADER_LEN as usize;
+    while pos < bytes.len() {
+        let mut r = Reader { buf: bytes, pos };
+        let Ok(payload_len) = r.varint() else {
+            return (ops, Some(pos as u64));
+        };
+        if payload_len > MAX_PAYLOAD {
+            return (ops, Some(pos as u64));
+        }
+        let payload_start = r.pos;
+        let payload_end = payload_start + payload_len as usize;
+        let Some(payload) = bytes.get(payload_start..payload_end) else {
+            return (ops, Some(pos as u64));
+        };
+        let Some(trailer) = bytes.get(payload_end..payload_end + 4) else {
+            return (ops, Some(pos as u64));
+        };
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        if (fnv1a(payload) & 0xffff_ffff) as u32 != stored {
+            return (ops, Some(pos as u64));
+        }
+        let Ok(op) = decode_payload(payload) else {
+            // Checksum-valid but undecodable: still never invent an op —
+            // drop it and everything after.
+            return (ops, Some(pos as u64));
+        };
+        ops.push(op);
+        pos = payload_end + 4;
+    }
+    (ops, None)
+}
+
+/// Reads every operation of a delta log under [`RecoveryPolicy::Strict`]:
+/// a log truncated or corrupted mid-record — the typical crash artifact —
+/// is reported as a clean [`PersistError::Corrupt`] naming the torn byte
+/// offset, not a panic.
+pub fn read_log(path: &Path) -> Result<Vec<Op>, PersistError> {
+    read_log_with(&mut FsBackend, path, RecoveryPolicy::Strict).map(|report| report.ops)
+}
+
+/// Reads a delta log through an explicit backend and recovery policy.
+/// Under [`RecoveryPolicy::RepairTail`] a torn or corrupt tail is truncated
+/// off the file (the repair is written back through `backend`) and reported
+/// in the returned [`LogReadReport`].
+pub fn read_log_with(
+    backend: &mut dyn StorageBackend,
+    path: &Path,
+    policy: RecoveryPolicy,
+) -> Result<LogReadReport, PersistError> {
+    let bytes = backend.read(path)?;
+    if (bytes.len() as u64) < LOG_HEADER_LEN {
+        // A crash can tear the header write of a freshly rotated segment.
+        // A partial header is repairable (the segment holds zero ops);
+        // anything that is not a prefix of a valid header is corruption.
+        let mut header = Vec::from(&LOG_MAGIC[..]);
+        header.push(LOG_FORMAT_VERSION);
+        if !header.starts_with(&bytes) {
+            return Err(PersistError::Corrupt(format!(
+                "{}: not a delta-log file (bad magic)",
+                path.display()
+            )));
+        }
+        return match policy {
+            RecoveryPolicy::Strict => Err(PersistError::Corrupt(format!(
+                "torn delta-log header at byte {} of {}",
+                bytes.len(),
+                path.display()
+            ))),
+            RecoveryPolicy::RepairTail => {
+                backend.truncate(path, 0)?;
+                backend.append(path, &header)?;
+                Ok(LogReadReport {
+                    ops: Vec::new(),
+                    torn: Some(TornTail {
+                        offset: 0,
+                        bytes_dropped: bytes.len() as u64,
+                    }),
+                })
+            }
+        };
+    }
+    {
+        let mut r = Reader::new(&bytes);
+        let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+        if &magic != LOG_MAGIC {
+            return r.corrupt("not a delta-log file (bad magic)");
+        }
+        let version = r.u8()?;
+        if version != LOG_FORMAT_VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "unsupported delta-log version {version}"
+            )));
         }
     }
-    Ok(ops)
+    let (ops, torn_at) = parse_records(&bytes);
+    match torn_at {
+        None => Ok(LogReadReport { ops, torn: None }),
+        Some(offset) => {
+            let bytes_dropped = bytes.len() as u64 - offset;
+            match policy {
+                RecoveryPolicy::Strict => Err(PersistError::Corrupt(format!(
+                    "torn or corrupt log record at byte {offset} of {} \
+                     ({bytes_dropped} trailing bytes unusable; {} ops valid)",
+                    path.display(),
+                    ops.len()
+                ))),
+                RecoveryPolicy::RepairTail => {
+                    backend.truncate(path, offset)?;
+                    Ok(LogReadReport {
+                        ops,
+                        torn: Some(TornTail {
+                            offset,
+                            bytes_dropped,
+                        }),
+                    })
+                }
+            }
+        }
+    }
 }
 
 /// A [`PersistNet`] that records every *applied* operation to a
@@ -1176,48 +1548,93 @@ pub fn read_log(path: &Path) -> Result<Vec<Op>, PersistError> {
 /// engine accepted it, so on a mid-batch failure the log holds exactly the
 /// applied prefix — recovery replays it and lands on the same state.
 pub struct LoggedNet {
-    net: PersistNet,
+    /// `Some` until [`LoggedNet::into_net`] extracts it (the `Option` only
+    /// exists so the [`Drop`] guard can coexist with the by-value unwrap).
+    net: Option<PersistNet>,
     log: DeltaLog,
     ops_applied: u64,
     /// A log-flush failure raised inside [`LoggedNet::apply_batch`] (whose
     /// error channel is the engine's [`ReplayError`], not I/O); surfaced by
-    /// the next [`LoggedNet::flush`] / [`LoggedNet::snapshot`] call.
+    /// the next [`LoggedNet::flush`] / [`LoggedNet::sync`] /
+    /// [`LoggedNet::snapshot`] / [`LoggedNet::into_net`] call. Dropping a
+    /// `LoggedNet` while one is pending panics — the error cannot be
+    /// silently discarded.
     deferred_io: Option<std::io::Error>,
 }
 
 impl LoggedNet {
-    /// Wraps an engine, creating a fresh log at `log_path`. `ops_applied`
-    /// is the number of ops already incorporated into `net` (the
-    /// `ops_applied` of the snapshot it was restored from; 0 for a fresh
-    /// engine).
+    /// Wraps an engine, creating a fresh log at `log_path` (real files,
+    /// default [`Durability::FlushPerBatch`]). `ops_applied` is the number
+    /// of ops already incorporated into `net` (the `ops_applied` of the
+    /// snapshot it was restored from; 0 for a fresh engine).
     pub fn new(
         net: PersistNet,
         log_path: &Path,
         ops_applied: u64,
     ) -> Result<LoggedNet, PersistError> {
+        LoggedNet::with_durability(net, log_path, ops_applied, Durability::default())
+    }
+
+    /// [`LoggedNet::new`] at an explicit durability level.
+    pub fn with_durability(
+        net: PersistNet,
+        log_path: &Path,
+        ops_applied: u64,
+        durability: Durability,
+    ) -> Result<LoggedNet, PersistError> {
+        LoggedNet::with_backend(net, Box::new(FsBackend), log_path, ops_applied, durability)
+    }
+
+    /// [`LoggedNet::new`] through an explicit [`StorageBackend`].
+    pub fn with_backend(
+        net: PersistNet,
+        backend: Box<dyn StorageBackend>,
+        log_path: &Path,
+        ops_applied: u64,
+        durability: Durability,
+    ) -> Result<LoggedNet, PersistError> {
         Ok(LoggedNet {
-            net,
-            log: DeltaLog::create(log_path)?,
+            net: Some(net),
+            log: DeltaLog::create_with(backend, log_path, durability)?,
             ops_applied,
             deferred_io: None,
         })
     }
 
+    fn net_ref(&self) -> &PersistNet {
+        self.net.as_ref().expect("engine present until into_net")
+    }
+
     /// Applies one operation; on success it is appended to the log buffer
     /// (flushed on the next [`LoggedNet::flush`] / batch / snapshot).
     pub fn try_apply(&mut self, op: &Op) -> Result<UpdateReport, UpdateError> {
-        let report = self.net.try_apply(op)?;
+        let report = self
+            .net
+            .as_mut()
+            .expect("engine present until into_net")
+            .try_apply(op)?;
         self.log.append(op);
         self.ops_applied += 1;
         Ok(report)
     }
 
-    /// Applies a window of operations and flushes the log once at the end.
-    /// On a mid-batch failure exactly the applied prefix `ops[..e.index]`
-    /// is logged (and flushed) before the error is returned, so log and
-    /// engine state agree even on the error path.
+    /// Applies a window of operations and flushes the log once at the end
+    /// (honouring the configured [`Durability`]). On a mid-batch failure
+    /// exactly the applied prefix `ops[..e.index]` is logged (and flushed)
+    /// before the error is returned, so log and engine state agree even on
+    /// the error path. A flush failure cannot be returned here (the error
+    /// channel is the engine's [`ReplayError`]) so it is deferred — and a
+    /// deferred error is impossible to lose: the next
+    /// [`LoggedNet::flush`] / [`LoggedNet::sync`] / [`LoggedNet::snapshot`]
+    /// / [`LoggedNet::into_net`] surfaces it, and dropping the wrapper with
+    /// one pending panics.
     pub fn apply_batch(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
-        let (applied, result) = match self.net.apply_batch(ops) {
+        let (applied, result) = match self
+            .net
+            .as_mut()
+            .expect("engine present until into_net")
+            .apply_batch(ops)
+        {
             Ok(reports) => (ops.len(), Ok(reports)),
             Err(e) => (e.index, Err(e)),
         };
@@ -1231,20 +1648,34 @@ impl LoggedNet {
         result
     }
 
-    /// Flushes buffered log records to disk (surfacing any flush failure a
-    /// previous [`LoggedNet::apply_batch`] had to defer).
-    pub fn flush(&mut self) -> Result<(), PersistError> {
-        if let Some(e) = self.deferred_io.take() {
-            return Err(PersistError::Io(e));
+    fn take_deferred(&mut self) -> Result<(), PersistError> {
+        match self.deferred_io.take() {
+            Some(e) => Err(PersistError::Io(e)),
+            None => Ok(()),
         }
+    }
+
+    /// Flushes buffered log records per the configured [`Durability`]
+    /// (surfacing any flush failure a previous [`LoggedNet::apply_batch`]
+    /// had to defer).
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.take_deferred()?;
         self.log.flush()
     }
 
-    /// Flushes the log and captures a snapshot of the current state at the
-    /// current log position.
+    /// Writes and fsyncs all buffered log records regardless of the
+    /// configured durability (surfacing any deferred flush failure).
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.take_deferred()?;
+        self.log.sync()
+    }
+
+    /// Syncs the log and captures a snapshot of the current state at the
+    /// current log position (a snapshot must never claim ops the log does
+    /// not durably hold).
     pub fn snapshot(&mut self) -> Result<Snapshot, PersistError> {
-        self.flush()?;
-        Ok(Snapshot::of_net(&self.net, self.ops_applied))
+        self.sync()?;
+        Ok(Snapshot::of_net(self.net_ref(), self.ops_applied))
     }
 
     /// Number of operations applied through this wrapper plus the restore
@@ -1255,19 +1686,43 @@ impl LoggedNet {
 
     /// The wrapped engine (read-only).
     pub fn net(&self) -> &PersistNet {
-        &self.net
+        self.net_ref()
     }
 
     /// The wrapped engine (mutable — bypasses logging; use for queries and
     /// maintenance like [`PersistNet::compact`], not for updates).
     pub fn net_mut(&mut self) -> &mut PersistNet {
-        &mut self.net
+        self.net.as_mut().expect("engine present until into_net")
     }
 
-    /// Unwraps into the engine, flushing the log first.
+    /// Unwraps into the engine, syncing the log first. A sync failure —
+    /// including a deferred one from an earlier batch — is returned, never
+    /// dropped.
     pub fn into_net(mut self) -> Result<PersistNet, PersistError> {
-        self.flush()?;
-        Ok(self.net)
+        self.sync()?;
+        Ok(self.net.take().expect("engine present until into_net"))
+    }
+}
+
+impl Drop for LoggedNet {
+    fn drop(&mut self) {
+        if let Some(e) = self.deferred_io.take() {
+            if !std::thread::panicking() {
+                panic!("LoggedNet dropped with an unhandled deferred log-flush error: {e}");
+            }
+        }
+        // Best-effort final sync of anything still buffered (skipped after
+        // into_net, which already synced).
+        if self.net.is_some() {
+            if let Err(e) = self.log.sync() {
+                if !std::thread::panicking() {
+                    eprintln!(
+                        "warning: final delta-log sync of {} failed: {e}",
+                        self.log.path().display()
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -1276,22 +1731,53 @@ impl LoggedNet {
 // ---------------------------------------------------------------------------
 
 /// Recovery: loads the snapshot, restores the engine, and replays the log
-/// tail (`ops[snapshot.ops_applied..]`). Returns the recovered engine and
-/// the total number of operations it has incorporated. A log shorter than
-/// the snapshot's position, or a logged op the restored engine rejects, is
-/// a [`PersistError::Mismatch`].
+/// tail (`ops[snapshot.ops_applied..]`) under [`RecoveryPolicy::Strict`].
+/// Returns the recovered engine and the total number of operations it has
+/// incorporated. A log shorter than the snapshot's position, or a logged op
+/// the restored engine rejects, is a [`PersistError::Mismatch`]; a torn log
+/// tail is a [`PersistError::Corrupt`] (use [`recover_with`] and
+/// [`RecoveryPolicy::RepairTail`] to salvage it instead).
 pub fn recover(
     topology: &Topology,
     snapshot_path: &Path,
     log_path: &Path,
 ) -> Result<(PersistNet, u64), PersistError> {
-    let snapshot = Snapshot::read_from(snapshot_path)?;
+    recover_with(
+        topology,
+        &mut FsBackend,
+        snapshot_path,
+        log_path,
+        RecoveryPolicy::Strict,
+    )
+    .map(|(net, ops, _)| (net, ops))
+}
+
+/// [`recover`] through an explicit backend and recovery policy. Under
+/// [`RecoveryPolicy::RepairTail`] a torn log tail is truncated to the
+/// longest valid checksummed prefix and reported in the third tuple slot;
+/// if the salvaged log ends *before* the snapshot's position (the tear ate
+/// into ops the snapshot already incorporates), the snapshot state wins and
+/// zero ops are replayed.
+pub fn recover_with(
+    topology: &Topology,
+    backend: &mut dyn StorageBackend,
+    snapshot_path: &Path,
+    log_path: &Path,
+    policy: RecoveryPolicy,
+) -> Result<(PersistNet, u64, Option<TornTail>), PersistError> {
+    let snapshot = Snapshot::read_from_backend(backend, snapshot_path)?;
     let baseline = snapshot.ops_applied();
     let mut net = snapshot.restore(topology)?;
-    let ops = read_log(log_path)?;
+    let report = read_log_with(backend, log_path, policy)?;
+    let ops = report.ops;
     let start = usize::try_from(baseline)
         .map_err(|_| PersistError::Corrupt("snapshot op count exceeds usize".to_string()))?;
     if ops.len() < start {
+        if report.torn.is_some() {
+            // The torn tail cut below the snapshot position: the snapshot
+            // is the most advanced consistent state that survived.
+            return Ok((net, baseline, report.torn));
+        }
         return Err(PersistError::Mismatch(format!(
             "snapshot is at op {start} but the log holds only {} ops",
             ops.len()
@@ -1302,7 +1788,15 @@ pub fn recover(
             PersistError::Mismatch(format!("logged op {} rejected on replay: {e}", start + i))
         })?;
     }
-    Ok((net, ops.len() as u64))
+    Ok((net, ops.len() as u64, report.torn))
+}
+
+/// A stable digest of the *full* serialized engine state — bit-identical
+/// states (atoms, owner arenas, labels, registry, monitor set) produce the
+/// same digest. Used by the crash suites and bench to assert that recovery
+/// landed exactly on an applied prefix.
+pub fn state_digest(net: &PersistNet) -> u64 {
+    fnv1a(&Snapshot::of_net(net, 0).to_bytes())
 }
 
 /// Time-travel: the violations active after exactly `op_n` operations of
@@ -1344,4 +1838,570 @@ pub fn violations_at(
     }
     net.active_violations()
         .ok_or_else(|| PersistError::Mismatch("monitor unavailable after replay".to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager: bounded-time recovery
+// ---------------------------------------------------------------------------
+
+/// Cadence and retention of a [`CheckpointManager`].
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointConfig {
+    /// Rotate the log and take a snapshot every this many applied ops (the
+    /// rotation happens at the exact multiple, so a batch's records can
+    /// straddle two segments; the snapshot is taken once the batch that
+    /// crossed the boundary commits).
+    pub every_ops: u64,
+    /// Number of snapshots to keep (the newest; log segments older than
+    /// the oldest retained snapshot are deleted too). Clamped to ≥ 1.
+    pub retain: usize,
+    /// Durability of the per-batch log flush (checkpoints always fsync).
+    pub durability: Durability,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> CheckpointConfig {
+        CheckpointConfig {
+            every_ops: 1024,
+            retain: 2,
+            durability: Durability::FsyncPerBatch,
+        }
+    }
+}
+
+/// What a [`CheckpointManager::recover`] found and did.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Op position of the snapshot recovery restored from.
+    pub baseline_ops: u64,
+    /// Ops replayed from log segments on top of the snapshot.
+    pub replayed_ops: u64,
+    /// Total ops incorporated in the recovered engine
+    /// (`baseline_ops + replayed_ops`, except when a torn tail cut below
+    /// the snapshot — then the snapshot alone wins).
+    pub ops_incorporated: u64,
+    /// Valid ops salvaged from the final (possibly torn) segment.
+    pub salvaged_tail_ops: u64,
+    /// The torn tail repaired off the final segment, if any.
+    pub torn: Option<TornTail>,
+    /// Snapshots that had to be skipped as corrupt before one restored.
+    pub snapshots_skipped: u64,
+    /// Log segments read during replay.
+    pub segments_replayed: u64,
+}
+
+fn snap_path(dir: &Path, op: u64) -> PathBuf {
+    dir.join(format!("snap-{op:012}.dnsnap"))
+}
+
+fn segment_path(dir: &Path, op: u64) -> PathBuf {
+    dir.join(format!("log-{op:012}.dnlog"))
+}
+
+/// Parses `snap-<op>.dnsnap` / `log-<op>.dnlog` names; anything else is
+/// `None` (temp files from interrupted atomic writes are ignored).
+fn parse_artifact(path: &Path) -> Option<(bool, u64)> {
+    let name = path.file_name()?.to_str()?;
+    let (is_snap, rest) = if let Some(rest) = name.strip_prefix("snap-") {
+        (true, rest.strip_suffix(".dnsnap")?)
+    } else if let Some(rest) = name.strip_prefix("log-") {
+        (false, rest.strip_suffix(".dnlog")?)
+    } else {
+        return None;
+    };
+    rest.parse().ok().map(|op| (is_snap, op))
+}
+
+/// Sorted `(snapshot ops, segment start ops)` present in a checkpoint dir.
+fn list_artifacts(
+    backend: &mut dyn StorageBackend,
+    dir: &Path,
+) -> Result<(Vec<u64>, Vec<u64>), PersistError> {
+    let mut snaps = Vec::new();
+    let mut segments = Vec::new();
+    for path in backend.list_dir(dir)? {
+        match parse_artifact(&path) {
+            Some((true, op)) => snaps.push(op),
+            Some((false, op)) => segments.push(op),
+            None => {}
+        }
+    }
+    snaps.sort_unstable();
+    segments.sort_unstable();
+    Ok((snaps, segments))
+}
+
+/// A [`PersistNet`] whose durability artifacts are managed automatically:
+/// every applied op is logged (framed, at the configured [`Durability`]),
+/// the log rotates and the engine is snapshotted atomically every
+/// `every_ops` operations, and old artifacts are deleted past the retention
+/// horizon — so [`CheckpointManager::recover`] always replays at most one
+/// cadence worth of ops, bounding recovery time regardless of history
+/// length.
+///
+/// Directory layout: `snap-<op>.dnsnap` (state after `<op>` ops) and
+/// `log-<op>.dnlog` (the segment whose first record is op `<op>`). Only the
+/// final segment can be torn by a crash; recovery treats a torn *earlier*
+/// segment as corruption even under [`RecoveryPolicy::RepairTail`].
+pub struct CheckpointManager {
+    backend: Box<dyn StorageBackend>,
+    dir: PathBuf,
+    config: CheckpointConfig,
+    /// `Some` until [`CheckpointManager::close`] extracts it (see
+    /// [`LoggedNet::net`] for why).
+    net: Option<PersistNet>,
+    log: DeltaLog,
+    segment_start: u64,
+    ops_applied: u64,
+    last_checkpoint: u64,
+    checkpoints_written: u64,
+    deferred_io: Option<std::io::Error>,
+}
+
+impl CheckpointManager {
+    /// Starts managing a fresh checkpoint directory for `net` (which has
+    /// `ops_applied` ops incorporated already — 0 for a fresh engine). An
+    /// initial snapshot is written immediately so recovery always has one.
+    pub fn create(
+        mut backend: Box<dyn StorageBackend>,
+        dir: &Path,
+        net: PersistNet,
+        ops_applied: u64,
+        config: CheckpointConfig,
+    ) -> Result<CheckpointManager, PersistError> {
+        backend.create_dir_all(dir)?;
+        Snapshot::of_net(&net, ops_applied)
+            .write_to_backend(backend.as_mut(), &snap_path(dir, ops_applied))?;
+        let log = DeltaLog::create_with(
+            backend.clone_backend(),
+            &segment_path(dir, ops_applied),
+            config.durability,
+        )?;
+        Ok(CheckpointManager {
+            backend,
+            dir: dir.to_path_buf(),
+            config,
+            net: Some(net),
+            log,
+            segment_start: ops_applied,
+            ops_applied,
+            last_checkpoint: ops_applied,
+            checkpoints_written: 1,
+            deferred_io: None,
+        })
+    }
+
+    fn net_mut_ref(&mut self) -> &mut PersistNet {
+        self.net.as_mut().expect("engine present until close")
+    }
+
+    /// Applies a window of operations with write-behind logging, rotating
+    /// the log at every exact `every_ops` multiple crossed (so one batch's
+    /// records can straddle two segments) and checkpointing once the batch
+    /// commits. Engine errors return immediately with exactly the applied
+    /// prefix logged; I/O errors are deferred like [`LoggedNet`]'s and
+    /// surfaced by the next [`CheckpointManager::sync`] /
+    /// [`CheckpointManager::checkpoint_now`] / [`CheckpointManager::close`]
+    /// — dropping the manager with one pending panics.
+    pub fn apply_batch(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
+        let (applied, result) = match self.net_mut_ref().apply_batch(ops) {
+            Ok(reports) => (ops.len(), Ok(reports)),
+            Err(e) => (e.index, Err(e)),
+        };
+        let mut crossed_cadence = false;
+        for op in &ops[..applied] {
+            self.log.append(op);
+            self.ops_applied += 1;
+            if self.ops_applied % self.config.every_ops.max(1) == 0 {
+                crossed_cadence = true;
+                if let Err(e) = self.rotate_segment() {
+                    self.defer(e);
+                }
+            }
+        }
+        if let Err(e) = self.log.flush() {
+            self.defer(e);
+        }
+        if crossed_cadence {
+            if let Err(e) = self.do_checkpoint() {
+                self.defer(e);
+            }
+        }
+        result
+    }
+
+    fn defer(&mut self, e: PersistError) {
+        if self.deferred_io.is_some() {
+            return; // keep the first error; later ones are usually cascade
+        }
+        self.deferred_io = Some(match e {
+            PersistError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        });
+    }
+
+    /// Closes the current segment (written + fsynced) and opens the next
+    /// one starting at the current op position.
+    fn rotate_segment(&mut self) -> Result<(), PersistError> {
+        self.log.sync()?;
+        self.log = DeltaLog::create_with(
+            self.backend.clone_backend(),
+            &segment_path(&self.dir, self.ops_applied),
+            self.config.durability,
+        )?;
+        self.segment_start = self.ops_applied;
+        Ok(())
+    }
+
+    /// Syncs the log, writes a snapshot of the current state atomically,
+    /// and applies retention.
+    fn do_checkpoint(&mut self) -> Result<(), PersistError> {
+        self.log.sync()?;
+        let snap = Snapshot::of_net(
+            self.net.as_ref().expect("engine present until close"),
+            self.ops_applied,
+        );
+        snap.write_to_backend(
+            self.backend.as_mut(),
+            &snap_path(&self.dir, self.ops_applied),
+        )?;
+        self.last_checkpoint = self.ops_applied;
+        self.checkpoints_written += 1;
+        self.apply_retention()
+    }
+
+    /// Deletes snapshots past the retention count and log segments entirely
+    /// older than the oldest retained snapshot.
+    fn apply_retention(&mut self) -> Result<(), PersistError> {
+        let (snaps, segments) = list_artifacts(self.backend.as_mut(), &self.dir)?;
+        let retain = self.config.retain.max(1);
+        if snaps.len() <= retain {
+            return Ok(());
+        }
+        let oldest_kept = snaps[snaps.len() - retain];
+        for &op in &snaps[..snaps.len() - retain] {
+            self.backend.remove_file(&snap_path(&self.dir, op))?;
+        }
+        for (i, &start) in segments.iter().enumerate() {
+            let end = segments.get(i + 1).copied();
+            // A segment is disposable only when some later segment starts
+            // at or before the oldest retained snapshot (never the live
+            // tail segment).
+            if end.is_some_and(|end| end <= oldest_kept) && start < self.segment_start {
+                self.backend.remove_file(&segment_path(&self.dir, start))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Surfaces any deferred I/O error, then writes + fsyncs the log.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        if let Some(e) = self.deferred_io.take() {
+            return Err(PersistError::Io(e));
+        }
+        self.log.sync()
+    }
+
+    /// Forces a checkpoint now (sync, atomic snapshot, retention),
+    /// surfacing any deferred I/O error first.
+    pub fn checkpoint_now(&mut self) -> Result<(), PersistError> {
+        if let Some(e) = self.deferred_io.take() {
+            return Err(PersistError::Io(e));
+        }
+        self.do_checkpoint()
+    }
+
+    /// Unwraps into the engine, syncing the log first; a pending deferred
+    /// error is returned, never dropped.
+    pub fn close(mut self) -> Result<PersistNet, PersistError> {
+        self.sync()?;
+        Ok(self.net.take().expect("engine present until close"))
+    }
+
+    /// The managed engine (read-only).
+    pub fn net(&self) -> &PersistNet {
+        self.net.as_ref().expect("engine present until close")
+    }
+
+    /// The managed engine (mutable — bypasses logging; queries and
+    /// maintenance only).
+    pub fn net_mut(&mut self) -> &mut PersistNet {
+        self.net_mut_ref()
+    }
+
+    /// Total ops incorporated (baseline + applied through this manager).
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Op position of the newest snapshot on disk.
+    pub fn last_checkpoint(&self) -> u64 {
+        self.last_checkpoint
+    }
+
+    /// Snapshots written over this manager's lifetime (including the
+    /// initial one).
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// First op index of the segment currently being appended to.
+    pub fn segment_start(&self) -> u64 {
+        self.segment_start
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Recovers from a checkpoint directory: restores the newest usable
+    /// snapshot (falling back to older ones past corrupt artifacts — the
+    /// payoff of retention), replays the log segments from there, repairing
+    /// the final segment's torn tail per `policy`, and resumes managing the
+    /// directory. Recovery never invents ops: the recovered state is
+    /// bit-identical to the engine state after some applied prefix.
+    pub fn recover(
+        mut backend: Box<dyn StorageBackend>,
+        dir: &Path,
+        topology: &Topology,
+        policy: RecoveryPolicy,
+        config: CheckpointConfig,
+    ) -> Result<(CheckpointManager, RecoveryReport), PersistError> {
+        let (snaps, segments) = list_artifacts(backend.as_mut(), dir)?;
+        if snaps.is_empty() {
+            return Err(PersistError::Mismatch(format!(
+                "no snapshot found in checkpoint dir {}",
+                dir.display()
+            )));
+        }
+        // Sweep leftovers of interrupted atomic writes.
+        for path in backend.list_dir(dir)? {
+            if path.extension().is_some_and(|e| e == "tmp") {
+                backend.remove_file(&path).ok();
+            }
+        }
+        // Newest snapshot that reads and restores cleanly wins.
+        let mut snapshots_skipped = 0;
+        let mut chosen: Option<(u64, PersistNet)> = None;
+        let mut last_err = None;
+        for &snap_op in snaps.iter().rev() {
+            match Snapshot::read_from_backend(backend.as_mut(), &snap_path(dir, snap_op))
+                .and_then(|s| s.restore(topology))
+            {
+                Ok(net) => {
+                    chosen = Some((snap_op, net));
+                    break;
+                }
+                Err(e @ (PersistError::Corrupt(_) | PersistError::Mismatch(_))) => {
+                    snapshots_skipped += 1;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((baseline, mut net)) = chosen else {
+            return Err(last_err.expect("at least one snapshot was tried"));
+        };
+        // The segment containing the snapshot position, then everything
+        // after it. Only the final segment may be torn.
+        let first_idx = segments.partition_point(|&s| s <= baseline).checked_sub(1);
+        let Some(first_idx) = first_idx else {
+            return Err(PersistError::Mismatch(format!(
+                "no log segment covers snapshot position {baseline} in {}",
+                dir.display()
+            )));
+        };
+        let tail = &segments[first_idx..];
+        let mut replayed = 0u64;
+        let mut position = baseline;
+        let mut torn = None;
+        let mut salvaged_tail_ops = 0;
+        for (i, &start) in tail.iter().enumerate() {
+            let is_last = i == tail.len() - 1;
+            let seg_policy = if is_last {
+                policy
+            } else {
+                RecoveryPolicy::Strict
+            };
+            let report = read_log_with(backend.as_mut(), &segment_path(dir, start), seg_policy)?;
+            if is_last {
+                torn = report.torn;
+                salvaged_tail_ops = report.ops.len() as u64;
+            } else {
+                let expected = tail[i + 1] - start;
+                if report.ops.len() as u64 != expected {
+                    return Err(PersistError::Mismatch(format!(
+                        "non-final segment log-{start} holds {} ops, expected {expected}",
+                        report.ops.len()
+                    )));
+                }
+            }
+            let seg_end = start + report.ops.len() as u64;
+            if seg_end > position {
+                let skip = (position - start) as usize;
+                for (j, op) in report.ops[skip..].iter().enumerate() {
+                    net.try_apply(op).map_err(|e| {
+                        PersistError::Mismatch(format!(
+                            "logged op {} rejected on replay: {e}",
+                            position + j as u64
+                        ))
+                    })?;
+                }
+                replayed += (report.ops.len() - skip) as u64;
+                position = seg_end;
+            }
+        }
+        // Resume appending. Normally that means reopening the final
+        // segment; if the tear cut below the snapshot position the old
+        // tail is unusable for appends (its record count would disagree
+        // with the op index), so a fresh segment starts at the snapshot.
+        let last_start = *tail.last().expect("containing segment exists");
+        let log = if position >= last_start && position - last_start == salvaged_tail_ops {
+            DeltaLog::resume_with(
+                backend.clone_backend(),
+                &segment_path(dir, last_start),
+                config.durability,
+                salvaged_tail_ops,
+            )?
+        } else {
+            DeltaLog::create_with(
+                backend.clone_backend(),
+                &segment_path(dir, position),
+                config.durability,
+            )?
+        };
+        let segment_start = log
+            .path()
+            .file_name()
+            .and_then(|_| parse_artifact(log.path()))
+            .map(|(_, op)| op)
+            .unwrap_or(position);
+        let report = RecoveryReport {
+            baseline_ops: baseline,
+            replayed_ops: replayed,
+            ops_incorporated: position,
+            salvaged_tail_ops,
+            torn,
+            snapshots_skipped,
+            segments_replayed: tail.len() as u64,
+        };
+        let manager = CheckpointManager {
+            backend,
+            dir: dir.to_path_buf(),
+            config,
+            net: Some(net),
+            log,
+            segment_start,
+            ops_applied: position,
+            last_checkpoint: baseline,
+            checkpoints_written: 0,
+            deferred_io: None,
+        };
+        Ok((manager, report))
+    }
+
+    /// Time-travel over a checkpoint directory: the violations active after
+    /// exactly `op_n` ops, answered from the newest usable snapshot at or
+    /// before `op_n` plus the log segments in between. History before the
+    /// oldest retained checkpoint is no longer replayable.
+    pub fn violations_at(
+        backend: &mut dyn StorageBackend,
+        dir: &Path,
+        topology: &Topology,
+        op_n: u64,
+        policy: RecoveryPolicy,
+    ) -> Result<Vec<InvariantViolation>, PersistError> {
+        let (snaps, segments) = list_artifacts(backend, dir)?;
+        let mut chosen: Option<(u64, PersistNet)> = None;
+        for &snap_op in snaps.iter().rev().filter(|&&s| s <= op_n) {
+            match Snapshot::read_from_backend(backend, &snap_path(dir, snap_op))
+                .and_then(|s| s.restore(topology))
+            {
+                Ok(net) => {
+                    chosen = Some((snap_op, net));
+                    break;
+                }
+                Err(PersistError::Corrupt(_) | PersistError::Mismatch(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((baseline, mut net)) = chosen else {
+            return Err(PersistError::Mismatch(format!(
+                "no usable snapshot at or before op {op_n} in {} \
+                 (history before the oldest retained checkpoint is gone)",
+                dir.display()
+            )));
+        };
+        if !net.is_monitored() {
+            net.enable_monitor();
+        }
+        if op_n > baseline {
+            let first_idx = segments
+                .partition_point(|&s| s <= baseline)
+                .checked_sub(1)
+                .ok_or_else(|| {
+                    PersistError::Mismatch(format!(
+                        "no log segment covers snapshot position {baseline} in {}",
+                        dir.display()
+                    ))
+                })?;
+            let tail = &segments[first_idx..];
+            let mut position = baseline;
+            for (i, &start) in tail.iter().enumerate() {
+                if position >= op_n {
+                    break;
+                }
+                let is_last = i == tail.len() - 1;
+                let seg_policy = if is_last {
+                    policy
+                } else {
+                    RecoveryPolicy::Strict
+                };
+                let report = read_log_with(backend, &segment_path(dir, start), seg_policy)?;
+                let seg_end = start + report.ops.len() as u64;
+                if seg_end <= position {
+                    continue;
+                }
+                let skip = (position - start) as usize;
+                let take = usize::try_from(op_n - position).unwrap_or(usize::MAX);
+                for (j, op) in report.ops[skip..].iter().take(take).enumerate() {
+                    net.try_apply(op).map_err(|e| {
+                        PersistError::Mismatch(format!(
+                            "logged op {} rejected on replay: {e}",
+                            position + j as u64
+                        ))
+                    })?;
+                }
+                position = seg_end.min(op_n);
+            }
+            if position < op_n {
+                return Err(PersistError::Mismatch(format!(
+                    "asked for op {op_n} but only {position} ops are replayable"
+                )));
+            }
+        }
+        net.active_violations()
+            .ok_or_else(|| PersistError::Mismatch("monitor unavailable after replay".to_string()))
+    }
+}
+
+impl Drop for CheckpointManager {
+    fn drop(&mut self) {
+        if let Some(e) = self.deferred_io.take() {
+            if !std::thread::panicking() {
+                panic!("CheckpointManager dropped with an unhandled deferred I/O error: {e}");
+            }
+        }
+        if self.net.is_some() {
+            if let Err(e) = self.log.sync() {
+                if !std::thread::panicking() {
+                    eprintln!(
+                        "warning: final checkpoint-log sync of {} failed: {e}",
+                        self.log.path().display()
+                    );
+                }
+            }
+        }
+    }
 }

@@ -172,6 +172,17 @@ impl ShardedDeltaNet {
         &self.shards
     }
 
+    /// The engine configuration shared by every shard.
+    pub fn config(&self) -> DeltaNetConfig {
+        self.shards[0].config()
+    }
+
+    /// Whether any shard has an open aggregation window (see
+    /// [`DeltaNet::is_aggregating`]).
+    pub fn is_aggregating(&self) -> bool {
+        self.shards.iter().any(DeltaNet::is_aggregating)
+    }
+
     /// The contiguous address range owned by each shard, in address order.
     pub fn shard_ranges(&self) -> Vec<Interval> {
         self.boundaries

@@ -1,0 +1,835 @@
+//! Crash-consistency differential suite (crashmonkey-style): randomized
+//! traces run through the fault-injecting [`FaultyBackend`], a crash is
+//! simulated at every record boundary (and sampled mid-record bytes) of the
+//! delta log, recovery runs under both [`RecoveryPolicy`]s, and the
+//! recovered state is compared — via [`state_digest`], the monitor's
+//! `active_violations()`, and full rescans — against a fresh oracle engine
+//! replayed to exactly the salvaged prefix, at single/1/2/4 shards.
+//!
+//! Invariants proved here: `RepairTail` recovery always lands bit-identical
+//! to some applied prefix (never panics, never invents ops); `Strict` fails
+//! with a clean error naming the torn offset; `FsyncPerBatch` surfaces
+//! fsync failures as `PersistError::Io`; snapshot writes are atomic under a
+//! crash at rename; a deferred log-flush error cannot be dropped silently;
+//! and a rotated multi-segment checkpoint directory recovers through torn
+//! tails and corrupt snapshots.
+
+use std::path::{Path, PathBuf};
+
+use deltanet::fault::{FaultPlan, FaultyBackend, StorageBackend};
+use deltanet::persist::{
+    self, encode_record, read_log_with, state_digest, CheckpointConfig, CheckpointManager,
+    Durability, LoggedNet, PersistError, PersistNet, RecoveryPolicy, Snapshot,
+};
+use deltanet::{DeltaNet, DeltaNetConfig, ShardedDeltaNet};
+use netmodel::topology::Topology;
+use netmodel::trace::Op;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use testutil::{blackholes_by_node, loops_by_cycle, random_topology, OpGen};
+
+/// `0` builds a plain single engine; `n > 0` builds `n` shards.
+const ENGINE_KINDS: [usize; 4] = [0, 1, 2, 4];
+
+/// Length of the delta-log header (magic + format version).
+const HEADER: u64 = 5;
+
+fn config8() -> DeltaNetConfig {
+    DeltaNetConfig {
+        field_width: 8,
+        check_loops_per_update: false,
+        compact_threshold: None,
+        monitor_violations: true,
+    }
+}
+
+fn build(topo: &Topology, shards: usize) -> PersistNet {
+    let mut net = if shards == 0 {
+        PersistNet::Single(Box::new(DeltaNet::new(topo.clone(), config8())))
+    } else {
+        PersistNet::Sharded(Box::new(ShardedDeltaNet::new(
+            topo.clone(),
+            config8(),
+            shards,
+        )))
+    };
+    net.enable_monitor();
+    net
+}
+
+/// A deterministic ~`n`-op trace over `topo`.
+fn make_trace(seed: u64, topo: &Topology, n: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = OpGen::new(8, 40, 0.35);
+    let mut trace = Vec::with_capacity(n);
+    while trace.len() < n {
+        if let Some(op) = gen.next_op(&mut rng, topo) {
+            trace.push(op);
+        }
+    }
+    trace
+}
+
+/// Byte offset after the log header and after each framed record.
+fn record_boundaries(trace: &[Op]) -> Vec<u64> {
+    let mut boundaries = Vec::with_capacity(trace.len() + 1);
+    let mut cum = HEADER;
+    boundaries.push(cum);
+    for op in trace {
+        cum += encode_record(op).len() as u64;
+        boundaries.push(cum);
+    }
+    boundaries
+}
+
+/// Records fully contained in the first `crash` bytes, and the offset of
+/// the first byte past the last complete record (the tear point).
+fn salvage_at(boundaries: &[u64], crash: u64) -> (usize, u64) {
+    if crash < HEADER {
+        return (0, 0);
+    }
+    let salvaged = boundaries.partition_point(|&b| b <= crash) - 1;
+    (salvaged, boundaries[salvaged])
+}
+
+/// Full state agreement: digest (bit-for-bit arenas + registry + monitor)
+/// and the live violation set.
+fn assert_bit_identical(recovered: &PersistNet, oracle: &PersistNet, ctx: &str) {
+    assert_eq!(
+        state_digest(recovered),
+        state_digest(oracle),
+        "{ctx}: state digest"
+    );
+    assert_eq!(
+        recovered.active_violations(),
+        oracle.active_violations(),
+        "{ctx}: monitor violation set"
+    );
+}
+
+/// The expensive variant: adds full loop/blackhole rescans.
+fn assert_bit_identical_deep(recovered: &PersistNet, oracle: &PersistNet, ctx: &str) {
+    assert_bit_identical(recovered, oracle, ctx);
+    let mut oracle_all = oracle.check_all_loops();
+    oracle_all.extend(oracle.check_all_blackholes());
+    let mut recovered_all = recovered.check_all_loops();
+    recovered_all.extend(recovered.check_all_blackholes());
+    assert_eq!(
+        loops_by_cycle(&recovered_all),
+        loops_by_cycle(&oracle_all),
+        "{ctx}: loop rescan"
+    );
+    assert_eq!(
+        blackholes_by_node(&recovered_all),
+        blackholes_by_node(&oracle_all),
+        "{ctx}: blackhole rescan"
+    );
+}
+
+fn p(s: &str) -> PathBuf {
+    PathBuf::from(s)
+}
+
+/// The tentpole sweep: run a trace through a fault-free backend to capture
+/// the ground-truth log bytes and a mid-run snapshot, then simulate a crash
+/// at every record boundary plus sampled mid-record bytes. For each crash
+/// point, `RepairTail` recovery must land bit-identical to an oracle engine
+/// replayed to exactly the salvaged prefix, and `Strict` must fail naming
+/// the torn offset whenever the tail is torn.
+#[test]
+fn crash_point_sweep_recovers_bit_identical_to_salvaged_prefix() {
+    const SNAP_AT: usize = 60;
+    let mut rng = StdRng::seed_from_u64(0xc4a5_4001);
+    let topo = random_topology(&mut rng, 5, true);
+    let trace = make_trace(0xfeed_beef, &topo, 120);
+    let boundaries = record_boundaries(&trace);
+
+    for kind in ENGINE_KINDS {
+        // Ground-truth run: batches of 5 through a fault-free FaultyBackend
+        // at FsyncPerBatch, snapshotting at op SNAP_AT.
+        let backend = FaultyBackend::new();
+        let log_path = p("/vd/wal.dnlog");
+        let snap_path = p("/vd/base.dnsnap");
+        let mut logged = LoggedNet::with_backend(
+            build(&topo, kind),
+            Box::new(backend.clone()),
+            &log_path,
+            0,
+            Durability::FsyncPerBatch,
+        )
+        .unwrap();
+        let snap0_bytes = Snapshot::of_net(logged.net(), 0).to_bytes();
+        let mut snap_mid_bytes = Vec::new();
+        for chunk in trace.chunks(5) {
+            logged.apply_batch(chunk).unwrap();
+            if logged.ops_applied() == SNAP_AT as u64 {
+                snap_mid_bytes = logged.snapshot().unwrap().to_bytes();
+            }
+        }
+        logged.sync().unwrap();
+        let log_bytes = backend.surviving(&log_path).unwrap();
+        assert_eq!(log_bytes.len() as u64, *boundaries.last().unwrap());
+        assert!(!snap_mid_bytes.is_empty());
+        drop(logged);
+
+        // Crash points: a torn header, every record boundary, and sampled
+        // mid-record bytes (first byte and midpoint of every 7th record).
+        let mut crash_points: Vec<u64> = vec![3];
+        for (i, w) in boundaries.windows(2).enumerate() {
+            crash_points.push(w[1]);
+            if i % 7 == 0 && w[1] - w[0] > 2 {
+                crash_points.push(w[0] + 1);
+                crash_points.push(w[0] + (w[1] - w[0]) / 2);
+            }
+        }
+        crash_points.sort_unstable();
+
+        // Incremental oracle: advances through the trace as the sweep's
+        // salvaged prefix grows, so every op replays exactly once.
+        let mut oracle = build(&topo, kind);
+        let mut oracle_at = 0usize;
+
+        for (point_idx, &crash) in crash_points.iter().enumerate() {
+            let (salvaged, tear_offset) = salvage_at(&boundaries, crash);
+            let torn = crash < HEADER || crash != boundaries[salvaged];
+            while oracle_at < salvaged {
+                oracle.try_apply(&trace[oracle_at]).unwrap();
+                oracle_at += 1;
+            }
+            let snap_bytes = if salvaged >= SNAP_AT {
+                &snap_mid_bytes
+            } else {
+                &snap0_bytes
+            };
+
+            // Strict: a torn tail is a clean error naming the offset; an
+            // exact-boundary crash leaves a fully valid (shorter) log.
+            let strict = FaultyBackend::new();
+            strict.plant(&log_path, log_bytes[..crash as usize].to_vec());
+            strict.plant(&snap_path, snap_bytes.clone());
+            let strict_result = persist::recover_with(
+                &topo,
+                &mut strict.clone(),
+                &snap_path,
+                &log_path,
+                RecoveryPolicy::Strict,
+            );
+            if torn {
+                let err = strict_result.err().expect("torn tail must fail Strict");
+                let msg = err.to_string();
+                assert!(
+                    matches!(err, PersistError::Corrupt(_)),
+                    "kind {kind}, crash {crash}: strict error kind: {msg}"
+                );
+                assert!(
+                    msg.contains(&format!("byte {tear_offset}")) || crash < HEADER,
+                    "kind {kind}, crash {crash}: strict error must name the tear: {msg}"
+                );
+            } else {
+                let (net, total, tail) = strict_result.unwrap();
+                assert_eq!(total, salvaged as u64);
+                assert!(tail.is_none());
+                assert_bit_identical(
+                    &net,
+                    &oracle,
+                    &format!("kind {kind}, crash {crash}, strict"),
+                );
+            }
+
+            // RepairTail: always recovers, bit-identical to the salvaged
+            // prefix, and truncates the torn bytes off the file.
+            let faulty = FaultyBackend::new();
+            faulty.plant(&log_path, log_bytes[..crash as usize].to_vec());
+            faulty.plant(&snap_path, snap_bytes.clone());
+            let mut handle = faulty.clone();
+            let (net, total, tail) = persist::recover_with(
+                &topo,
+                &mut handle,
+                &snap_path,
+                &log_path,
+                RecoveryPolicy::RepairTail,
+            )
+            .unwrap_or_else(|e| panic!("kind {kind}, crash {crash}: RepairTail failed: {e}"));
+            assert_eq!(
+                total, salvaged as u64,
+                "kind {kind}, crash {crash}: salvaged op count"
+            );
+            assert_eq!(
+                tail.is_some(),
+                torn,
+                "kind {kind}, crash {crash}: torn-tail report"
+            );
+            if let Some(tail) = tail {
+                assert_eq!(tail.offset, tear_offset, "kind {kind}, crash {crash}");
+                assert_eq!(
+                    faulty.surviving(&log_path).unwrap().len() as u64,
+                    tear_offset.max(HEADER),
+                    "kind {kind}, crash {crash}: file truncated to the valid prefix"
+                );
+                // The repaired log now reads cleanly even under Strict.
+                let reread =
+                    read_log_with(&mut faulty.clone(), &log_path, RecoveryPolicy::Strict).unwrap();
+                assert_eq!(reread.ops.len(), salvaged);
+            }
+            let ctx = format!("kind {kind}, crash {crash}, repair");
+            if point_idx % 10 == 0 {
+                assert_bit_identical_deep(&net, &oracle, &ctx);
+            } else {
+                assert_bit_identical(&net, &oracle, &ctx);
+            }
+        }
+    }
+}
+
+/// A live crash (fail-at-byte-N mid-run, not a staged artifact): the run
+/// dies partway through a batch flush; after reboot, `RepairTail` recovery
+/// lands on an applied prefix at least as long as the last acknowledged
+/// sync.
+#[test]
+fn live_crash_mid_run_recovers_to_acknowledged_prefix() {
+    let mut rng = StdRng::seed_from_u64(0x11fe_cafe);
+    let topo = random_topology(&mut rng, 5, true);
+    let trace = make_trace(0x0dd_f00d, &topo, 100);
+    for (kind, crash_at) in [(0usize, 700u64), (2, 1100), (4, 401)] {
+        let backend = FaultyBackend::with_plan(FaultPlan {
+            crash_at_byte: Some(crash_at),
+            ..Default::default()
+        });
+        let log_path = p("/vd/live.dnlog");
+        let snap_path = p("/vd/live.dnsnap");
+        // Planted, not written: the snapshot must not consume crash budget.
+        backend.plant(
+            &snap_path,
+            Snapshot::of_net(&build(&topo, kind), 0).to_bytes(),
+        );
+        let mut logged = LoggedNet::with_backend(
+            build(&topo, kind),
+            Box::new(backend.clone()),
+            &log_path,
+            0,
+            Durability::FsyncPerBatch,
+        )
+        .unwrap();
+        let mut acked = 0u64;
+        let mut crashed = false;
+        for chunk in trace.chunks(5) {
+            logged.apply_batch(chunk).unwrap();
+            match logged.sync() {
+                Ok(()) => acked = logged.ops_applied(),
+                Err(PersistError::Io(_)) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        assert!(crashed, "kind {kind}: the plan must have fired");
+        assert!(backend.crashed());
+        drop(logged); // deferred error was consumed by sync(); no panic
+
+        backend.reboot();
+        let (net, salvaged, _) = persist::recover_with(
+            &topo,
+            &mut backend.clone(),
+            &snap_path,
+            &log_path,
+            RecoveryPolicy::RepairTail,
+        )
+        .unwrap();
+        assert!(
+            salvaged >= acked && salvaged <= trace.len() as u64,
+            "kind {kind}: salvaged {salvaged} vs acked {acked}"
+        );
+        let mut oracle = build(&topo, kind);
+        for op in &trace[..salvaged as usize] {
+            oracle.try_apply(op).unwrap();
+        }
+        assert_bit_identical_deep(&net, &oracle, &format!("kind {kind}, live crash"));
+    }
+}
+
+/// Satellite: `FsyncPerBatch` surfaces fsync failures as
+/// `PersistError::Io` instead of silently succeeding, and the durability
+/// ladder fsyncs exactly when it promises to.
+#[test]
+fn durability_ladder_honors_fsync_and_surfaces_failures() {
+    let mut rng = StdRng::seed_from_u64(0xf5ac);
+    let topo = random_topology(&mut rng, 4, true);
+    let trace = make_trace(0xf5ac_0002, &topo, 20);
+
+    // fsync failure at FsyncPerBatch: deferred by apply_batch, surfaced as
+    // Io by the next flush().
+    let backend = FaultyBackend::with_plan(FaultPlan {
+        fail_fsyncs: 1,
+        ..Default::default()
+    });
+    let mut logged = LoggedNet::with_backend(
+        build(&topo, 0),
+        Box::new(backend.clone()),
+        &p("/vd/fsync.dnlog"),
+        0,
+        Durability::FsyncPerBatch,
+    )
+    .unwrap();
+    logged.apply_batch(&trace[..5]).unwrap();
+    let err = logged.flush().expect_err("fsync failure must surface");
+    assert!(
+        matches!(err, PersistError::Io(_)),
+        "fsync failure must be PersistError::Io, got: {err}"
+    );
+    logged.sync().unwrap(); // the injected failure was one-shot
+    drop(logged);
+
+    // Sync counts across the ladder: Buffered and FlushPerBatch never
+    // fsync on flush; FsyncPerBatch fsyncs once per batch.
+    for (durability, expect_syncs) in [
+        (Durability::Buffered, 0u64),
+        (Durability::FlushPerBatch, 0),
+        (Durability::FsyncPerBatch, 4),
+    ] {
+        let backend = FaultyBackend::new();
+        let log_path = p("/vd/ladder.dnlog");
+        let mut logged = LoggedNet::with_backend(
+            build(&topo, 0),
+            Box::new(backend.clone()),
+            &log_path,
+            0,
+            durability,
+        )
+        .unwrap();
+        for chunk in trace.chunks(5) {
+            logged.apply_batch(chunk).unwrap();
+        }
+        assert_eq!(
+            backend.sync_count(),
+            expect_syncs,
+            "{durability:?}: fsyncs after 4 batches"
+        );
+        // Buffered writes nothing until an explicit sync.
+        if durability == Durability::Buffered {
+            assert_eq!(backend.surviving(&log_path).unwrap().len() as u64, HEADER);
+        }
+        logged.sync().unwrap();
+        assert_eq!(backend.sync_count(), expect_syncs + 1);
+        let report =
+            read_log_with(&mut backend.clone(), &log_path, RecoveryPolicy::Strict).unwrap();
+        assert_eq!(report.ops.len(), trace.len(), "{durability:?}: all logged");
+        drop(logged);
+    }
+}
+
+/// Satellite: snapshot writes are atomic — a crash at the rename leaves the
+/// previous good snapshot byte-for-byte intact and restorable.
+#[test]
+fn atomic_snapshot_survives_crash_at_rename() {
+    let mut rng = StdRng::seed_from_u64(0xa70a);
+    let topo = random_topology(&mut rng, 5, true);
+    let trace = make_trace(0xa70a_0003, &topo, 40);
+    let backend = FaultyBackend::new();
+    let snap_path = p("/vd/state.dnsnap");
+
+    let mut net = build(&topo, 2);
+    for op in &trace[..20] {
+        net.try_apply(op).unwrap();
+    }
+    let digest20 = state_digest(&net);
+    Snapshot::of_net(&net, 20)
+        .write_to_backend(&mut backend.clone(), &snap_path)
+        .unwrap();
+    let good_bytes = backend.surviving(&snap_path).unwrap();
+
+    for op in &trace[20..] {
+        net.try_apply(op).unwrap();
+    }
+    backend.inject(FaultPlan {
+        crash_on_rename: true,
+        ..Default::default()
+    });
+    let err = Snapshot::of_net(&net, 40)
+        .write_to_backend(&mut backend.clone(), &snap_path)
+        .expect_err("crash at rename must surface");
+    assert!(matches!(err, PersistError::Io(_)));
+    assert!(backend.crashed());
+
+    backend.reboot();
+    assert_eq!(
+        backend.surviving(&snap_path).unwrap(),
+        good_bytes,
+        "old snapshot must be untouched"
+    );
+    let snap = Snapshot::read_from_backend(&mut backend.clone(), &snap_path).unwrap();
+    assert_eq!(snap.ops_applied(), 20);
+    let restored = snap.restore(&topo).unwrap();
+    assert_eq!(state_digest(&restored), digest20);
+}
+
+/// Satellite: a deferred log-flush error is impossible to lose —
+/// `into_net` surfaces it, and dropping the wrapper with one pending
+/// panics. A transient short write heals via truncate-then-retry without
+/// duplicating records.
+#[test]
+fn deferred_flush_errors_cannot_be_dropped_and_short_writes_heal() {
+    let mut rng = StdRng::seed_from_u64(0xdefe);
+    let topo = random_topology(&mut rng, 4, true);
+    let trace = make_trace(0xdefe_0004, &topo, 20);
+    let log_path = p("/vd/deferred.dnlog");
+
+    // (a) into_net surfaces the deferred error instead of dropping it.
+    let backend = FaultyBackend::new();
+    let mut logged = LoggedNet::with_backend(
+        build(&topo, 0),
+        Box::new(backend.clone()),
+        &log_path,
+        0,
+        Durability::FlushPerBatch,
+    )
+    .unwrap();
+    logged.apply_batch(&trace[..5]).unwrap();
+    backend.inject(FaultPlan {
+        fail_append_at_byte: Some(backend.bytes_appended() + 10),
+        ..Default::default()
+    });
+    logged.apply_batch(&trace[5..10]).unwrap(); // flush failure deferred
+    match logged.into_net() {
+        Err(PersistError::Io(_)) => {}
+        Err(e) => panic!("deferred error surfaced with the wrong kind: {e}"),
+        Ok(_) => panic!("deferred error must surface from into_net"),
+    }
+
+    // (b) dropping with a pending deferred error panics.
+    let backend = FaultyBackend::new();
+    let mut logged = LoggedNet::with_backend(
+        build(&topo, 0),
+        Box::new(backend.clone()),
+        &log_path,
+        0,
+        Durability::FlushPerBatch,
+    )
+    .unwrap();
+    logged.apply_batch(&trace[..5]).unwrap();
+    backend.inject(FaultPlan {
+        fail_append_at_byte: Some(backend.bytes_appended() + 10),
+        ..Default::default()
+    });
+    logged.apply_batch(&trace[5..10]).unwrap();
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(logged)))
+        .expect_err("drop with pending deferred error must panic");
+    let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("deferred log-flush error"),
+        "panic message: {msg}"
+    );
+
+    // (c) wounded truncate-then-retry: the short write lands a partial
+    // record; the retry truncates back and re-appends, leaving a log that
+    // parses cleanly with every op exactly once.
+    let backend = FaultyBackend::new();
+    let mut logged = LoggedNet::with_backend(
+        build(&topo, 0),
+        Box::new(backend.clone()),
+        &log_path,
+        0,
+        Durability::FlushPerBatch,
+    )
+    .unwrap();
+    logged.apply_batch(&trace[..5]).unwrap();
+    let committed = backend.surviving(&log_path).unwrap().len();
+    backend.inject(FaultPlan {
+        fail_append_at_byte: Some(backend.bytes_appended() + 7),
+        ..Default::default()
+    });
+    logged.apply_batch(&trace[5..10]).unwrap(); // short write, deferred
+    let surviving = backend.surviving(&log_path).unwrap().len();
+    assert!(
+        surviving > committed,
+        "the short write must have landed a partial record"
+    );
+    assert!(matches!(logged.flush(), Err(PersistError::Io(_)))); // surface it
+    logged.flush().unwrap(); // retry: truncate + re-append succeeds
+    let report = read_log_with(&mut backend.clone(), &log_path, RecoveryPolicy::Strict).unwrap();
+    assert_eq!(report.ops, trace[..10].to_vec(), "no duplicate records");
+    drop(logged);
+}
+
+fn checkpoint_cfg(every_ops: u64, retain: usize) -> CheckpointConfig {
+    CheckpointConfig {
+        every_ops,
+        retain,
+        durability: Durability::FsyncPerBatch,
+    }
+}
+
+fn dir_artifacts(backend: &FaultyBackend, dir: &Path) -> (Vec<String>, Vec<String>) {
+    let mut snaps = Vec::new();
+    let mut segs = Vec::new();
+    for path in backend.clone().list_dir(dir).unwrap() {
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        if name.starts_with("snap-") {
+            snaps.push(name);
+        } else if name.starts_with("log-") {
+            segs.push(name);
+        }
+    }
+    (snaps, segs)
+}
+
+/// Satellite: recovery and `violations_at` over a rotated multi-segment
+/// log with a checkpoint mid-history, including a segment boundary that
+/// falls inside a batch (aggregation) window, plus retention pruning.
+#[test]
+fn checkpoint_manager_rotates_retains_and_recovers_multi_segment() {
+    let mut rng = StdRng::seed_from_u64(0xc4ec);
+    let topo = random_topology(&mut rng, 5, true);
+    let trace = make_trace(0xc4ec_0005, &topo, 120);
+    let backend = FaultyBackend::new();
+    let dir = p("/vd/ckpt");
+
+    let mut mgr = CheckpointManager::create(
+        Box::new(backend.clone()),
+        &dir,
+        build(&topo, 2),
+        0,
+        checkpoint_cfg(25, 2),
+    )
+    .unwrap();
+    // Batches of 8 against a 25-op cadence: every rotation lands inside a
+    // batch window, so a batch's records straddle two segments.
+    for chunk in trace.chunks(8) {
+        mgr.apply_batch(chunk).unwrap();
+    }
+    assert_eq!(mgr.ops_applied(), 120);
+    assert_eq!(mgr.segment_start(), 100);
+    assert_eq!(mgr.last_checkpoint(), 104);
+
+    // Rotation at exact multiples; snapshots at the commit after each
+    // crossing; retention keeps the newest two snapshots and only the
+    // segments needed to replay from the oldest retained one.
+    let (snaps, segs) = dir_artifacts(&backend, &dir);
+    assert_eq!(
+        snaps,
+        vec!["snap-000000000080.dnsnap", "snap-000000000104.dnsnap"]
+    );
+    assert_eq!(
+        segs,
+        vec!["log-000000000075.dnlog", "log-000000000100.dnlog"]
+    );
+
+    let live = mgr.close().unwrap();
+    let live_digest = state_digest(&live);
+
+    // Clean recovery (Strict: nothing is torn).
+    let (mut mgr2, report) = CheckpointManager::recover(
+        Box::new(backend.clone()),
+        &dir,
+        &topo,
+        RecoveryPolicy::Strict,
+        checkpoint_cfg(25, 2),
+    )
+    .unwrap();
+    assert_eq!(report.baseline_ops, 104);
+    assert_eq!(report.replayed_ops, 16);
+    assert_eq!(report.ops_incorporated, 120);
+    assert_eq!(report.segments_replayed, 1);
+    assert!(report.torn.is_none());
+    assert_eq!(state_digest(mgr2.net()), live_digest);
+
+    // Time-travel across the retained window, including op 102 — past a
+    // segment boundary (100) that fell inside a batch window — and op 85,
+    // which needs the snapshot at 80 plus a partial segment replay.
+    for op_n in [80u64, 85, 100, 102, 104, 110, 120] {
+        let mut oracle = build(&topo, 2);
+        for op in &trace[..op_n as usize] {
+            oracle.try_apply(op).unwrap();
+        }
+        let got = CheckpointManager::violations_at(
+            &mut backend.clone(),
+            &dir,
+            &topo,
+            op_n,
+            RecoveryPolicy::Strict,
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            oracle.active_violations().unwrap(),
+            "violations_at({op_n})"
+        );
+    }
+    // History before the oldest retained checkpoint is gone — clean error.
+    let err = CheckpointManager::violations_at(
+        &mut backend.clone(),
+        &dir,
+        &topo,
+        27,
+        RecoveryPolicy::Strict,
+    );
+    assert!(matches!(err, Err(PersistError::Mismatch(_))));
+
+    // The recovered manager keeps appending into the same segment; a
+    // subsequent recovery sees the extended history.
+    let extra = make_trace(0xc4ec_0006, &topo, 10);
+    let mut oracle_ops: Vec<Op> = trace.clone();
+    for chunk in extra.chunks(5) {
+        let applied = mgr2.apply_batch(chunk).unwrap().len();
+        oracle_ops.extend_from_slice(&chunk[..applied]);
+    }
+    mgr2.sync().unwrap();
+    let after_digest = state_digest(mgr2.net());
+    drop(mgr2);
+    let (mgr3, report3) = CheckpointManager::recover(
+        Box::new(backend.clone()),
+        &dir,
+        &topo,
+        RecoveryPolicy::Strict,
+        checkpoint_cfg(25, 2),
+    )
+    .unwrap();
+    assert_eq!(report3.ops_incorporated, oracle_ops.len() as u64);
+    assert_eq!(state_digest(mgr3.net()), after_digest);
+    drop(mgr3);
+}
+
+/// Crash sweep over a checkpoint directory: crash at every record boundary
+/// (and sampled bytes) of the *final* segment; `RepairTail` recovery must
+/// land bit-identical to the oracle at the salvaged prefix. Also: a corrupt
+/// newest snapshot falls back to the previous checkpoint, and a torn
+/// non-final segment is corruption even under `RepairTail`.
+#[test]
+fn checkpoint_crash_sweep_with_snapshot_fallback() {
+    let mut rng = StdRng::seed_from_u64(0xc4fa);
+    let topo = random_topology(&mut rng, 5, true);
+    let trace = make_trace(0xc4fa_0007, &topo, 120);
+    let backend = FaultyBackend::new();
+    let dir = p("/vd/sweep");
+
+    let mut mgr = CheckpointManager::create(
+        Box::new(backend.clone()),
+        &dir,
+        build(&topo, 1),
+        0,
+        checkpoint_cfg(25, 3),
+    )
+    .unwrap();
+    for chunk in trace.chunks(8) {
+        mgr.apply_batch(chunk).unwrap();
+    }
+    mgr.close().unwrap();
+
+    // Capture the pristine directory contents.
+    let files: Vec<(PathBuf, Vec<u8>)> = backend
+        .clone()
+        .list_dir(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|path| {
+            let bytes = backend.surviving(&path).unwrap();
+            (path, bytes)
+        })
+        .collect();
+    let last_seg_path = p("/vd/sweep/log-000000000100.dnlog");
+    let last_seg = backend.surviving(&last_seg_path).unwrap();
+    let tail_trace = &trace[100..];
+    let tail_boundaries = record_boundaries(tail_trace);
+    assert_eq!(last_seg.len() as u64, *tail_boundaries.last().unwrap());
+
+    let stage = |last_seg_keep: usize| -> FaultyBackend {
+        let staged = FaultyBackend::new();
+        for (path, bytes) in &files {
+            staged.plant(path, bytes.clone());
+        }
+        staged.plant(&last_seg_path, last_seg[..last_seg_keep].to_vec());
+        staged
+    };
+
+    let mut crash_points: Vec<u64> = Vec::new();
+    for (i, w) in tail_boundaries.windows(2).enumerate() {
+        crash_points.push(w[1]);
+        if i % 3 == 0 && w[1] - w[0] > 2 {
+            crash_points.push(w[0] + (w[1] - w[0]) / 2);
+        }
+    }
+    crash_points.sort_unstable();
+    let mut oracle = build(&topo, 1);
+    let mut oracle_at = 0usize;
+    for &crash in &crash_points {
+        let (salvaged_in_seg, tear_offset) = salvage_at(&tail_boundaries, crash);
+        let global = 100 + salvaged_in_seg;
+        while oracle_at < global {
+            oracle.try_apply(&trace[oracle_at]).unwrap();
+            oracle_at += 1;
+        }
+        let staged = stage(crash as usize);
+        let (mgr, report) = CheckpointManager::recover(
+            Box::new(staged.clone()),
+            &dir,
+            &topo,
+            RecoveryPolicy::RepairTail,
+            checkpoint_cfg(25, 3),
+        )
+        .unwrap_or_else(|e| panic!("crash {crash}: RepairTail recovery failed: {e}"));
+        // Below the newest snapshot (op 104) the snapshot state wins.
+        assert_eq!(
+            report.ops_incorporated,
+            (global as u64).max(104),
+            "crash {crash}: recovered position"
+        );
+        assert_eq!(report.torn.is_some(), crash != tear_offset, "crash {crash}");
+        if global as u64 >= 104 {
+            assert_bit_identical(mgr.net(), &oracle, &format!("crash {crash}"));
+        }
+        drop(mgr);
+    }
+
+    // Corrupt newest snapshot → fall back to the previous checkpoint and
+    // still recover the full history bit-identically.
+    while oracle_at < trace.len() {
+        oracle.try_apply(&trace[oracle_at]).unwrap();
+        oracle_at += 1;
+    }
+    let staged = stage(last_seg.len());
+    let snap_path = p("/vd/sweep/snap-000000000104.dnsnap");
+    let mut bad = staged.surviving(&snap_path).unwrap();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x20;
+    staged.plant(&snap_path, bad);
+    let (mgr, report) = CheckpointManager::recover(
+        Box::new(staged.clone()),
+        &dir,
+        &topo,
+        RecoveryPolicy::RepairTail,
+        checkpoint_cfg(25, 3),
+    )
+    .unwrap();
+    assert_eq!(report.snapshots_skipped, 1);
+    assert!(report.baseline_ops < 104);
+    assert_eq!(report.ops_incorporated, 120);
+    assert_bit_identical_deep(mgr.net(), &oracle, "snapshot fallback");
+    drop(mgr);
+
+    // A torn non-final segment is unrecoverable corruption, even under
+    // RepairTail (only the crash-active tail may legally be torn). The
+    // newest snapshot is corrupted too so replay is forced through the
+    // torn middle segment.
+    let staged = stage(last_seg.len());
+    let mid_seg_path = p("/vd/sweep/log-000000000075.dnlog");
+    let mid_seg = staged.surviving(&mid_seg_path).unwrap();
+    staged.plant(&mid_seg_path, mid_seg[..mid_seg.len() - 3].to_vec());
+    let mut bytes = staged.surviving(&snap_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    staged.plant(&snap_path, bytes);
+    let err = CheckpointManager::recover(
+        Box::new(staged.clone()),
+        &dir,
+        &topo,
+        RecoveryPolicy::RepairTail,
+        checkpoint_cfg(25, 3),
+    );
+    assert!(
+        matches!(
+            err,
+            Err(PersistError::Corrupt(_) | PersistError::Mismatch(_))
+        ),
+        "torn middle segment must not silently recover"
+    );
+}
