@@ -1,0 +1,26 @@
+//! Runs the multi-field header-space experiment: an ACL-style workload
+//! (destination-routed forwarding plus higher-priority deny rules
+//! constrained on a secondary source field) replayed through the
+//! single-field engine and each sharded variant, with periodic
+//! differential checks of the full scan against the brute-force
+//! multi-field oracle and the incremental monitor (the `mismatches` /
+//! `counts_match` fields).
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin multifield [-- --scale tiny|small|medium] [--json <path>]`
+//!
+//! Without `--json`, the machine-readable report is printed to stdout.
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = bench::experiments::multifield_json(scale).render();
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote multifield report ({scale:?} scale) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

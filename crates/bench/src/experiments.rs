@@ -621,6 +621,167 @@ pub fn monitor_churn_json(scale: ScaleProfile) -> Json {
     ])
 }
 
+/// Order-, atom-numbering- and shard-invariant comparison form of a
+/// violation set: loops keyed by their (already canonical) node cycle and
+/// blackholes keyed by node, packets normalized.
+type MfLoops =
+    std::collections::BTreeMap<Vec<netmodel::topology::NodeId>, Vec<netmodel::interval::Interval>>;
+type MfHoles =
+    std::collections::BTreeMap<netmodel::topology::NodeId, Vec<netmodel::interval::Interval>>;
+
+fn mf_comparison_form(violations: &[netmodel::checker::InvariantViolation]) -> (MfLoops, MfHoles) {
+    use netmodel::checker::InvariantViolation;
+    use netmodel::interval::normalize;
+    let mut loops: std::collections::BTreeMap<_, Vec<_>> = std::collections::BTreeMap::new();
+    let mut holes: std::collections::BTreeMap<_, Vec<_>> = std::collections::BTreeMap::new();
+    for v in violations {
+        match v {
+            InvariantViolation::ForwardingLoop { nodes, packets } => {
+                loops
+                    .entry(nodes.clone())
+                    .or_default()
+                    .extend(packets.clone());
+            }
+            InvariantViolation::Blackhole { node, packets } => {
+                holes.entry(*node).or_default().extend(packets.clone());
+            }
+        }
+    }
+    for packets in loops.values_mut() {
+        *packets = normalize(std::mem::take(packets));
+    }
+    for packets in holes.values_mut() {
+        *packets = normalize(std::mem::take(packets));
+    }
+    (loops, holes)
+}
+
+/// The `multifield` section: the ACL-style dst × src workload replayed
+/// through the multi-field engine at 1/2/4 shards and stand-alone, with the
+/// live monitor on, differentially checked against the extended Veriflow-RI
+/// cross-product oracle ([`veriflow_ri::scan_multifield`]) and the engine's
+/// own full rescans every few operations. `mismatches` must be 0.
+pub fn multifield_json(scale: ScaleProfile) -> Json {
+    use veriflow_ri::scan_multifield;
+    use workloads::rulegen::{generate_multifield_rules, MultiFieldConfig};
+
+    let (ring_size, n_prefixes, check_every) = match scale {
+        ScaleProfile::Tiny => (4, 8, 8),
+        ScaleProfile::Small => (6, 24, 24),
+        ScaleProfile::Medium => (8, 64, 64),
+    };
+    let topo = workloads::topologies::ring_with_borders("mf", ring_size);
+    let prefixes = workloads::bgp::generate_prefixes(workloads::bgp::PrefixGenConfig {
+        count: n_prefixes,
+        ..Default::default()
+    });
+    let mf = MultiFieldConfig {
+        sec_widths: vec![8],
+        acl_per_prefix: 2,
+        constrain_fraction: 0.7,
+        seed: 0xACD5 ^ n_prefixes as u64,
+        append_removals: true,
+    };
+    let gen = generate_multifield_rules(&topo, &prefixes, &mf);
+    let ops = gen.trace.ops();
+    let config = DeltaNetConfig {
+        check_loops_per_update: true,
+        monitor_violations: true,
+        compact_threshold: Some(256),
+        ..Default::default()
+    }
+    .with_secondary(&gen.sec_widths);
+
+    let mut engine_sections: Vec<(String, Json)> = Vec::new();
+    let mut mismatches = 0usize;
+    let mut checks = 0usize;
+    for shards in [0usize, 1, 2, 4] {
+        let mut single: Option<DeltaNet> = None;
+        let mut sharded: Option<ShardedDeltaNet> = None;
+        if shards == 0 {
+            single = Some(DeltaNet::new(gen.topology.clone(), config));
+        } else {
+            sharded = Some(ShardedDeltaNet::new(gen.topology.clone(), config, shards));
+        }
+        let mut live: Vec<Rule> = Vec::new();
+        let mut elapsed_s = 0f64;
+        for (i, op) in ops.iter().enumerate() {
+            let start = Instant::now();
+            match (&mut single, &mut sharded) {
+                (Some(net), _) => {
+                    net.apply(op);
+                }
+                (_, Some(net)) => {
+                    net.apply(op);
+                }
+                _ => unreachable!(),
+            }
+            elapsed_s += start.elapsed().as_secs_f64();
+            match op {
+                Op::Insert(rule) => live.push(*rule),
+                Op::Remove(id) => live.retain(|r| r.id != *id),
+            }
+            if (i + 1) % check_every != 0 && i + 1 != ops.len() {
+                continue;
+            }
+            checks += 1;
+            let (mut scan, active) = match (&single, &sharded) {
+                (Some(net), _) => (net.check_all_loops(), net.active_violations()),
+                (_, Some(net)) => (net.check_all_loops(), net.active_violations()),
+                _ => unreachable!(),
+            };
+            match (&single, &sharded) {
+                (Some(net), _) => scan.extend(net.check_all_blackholes()),
+                (_, Some(net)) => scan.extend(net.check_all_blackholes()),
+                _ => unreachable!(),
+            }
+            let oracle = scan_multifield(&gen.topology, &live, config.field_width, &gen.sec_widths);
+            if mf_comparison_form(&scan) != mf_comparison_form(&oracle) {
+                mismatches += 1;
+            }
+            if let Some(active) = active {
+                if mf_comparison_form(&active) != mf_comparison_form(&scan) {
+                    mismatches += 1;
+                }
+            }
+        }
+        let (atoms, rules) = match (&single, &sharded) {
+            (Some(net), _) => (net.atom_count(), net.rule_count()),
+            (_, Some(net)) => (net.atom_count(), net.rule_count()),
+            _ => unreachable!(),
+        };
+        let label = if shards == 0 {
+            "single".to_string()
+        } else {
+            format!("shards_{shards}")
+        };
+        engine_sections.push((
+            label,
+            Json::obj([
+                (
+                    "us_per_op",
+                    Json::ms(elapsed_s * 1e6 / ops.len().max(1) as f64),
+                ),
+                ("final_atoms", Json::int(atoms)),
+                ("final_rules", Json::int(rules)),
+            ]),
+        ));
+    }
+    let engines = Json::obj(engine_sections);
+
+    Json::obj([
+        ("schema", Json::str("deltanet-multifield-v1")),
+        ("dataset", Json::str("ACL dst x src")),
+        ("header_space", Json::str("[dst:32, src:8]")),
+        ("operations", Json::int(ops.len())),
+        ("acl_rules", Json::int(prefixes.len() * mf.acl_per_prefix)),
+        ("differential_checks", Json::int(checks)),
+        ("mismatches", Json::int(mismatches)),
+        ("counts_match", Json::Bool(mismatches == 0)),
+        ("engines", engines),
+    ])
+}
+
 /// The `microbench` section: the owner-representation comparison (see
 /// [`crate::ownerbench`]) at a rule count scaled to the profile — at least
 /// 10k rules from `small` upwards so the committed numbers exercise the

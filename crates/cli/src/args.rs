@@ -137,6 +137,49 @@ pub fn parse_durability(args: &ParsedArgs) -> Result<deltanet::Durability, ArgEr
     })
 }
 
+/// Parses a `--fields` value: a comma-separated list of fields, primary
+/// first, each either `name:width` or a bare width or a conventional name
+/// with its default width (`dst` = 32, `src` = 32, `dport` = 16). Examples:
+/// `--fields dst,src:8`, `--fields 32,8,4`, `--fields dst,src,dport`.
+/// Returns `None` when the option is absent (single-field default).
+pub fn parse_fields(args: &ParsedArgs) -> Result<Option<Vec<u8>>, ArgError> {
+    let Some(value) = args.options.get("fields") else {
+        return Ok(None);
+    };
+    let invalid = |expected: &'static str| ArgError::InvalidValue {
+        option: "fields".to_string(),
+        value: value.clone(),
+        expected,
+    };
+    let mut widths = Vec::new();
+    for item in value.split(',') {
+        let width_str = match item.split_once(':') {
+            Some((_name, w)) => w,
+            None => item,
+        };
+        let width = match width_str.parse::<u8>() {
+            Ok(w) => w,
+            Err(_) => match item {
+                "dst" | "src" => 32,
+                "dport" | "sport" => 16,
+                _ => return Err(invalid("field items like dst, src:8, or a bit width")),
+            },
+        };
+        if width == 0 || width > 127 {
+            return Err(invalid("field widths between 1 and 127 bits"));
+        }
+        if !widths.is_empty() && width > netmodel::header::MAX_SECONDARY_WIDTH {
+            return Err(invalid("secondary field widths of at most 63 bits"));
+        }
+        widths.push(width);
+    }
+    let max = 1 + netmodel::header::MAX_SECONDARY_FIELDS;
+    if widths.is_empty() || widths.len() > max {
+        return Err(invalid("between 1 and 3 fields, primary first"));
+    }
+    Ok(Some(widths))
+}
+
 /// Parses a `--scale` value.
 pub fn parse_scale(args: &ParsedArgs) -> Result<workloads::ScaleProfile, ArgError> {
     match args.get_or("scale", "tiny") {
@@ -229,6 +272,32 @@ mod tests {
         // Defaults to tiny when --scale is absent.
         let p = parse(&["generate", "--dataset", "inet"]).unwrap();
         assert_eq!(parse_scale(&p).unwrap(), workloads::ScaleProfile::Tiny);
+    }
+
+    #[test]
+    fn fields_parsing() {
+        // Absent → None (single-field default shape).
+        let p = parse(&["replay"]).unwrap();
+        assert_eq!(parse_fields(&p).unwrap(), None);
+        // Named fields with explicit or default widths, and bare widths.
+        let p = parse(&["replay", "--fields", "dst,src:8"]).unwrap();
+        assert_eq!(parse_fields(&p).unwrap(), Some(vec![32, 8]));
+        let p = parse(&["replay", "--fields", "dst,src,dport"]).unwrap();
+        assert_eq!(parse_fields(&p).unwrap(), Some(vec![32, 32, 16]));
+        let p = parse(&["replay", "--fields", "8,6,4"]).unwrap();
+        assert_eq!(parse_fields(&p).unwrap(), Some(vec![8, 6, 4]));
+        // Too many fields, unknown names, and bad widths are rejected —
+        // including secondary widths past the 63-bit inline-bound cap.
+        for bad in [
+            "32,8,4,2",
+            "dst,vlan",
+            "dst,src:0",
+            "dst,src:200",
+            "dst,src:64",
+        ] {
+            let p = parse(&["replay", "--fields", bad]).unwrap();
+            assert!(parse_fields(&p).is_err(), "accepted --fields {bad}");
+        }
     }
 
     #[test]

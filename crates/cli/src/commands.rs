@@ -5,7 +5,8 @@
 //! and the behaviour is unit-testable.
 
 use crate::args::{
-    parse_dataset, parse_durability, parse_scale, parse_usize_option, ArgError, ParsedArgs,
+    parse_dataset, parse_durability, parse_fields, parse_scale, parse_usize_option, ArgError,
+    ParsedArgs,
 };
 use crate::topo_text;
 use deltanet::persist::{self, RecoveryPolicy, TornTail};
@@ -14,6 +15,8 @@ use deltanet::{
     LoggedNet, Parallelism, PersistError, PersistNet, ShardedDeltaNet, Snapshot, ViolationKey,
 };
 use netmodel::checker::{Checker, InvariantViolation};
+use netmodel::interval::Interval;
+use netmodel::ip::format_field;
 use netmodel::topology::Topology;
 use netmodel::trace::{Op, Trace};
 use std::collections::BTreeSet;
@@ -85,7 +88,7 @@ pub fn help() -> String {
                  `churn` workload) as <name>.topo + <name>.trace\n\
        replay    --topo <file> --trace <file> [--checker deltanet|veriflow] [--no-loops]\n\
                  [--compact [<threshold>]] [--json <file>] [--shards <n>] [--batch <w>]\n\
-                 [--workers <n>] [--check blackholes] [--monitor]\n\
+                 [--workers <n>] [--check blackholes] [--monitor] [--fields <spec>]\n\
                  [--from-snapshot <file>] [--log <file> [--durability buffered|flush|fsync]]\n\
                  [--checkpoint <dir> [--checkpoint-every <n>] [--retain <n>]]\n\
                  Replay a trace through a checker and print Table-3 style statistics;\n\
@@ -100,6 +103,11 @@ pub fn help() -> String {
                  live loop+blackhole violation set incrementally, streams appeared/\n\
                  resolved transitions per trace op, and cross-checks the final state\n\
                  against a full rescan.\n\
+                 --fields declares a multi-field header space (deltanet only), primary\n\
+                 field first: e.g. --fields dst,src:8 verifies a dst x src plane with an\n\
+                 8-bit source axis (named fields default to dst/src 32 bits, dport 16;\n\
+                 bare widths also work: --fields 32,8). Traces may then constrain\n\
+                 secondary fields per rule; single-field traces replay unchanged.\n\
                  --from-snapshot restores a saved snapshot and replays the trace on top\n\
                  of it (deltanet only; the engine shape and config come from the\n\
                  snapshot, so --shards/--compact cannot be combined with it). --log\n\
@@ -138,7 +146,7 @@ pub fn help() -> String {
                  instead truncates the torn tail and reports what was salvaged\n\
        whatif    --topo <file> --trace <file> --src <node-id> --dst <node-id> [--loops]\n\
                  Load the trace's final data plane and analyse the failure of link src->dst\n\
-       audit     --topo <file> --trace <file>\n\
+       audit     --topo <file> --trace <file> [--fields <spec>]\n\
                  Load the final data plane and report all forwarding loops and blackholes\n\
        help      Show this message\n"
         .to_string()
@@ -204,6 +212,48 @@ fn describe_op(op: &Op) -> String {
     }
 }
 
+/// Applies a parsed `--fields` list to an engine config: the first width
+/// becomes the primary field, the rest declare secondary fields.
+fn apply_fields(config: DeltaNetConfig, fields: &[u8]) -> DeltaNetConfig {
+    DeltaNetConfig {
+        field_width: fields[0],
+        ..config
+    }
+    .with_secondary(&fields[1..])
+}
+
+/// `[lo : hi)` with both ends in the notation of the field's width
+/// (dotted quad at 32 bits, IPv6 past 64 bits, decimal otherwise).
+fn format_packet_range(iv: &Interval, width: u8) -> String {
+    format!(
+        "[{} : {})",
+        format_field(iv.lo(), width),
+        format_field(iv.hi(), width)
+    )
+}
+
+/// One report line for a violation: the summary plus up to three of its
+/// packet intervals rendered in the primary field's notation.
+fn describe_violation(v: &InvariantViolation, width: u8) -> String {
+    let packets = match v {
+        InvariantViolation::ForwardingLoop { packets, .. }
+        | InvariantViolation::Blackhole { packets, .. } => packets,
+    };
+    let mut out = format!("{v}");
+    if !packets.is_empty() {
+        let shown: Vec<String> = packets
+            .iter()
+            .take(3)
+            .map(|p| format_packet_range(p, width))
+            .collect();
+        out.push_str(&format!(": {}", shown.join(", ")));
+        if packets.len() > 3 {
+            out.push_str(&format!(", ... ({} more)", packets.len() - 3));
+        }
+    }
+    out
+}
+
 /// The engine a replay runs through; concrete so the sharded batch path and
 /// the post-replay audits can reach past the [`Checker`] trait.
 enum ReplayEngine {
@@ -244,6 +294,15 @@ impl ReplayEngine {
             ReplayEngine::Delta(net) => Some(net.check_all_blackholes()),
             ReplayEngine::Sharded(net) => Some(net.check_all_blackholes()),
             ReplayEngine::Veriflow(_) => None,
+        }
+    }
+
+    /// The primary field's bit width, for address-notation output.
+    fn field_width(&self) -> u8 {
+        match self {
+            ReplayEngine::Delta(net) => net.config().field_width,
+            ReplayEngine::Sharded(net) => net.config().field_width,
+            ReplayEngine::Veriflow(_) => 32,
         }
     }
 
@@ -351,6 +410,7 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         }
     };
     let monitor = args.has_flag("monitor");
+    let fields = parse_fields(args)?;
     let from_snapshot = args.options.get("from-snapshot").cloned();
     let log_to = args.options.get("log").cloned();
     let checkpoint_dir = args.options.get("checkpoint").cloned();
@@ -392,12 +452,15 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                 "--checkpoint is only supported by the deltanet checker".to_string(),
             ));
         }
-        let config = DeltaNetConfig {
+        let mut config = DeltaNetConfig {
             check_loops_per_update: check_loops,
             compact_threshold,
             monitor_violations: monitor,
             ..Default::default()
         };
+        if let Some(f) = &fields {
+            config = apply_fields(config, f);
+        }
         return replay_checkpointed(
             topo,
             &trace,
@@ -417,10 +480,10 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
         match checker_name.as_str() {
             "deltanet" => match &from_snapshot {
                 Some(snap_path) => {
-                    if shards.is_some() || compact_threshold.is_some() {
+                    if shards.is_some() || compact_threshold.is_some() || fields.is_some() {
                         return Err(CommandError::Other(
-                            "--shards/--compact come from the snapshot and cannot be combined \
-                         with --from-snapshot"
+                            "--shards/--compact/--fields come from the snapshot and cannot be \
+                         combined with --from-snapshot"
                                 .to_string(),
                         ));
                     }
@@ -436,12 +499,15 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     }
                 }
                 None => {
-                    let config = DeltaNetConfig {
+                    let mut config = DeltaNetConfig {
                         check_loops_per_update: check_loops,
                         compact_threshold,
                         monitor_violations: monitor,
                         ..Default::default()
                     };
+                    if let Some(f) = &fields {
+                        config = apply_fields(config, f);
+                    }
                     match shards {
                         Some(n) => ReplayEngine::Sharded(Box::new(
                             ShardedDeltaNet::with_parallelism(topo, config, n, parallelism),
@@ -455,12 +521,13 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     || shards.is_some()
                     || check_blackholes
                     || monitor
+                    || fields.is_some()
                     || from_snapshot.is_some()
                     || log_to.is_some()
                 {
                     return Err(CommandError::Other(
-                        "--compact/--shards/--check/--monitor/--from-snapshot/--log/--checkpoint \
-                     are only supported by the deltanet checker"
+                        "--compact/--shards/--check/--monitor/--fields/--from-snapshot/--log/\
+                     --checkpoint are only supported by the deltanet checker"
                             .to_string(),
                     ));
                 }
@@ -695,7 +762,10 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     if let Some(holes) = &blackhole_report {
         out.push_str(&format!("blackholes:         {}\n", holes.len()));
         for v in holes.iter().take(5) {
-            out.push_str(&format!("  {v}\n"));
+            out.push_str(&format!(
+                "  {}\n",
+                describe_violation(v, engine.field_width())
+            ));
         }
     }
     if let (Some((active_loops, active_holes)), Some(log)) = (monitor_counts, transitions.as_ref())
@@ -860,7 +930,10 @@ fn replay_checkpointed(
     if let Some(holes) = &blackhole_report {
         out.push_str(&format!("blackholes:         {}\n", holes.len()));
         for v in holes.iter().take(5) {
-            out.push_str(&format!("  {v}\n"));
+            out.push_str(&format!(
+                "  {}\n",
+                describe_violation(v, net.config().field_width)
+            ));
         }
     }
     out.push_str(&describe_persist_net(&net));
@@ -1081,6 +1154,9 @@ fn snapshot_at(
         monitor_violations: true,
         ..Default::default()
     };
+    let width = snap
+        .as_ref()
+        .map_or(config.field_width, |s| s.config().field_width);
     let violations = persist::violations_at(&topo, snap, &log, op_n, config)?;
     let mut out = format!(
         "violations after op {op_n} (of {} logged): {}\n",
@@ -1088,7 +1164,7 @@ fn snapshot_at(
         violations.len()
     );
     for v in violations.iter().take(20) {
-        out.push_str(&format!("  {v}\n"));
+        out.push_str(&format!("  {}\n", describe_violation(v, width)));
     }
     if violations.len() > 20 {
         out.push_str(&format!("  ... ({} more)\n", violations.len() - 20));
@@ -1102,15 +1178,22 @@ fn describe_persist_net(net: &PersistNet) -> String {
         Some(sharded) => format!("delta-net-sharded x{}", sharded.shards().len()),
         None => "delta-net".to_string(),
     };
+    let config = net.config();
     let mut out = format!(
         "engine: {engine}\nrules: {}, packet classes: {}\n",
         net.rule_count(),
         net.atom_count()
     );
+    if config.secondary_count() > 0 {
+        out.push_str(&format!("header space: {}\n", config.header_space()));
+    }
     if let Some(violations) = net.active_violations() {
         out.push_str(&format!("violations active: {}\n", violations.len()));
         for v in violations.iter().take(10) {
-            out.push_str(&format!("  {v}\n"));
+            out.push_str(&format!(
+                "  {}\n",
+                describe_violation(v, config.field_width)
+            ));
         }
     }
     out
@@ -1120,15 +1203,21 @@ fn describe_persist_net(net: &PersistNet) -> String {
 fn load_final_data_plane(args: &ParsedArgs) -> Result<DeltaNet, CommandError> {
     let mut topo = load_topology(args.require("topo")?)?;
     let trace = load_trace(args.require("trace")?, &mut topo)?;
-    let mut net = DeltaNet::new(
-        topo,
-        DeltaNetConfig {
-            check_loops_per_update: false,
-            ..Default::default()
-        },
-    );
+    let mut config = DeltaNetConfig {
+        check_loops_per_update: false,
+        ..Default::default()
+    };
+    if let Some(f) = parse_fields(args)? {
+        config = apply_fields(config, &f);
+    }
+    let mut net = DeltaNet::new(topo, config);
     for rule in trace.final_data_plane() {
-        net.insert_rule(rule);
+        let id = rule.id.0;
+        net.try_apply(&Op::Insert(rule)).map_err(|e| {
+            CommandError::Other(format!(
+                "rule {id} in the final data plane: {e} (declare the header space with --fields)"
+            ))
+        })?;
     }
     Ok(net)
 }
@@ -1165,7 +1254,10 @@ pub fn whatif(args: &ParsedArgs) -> Result<String, CommandError> {
         report.affected_links.len(),
     );
     for iv in report.affected_packets.iter().take(10) {
-        out.push_str(&format!("  {iv}\n"));
+        out.push_str(&format!(
+            "  {}\n",
+            format_packet_range(iv, net.config().field_width)
+        ));
     }
     if args.has_flag("loops") {
         out.push_str(&format!(
@@ -1191,7 +1283,10 @@ pub fn audit(args: &ParsedArgs) -> Result<String, CommandError> {
         holes.len()
     );
     for v in loops.iter().chain(holes.iter()).take(20) {
-        out.push_str(&format!("  {v}\n"));
+        out.push_str(&format!(
+            "  {}\n",
+            describe_violation(v, net.config().field_width)
+        ));
     }
     Ok(out)
 }
@@ -1512,6 +1607,92 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_fields_declares_a_multifield_header_space() {
+        // A 3-switch chain carrying 10.0.0.0/8 towards a terminal switch
+        // (blackhole at s2), with an ACL deny at s0 dropping the source
+        // range [10:20) — a genuinely dst x src data plane.
+        let dir = temp_dir("fields");
+        let topo_path = dir.join("chain.topo");
+        let trace_path = dir.join("chain.trace");
+        std::fs::write(
+            &topo_path,
+            "node s0\nnode s1\nnode s2\nlink 0 1\nlink 1 2\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &trace_path,
+            "I 1 0 1 10.0.0.0/8 1\nI 2 1 2 10.0.0.0/8 1\nI 3 0 drop 10.0.0.0/8 9 10:20\n",
+        )
+        .unwrap();
+        let topo = topo_path.to_str().unwrap().to_string();
+        let trace = trace_path.to_str().unwrap().to_string();
+
+        // Without --fields the engine is single-field: the multi-field rule
+        // is rejected cleanly, naming the disagreement.
+        let err = run(&parsed(&["replay", "--topo", &topo, "--trace", &trace]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("secondary header field"), "{err}");
+
+        // With --fields, single and sharded replays verify the dst x src
+        // plane; the blackhole report renders the primary axis dotted-quad.
+        for extra in [&[][..], &["--shards", "2"][..]] {
+            let mut argv = vec![
+                "replay",
+                "--topo",
+                &topo,
+                "--trace",
+                &trace,
+                "--fields",
+                "dst,src:8",
+                "--check",
+                "blackholes",
+                "--monitor",
+            ];
+            argv.extend_from_slice(extra);
+            let r = run(&parsed(&argv)).unwrap();
+            assert!(r.contains("blackhole at n2"), "{r}");
+            assert!(r.contains("[10.0.0.0 : 11.0.0.0)"), "{r}");
+            assert!(r.contains("monitor matches full rescan: yes"), "{r}");
+        }
+
+        // audit accepts the same declaration.
+        let a = run(&parsed(&[
+            "audit",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--fields",
+            "dst,src:8",
+        ]))
+        .unwrap();
+        assert!(a.contains("forwarding loops: 0"), "{a}");
+
+        // Guard rails: veriflow and --from-snapshot reject --fields, and a
+        // malformed spec is an argument error.
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &trace,
+            "--checker",
+            "veriflow",
+            "--fields",
+            "dst,src:8",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("only supported"), "{err}");
+        let err = run(&parsed(&[
+            "replay", "--topo", &topo, "--trace", &trace, "--fields", "dst,vlan",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--fields"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

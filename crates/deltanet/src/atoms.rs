@@ -1,12 +1,18 @@
 //! Atoms and the ordered bound map `M` (paper §3.1).
 //!
-//! The IP prefixes of all rules in the network segment the destination
-//! address space into mutually disjoint half-closed intervals called
-//! *atoms*. The representation is an ordered map `M` from interval bounds to
-//! *atom identifiers*: the pair `n ↦ α` means that `α` denotes the atom
-//! `[n : n')` where `n'` is the next greater key in `M`. The map is
-//! initialized with `MIN ↦ α₀` and `MAX ↦ α∞` where `α∞` is a sentinel that
-//! never denotes a real atom, so the number of atoms is always `|M| - 1`.
+//! The match intervals of all rules in the network segment a header
+//! field's value space into mutually disjoint half-closed intervals called
+//! *atoms*. The paper presents this over one field — the destination
+//! address, where the intervals come from IP prefixes — but the structure
+//! is field-agnostic: an [`AtomMap`] is parameterized only by a bit width,
+//! and a multi-field engine keeps one per declared header field (the
+//! primary field's map carries owners and labels; the secondary maps are
+//! pure interval lattices, see `crate::multifield`). The representation is
+//! an ordered map `M` from interval bounds to *atom identifiers*: the pair
+//! `n ↦ α` means that `α` denotes the atom `[n : n')` where `n'` is the
+//! next greater key in `M`. The map is initialized with `MIN ↦ α₀` and
+//! `MAX ↦ α∞` where `α∞` is a sentinel that never denotes a real atom, so
+//! the number of atoms is always `|M| - 1`.
 //!
 //! Inserting a rule calls [`AtomMap::create_atoms`] (the paper's
 //! `CREATE_ATOMS⁺`), which inserts the rule's lower and upper bound if not

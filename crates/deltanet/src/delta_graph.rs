@@ -36,6 +36,14 @@ pub struct DeltaGraph {
     /// state by atom id — the [`crate::monitor::ViolationMonitor`] — can
     /// clone that state for the new id before applying the label changes.
     pub splits: Vec<DeltaPair>,
+    /// Atom splits in the *secondary* field lattices of a multi-field
+    /// engine, tagged with the secondary field index (0-based, in
+    /// declaration order). Secondary atoms carry no owner cells or label
+    /// bits — the cross-field checks enumerate their classes fresh each
+    /// time — so these entries are purely informational (diagnostics, the
+    /// per-update footprint of a multi-field insert); nothing keys live
+    /// state off them.
+    pub sec_splits: Vec<(u8, DeltaPair)>,
 }
 
 impl DeltaGraph {
@@ -64,6 +72,11 @@ impl DeltaGraph {
         self.splits.push(pair);
     }
 
+    /// Records a split in secondary field `field`'s atom lattice.
+    pub fn sec_split(&mut self, field: u8, pair: DeltaPair) {
+        self.sec_splits.push((field, pair));
+    }
+
     /// Aggregates another delta-graph into this one (multiple rule updates
     /// may be aggregated, §3.3). Merging is plain concatenation — O(other)
     /// per call, so a long aggregation window stays linear in its total
@@ -74,6 +87,7 @@ impl DeltaGraph {
         self.added.extend_from_slice(&other.added);
         self.removed.extend_from_slice(&other.removed);
         self.splits.extend_from_slice(&other.splits);
+        self.sec_splits.extend_from_slice(&other.sec_splits);
     }
 
     /// Reduces an aggregated delta-graph to its *net* effect: every
@@ -185,6 +199,11 @@ impl DeltaGraph {
                 }
                 _ => false,
             });
+        // A compaction pass renumbers the secondary lattices too, but its
+        // remap table covers only the primary field; the recorded secondary
+        // splits would be left holding stale ids, and — being informational
+        // only — they migrate no state, so they are dropped instead.
+        self.sec_splits.clear();
     }
 
     /// Clears the delta-graph, keeping allocations for reuse.
@@ -192,6 +211,7 @@ impl DeltaGraph {
         self.added.clear();
         self.removed.clear();
         self.splits.clear();
+        self.sec_splits.clear();
     }
 }
 

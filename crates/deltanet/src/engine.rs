@@ -13,14 +13,24 @@
 //! of a [`crate::shard::ShardedDeltaNet`] — the §6 observation that the main
 //! loops over atoms parallelize, realized by partitioning the atoms
 //! themselves.
+//!
+//! When the configuration declares *secondary* header fields
+//! ([`DeltaNetConfig::sec_widths`] — e.g. a source address next to the
+//! destination), the engine additionally keeps one interval lattice per
+//! secondary field and dispatches every check through the cross-field
+//! machinery of [`crate::multifield`]. The default single-field
+//! configuration never touches that path: atoms, owners, and labels behave
+//! bit-identically to the paper's presentation.
 
 use crate::atoms::{AtomId, AtomMap, DeltaPair};
 use crate::delta_graph::DeltaGraph;
 use crate::labels::Labels;
 use crate::loops;
 use crate::monitor::ViolationMonitor;
+use crate::multifield::{self, MfView};
 use crate::owner::Owner;
 use netmodel::checker::{Checker, UpdateError, UpdateReport, WhatIfReport};
+use netmodel::header::{HeaderSpace, MAX_SECONDARY_FIELDS};
 use netmodel::interval::{normalize, Bound, Interval};
 use netmodel::rule::{Rule, RuleId};
 use netmodel::topology::{LinkId, Topology};
@@ -30,8 +40,17 @@ use std::collections::HashMap;
 /// Configuration of a [`DeltaNet`] instance.
 #[derive(Clone, Copy, Debug)]
 pub struct DeltaNetConfig {
-    /// Width in bits of the matched header field (32 for IPv4).
+    /// Width in bits of the matched *primary* header field (32 for IPv4
+    /// destination addresses) — the axis atoms, labels, and shard
+    /// partitioning run on.
     pub field_width: u8,
+    /// Widths in bits of the declared *secondary* header fields, in field
+    /// order; `0` marks "no field" (the array is fixed-size so the config
+    /// stays `Copy`, and nonzero entries must be contiguous from position
+    /// 0 — use [`DeltaNetConfig::with_secondary`]). All-zero — the default
+    /// — is the paper's single-field shape and keeps every existing hot
+    /// path untouched.
+    pub sec_widths: [u8; MAX_SECONDARY_FIELDS],
     /// Whether to run forwarding-loop detection on the delta-graph of every
     /// update (the experiment of §4.3.1).
     pub check_loops_per_update: bool,
@@ -54,9 +73,76 @@ impl Default for DeltaNetConfig {
     fn default() -> Self {
         DeltaNetConfig {
             field_width: 32,
+            sec_widths: [0; MAX_SECONDARY_FIELDS],
             check_loops_per_update: true,
             compact_threshold: None,
             monitor_violations: false,
+        }
+    }
+}
+
+impl DeltaNetConfig {
+    /// Declares secondary header fields with the given bit-widths (builder
+    /// style): `config.with_secondary(&[16])` verifies a `[dst, src]`
+    /// plane with 16-bit source addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SECONDARY_FIELDS`] widths are given or any
+    /// width is 0 or exceeds 127 bits.
+    pub fn with_secondary(mut self, widths: &[u8]) -> Self {
+        assert!(
+            widths.len() <= MAX_SECONDARY_FIELDS,
+            "at most {MAX_SECONDARY_FIELDS} secondary fields supported"
+        );
+        self.sec_widths = [0; MAX_SECONDARY_FIELDS];
+        for (i, &w) in widths.iter().enumerate() {
+            assert!(
+                w > 0 && w <= netmodel::header::MAX_SECONDARY_WIDTH,
+                "unsupported secondary field width {w}"
+            );
+            self.sec_widths[i] = w;
+        }
+        self
+    }
+
+    /// Number of declared secondary fields.
+    pub fn secondary_count(&self) -> usize {
+        self.sec_widths.iter().take_while(|&&w| w != 0).count()
+    }
+
+    /// The header space this configuration declares, primary field first.
+    pub fn header_space(&self) -> HeaderSpace {
+        let mut widths = [0u8; 1 + MAX_SECONDARY_FIELDS];
+        widths[0] = self.field_width;
+        let count = 1 + self.secondary_count();
+        widths[1..count].copy_from_slice(&self.sec_widths[..count - 1]);
+        HeaderSpace::new(&widths[..count])
+    }
+
+    /// Validates a rule's secondary constraints against the declared
+    /// header space: constraining more fields than declared, or an
+    /// interval extending past a declared field's range, is an
+    /// [`UpdateError::FieldMismatch`]. Constraining *fewer* fields is fine
+    /// — missing fields are wildcards.
+    pub(crate) fn validate_rule_fields(&self, rule: &Rule) -> Result<(), UpdateError> {
+        let declared = self.secondary_count();
+        let constrained = rule.sec.count();
+        let fits = constrained <= declared
+            && rule
+                .sec
+                .intervals()
+                .iter()
+                .enumerate()
+                .all(|(i, iv)| iv.hi() <= 1u128 << self.sec_widths[i]);
+        if fits {
+            Ok(())
+        } else {
+            Err(UpdateError::FieldMismatch {
+                rule: rule.id,
+                declared,
+                constrained,
+            })
         }
     }
 }
@@ -115,6 +201,17 @@ pub struct DeltaNet {
     /// update. Invariant: equals the number of keys of `M` that are neither
     /// `MIN`/`MAX` nor keys of `bound_refs`.
     reclaimable: usize,
+    /// One interval lattice per declared secondary header field (empty for
+    /// the single-field shape). Secondary lattices carry no owner cells or
+    /// edge labels — the cross-field checks of [`crate::multifield`]
+    /// enumerate their atom cross product at check time instead.
+    sec_atoms: Vec<AtomMap>,
+    /// Per-secondary-field bound reference counts — the `bound_refs`
+    /// bookkeeping, mirrored per field.
+    sec_bound_refs: Vec<HashMap<Bound, u32>>,
+    /// Per-secondary-field reclaimable-bound counters — the `reclaimable`
+    /// invariant, mirrored per field.
+    sec_reclaimable: Vec<usize>,
     /// Number of compaction passes run so far (explicit or threshold-
     /// triggered).
     compactions: usize,
@@ -143,6 +240,7 @@ impl DeltaNet {
     /// Creates a checker over the given topology.
     pub fn new(topology: Topology, config: DeltaNetConfig) -> Self {
         let link_count = topology.link_count();
+        let secondary = config.secondary_count();
         DeltaNet {
             topology,
             config,
@@ -152,6 +250,12 @@ impl DeltaNet {
             rules: HashMap::new(),
             bound_refs: HashMap::new(),
             reclaimable: 0,
+            sec_atoms: config.sec_widths[..secondary]
+                .iter()
+                .map(|&w| AtomMap::new(w))
+                .collect(),
+            sec_bound_refs: vec![HashMap::new(); secondary],
+            sec_reclaimable: vec![0; secondary],
             compactions: 0,
             last_delta: DeltaGraph::new(),
             aggregate: None,
@@ -219,9 +323,37 @@ impl DeltaNet {
         &self.topology
     }
 
-    /// The atom map `M`.
+    /// The atom map `M` of the primary field.
     pub fn atoms(&self) -> &AtomMap {
         &self.atoms
+    }
+
+    /// Whether this engine verifies a multi-field header space (at least
+    /// one secondary field declared).
+    pub fn is_multifield(&self) -> bool {
+        !self.sec_atoms.is_empty()
+    }
+
+    /// The secondary-field atom lattices, in field order (empty for the
+    /// single-field shape).
+    pub fn secondary_atoms(&self) -> &[AtomMap] {
+        &self.sec_atoms
+    }
+
+    /// The header space this engine verifies, primary field first.
+    pub fn header_space(&self) -> HeaderSpace {
+        self.config.header_space()
+    }
+
+    /// The borrowed state bundle the cross-field checks run on.
+    fn mf_view(&self) -> MfView<'_> {
+        MfView {
+            topology: &self.topology,
+            owner: &self.owner,
+            atoms: &self.atoms,
+            sec_atoms: &self.sec_atoms,
+            rules: &self.rules,
+        }
     }
 
     /// The edge labels — the paper's constant-time network-wide flow API
@@ -257,12 +389,21 @@ impl DeltaNet {
     /// created with [`DeltaNetConfig::monitor_violations`] start monitored
     /// without the scan.
     pub fn enable_monitor(&mut self) -> &ViolationMonitor {
-        self.monitor = Some(ViolationMonitor::from_state(
-            &self.topology,
-            &self.labels,
-            &self.atoms,
-        ));
+        self.monitor = Some(self.fresh_monitor());
         self.monitor.as_ref().expect("just attached")
+    }
+
+    /// A monitor seeded from the current data plane with one full scan,
+    /// dispatching on the engine's header-space shape. Used to attach a
+    /// monitor and by snapshot restore to verify a persisted monitor
+    /// against the reconstructed plane.
+    pub(crate) fn fresh_monitor(&self) -> ViolationMonitor {
+        if self.is_multifield() {
+            let view = self.mf_view();
+            ViolationMonitor::from_maps(multifield::mf_cycles(&view), multifield::mf_holes(&view))
+        } else {
+            ViolationMonitor::from_state(&self.topology, &self.labels, &self.atoms)
+        }
     }
 
     /// The violations currently active in the data plane, rendered exactly
@@ -320,7 +461,7 @@ impl DeltaNet {
     /// would invalidate).
     fn maybe_auto_compact(&mut self) {
         if let Some(threshold) = self.config.compact_threshold {
-            if self.reclaimable >= threshold.max(1) && self.aggregate.is_none() {
+            if self.reclaimable_bounds() >= threshold.max(1) && self.aggregate.is_none() {
                 self.compact();
             }
         }
@@ -353,6 +494,7 @@ impl DeltaNet {
                 link: rule.link,
             });
         }
+        self.config.validate_rule_fields(&rule)?;
         debug_assert_eq!(
             self.topology.link(rule.link).src,
             rule.source,
@@ -448,12 +590,32 @@ impl DeltaNet {
             }
         }
 
+        // Secondary lattices: per constrained field, the same GC-revive +
+        // atom-split + bound bookkeeping as above — minus owner and label
+        // propagation, which secondary atoms do not carry.
+        for (field, &iv) in rule.sec.intervals().iter().enumerate() {
+            for bound in [iv.lo(), iv.hi()] {
+                if bound != 0
+                    && bound != self.sec_atoms[field].max_bound()
+                    && !self.sec_bound_refs[field].contains_key(&bound)
+                    && self.sec_atoms[field].contains_bound(bound)
+                {
+                    self.sec_reclaimable[field] -= 1;
+                }
+            }
+            for pair in self.sec_atoms[field].create_atoms(iv) {
+                delta.sec_split(field as u8, pair);
+            }
+            *self.sec_bound_refs[field].entry(iv.lo()).or_insert(0) += 1;
+            *self.sec_bound_refs[field].entry(iv.hi()).or_insert(0) += 1;
+        }
+
         // Bookkeeping.
         *self.bound_refs.entry(interval.lo()).or_insert(0) += 1;
         *self.bound_refs.entry(interval.hi()).or_insert(0) += 1;
         self.rules.insert(rule.id, rule);
 
-        self.finish_update(delta, Some(rule.id), true)
+        self.finish_update(delta, Some((rule, interval)), true)
     }
 
     /// Algorithm 2: removes the rule with id `id` and returns the per-update
@@ -532,7 +694,22 @@ impl DeltaNet {
             }
         }
 
-        self.finish_update(delta, Some(rule.id), false)
+        // Mirror bookkeeping for the secondary lattices.
+        for (field, &iv) in rule.sec.intervals().iter().enumerate() {
+            for bound in [iv.lo(), iv.hi()] {
+                if let Some(count) = self.sec_bound_refs[field].get_mut(&bound) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.sec_bound_refs[field].remove(&bound);
+                        if bound != 0 && bound != self.sec_atoms[field].max_bound() {
+                            self.sec_reclaimable[field] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.finish_update(delta, Some((rule, interval)), false)
     }
 
     /// The compaction pass of the §3.2.2 garbage-collection remark — the
@@ -601,9 +778,30 @@ impl DeltaNet {
             agg.remap(&remap);
         }
 
+        // Secondary lattices: the same merge + renumber per field.
+        // Secondary atom ids key no cross-structure state (no owner cells,
+        // labels, or monitor sets — the cross-field checks re-enumerate
+        // classes from the lattice each time), so the per-field renumbering
+        // tables are discarded.
+        let mut sec_merged = 0;
+        for field in 0..self.sec_atoms.len() {
+            let dead: Vec<Bound> = self.sec_atoms[field]
+                .interior_bounds()
+                .filter(|b| !self.sec_bound_refs[field].contains_key(b))
+                .collect();
+            for &bound in &dead {
+                self.sec_atoms[field]
+                    .remove_bound(bound)
+                    .expect("dead bound is in the secondary lattice");
+            }
+            sec_merged += dead.len();
+            self.sec_reclaimable[field] = 0;
+            self.sec_atoms[field].renumber();
+        }
+
         self.compactions += 1;
         CompactReport {
-            merged_atoms: dead.len(),
+            merged_atoms: dead.len() + sec_merged,
             allocated_before,
             allocated_after: self.atoms.allocated_atoms(),
             bytes_before,
@@ -612,23 +810,56 @@ impl DeltaNet {
     }
 
     /// Shared tail of both algorithms: run the configured per-update checks
-    /// on the delta-graph, remember it, and build the report.
+    /// on the delta-graph, feed the monitor, remember the delta, and build
+    /// the report. `changed` carries the inserted/removed rule and the
+    /// (possibly shard-clipped) interval the update ran on — the
+    /// multi-field seeded check needs the rule itself, not just its id.
     fn finish_update(
         &mut self,
         delta: DeltaGraph,
-        rule_id: Option<RuleId>,
+        changed: Option<(Rule, Interval)>,
         was_insert: bool,
     ) -> UpdateReport {
-        let violations = if self.config.check_loops_per_update {
-            loops::find_loops_from_seeds(&self.topology, &self.labels, &self.atoms, &delta.added)
-        } else {
+        let violations = if !self.config.check_loops_per_update {
             Vec::new()
+        } else if self.is_multifield() {
+            // The label-seeded walk is unsound under cross-field
+            // intersection (labels are a primary-field projection, and a
+            // secondary-constrained update can close a loop without adding
+            // a single label bit). Seed from the one node whose forwarding
+            // the update changed instead — any new or dissolved loop must
+            // route through it, on atoms of the update's interval and
+            // secondary classes the rule matches.
+            match &changed {
+                Some((rule, interval)) => {
+                    let cycles = multifield::find_loops_for_rule(&self.mf_view(), rule, *interval);
+                    loops::into_violations(cycles, &self.atoms)
+                }
+                None => Vec::new(),
+            }
+        } else {
+            loops::find_loops_from_seeds(&self.topology, &self.labels, &self.atoms, &delta.added)
         };
-        if let Some(monitor) = self.monitor.as_mut() {
-            monitor.apply_update(&self.topology, &self.labels, &delta);
+        if self.monitor.is_some() {
+            if self.is_multifield() {
+                // The violation state depends on cross-field intersections
+                // no single-field delta-graph describes: recompute the maps
+                // wholesale — through the same scans `check_all_loops` and
+                // `check_all_blackholes` use, so the monitored state stays
+                // bit-identical to the full scans by construction — and let
+                // the monitor diff the identities for events.
+                let view = self.mf_view();
+                let cycles = multifield::mf_cycles(&view);
+                let holes = multifield::mf_holes(&view);
+                if let Some(monitor) = self.monitor.as_mut() {
+                    monitor.replace_state(cycles, holes);
+                }
+            } else if let Some(monitor) = self.monitor.as_mut() {
+                monitor.apply_update(&self.topology, &self.labels, &delta);
+            }
         }
         let report = UpdateReport {
-            rule_id,
+            rule_id: changed.map(|(rule, _)| rule.id),
             was_insert,
             affected_classes: delta.affected_atom_count(),
             changed_links: delta.changed_links(),
@@ -660,9 +891,16 @@ impl DeltaNet {
 
     /// Number of interval bounds no longer referenced by any live rule —
     /// atoms that a [`DeltaNet::compact`] pass merges away (the "garbage
-    /// collection" remark of §3.2.2). Maintained incrementally, so reading
-    /// it — and the automatic compaction trigger built on it — is O(1).
+    /// collection" remark of §3.2.2), summed across the primary and all
+    /// secondary lattices. Maintained incrementally, so reading it — and
+    /// the automatic compaction trigger built on it — is O(1).
     pub fn reclaimable_bounds(&self) -> usize {
+        self.reclaimable + self.sec_reclaimable.iter().sum::<usize>()
+    }
+
+    /// The primary-lattice share of [`DeltaNet::reclaimable_bounds`] —
+    /// persisted separately from the per-field secondary counters.
+    pub(crate) fn primary_reclaimable(&self) -> usize {
         self.reclaimable
     }
 
@@ -691,20 +929,44 @@ impl DeltaNet {
             + self.labels.live_bytes()
             + self.rules.len() * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
             + self.bound_refs.len() * (std::mem::size_of::<Bound>() + 4 + 8)
+            + self
+                .sec_atoms
+                .iter()
+                .map(AtomMap::live_bytes)
+                .sum::<usize>()
+            + self
+                .sec_bound_refs
+                .iter()
+                .map(|refs| refs.len() * (std::mem::size_of::<Bound>() + 4 + 8))
+                .sum::<usize>()
     }
 
     /// Checks the entire data plane for forwarding loops (not just the last
-    /// delta-graph). Used by offline audits and the differential tests.
+    /// delta-graph). Used by offline audits and the differential tests. On
+    /// a multi-field engine this dispatches to the cross-field scan of
+    /// [`crate::multifield`]; violations still report primary-field packet
+    /// intervals (the union over all secondary classes that loop).
     pub fn check_all_loops(&self) -> Vec<netmodel::checker::InvariantViolation> {
-        loops::find_all_loops(&self.topology, &self.labels, &self.atoms)
+        if self.is_multifield() {
+            let cycles = multifield::mf_cycles(&self.mf_view());
+            loops::into_violations(cycles, &self.atoms)
+        } else {
+            loops::find_all_loops(&self.topology, &self.labels, &self.atoms)
+        }
     }
 
     /// Checks the entire data plane for blackholes: traffic arriving at a
     /// switch that has no rule (forward or drop) for it. The engine-level
     /// entry point for [`crate::blackholes::find_blackholes`], surfaced
-    /// end-to-end through `deltanet replay --check blackholes`.
+    /// end-to-end through `deltanet replay --check blackholes`. Dispatches
+    /// like [`DeltaNet::check_all_loops`] on a multi-field engine.
     pub fn check_all_blackholes(&self) -> Vec<netmodel::checker::InvariantViolation> {
-        crate::blackholes::find_blackholes(&self.topology, &self.labels, &self.atoms)
+        if self.is_multifield() {
+            let holes = multifield::mf_holes(&self.mf_view());
+            crate::blackholes::render_blackholes(holes.iter().map(|(n, s)| (*n, s)), &self.atoms)
+        } else {
+            crate::blackholes::find_blackholes(&self.topology, &self.labels, &self.atoms)
+        }
     }
 
     /// The successor of `node` for an `atom`-packet, resolved through the
@@ -773,6 +1035,16 @@ impl DeltaNet {
             + self.rules.capacity()
                 * (std::mem::size_of::<RuleId>() + std::mem::size_of::<Rule>() + 8)
             + self.bound_refs.capacity() * (std::mem::size_of::<Bound>() + 4 + 8)
+            + self
+                .sec_atoms
+                .iter()
+                .map(AtomMap::memory_bytes)
+                .sum::<usize>()
+            + self
+                .sec_bound_refs
+                .iter()
+                .map(|refs| refs.capacity() * (std::mem::size_of::<Bound>() + 4 + 8))
+                .sum::<usize>()
     }
 
     /// This engine's configuration.
@@ -784,6 +1056,16 @@ impl DeltaNet {
     /// bookkeeping (snapshot export).
     pub(crate) fn bound_refs(&self) -> &HashMap<Bound, u32> {
         &self.bound_refs
+    }
+
+    /// Per-secondary-field bound reference counts (snapshot export).
+    pub(crate) fn sec_bound_refs(&self) -> &[HashMap<Bound, u32>] {
+        &self.sec_bound_refs
+    }
+
+    /// Per-secondary-field reclaimable-bound counters (snapshot export).
+    pub(crate) fn sec_reclaimable(&self) -> &[usize] {
+        &self.sec_reclaimable
     }
 
     /// Rebuilds an engine from snapshot parts. The parts must come from a
@@ -801,6 +1083,9 @@ impl DeltaNet {
             rules: parts.rules,
             bound_refs: parts.bound_refs,
             reclaimable: parts.reclaimable,
+            sec_atoms: parts.sec_atoms,
+            sec_bound_refs: parts.sec_bound_refs,
+            sec_reclaimable: parts.sec_reclaimable,
             compactions: parts.compactions,
             last_delta: DeltaGraph::new(),
             aggregate: None,
@@ -826,6 +1111,9 @@ pub(crate) struct RestoredParts {
     pub rules: HashMap<RuleId, Rule>,
     pub bound_refs: HashMap<Bound, u32>,
     pub reclaimable: usize,
+    pub sec_atoms: Vec<AtomMap>,
+    pub sec_bound_refs: Vec<HashMap<Bound, u32>>,
+    pub sec_reclaimable: Vec<usize>,
     pub compactions: usize,
     pub monitor: Option<ViolationMonitor>,
 }

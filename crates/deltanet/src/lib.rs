@@ -22,6 +22,9 @@
 //!   has no rule for it).
 //! * [`monitor`] — [`ViolationMonitor`]: loops and blackholes maintained as
 //!   live state, repaired incrementally from every update's delta-graph.
+//! * [`multifield`] — cross-field loop/blackhole checks for engines whose
+//!   header space declares secondary fields next to the primary one
+//!   (`[dst, src]`-style matching; [`DeltaNetConfig::with_secondary`]).
 //! * [`parallel`] — parallel bulk queries and the shared [`Parallelism`]
 //!   worker-count configuration (the §6 future-work direction).
 //! * [`fault`] — the [`StorageBackend`] abstraction all persistence I/O
@@ -80,6 +83,7 @@ pub mod labels;
 pub mod lattice;
 pub mod loops;
 pub mod monitor;
+pub mod multifield;
 pub mod owner;
 pub mod parallel;
 pub mod persist;

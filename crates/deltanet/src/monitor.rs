@@ -159,6 +159,69 @@ impl ViolationMonitor {
         }
     }
 
+    /// Seeds a monitor directly from precomputed violation maps — the
+    /// multi-field engine's entry point, whose cross-field scans
+    /// ([`crate::multifield`]) produce these maps rather than label walks.
+    pub(crate) fn from_maps(
+        loops: BTreeMap<Vec<NodeId>, AtomSet>,
+        holes: BTreeMap<NodeId, AtomSet>,
+    ) -> Self {
+        let mut monitor = ViolationMonitor {
+            loops,
+            holes,
+            events: Vec::new(),
+        };
+        monitor.loops.retain(|_, set| !set.is_empty());
+        monitor.holes.retain(|_, set| !set.is_empty());
+        monitor
+    }
+
+    /// Replaces the tracked state with freshly computed violation maps,
+    /// recording appeared/resolved transitions at the identity level —
+    /// exactly like [`ViolationMonitor::apply_update`] does, but with the
+    /// new state handed in whole instead of repaired from a delta. The
+    /// multi-field engine uses this: its violation state depends on
+    /// cross-field intersections that no single-field delta-graph
+    /// describes, so each update recomputes the maps via
+    /// [`crate::multifield`] and swaps them in here.
+    pub(crate) fn replace_state(
+        &mut self,
+        loops: BTreeMap<Vec<NodeId>, AtomSet>,
+        holes: BTreeMap<NodeId, AtomSet>,
+    ) {
+        self.events.clear();
+        let loops_before: BTreeSet<Vec<NodeId>> = self.loops.keys().cloned().collect();
+        let holes_before: BTreeSet<NodeId> = self.holes.keys().copied().collect();
+        self.loops = loops;
+        self.loops.retain(|_, set| !set.is_empty());
+        self.holes = holes;
+        self.holes.retain(|_, set| !set.is_empty());
+        for cycle in &loops_before {
+            if !self.loops.contains_key(cycle) {
+                self.events
+                    .push(MonitorEvent::resolved(ViolationKey::Loop(cycle.clone())));
+            }
+        }
+        for cycle in self.loops.keys() {
+            if !loops_before.contains(cycle) {
+                self.events
+                    .push(MonitorEvent::appeared(ViolationKey::Loop(cycle.clone())));
+            }
+        }
+        for &node in &holes_before {
+            if !self.holes.contains_key(&node) {
+                self.events
+                    .push(MonitorEvent::resolved(ViolationKey::Blackhole(node)));
+            }
+        }
+        for &node in self.holes.keys() {
+            if !holes_before.contains(&node) {
+                self.events
+                    .push(MonitorEvent::appeared(ViolationKey::Blackhole(node)));
+            }
+        }
+    }
+
     /// Repairs the violation state from one update's delta-graph, recording
     /// the appeared/resolved transitions (readable via
     /// [`ViolationMonitor::last_events`] until the next update).

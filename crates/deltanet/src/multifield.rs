@@ -1,0 +1,231 @@
+//! Cross-field checks for multi-field header spaces.
+//!
+//! A multi-field engine keeps one atom lattice per declared header field:
+//! the primary (destination) lattice carries the full Delta-net machinery —
+//! owner cells, edge labels, delta-graphs — exactly as in the single-field
+//! engine, while each *secondary* field (source address, destination port,
+//! …) keeps only its interval lattice. A packet class is then the cross
+//! product of one atom per field, and the per-class forwarding function at a
+//! node is "highest-priority covering rule whose secondary intervals all
+//! contain the class" — resolved here, at check time, from the primary
+//! owner cells plus the rules' secondary matches.
+//!
+//! This mirrors the layering argument in the Delta-net paper (§5): the
+//! one-dimensional atom machinery is the workhorse, and additional header
+//! fields multiply the classes that machinery is consulted for, rather than
+//! multiplying the machinery itself. The single-field hot path never enters
+//! this module.
+//!
+//! Two things are deliberately *not* multi-field aware:
+//!
+//! * **Edge labels.** A label answers "which atoms does the
+//!   highest-priority owner at this source forward over this link",
+//!   ignoring secondary fields — a primary-field projection. Label-based
+//!   scans over-approximate one class and under-approximate another when a
+//!   secondary-constrained rule outranks a wildcard one, so the multi-field
+//!   checks below never consult labels; they re-resolve winners from the
+//!   owner cells per secondary class.
+//! * **Secondary owner structures.** Secondary lattices are typically tiny
+//!   (a handful of ACL source blocks); enumerating their cross product is
+//!   cheaper and simpler than maintaining N-dimensional owner state.
+
+use crate::atoms::{AtomId, AtomMap};
+use crate::atomset::AtomSet;
+use crate::loops::canonicalize;
+use crate::owner::Owner;
+use netmodel::header::MAX_SECONDARY_FIELDS;
+use netmodel::interval::{Bound, Interval};
+use netmodel::rule::{Rule, RuleId};
+use netmodel::topology::{LinkId, NodeId, Topology};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A borrowed view of exactly the engine state the cross-field checks
+/// need. Bundling the borrows lets the engine hand out one immutable view
+/// while keeping mutable access to the rest of itself (the monitor).
+pub(crate) struct MfView<'a> {
+    pub topology: &'a Topology,
+    pub owner: &'a Owner,
+    pub atoms: &'a AtomMap,
+    pub sec_atoms: &'a [AtomMap],
+    pub rules: &'a HashMap<RuleId, Rule>,
+}
+
+/// One secondary equivalence class, given by a representative value per
+/// declared secondary field (positions past the declared count stay 0).
+///
+/// Within one atom of each secondary lattice every value is covered by the
+/// same set of rule intervals, so any witness — we use each atom's interval
+/// low bound — decides `SecondaryMatch::matches` for the whole class.
+pub(crate) type SecClass = [Bound; MAX_SECONDARY_FIELDS];
+
+/// Enumerates the cross product of the secondary lattices' atoms as
+/// representative classes. With no declared secondary fields this is the
+/// single all-wildcard class.
+pub(crate) fn sec_classes(sec_atoms: &[AtomMap]) -> Vec<SecClass> {
+    let mut classes: Vec<SecClass> = vec![[0; MAX_SECONDARY_FIELDS]];
+    for (field, map) in sec_atoms.iter().enumerate() {
+        let mut next = Vec::with_capacity(classes.len() * map.atom_count());
+        for (_, interval) in map.iter() {
+            for base in &classes {
+                let mut class = *base;
+                class[field] = interval.lo();
+                next.push(class);
+            }
+        }
+        classes = next;
+    }
+    classes
+}
+
+/// The forwarding decision at `node` for primary atom `atom` and secondary
+/// class `class`: the link of the highest-priority rule that covers the
+/// atom *and* whose secondary intervals contain the class representative.
+///
+/// Owner cells keep their entries sorted in increasing `(priority, id)`
+/// order, so the first match of a reverse scan is the winner. Rules that
+/// constrain no secondary fields match every class.
+pub(crate) fn mf_successor(
+    view: &MfView<'_>,
+    node: NodeId,
+    atom: AtomId,
+    class: &SecClass,
+) -> Option<LinkId> {
+    let cell = view.owner.get(atom, node)?;
+    cell.as_slice()
+        .iter()
+        .rev()
+        .find(|owned| {
+            view.rules
+                .get(&owned.id)
+                .is_some_and(|rule| rule.sec.matches(class))
+        })
+        .map(|owned| owned.link)
+}
+
+/// Follows the per-class forwarding function from `start`, recording any
+/// cycle it runs into. `visited` deduplicates walks that share a tail
+/// within one `(atom, class)` slice and must be reset between slices.
+fn walk_for_cycle(
+    view: &MfView<'_>,
+    start: NodeId,
+    atom: AtomId,
+    class: &SecClass,
+    visited: &mut [bool],
+    cycles: &mut BTreeMap<Vec<NodeId>, AtomSet>,
+) {
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut on_path: HashMap<NodeId, usize> = HashMap::new();
+    let mut current = start;
+    loop {
+        if let Some(&pos) = on_path.get(&current) {
+            let cycle = canonicalize(path[pos..].to_vec());
+            cycles.entry(cycle).or_default().insert(atom);
+            return;
+        }
+        if visited[current.index()] {
+            // Joined a path already explored this slice; any cycle it
+            // leads to was recorded by the walk that got there first.
+            return;
+        }
+        visited[current.index()] = true;
+        on_path.insert(current, path.len());
+        path.push(current);
+        let Some(link) = mf_successor(view, current, atom, class) else {
+            return;
+        };
+        let next = view.topology.link(link).dst;
+        if view.topology.is_drop_node(next) {
+            return;
+        }
+        current = next;
+    }
+}
+
+/// Full-plane loop scan: every primary atom × every secondary class,
+/// walking from every node that owns rules for the atom. Loops found in
+/// different secondary classes but on the same node cycle union their
+/// primary atoms, matching how violations aggregate packet intervals.
+pub(crate) fn mf_cycles(view: &MfView<'_>) -> BTreeMap<Vec<NodeId>, AtomSet> {
+    let classes = sec_classes(view.sec_atoms);
+    let mut cycles = BTreeMap::new();
+    let mut visited = vec![false; view.topology.node_count()];
+    for (atom, _) in view.atoms.iter() {
+        let emitters: Vec<NodeId> = view.owner.sources(atom).map(|(node, _)| node).collect();
+        if emitters.is_empty() {
+            continue;
+        }
+        for class in &classes {
+            visited.iter_mut().for_each(|v| *v = false);
+            for &start in &emitters {
+                walk_for_cycle(view, start, atom, class, &mut visited, &mut cycles);
+            }
+        }
+    }
+    cycles
+}
+
+/// Full-plane blackhole scan. A class blackholes at a switch when some
+/// in-link delivers it there (the upstream node's winner for the class is
+/// that link) but the switch itself has no winner — no covering rule whose
+/// secondary intervals match. A drop-rule winner counts as handled;
+/// traffic forwarded into the drop node was deliberately discarded and
+/// never "arrives" anywhere.
+pub(crate) fn mf_holes(view: &MfView<'_>) -> BTreeMap<NodeId, AtomSet> {
+    let classes = sec_classes(view.sec_atoms);
+    let mut holes: BTreeMap<NodeId, AtomSet> = BTreeMap::new();
+    let mut handled: HashSet<NodeId> = HashSet::new();
+    let mut arrived: HashSet<NodeId> = HashSet::new();
+    for (atom, _) in view.atoms.iter() {
+        let emitters: Vec<NodeId> = view.owner.sources(atom).map(|(node, _)| node).collect();
+        if emitters.is_empty() {
+            continue;
+        }
+        for class in &classes {
+            handled.clear();
+            arrived.clear();
+            for &node in &emitters {
+                if let Some(link) = mf_successor(view, node, atom, class) {
+                    handled.insert(node);
+                    let dst = view.topology.link(link).dst;
+                    if !view.topology.is_drop_node(dst) {
+                        arrived.insert(dst);
+                    }
+                }
+            }
+            for &node in arrived.difference(&handled) {
+                holes.entry(node).or_default().insert(atom);
+            }
+        }
+    }
+    holes
+}
+
+/// Per-update seeded loop check for one inserted or removed rule.
+///
+/// Any loop created (or whose dissolution must be noticed) by changing the
+/// forwarding at `rule.source` necessarily routes through `rule.source`
+/// itself, for primary atoms inside the rule's (clip-adjusted) `interval`
+/// and secondary classes the rule matches — forwarding for every other
+/// `(atom, class)` slice at every other node is untouched by the update.
+/// So walking just those slices from the one changed node is a sound
+/// per-update check, the multi-field analogue of seeding from the
+/// delta-graph's added edges.
+pub(crate) fn find_loops_for_rule(
+    view: &MfView<'_>,
+    rule: &Rule,
+    interval: Interval,
+) -> BTreeMap<Vec<NodeId>, AtomSet> {
+    let classes: Vec<SecClass> = sec_classes(view.sec_atoms)
+        .into_iter()
+        .filter(|class| rule.sec.matches(class))
+        .collect();
+    let mut cycles = BTreeMap::new();
+    let mut visited = vec![false; view.topology.node_count()];
+    for atom in view.atoms.iter_atoms_of(interval) {
+        for class in &classes {
+            visited.iter_mut().for_each(|v| *v = false);
+            walk_for_cycle(view, rule.source, atom, class, &mut visited, &mut cycles);
+        }
+    }
+    cycles
+}

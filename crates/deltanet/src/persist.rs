@@ -65,6 +65,7 @@ use crate::{CompactReport, Labels};
 use netmodel::checker::{
     Checker, InvariantViolation, ReplayError, UpdateError, UpdateReport, WhatIfReport,
 };
+use netmodel::header::{SecondaryMatch, MAX_SECONDARY_FIELDS};
 use netmodel::interval::{Bound, Interval};
 use netmodel::ip::IpPrefix;
 use netmodel::rule::{Action, Rule, RuleId};
@@ -78,12 +79,21 @@ use std::path::{Path, PathBuf};
 const SNAPSHOT_MAGIC: &[u8; 4] = b"DNSP";
 /// Magic bytes opening a delta-log file.
 const LOG_MAGIC: &[u8; 4] = b"DNLG";
-/// Format version of the snapshot container.
-const FORMAT_VERSION: u8 = 1;
+/// Format version of the snapshot container. Version 3 added the header
+/// space (secondary field widths), per-rule secondary matches, and the
+/// per-field secondary lattice sections; version 1 snapshots still load as
+/// single-field engines.
+const FORMAT_VERSION: u8 = 3;
+/// Oldest snapshot format this build still reads.
+const MIN_FORMAT_VERSION: u8 = 1;
 /// Format version of the delta-log container. Version 2 introduced
 /// per-record length + checksum framing (version 1 logs carried bare op
-/// records and cannot distinguish a torn tail from corruption).
-const LOG_FORMAT_VERSION: u8 = 2;
+/// records and cannot distinguish a torn tail from corruption); version 3
+/// added per-rule secondary matches. Version 2 logs still replay as
+/// single-field streams.
+const LOG_FORMAT_VERSION: u8 = 3;
+/// Oldest delta-log format this build still reads.
+const MIN_LOG_FORMAT_VERSION: u8 = 2;
 /// Bytes of the delta-log header (magic + version).
 const LOG_HEADER_LEN: u64 = 5;
 
@@ -415,8 +425,20 @@ struct EngineSection {
     bound_refs: Vec<(Bound, u32)>,
     reclaimable: usize,
     compactions: usize,
+    sec: Vec<SecSection>,
     #[allow(clippy::type_complexity)]
     monitor: Option<(Vec<(Vec<NodeId>, Vec<u64>)>, Vec<(NodeId, Vec<u64>)>)>,
+}
+
+/// One secondary field's lattice state inside an [`EngineSection`]:
+/// interval lattice plus bound refcounts — secondary fields carry no owner
+/// cells or labels (format v3; absent from v1 sections).
+struct SecSection {
+    allocated: usize,
+    atom_entries: Vec<(Bound, AtomId)>,
+    free: Vec<AtomId>,
+    bound_refs: Vec<(Bound, u32)>,
+    reclaimable: usize,
 }
 
 impl EngineSection {
@@ -427,6 +449,24 @@ impl EngineSection {
         let mut bound_refs: Vec<(Bound, u32)> =
             net.bound_refs().iter().map(|(&b, &c)| (b, c)).collect();
         bound_refs.sort_unstable_by_key(|&(b, _)| b);
+        let sec = net
+            .secondary_atoms()
+            .iter()
+            .zip(net.sec_bound_refs())
+            .zip(net.sec_reclaimable())
+            .map(|((atoms, refs), &reclaimable)| {
+                let mut bound_refs: Vec<(Bound, u32)> =
+                    refs.iter().map(|(&b, &c)| (b, c)).collect();
+                bound_refs.sort_unstable_by_key(|&(b, _)| b);
+                SecSection {
+                    allocated: atoms.allocated_atoms(),
+                    atom_entries: atoms.export_entries(),
+                    free: atoms.free_list().to_vec(),
+                    bound_refs,
+                    reclaimable,
+                }
+            })
+            .collect();
         EngineSection {
             clip: net.clip(),
             rule_ids,
@@ -437,8 +477,9 @@ impl EngineSection {
             label_capacity,
             labels,
             bound_refs,
-            reclaimable: net.reclaimable_bounds(),
+            reclaimable: net.primary_reclaimable(),
             compactions: net.compactions(),
+            sec,
             monitor: net.monitor().map(ViolationMonitor::export_parts),
         }
     }
@@ -493,6 +534,25 @@ impl EngineSection {
         }
         w.varint(self.reclaimable as u64);
         w.varint(self.compactions as u64);
+        w.varint(self.sec.len() as u64);
+        for sec in &self.sec {
+            w.varint(sec.allocated as u64);
+            w.varint(sec.atom_entries.len() as u64);
+            for &(bound, atom) in &sec.atom_entries {
+                w.varint_wide(bound);
+                w.varint(u64::from(atom.0));
+            }
+            w.varint(sec.free.len() as u64);
+            for atom in &sec.free {
+                w.varint(u64::from(atom.0));
+            }
+            w.varint(sec.bound_refs.len() as u64);
+            for &(bound, count) in &sec.bound_refs {
+                w.varint_wide(bound);
+                w.varint(u64::from(count));
+            }
+            w.varint(sec.reclaimable as u64);
+        }
         match &self.monitor {
             Some((loops, holes)) => {
                 w.bool(true);
@@ -514,7 +574,9 @@ impl EngineSection {
         }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<EngineSection, PersistError> {
+    /// `has_sec` is true for format-v3 sections, which carry the secondary
+    /// lattice block; v1 sections decode with no secondary fields.
+    fn decode(r: &mut Reader<'_>, has_sec: bool) -> Result<EngineSection, PersistError> {
         let clip = if r.bool()? {
             let lo = r.varint_wide()?;
             let hi = r.varint_wide()?;
@@ -611,6 +673,46 @@ impl EngineSection {
             },
             reclaimable: r.len()?,
             compactions: r.len()?,
+            sec: if has_sec {
+                let field_count = r.len()?;
+                let mut sec = Vec::with_capacity(field_count.min(1024));
+                for _ in 0..field_count {
+                    let allocated = r.len()?;
+                    let entry_count = r.len()?;
+                    let mut atom_entries = Vec::with_capacity(entry_count.min(1024));
+                    for _ in 0..entry_count {
+                        let bound = r.varint_wide()?;
+                        let atom = u32::try_from(r.varint()?)
+                            .or_else(|_| r.corrupt("atom id exceeds 32 bits"))?;
+                        atom_entries.push((bound, AtomId(atom)));
+                    }
+                    let free_count = r.len()?;
+                    let mut free = Vec::with_capacity(free_count.min(1024));
+                    for _ in 0..free_count {
+                        let atom = u32::try_from(r.varint()?)
+                            .or_else(|_| r.corrupt("atom id exceeds 32 bits"))?;
+                        free.push(AtomId(atom));
+                    }
+                    let ref_count = r.len()?;
+                    let mut bound_refs = Vec::with_capacity(ref_count.min(1024));
+                    for _ in 0..ref_count {
+                        let bound = r.varint_wide()?;
+                        let count = u32::try_from(r.varint()?)
+                            .or_else(|_| r.corrupt("bound refcount exceeds 32 bits"))?;
+                        bound_refs.push((bound, count));
+                    }
+                    sec.push(SecSection {
+                        allocated,
+                        atom_entries,
+                        free,
+                        bound_refs,
+                        reclaimable: r.len()?,
+                    });
+                }
+                sec
+            } else {
+                Vec::new()
+            },
             monitor: if r.bool()? {
                 let loop_count = r.len()?;
                 let mut loops = Vec::with_capacity(loop_count.min(1024));
@@ -668,21 +770,34 @@ impl EngineSection {
             })?;
             rules.insert(id, *rule);
         }
-        let monitor = match self.monitor {
-            Some((loops, holes)) => {
-                let restored = ViolationMonitor::from_parts(loops, holes);
-                let rescanned = ViolationMonitor::from_state(topology, &labels, &atoms);
-                if !restored.state_eq(&rescanned) {
-                    return Err(PersistError::Mismatch(
-                        "restored monitor disagrees with a fresh scan of the restored plane"
-                            .to_string(),
-                    ));
-                }
-                Some(restored)
-            }
-            None => None,
-        };
-        Ok(DeltaNet::from_restored(RestoredParts {
+        if self.sec.len() != config.secondary_count() {
+            return Err(PersistError::Mismatch(format!(
+                "engine section carries {} secondary lattice(s) but the \
+                 snapshot config declares {}",
+                self.sec.len(),
+                config.secondary_count()
+            )));
+        }
+        let mut sec_atoms = Vec::with_capacity(self.sec.len());
+        let mut sec_bound_refs = Vec::with_capacity(self.sec.len());
+        let mut sec_reclaimable = Vec::with_capacity(self.sec.len());
+        for (field, sec) in self.sec.into_iter().enumerate() {
+            sec_atoms.push(
+                AtomMap::from_parts(
+                    config.sec_widths[field],
+                    sec.allocated,
+                    &sec.atom_entries,
+                    sec.free,
+                )
+                .map_err(PersistError::Corrupt)?,
+            );
+            sec_bound_refs.push(sec.bound_refs.into_iter().collect());
+            sec_reclaimable.push(sec.reclaimable);
+        }
+        let monitor = self
+            .monitor
+            .map(|(loops, holes)| ViolationMonitor::from_parts(loops, holes));
+        let net = DeltaNet::from_restored(RestoredParts {
             topology: topology.clone(),
             config,
             clip: self.clip,
@@ -693,8 +808,23 @@ impl EngineSection {
             bound_refs: self.bound_refs.into_iter().collect(),
             reclaimable: self.reclaimable,
             compactions: self.compactions,
+            sec_atoms,
+            sec_bound_refs,
+            sec_reclaimable,
             monitor,
-        }))
+        });
+        // A restored monitor is verified against a fresh scan of the fully
+        // assembled engine, so the check dispatches on the header-space
+        // shape exactly like `enable_monitor` would.
+        if let Some(restored) = net.monitor() {
+            if !restored.state_eq(&net.fresh_monitor()) {
+                return Err(PersistError::Mismatch(
+                    "restored monitor disagrees with a fresh scan of the restored plane"
+                        .to_string(),
+                ));
+            }
+        }
+        Ok(net)
     }
 }
 
@@ -808,6 +938,11 @@ impl Snapshot {
             }
             None => w.bool(false),
         }
+        let secondary = self.config.secondary_count();
+        w.u8(secondary as u8);
+        for &width in &self.config.sec_widths[..secondary] {
+            w.u8(width);
+        }
         w.varint(self.ops_applied);
         w.varint(self.registry.len() as u64);
         for rule in &self.registry {
@@ -843,31 +978,47 @@ impl Snapshot {
             return r.corrupt("not a snapshot file (bad magic)");
         }
         let version = r.u8()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) || version == 2 {
             return Err(PersistError::Corrupt(format!(
                 "unsupported snapshot version {version}"
             )));
         }
+        let has_sec = version >= 3;
         let node_count = r.len()?;
         let link_count = r.len()?;
         let field_width = r.u8()?;
         let check_loops_per_update = r.bool()?;
         let monitor_violations = r.bool()?;
         let compact_threshold = if r.bool()? { Some(r.len()?) } else { None };
+        let mut sec_widths = [0u8; MAX_SECONDARY_FIELDS];
+        if has_sec {
+            let secondary = usize::from(r.u8()?);
+            if secondary > sec_widths.len() {
+                return r.corrupt("snapshot declares too many secondary fields");
+            }
+            for slot in &mut sec_widths[..secondary] {
+                let width = r.u8()?;
+                if width == 0 || width > 127 {
+                    return r.corrupt("secondary field width outside 1..=127");
+                }
+                *slot = width;
+            }
+        }
         let config = DeltaNetConfig {
             field_width,
             check_loops_per_update,
             compact_threshold,
             monitor_violations,
+            sec_widths,
         };
         let ops_applied = r.varint()?;
         let rule_count = r.len()?;
         let mut registry = Vec::with_capacity(rule_count.min(1024));
         for _ in 0..rule_count {
-            registry.push(decode_rule(&mut r, Some(field_width))?);
+            registry.push(decode_rule(&mut r, Some(field_width), has_sec)?);
         }
         let kind = match r.u8()? {
-            0 => SnapshotKind::Single(Box::new(EngineSection::decode(&mut r)?)),
+            0 => SnapshotKind::Single(Box::new(EngineSection::decode(&mut r, has_sec)?)),
             1 => {
                 let shard_count = r.len()?;
                 if shard_count == 0 {
@@ -882,7 +1033,7 @@ impl Snapshot {
                 }
                 let mut shards = Vec::with_capacity(shard_count);
                 for _ in 0..shard_count {
-                    shards.push(EngineSection::decode(&mut r)?);
+                    shards.push(EngineSection::decode(&mut r, has_sec)?);
                 }
                 SnapshotKind::Sharded { boundaries, shards }
             }
@@ -1019,12 +1170,23 @@ fn encode_rule(w: &mut Writer, rule: &Rule) {
         Action::Forward => 0,
         Action::Drop => 1,
     });
+    w.u8(rule.sec.count() as u8);
+    for interval in rule.sec.intervals() {
+        w.varint_wide(interval.lo());
+        w.varint_wide(interval.hi());
+    }
 }
 
 /// Decodes one rule record; when `field_width` is known (snapshot registry)
 /// the record's width must match it, otherwise (delta-log records) any valid
-/// width is accepted.
-fn decode_rule(r: &mut Reader<'_>, field_width: Option<u8>) -> Result<Rule, PersistError> {
+/// width is accepted. `has_sec` is true for format-v3 containers, whose rule
+/// records carry a trailing secondary-match block; older records decode as
+/// primary-only rules.
+fn decode_rule(
+    r: &mut Reader<'_>,
+    field_width: Option<u8>,
+    has_sec: bool,
+) -> Result<Rule, PersistError> {
     let id = RuleId(r.varint()?);
     let value = r.varint_wide()?;
     let len = r.u8()?;
@@ -1043,6 +1205,31 @@ fn decode_rule(r: &mut Reader<'_>, field_width: Option<u8>) -> Result<Rule, Pers
         1 => Action::Drop,
         _ => return r.corrupt("invalid rule action"),
     };
+    let sec = if has_sec {
+        let count = usize::from(r.u8()?);
+        if count > MAX_SECONDARY_FIELDS {
+            return r.corrupt("rule constrains too many secondary fields");
+        }
+        let mut intervals = Vec::with_capacity(count);
+        for _ in 0..count {
+            let lo = r.varint_wide()?;
+            let hi = r.varint_wide()?;
+            if lo >= hi {
+                return r.corrupt("inverted secondary interval");
+            }
+            if hi > 1 << netmodel::header::MAX_SECONDARY_WIDTH {
+                return r.corrupt("secondary bound exceeds the field range");
+            }
+            intervals.push(Interval::new(lo, hi));
+        }
+        if intervals.is_empty() {
+            SecondaryMatch::default()
+        } else {
+            SecondaryMatch::new(&intervals)
+        }
+    } else {
+        SecondaryMatch::default()
+    };
     Ok(Rule {
         id,
         prefix,
@@ -1050,6 +1237,7 @@ fn decode_rule(r: &mut Reader<'_>, field_width: Option<u8>) -> Result<Rule, Pers
         source,
         link,
         action,
+        sec,
     })
 }
 
@@ -1167,6 +1355,14 @@ impl PersistNet {
         match self {
             PersistNet::Single(_) => None,
             PersistNet::Sharded(n) => Some(n),
+        }
+    }
+
+    /// The engine configuration (shared by every shard in the sharded case).
+    pub fn config(&self) -> DeltaNetConfig {
+        match self {
+            PersistNet::Single(n) => n.config(),
+            PersistNet::Sharded(n) => n.config(),
         }
     }
 }
@@ -1401,10 +1597,10 @@ fn encode_op(w: &mut Writer, op: &Op) {
 
 /// Decodes one framed record payload (tag + body), requiring it to consume
 /// the payload exactly.
-fn decode_payload(payload: &[u8]) -> Result<Op, PersistError> {
+fn decode_payload(payload: &[u8], has_sec: bool) -> Result<Op, PersistError> {
     let mut r = Reader::new(payload);
     let op = match r.u8()? {
-        0 => Op::Insert(decode_rule(&mut r, None)?),
+        0 => Op::Insert(decode_rule(&mut r, None, has_sec)?),
         1 => Op::Remove(RuleId(r.varint()?)),
         _ => return r.corrupt("invalid log record tag"),
     };
@@ -1417,7 +1613,7 @@ fn decode_payload(payload: &[u8]) -> Result<Op, PersistError> {
 /// Parses the framed records of a delta-log body (after the header),
 /// returning the decoded valid prefix and, if the tail is torn or corrupt,
 /// the byte offset where the first bad record starts.
-fn parse_records(bytes: &[u8]) -> (Vec<Op>, Option<u64>) {
+fn parse_records(bytes: &[u8], has_sec: bool) -> (Vec<Op>, Option<u64>) {
     // A single op record is tiny; anything claiming to be huge is a torn
     // or corrupt length prefix, not a real record.
     const MAX_PAYLOAD: u64 = 1 << 16;
@@ -1443,7 +1639,7 @@ fn parse_records(bytes: &[u8]) -> (Vec<Op>, Option<u64>) {
         if (fnv1a(payload) & 0xffff_ffff) as u32 != stored {
             return (ops, Some(pos as u64));
         }
-        let Ok(op) = decode_payload(payload) else {
+        let Ok(op) = decode_payload(payload, has_sec) else {
             // Checksum-valid but undecodable: still never invent an op —
             // drop it and everything after.
             return (ops, Some(pos as u64));
@@ -1510,13 +1706,14 @@ pub fn read_log_with(
             return r.corrupt("not a delta-log file (bad magic)");
         }
         let version = r.u8()?;
-        if version != LOG_FORMAT_VERSION {
+        if !(MIN_LOG_FORMAT_VERSION..=LOG_FORMAT_VERSION).contains(&version) {
             return Err(PersistError::Corrupt(format!(
                 "unsupported delta-log version {version}"
             )));
         }
     }
-    let (ops, torn_at) = parse_records(&bytes);
+    let version = bytes[LOG_HEADER_LEN as usize - 1];
+    let (ops, torn_at) = parse_records(&bytes, version >= 3);
     match torn_at {
         None => Ok(LogReadReport { ops, torn: None }),
         Some(offset) => {

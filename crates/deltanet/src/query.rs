@@ -9,6 +9,13 @@
 //! Per atom the forwarding relation is a functional graph (each switch has
 //! at most one owning rule per atom), so single-pair queries walk successor
 //! chains; the all-pairs variant lives in [`crate::reachability`].
+//!
+//! In a multi-field configuration, atoms — and therefore query answers —
+//! are the *primary-field projection*: the returned intervals cover every
+//! packet whose primary field can flow, assuming its secondary fields
+//! satisfy the owning rules along the path. Cross-field refinement (which
+//! secondary value classes actually traverse a path) is the job of
+//! [`crate::multifield`], which intersects secondary matches at check time.
 
 use crate::atoms::AtomId;
 use crate::atomset::AtomSet;

@@ -226,6 +226,11 @@ impl ShardedDeltaNet {
                 link: rule.link,
             });
         }
+        // Field validation must happen here, not inside a shard: a rule
+        // constraining undeclared secondary fields would otherwise reach
+        // the per-shard engines and trip their "validated insert cannot
+        // fail" expectation.
+        self.config().validate_rule_fields(rule)?;
         Ok(())
     }
 

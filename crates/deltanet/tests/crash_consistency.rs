@@ -40,6 +40,7 @@ fn config8() -> DeltaNetConfig {
         check_loops_per_update: false,
         compact_threshold: None,
         monitor_violations: true,
+        ..DeltaNetConfig::default()
     }
 }
 

@@ -30,6 +30,7 @@ fn config8() -> DeltaNetConfig {
         check_loops_per_update: false,
         compact_threshold: None,
         monitor_violations: true,
+        ..DeltaNetConfig::default()
     }
 }
 
@@ -139,6 +140,70 @@ fn snapshot_roundtrip_differential() {
         net.compact();
         restored.compact();
         assert_state_eq(&net, &restored, &format!("kind {kind}, post-restore churn"));
+    }
+}
+
+/// The snapshot round-trip differential over a dst × src header space:
+/// format v3 must carry the secondary lattices, the per-rule secondary
+/// matches, and a monitor whose restore verification runs the cross-field
+/// scan (the label-based scan would reject correct multi-field states).
+#[test]
+fn multifield_snapshot_roundtrip_differential() {
+    const SEC: [u8; 1] = [6];
+    let mut rng = StdRng::seed_from_u64(0x6e5d_1702);
+    let topo = random_topology(&mut rng, 5, true);
+    for kind in ENGINE_KINDS {
+        let config = config8().with_secondary(&SEC);
+        let mut net = if kind == 0 {
+            PersistNet::Single(Box::new(DeltaNet::new(topo.clone(), config)))
+        } else {
+            PersistNet::Sharded(Box::new(ShardedDeltaNet::new(topo.clone(), config, kind)))
+        };
+        net.enable_monitor();
+        let mut gen = OpGen::new(8, 40, 0.35).with_secondary(&SEC);
+        let mut ops_done = 0u64;
+        for step in 0..90 {
+            let Some(op) = gen.next_op(&mut rng, &topo) else {
+                continue;
+            };
+            net.try_apply(&op).unwrap();
+            ops_done += 1;
+            if step % 37 == 36 {
+                net.compact();
+            }
+            if step % 30 == 29 {
+                let bytes = Snapshot::of_net(&net, ops_done).to_bytes();
+                let snap = Snapshot::from_bytes(&bytes).unwrap();
+                assert_eq!(snap.config().secondary_count(), SEC.len());
+                let restored = snap.restore(&topo).unwrap();
+                assert_state_eq(&net, &restored, &format!("mf kind {kind}, step {step}"));
+            }
+        }
+        // Restored multi-field engines must keep replaying identically.
+        let bytes = Snapshot::of_net(&net, ops_done).to_bytes();
+        let mut restored = Snapshot::from_bytes(&bytes)
+            .unwrap()
+            .restore(&topo)
+            .unwrap();
+        for _ in 0..30 {
+            let Some(op) = gen.next_op(&mut rng, &topo) else {
+                continue;
+            };
+            net.try_apply(&op).unwrap();
+            restored.try_apply(&op).unwrap();
+        }
+        net.compact();
+        restored.compact();
+        assert_state_eq(
+            &net,
+            &restored,
+            &format!("mf kind {kind}, post-restore churn"),
+        );
+        assert_eq!(
+            persist::state_digest(&net),
+            persist::state_digest(&restored),
+            "mf kind {kind}: serialized states diverge"
+        );
     }
 }
 

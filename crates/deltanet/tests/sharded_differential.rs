@@ -166,6 +166,7 @@ fn sharded_engine_matches_single_engine_under_random_churn() {
                 check_loops_per_update: true,
                 compact_threshold: if seed % 2 == 1 { Some(3) } else { None },
                 monitor_violations: true,
+                ..DeltaNetConfig::default()
             };
             // Class/atom counts are compared exactly only while no automatic
             // compaction can fire (see `assert_observationally_equal`).
@@ -258,6 +259,7 @@ fn batched_application_matches_single_engine() {
             check_loops_per_update: true,
             compact_threshold: None,
             monitor_violations: true,
+            ..DeltaNetConfig::default()
         };
         // Record a well-formed trace first.
         let mut ops: Vec<Op> = Vec::new();

@@ -39,6 +39,18 @@ pub enum UpdateError {
         /// The address range the engine owns.
         range: Interval,
     },
+    /// An insertion constraining more secondary header fields than the
+    /// checker's declared [`crate::header::HeaderSpace`] — e.g. a
+    /// `[dst, src]` rule replayed into a single-field engine. Rules
+    /// constraining *fewer* fields are fine (missing fields are wildcards).
+    FieldMismatch {
+        /// The offending rule.
+        rule: RuleId,
+        /// Secondary fields the checker's header space declares.
+        declared: usize,
+        /// Secondary fields the rule constrains.
+        constrained: usize,
+    },
 }
 
 impl fmt::Display for UpdateError {
@@ -51,6 +63,17 @@ impl fmt::Display for UpdateError {
             }
             UpdateError::OutsideShard { rule, range } => {
                 write!(f, "rule {rule:?} does not intersect shard range {range}")
+            }
+            UpdateError::FieldMismatch {
+                rule,
+                declared,
+                constrained,
+            } => {
+                write!(
+                    f,
+                    "rule {rule:?} constrains {constrained} secondary header field(s) \
+                     but the engine's header space declares {declared}"
+                )
             }
         }
     }

@@ -51,10 +51,19 @@ impl ForwardingTable {
     }
 
     /// The highest-priority rule matching the destination address, if any.
+    /// Secondary-field constraints are evaluated against a packet whose
+    /// secondary values are all 0; use [`ForwardingTable::lookup_packet`]
+    /// for a concrete multi-field header.
     pub fn lookup(&self, dst: Bound) -> Option<&Rule> {
+        self.lookup_packet(&Packet::to(dst))
+    }
+
+    /// The highest-priority rule matching every field of the packet's
+    /// header, if any.
+    pub fn lookup_packet(&self, packet: &Packet) -> Option<&Rule> {
         self.rules
             .iter()
-            .filter(|r| r.interval().contains(dst))
+            .filter(|r| r.matches_packet(packet))
             .max_by_key(|r| r.priority)
     }
 
@@ -172,7 +181,7 @@ impl NetworkFib {
                     }
                 }
             };
-            let rule = match table.lookup(packet.dst) {
+            let rule = match table.lookup_packet(&packet) {
                 Some(r) => r,
                 None => {
                     let outcome = if self.topology.is_drop_node(cur) {
@@ -353,6 +362,33 @@ mod tests {
         fib.insert(Rule::drop(RuleId(1), prefix("10.0.0.0/8"), 9, n[0], dl));
         let trace = fib.trace(n[0], Packet::to_ipv4(0x0a00_0001));
         assert_eq!(trace.outcome, TraceOutcome::Dropped(n[0]));
+    }
+
+    #[test]
+    fn multifield_lookup_intersects_all_fields() {
+        use crate::header::SecondaryMatch;
+        use crate::interval::Interval;
+        let mut topo = Topology::new();
+        let s = topo.add_node("s");
+        let t = topo.add_node("t");
+        let u = topo.add_node("u");
+        let st = topo.add_link(s, t);
+        let su = topo.add_link(s, u);
+        let mut table = ForwardingTable::new();
+        // High-priority rule constrained to src [100:200); low-priority
+        // catch-all for the same prefix.
+        table.insert(
+            Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 9, s, st)
+                .with_secondary(SecondaryMatch::new(&[Interval::new(100, 200)])),
+        );
+        table.insert(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, s, su));
+        let dst = 0x0a00_0001u128;
+        let in_range = Packet::to(dst).with_field(0, 150);
+        let out_of_range = Packet::to(dst).with_field(0, 250);
+        assert_eq!(table.lookup_packet(&in_range).unwrap().id, RuleId(1));
+        assert_eq!(table.lookup_packet(&out_of_range).unwrap().id, RuleId(2));
+        // The single-field entry point sees secondary values of 0.
+        assert_eq!(table.lookup(dst).unwrap().id, RuleId(2));
     }
 
     #[test]

@@ -229,6 +229,57 @@ pub fn format_ipv4(addr: u32) -> String {
     )
 }
 
+/// Formats the low 128 bits of a value as an IPv6 address in the canonical
+/// RFC 5952 style: lower-case hextets with the longest run of two or more
+/// zero hextets compressed to `::`.
+pub fn format_ipv6(addr: u128) -> String {
+    let hextets: [u16; 8] = std::array::from_fn(|i| (addr >> (112 - 16 * i)) as u16);
+    // Longest run of zero hextets (leftmost wins on ties), min length 2.
+    let (mut best_start, mut best_len) = (0usize, 0usize);
+    let (mut run_start, mut run_len) = (0usize, 0usize);
+    for (i, &h) in hextets.iter().enumerate() {
+        if h == 0 {
+            if run_len == 0 {
+                run_start = i;
+            }
+            run_len += 1;
+            if run_len > best_len {
+                best_start = run_start;
+                best_len = run_len;
+            }
+        } else {
+            run_len = 0;
+        }
+    }
+    if best_len < 2 {
+        return hextets.map(|h| format!("{h:x}")).join(":");
+    }
+    let head = hextets[..best_start]
+        .iter()
+        .map(|h| format!("{h:x}"))
+        .collect::<Vec<_>>()
+        .join(":");
+    let tail = hextets[best_start + best_len..]
+        .iter()
+        .map(|h| format!("{h:x}"))
+        .collect::<Vec<_>>()
+        .join(":");
+    format!("{head}::{tail}")
+}
+
+/// Formats a raw field value for human-readable output, choosing the
+/// notation by field width: dotted-quad for 32-bit fields, RFC 5952 IPv6
+/// for fields wider than 64 bits, and the plain decimal value otherwise
+/// (ports, protocol numbers, and the toy field widths of the paper's
+/// worked examples).
+pub fn format_field(value: Bound, width: u8) -> String {
+    match width {
+        32 => format_ipv4(value as u32),
+        w if w > 64 => format_ipv6(value),
+        _ => value.to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +373,43 @@ mod tests {
     fn format_ipv4_helper() {
         assert_eq!(format_ipv4(0xc0a8_0101), "192.168.1.1");
         assert_eq!(format_ipv4(0), "0.0.0.0");
+    }
+
+    #[test]
+    fn format_ipv6_helper() {
+        assert_eq!(format_ipv6(0), "::");
+        assert_eq!(format_ipv6(1), "::1");
+        assert_eq!(
+            format_ipv6(0x2001_0db8_0000_0000_0000_0000_0000_0001),
+            "2001:db8::1"
+        );
+        // No run of >= 2 zero hextets: no compression.
+        assert_eq!(
+            format_ipv6(0x0001_0002_0003_0004_0005_0006_0007_0008),
+            "1:2:3:4:5:6:7:8"
+        );
+        // The longest zero run is compressed; leftmost wins on ties.
+        assert_eq!(
+            format_ipv6(0x0000_0000_0001_0000_0000_0000_0001_0002),
+            "0:0:1::1:2"
+        );
+        assert_eq!(
+            format_ipv6(0x0000_0000_0001_0000_0000_0001_0002_0003),
+            "::1:0:0:1:2:3"
+        );
+        assert_eq!(
+            format_ipv6(0xffff_0000_0000_0000_0000_0000_0000_0000),
+            "ffff::"
+        );
+    }
+
+    #[test]
+    fn format_field_picks_notation_by_width() {
+        assert_eq!(format_field(0xc0a8_0101, 32), "192.168.1.1");
+        assert_eq!(format_field(80, 16), "80");
+        assert_eq!(format_field(10, 4), "10");
+        assert_eq!(format_field(1, 127), "::1");
+        assert_eq!(format_field(99, 64), "99");
     }
 
     #[test]

@@ -7,42 +7,60 @@
 //! behaviour against what the engines claim. [`Packet`] is that concrete
 //! witness.
 
+use crate::header::MAX_SECONDARY_FIELDS;
 use crate::interval::Bound;
 use crate::ip::format_ipv4;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A packet identified by the single header field the data plane matches on
-/// (the destination address, per the paper's evaluation).
+/// A packet identified by the header fields the data plane matches on: the
+/// primary field (the destination address, per the paper's evaluation) plus
+/// the values of any declared secondary fields. Secondary values default to
+/// 0 and are ignored by single-field rules, so single-field call sites are
+/// untouched by the multi-field extension.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Packet {
-    /// The destination address as a raw field value.
+    /// The destination address as a raw field value (the primary field).
     pub dst: Bound,
+    /// Values of the secondary header fields, in field order.
+    pub sec: [Bound; MAX_SECONDARY_FIELDS],
 }
 
 impl Packet {
     /// A packet destined to the given raw field value.
     #[inline]
     pub fn to(dst: Bound) -> Self {
-        Packet { dst }
+        Packet {
+            dst,
+            sec: [0; MAX_SECONDARY_FIELDS],
+        }
     }
 
     /// A packet destined to the given IPv4 address.
     #[inline]
     pub fn to_ipv4(addr: u32) -> Self {
-        Packet {
-            dst: Bound::from(addr),
-        }
+        Packet::to(Bound::from(addr))
+    }
+
+    /// The same packet with secondary field `i` set to `value`.
+    #[inline]
+    pub fn with_field(mut self, i: usize, value: Bound) -> Self {
+        self.sec[i] = value;
+        self
     }
 }
 
 impl fmt::Debug for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.dst <= Bound::from(u32::MAX) {
-            write!(f, "pkt({})", format_ipv4(self.dst as u32))
+            write!(f, "pkt({})", format_ipv4(self.dst as u32))?;
         } else {
-            write!(f, "pkt({})", self.dst)
+            write!(f, "pkt({})", self.dst)?;
         }
+        if self.sec.iter().any(|&v| v != 0) {
+            write!(f, "+{:?}", self.sec)?;
+        }
+        Ok(())
     }
 }
 
@@ -60,6 +78,9 @@ mod tests {
     fn construction() {
         assert_eq!(Packet::to(10).dst, 10);
         assert_eq!(Packet::to_ipv4(0x0a00_0001).dst, 0x0a00_0001);
+        let p = Packet::to(10).with_field(0, 77).with_field(1, 5);
+        assert_eq!(p.sec, [77, 5]);
+        assert_eq!(p.dst, 10);
     }
 
     #[test]

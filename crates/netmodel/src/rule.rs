@@ -1,13 +1,22 @@
 //! Forwarding rules.
 //!
-//! A rule matches packets by a destination IP prefix (§3.1), carries a
-//! priority that resolves overlaps within a forwarding table (§3.2), and is
-//! associated with a directed link `link(r)` along which matched packets are
-//! forwarded. Drop rules point at the topology's per-node drop link, so the
-//! verification engines need no special casing for them.
+//! A rule matches packets by a prefix over the primary header field (the
+//! destination address, §3.1), optionally intersected with per-field
+//! interval constraints on the secondary fields of a multi-field
+//! [`crate::header::HeaderSpace`]. It carries a priority that resolves
+//! overlaps within a forwarding table (§3.2) and is associated with a
+//! directed link `link(r)` along which matched packets are forwarded. Drop
+//! rules point at the topology's per-node drop link, so the verification
+//! engines need no special casing for them.
+//!
+//! A rule built by [`Rule::forward`] / [`Rule::drop`] constrains no
+//! secondary field and behaves exactly as in the single-field engine;
+//! [`Rule::with_secondary`] layers the extra constraints on.
 
-use crate::interval::Interval;
+use crate::header::{HeaderMatch, SecondaryMatch};
+use crate::interval::{Bound, Interval};
 use crate::ip::IpPrefix;
+use crate::packet::Packet;
 use crate::topology::{LinkId, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -76,6 +85,9 @@ pub struct Rule {
     pub link: LinkId,
     /// The rule's action, kept for reporting purposes.
     pub action: Action,
+    /// Per-field constraints on the secondary header fields; the default
+    /// (no constraints) is the single-field shape.
+    pub sec: SecondaryMatch,
 }
 
 impl Rule {
@@ -94,6 +106,7 @@ impl Rule {
             source,
             link,
             action: Action::Forward,
+            sec: SecondaryMatch::default(),
         }
     }
 
@@ -113,7 +126,14 @@ impl Rule {
             source,
             link: drop_link,
             action: Action::Drop,
+            sec: SecondaryMatch::default(),
         }
+    }
+
+    /// The same rule with the given secondary-field constraints.
+    pub fn with_secondary(mut self, sec: SecondaryMatch) -> Self {
+        self.sec = sec;
+        self
     }
 
     /// The half-closed interval of destination addresses matched by the rule
@@ -135,13 +155,42 @@ impl Rule {
         self.interval().hi()
     }
 
+    /// Whether this rule constrains any secondary header field.
+    #[inline]
+    pub fn is_multifield(&self) -> bool {
+        !self.sec.is_empty()
+    }
+
+    /// The rule's complete multi-field match condition.
+    #[inline]
+    pub fn header_match(&self) -> HeaderMatch {
+        HeaderMatch::new(self.interval(), self.sec)
+    }
+
+    /// Whether this rule matches a concrete header: the primary value must
+    /// lie in the prefix and every constrained secondary field's value in
+    /// its interval.
+    #[inline]
+    pub fn matches_values(&self, primary: Bound, secondary: &[Bound]) -> bool {
+        self.interval().contains(primary) && self.sec.matches(secondary)
+    }
+
+    /// Whether this rule matches the given packet.
+    #[inline]
+    pub fn matches_packet(&self, packet: &Packet) -> bool {
+        self.matches_values(packet.dst, &packet.sec)
+    }
+
     /// Whether this rule and `other` live in the same forwarding table and
-    /// their match conditions overlap (in which case their priorities must
-    /// differ for the data plane to be well defined).
+    /// their match conditions overlap **on every field** (in which case
+    /// their priorities must differ for the data plane to be well defined).
+    /// A secondary field unconstrained by either rule is a wildcard, so
+    /// single-field rules conflict exactly as before.
     pub fn conflicts_with(&self, other: &Rule) -> bool {
         self.source == other.source
             && self.id != other.id
             && self.interval().overlaps(&other.interval())
+            && self.sec.overlaps(&other.sec)
             && self.priority == other.priority
     }
 }
@@ -152,7 +201,11 @@ impl fmt::Display for Rule {
             f,
             "{} @{}: {} prio={} via {} ({:?})",
             self.id, self.source, self.prefix, self.priority, self.link, self.action
-        )
+        )?;
+        if !self.sec.is_empty() {
+            write!(f, " {}", self.sec)?;
+        }
+        Ok(())
     }
 }
 
@@ -212,5 +265,40 @@ mod tests {
     fn rule_id_display() {
         assert_eq!(RuleId(42).to_string(), "r42");
         assert_eq!(format!("{:?}", RuleId(42)), "r42");
+    }
+
+    #[test]
+    fn secondary_constraints() {
+        let (_t, a, _b, l) = two_node_topo();
+        let p: IpPrefix = "10.0.0.0/8".parse().unwrap();
+        let plain = Rule::forward(RuleId(1), p, 100, a, l);
+        assert!(!plain.is_multifield());
+        assert!(plain.matches_values(0x0a00_0001, &[999]));
+        let r = plain.with_secondary(SecondaryMatch::new(&[Interval::new(100, 200)]));
+        assert!(r.is_multifield());
+        assert!(r.matches_values(0x0a00_0001, &[150]));
+        assert!(!r.matches_values(0x0a00_0001, &[200]));
+        assert!(!r.matches_values(0x0b00_0001, &[150]));
+        assert!(r.matches_packet(&Packet::to(0x0a00_0001).with_field(0, 150)));
+        assert!(!r.matches_packet(&Packet::to(0x0a00_0001)));
+        assert_eq!(r.header_match().primary, p.interval());
+        assert!(r.to_string().contains("src=100:200"));
+    }
+
+    #[test]
+    fn conflicts_respect_secondary_fields() {
+        let (_t, a, _b, l) = two_node_topo();
+        let p: IpPrefix = "10.0.0.0/8".parse().unwrap();
+        let low = Rule::forward(RuleId(1), p, 100, a, l)
+            .with_secondary(SecondaryMatch::new(&[Interval::new(0, 10)]));
+        let high = Rule::forward(RuleId(2), p, 100, a, l)
+            .with_secondary(SecondaryMatch::new(&[Interval::new(10, 20)]));
+        // Same priority, overlapping prefixes, but disjoint src ranges:
+        // no conflict.
+        assert!(!low.conflicts_with(&high));
+        let wild = Rule::forward(RuleId(3), p, 100, a, l);
+        // A wildcard secondary overlaps both.
+        assert!(low.conflicts_with(&wild));
+        assert!(wild.conflicts_with(&high));
     }
 }

@@ -10,14 +10,20 @@
 //! Text format, one operation per line (whitespace separated):
 //!
 //! ```text
-//! I <rule-id> <src-node> <dst-node|drop> <prefix> <priority>
+//! I <rule-id> <src-node> <dst-node|drop> <prefix> <priority> [<lo>:<hi>...]
 //! R <rule-id>
 //! # comments and blank lines are ignored
 //! ```
 //!
 //! Node references are numeric node ids into the accompanying topology; the
-//! destination `drop` denotes the source node's drop link.
+//! destination `drop` denotes the source node's drop link. A single-field
+//! rule serializes to exactly the five historical fields, byte-identical to
+//! the pre-multi-field format; a rule constraining secondary header fields
+//! appends one `<lo>:<hi>` half-closed interval token per constrained field,
+//! in field order.
 
+use crate::header::SecondaryMatch;
+use crate::interval::Interval;
 use crate::ip::IpPrefix;
 use crate::rule::{Rule, RuleId};
 use crate::topology::{NodeId, Topology};
@@ -184,9 +190,13 @@ impl Trace {
                         topology.link(r.link).dst.0.to_string()
                     };
                     out.push_str(&format!(
-                        "I {} {} {} {} {}\n",
+                        "I {} {} {} {} {}",
                         r.id.0, r.source.0, dst, r.prefix, r.priority
                     ));
+                    for iv in r.sec.intervals() {
+                        out.push_str(&format!(" {}:{}", iv.lo(), iv.hi()));
+                    }
+                    out.push('\n');
                 }
                 Op::Remove(id) => out.push_str(&format!("R {}\n", id.0)),
             }
@@ -213,7 +223,7 @@ impl Trace {
             match kind {
                 "I" => {
                     let fields: Vec<&str> = parts.collect();
-                    if fields.len() != 5 {
+                    if fields.len() < 5 {
                         return Err(err(format!(
                             "expected `I <id> <src> <dst|drop> <prefix> <priority>`, got {} fields",
                             fields.len() + 1
@@ -235,6 +245,35 @@ impl Trace {
                     let priority: u32 = fields[4]
                         .parse()
                         .map_err(|_| err(format!("bad priority `{}`", fields[4])))?;
+                    let mut sec_ivs = Vec::new();
+                    for tok in &fields[5..] {
+                        let (lo, hi) = tok
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("bad secondary interval `{tok}`")))?;
+                        let lo: u128 = lo
+                            .parse()
+                            .map_err(|_| err(format!("bad secondary interval `{tok}`")))?;
+                        let hi: u128 = hi
+                            .parse()
+                            .map_err(|_| err(format!("bad secondary interval `{tok}`")))?;
+                        if lo >= hi {
+                            return Err(err(format!("empty secondary interval `{tok}`")));
+                        }
+                        if hi > 1 << crate::header::MAX_SECONDARY_WIDTH {
+                            return Err(err(format!(
+                                "secondary bound in `{tok}` exceeds the {}-bit field range",
+                                crate::header::MAX_SECONDARY_WIDTH
+                            )));
+                        }
+                        sec_ivs.push(Interval::new(lo, hi));
+                    }
+                    if sec_ivs.len() > crate::header::MAX_SECONDARY_FIELDS {
+                        return Err(err(format!(
+                            "{} secondary intervals exceed the supported {}",
+                            sec_ivs.len(),
+                            crate::header::MAX_SECONDARY_FIELDS
+                        )));
+                    }
                     let rule = if fields[2] == "drop" {
                         let dl = topology.drop_link(src);
                         Rule::drop(RuleId(id), prefix, priority, src, dl)
@@ -248,7 +287,7 @@ impl Trace {
                         })?;
                         Rule::forward(RuleId(id), prefix, priority, src, link)
                     };
-                    trace.push_insert(rule);
+                    trace.push_insert(rule.with_secondary(SecondaryMatch::new(&sec_ivs)));
                 }
                 "R" => {
                     let id_str = parts
@@ -380,6 +419,51 @@ mod tests {
                 _ => panic!("op kind mismatch"),
             }
         }
+    }
+
+    #[test]
+    fn multifield_text_roundtrip() {
+        let (mut t, n) = topo();
+        let l01 = t.link_between(n[0], n[1]).unwrap();
+        let mut trace = Trace::new();
+        trace.push_insert(
+            Rule::forward(RuleId(1), "10.0.0.0/8".parse().unwrap(), 10, n[0], l01).with_secondary(
+                SecondaryMatch::new(&[Interval::new(100, 200), Interval::new(0, 80)]),
+            ),
+        );
+        trace.push_insert(Rule::forward(
+            RuleId(2),
+            "10.0.0.0/16".parse().unwrap(),
+            20,
+            n[0],
+            l01,
+        ));
+        let text = trace.to_text(&t);
+        assert!(text.contains("100:200 0:80"));
+        // The single-field line keeps exactly the historical five fields.
+        let plain = text.lines().find(|l| l.starts_with("I 2")).unwrap();
+        assert_eq!(plain.split_whitespace().count(), 6);
+        let parsed = Trace::parse(&text, &mut t).unwrap();
+        match &parsed.ops()[0] {
+            Op::Insert(r) => {
+                assert_eq!(
+                    &r.sec.intervals()[..],
+                    &[Interval::new(100, 200), Interval::new(0, 80)]
+                );
+            }
+            _ => panic!("expected insert"),
+        }
+        match &parsed.ops()[1] {
+            Op::Insert(r) => assert!(r.sec.is_empty()),
+            _ => panic!("expected insert"),
+        }
+        // Malformed secondary tokens are clean parse errors.
+        let err = Trace::parse("I 1 0 1 10.0.0.0/8 5 nonsense\n", &mut t).unwrap_err();
+        assert!(err.message.contains("bad secondary interval"));
+        let err = Trace::parse("I 1 0 1 10.0.0.0/8 5 9:9\n", &mut t).unwrap_err();
+        assert!(err.message.contains("empty secondary interval"));
+        let err = Trace::parse("I 1 0 1 10.0.0.0/8 5 0:1 0:1 0:1\n", &mut t).unwrap_err();
+        assert!(err.message.contains("exceed"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 use netmodel::checker::InvariantViolation;
+use netmodel::header::SecondaryMatch;
 use netmodel::interval::{normalize, Interval};
 use netmodel::ip::IpPrefix;
 use netmodel::rule::{Rule, RuleId};
@@ -106,6 +107,34 @@ pub fn random_rule(
     }
 }
 
+/// Draws a random secondary match over the given field widths: each field
+/// is constrained to a random sub-range with probability 0.6 and
+/// wildcarded (full range) otherwise; trailing wildcards are trimmed so
+/// an all-wildcard draw is the empty (single-field) match.
+pub fn random_secondary(rng: &mut StdRng, sec_widths: &[u8]) -> SecondaryMatch {
+    let mut intervals: Vec<Interval> = sec_widths
+        .iter()
+        .map(|&w| {
+            if rng.gen_bool(0.6) {
+                random_interval(rng, w)
+            } else {
+                Interval::new(0, 1u128 << w)
+            }
+        })
+        .collect();
+    while intervals
+        .last()
+        .is_some_and(|iv| *iv == Interval::new(0, 1u128 << sec_widths[intervals.len() - 1]))
+    {
+        intervals.pop();
+    }
+    if intervals.is_empty() {
+        SecondaryMatch::default()
+    } else {
+        SecondaryMatch::new(&intervals)
+    }
+}
+
 /// Stateful insert/remove generator tracking the live rule set, for suites
 /// that interleave generation with checking.
 ///
@@ -118,6 +147,7 @@ pub fn random_rule(
 #[derive(Clone, Debug)]
 pub struct OpGen {
     width: u8,
+    sec_widths: Vec<u8>,
     max_priority: u32,
     remove_bias: f64,
     live: Vec<Rule>,
@@ -130,11 +160,19 @@ impl OpGen {
     pub fn new(width: u8, max_priority: u32, remove_bias: f64) -> Self {
         OpGen {
             width,
+            sec_widths: Vec::new(),
             max_priority,
             remove_bias,
             live: Vec::new(),
             next_id: 0,
         }
+    }
+
+    /// Makes generated insertions multi-field: each rule additionally draws
+    /// a [`random_secondary`] match over the given field widths.
+    pub fn with_secondary(mut self, sec_widths: &[u8]) -> Self {
+        self.sec_widths = sec_widths.to_vec();
+        self
     }
 
     /// The rules currently live (inserted and not yet removed).
@@ -151,7 +189,10 @@ impl OpGen {
             let rule = self.live.swap_remove(rng.gen_range(0..self.live.len()));
             Some(Op::Remove(rule.id))
         } else {
-            let rule = random_rule(rng, topo, self.next_id, self.width, self.max_priority);
+            let mut rule = random_rule(rng, topo, self.next_id, self.width, self.max_priority);
+            if !self.sec_widths.is_empty() {
+                rule = rule.with_secondary(random_secondary(rng, &self.sec_widths));
+            }
             self.next_id += 1;
             if self.live.iter().any(|r| r.conflicts_with(&rule)) {
                 return None;
@@ -173,6 +214,28 @@ pub fn random_ops(
     remove_bias: f64,
 ) -> Vec<Op> {
     let mut gen = OpGen::new(width, max_priority, remove_bias);
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        if let Some(op) = gen.next_op(rng, topo) {
+            ops.push(op);
+        }
+    }
+    ops
+}
+
+/// [`random_ops`] over a multi-field header space: every insertion carries
+/// a [`random_secondary`] match over `sec_widths`, and the prefix-closure
+/// guarantee is unchanged.
+pub fn random_ops_multifield(
+    rng: &mut StdRng,
+    topo: &Topology,
+    len: usize,
+    width: u8,
+    sec_widths: &[u8],
+    max_priority: u32,
+    remove_bias: f64,
+) -> Vec<Op> {
+    let mut gen = OpGen::new(width, max_priority, remove_bias).with_secondary(sec_widths);
     let mut ops = Vec::with_capacity(len);
     while ops.len() < len {
         if let Some(op) = gen.next_op(rng, topo) {

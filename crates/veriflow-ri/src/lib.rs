@@ -13,6 +13,9 @@
 //! * [`checker`] — the [`VeriflowRi`] checker implementing the shared
 //!   [`netmodel::Checker`] trait, so it can be driven by exactly the same
 //!   harness as Delta-net.
+//! * [`multifield`] — the cross-product generalization of the equivalence
+//!   classes to multi-field header spaces, as a stateless full-plane
+//!   oracle ([`scan_multifield`]) for the differential suites.
 //!
 //! Veriflow-RI's space complexity is linear in the number of rules; its time
 //! complexity per update is quadratic in the worst case (it rebuilds
@@ -25,9 +28,11 @@
 pub mod checker;
 pub mod ec;
 pub mod forwarding_graph;
+pub mod multifield;
 pub mod trie;
 
 pub use checker::{VeriflowConfig, VeriflowRi};
 pub use ec::{equivalence_classes, EquivalenceClass};
 pub use forwarding_graph::ForwardingGraph;
+pub use multifield::scan_multifield;
 pub use trie::PrefixTrie;

@@ -1,0 +1,278 @@
+//! Multi-field equivalence classes and the full-plane oracle.
+//!
+//! Veriflow's equivalence classes generalize to several header fields as a
+//! cross product: the cut points of every field partition that field's
+//! space, and a packet class is one sub-range per field (§2.1 builds
+//! multi-dimensional classes the same way). This module computes the
+//! classes from scratch on every call — no state is maintained — which
+//! makes it the independent oracle the multi-field differential suites
+//! compare Delta-net's incremental engine against.
+
+use netmodel::checker::InvariantViolation;
+use netmodel::header::MAX_SECONDARY_FIELDS;
+use netmodel::interval::{normalize, Bound, Interval};
+use netmodel::rule::Rule;
+use netmodel::topology::{LinkId, NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// One secondary packet class, as a representative value per declared
+/// secondary field (unused positions stay 0, which every
+/// [`netmodel::header::SecondaryMatch`] treats as wildcarded).
+pub type SecClassRep = [Bound; MAX_SECONDARY_FIELDS];
+
+/// The equivalence classes of one field: the full `width`-bit space cut at
+/// every bound an installed rule constrains that field with.
+fn field_classes(width: u8, bounds: impl Iterator<Item = (Bound, Bound)>) -> Vec<Interval> {
+    let max = 1u128 << width;
+    let mut cuts: BTreeSet<Bound> = BTreeSet::new();
+    cuts.insert(0);
+    cuts.insert(max);
+    for (lo, hi) in bounds {
+        if lo > 0 && lo < max {
+            cuts.insert(lo);
+        }
+        if hi > 0 && hi < max {
+            cuts.insert(hi);
+        }
+    }
+    let cuts: Vec<Bound> = cuts.into_iter().collect();
+    cuts.windows(2).map(|w| Interval::new(w[0], w[1])).collect()
+}
+
+/// The cross product of the secondary fields' equivalence classes, as one
+/// representative value per field. With no secondary fields this is the
+/// single all-wildcard class.
+pub fn secondary_class_reps(rules: &[Rule], sec_widths: &[u8]) -> Vec<SecClassRep> {
+    let mut reps: Vec<SecClassRep> = vec![[0; MAX_SECONDARY_FIELDS]];
+    for (field, &width) in sec_widths.iter().enumerate() {
+        let classes = field_classes(
+            width,
+            rules
+                .iter()
+                .filter_map(|r| r.sec.get(field))
+                .map(|iv| (iv.lo(), iv.hi())),
+        );
+        let mut next = Vec::with_capacity(reps.len() * classes.len());
+        for class in &classes {
+            for base in &reps {
+                let mut rep = *base;
+                rep[field] = class.lo();
+                next.push(rep);
+            }
+        }
+        reps = next;
+    }
+    reps
+}
+
+/// The winning out-link per switch for one `(primary class, secondary
+/// class)` slice: the highest-`(priority, id)` candidate whose primary
+/// interval covers the class and whose secondary intervals contain the
+/// representative. The `(priority, id)` tie-break matches Delta-net's
+/// owner-cell ordering.
+fn next_hops<'a>(
+    candidates: &'a [Rule],
+    ec: Interval,
+    rep: &SecClassRep,
+) -> HashMap<NodeId, &'a Rule> {
+    let mut best: HashMap<NodeId, &Rule> = HashMap::new();
+    for rule in candidates {
+        if !rule.interval().contains_interval(&ec) || !rule.sec.matches(rep) {
+            continue;
+        }
+        match best.get(&rule.source) {
+            Some(cur) if (cur.priority, cur.id) >= (rule.priority, rule.id) => {}
+            _ => {
+                best.insert(rule.source, rule);
+            }
+        }
+    }
+    best
+}
+
+/// Scans the entire multi-field data plane from scratch: every primary
+/// equivalence class × every secondary class gets its forwarding function
+/// resolved and walked. Returns all forwarding loops (keyed by canonical
+/// cycle) followed by all blackholes (keyed by node), each aggregating the
+/// primary address ranges across secondary classes — the same rendering
+/// Delta-net's full scans produce, so differential tests compare directly.
+pub fn scan_multifield(
+    topology: &Topology,
+    rules: &[Rule],
+    primary_width: u8,
+    sec_widths: &[u8],
+) -> Vec<InvariantViolation> {
+    let primary = field_classes(
+        primary_width,
+        rules.iter().map(|r| (r.interval().lo(), r.interval().hi())),
+    );
+    let reps = secondary_class_reps(rules, sec_widths);
+    let mut loops: BTreeMap<Vec<NodeId>, Vec<Interval>> = BTreeMap::new();
+    let mut holes: BTreeMap<NodeId, Vec<Interval>> = BTreeMap::new();
+    for ec in primary {
+        let candidates: Vec<Rule> = rules
+            .iter()
+            .filter(|r| r.interval().contains_interval(&ec))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        for rep in &reps {
+            let hops = next_hops(&candidates, ec, rep);
+            for cycle in find_cycles(topology, &hops) {
+                loops.entry(cycle).or_default().push(ec);
+            }
+            // Blackholes: classes delivered to a switch that has no winner.
+            let mut handled: HashSet<NodeId> = HashSet::new();
+            let mut arrived: HashSet<NodeId> = HashSet::new();
+            for rule in hops.values() {
+                handled.insert(rule.source);
+                let dst = topology.link(rule.link).dst;
+                if !topology.is_drop_node(dst) {
+                    arrived.insert(dst);
+                }
+            }
+            for &node in arrived.difference(&handled) {
+                holes.entry(node).or_default().push(ec);
+            }
+        }
+    }
+    let mut out: Vec<InvariantViolation> = loops
+        .into_iter()
+        .map(|(nodes, packets)| InvariantViolation::ForwardingLoop {
+            nodes,
+            packets: normalize(packets),
+        })
+        .collect();
+    out.extend(
+        holes
+            .into_iter()
+            .map(|(node, packets)| InvariantViolation::Blackhole {
+                node,
+                packets: normalize(packets),
+            }),
+    );
+    out
+}
+
+/// All distinct cycles of the (functional) per-class forwarding graph, in
+/// canonical rotation (minimum node first).
+fn find_cycles(topology: &Topology, hops: &HashMap<NodeId, &Rule>) -> Vec<Vec<NodeId>> {
+    let mut cycles: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    let mut state: HashMap<NodeId, u8> = HashMap::new(); // 1 = on path, 2 = done
+    for &start in hops.keys() {
+        if state.contains_key(&start) {
+            continue;
+        }
+        let mut path: Vec<NodeId> = Vec::new();
+        let mut cur = start;
+        loop {
+            match state.get(&cur).copied() {
+                Some(2) => break,
+                Some(1) => {
+                    let pos = path.iter().position(|&n| n == cur).unwrap_or(0);
+                    let mut cycle = path[pos..].to_vec();
+                    let min_pos = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| **n)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cycle.rotate_left(min_pos);
+                    cycles.insert(cycle);
+                    break;
+                }
+                _ => {}
+            }
+            state.insert(cur, 1);
+            path.push(cur);
+            let Some(rule) = hops.get(&cur) else {
+                break;
+            };
+            let next = next_node(topology, rule.link);
+            let Some(next) = next else {
+                break;
+            };
+            cur = next;
+        }
+        for n in path {
+            state.insert(n, 2);
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+/// The downstream switch of `link`, or `None` when it is a drop link.
+fn next_node(topology: &Topology, link: LinkId) -> Option<NodeId> {
+    let dst = topology.link(link).dst;
+    if topology.is_drop_node(dst) {
+        None
+    } else {
+        Some(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::header::SecondaryMatch;
+    use netmodel::ip::IpPrefix;
+    use netmodel::rule::RuleId;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    fn ring() -> (Topology, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let n = topo.add_nodes("s", 3);
+        topo.add_link(n[0], n[1]);
+        topo.add_link(n[1], n[2]);
+        topo.add_link(n[2], n[0]);
+        (topo, n)
+    }
+
+    #[test]
+    fn secondary_constrained_rule_loops_only_its_classes() {
+        let (topo, n) = ring();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        let l12 = topo.link_between(n[1], n[2]).unwrap();
+        let l20 = topo.link_between(n[2], n[0]).unwrap();
+        let sec = SecondaryMatch::new(&[Interval::new(10, 20)]);
+        let mut closing = Rule::forward(RuleId(3), p("10.0.0.0/8"), 1, n[2], l20);
+        closing.sec = sec;
+        let rules = vec![
+            Rule::forward(RuleId(1), p("10.0.0.0/8"), 1, n[0], l01),
+            Rule::forward(RuleId(2), p("10.0.0.0/8"), 1, n[1], l12),
+            closing,
+        ];
+        let violations = scan_multifield(&topo, &rules, 32, &[8]);
+        let loops: Vec<_> = violations.iter().filter(|v| v.is_loop()).collect();
+        assert_eq!(loops.len(), 1, "loop exists for src in [10, 20)");
+        // Without the closing rule's secondary range, no class loops.
+        let open = vec![rules[0], rules[1]];
+        assert!(scan_multifield(&topo, &open, 32, &[8])
+            .iter()
+            .all(|v| !v.is_loop()));
+    }
+
+    #[test]
+    fn blackhole_appears_per_secondary_class() {
+        let (topo, n) = ring();
+        let l01 = topo.link_between(n[0], n[1]).unwrap();
+        // n[0] forwards src [0, 16) of 10/8 to n[1]; n[1] has no rule.
+        let mut r = Rule::forward(RuleId(1), p("10.0.0.0/8"), 1, n[0], l01);
+        r.sec = SecondaryMatch::new(&[Interval::new(0, 16)]);
+        let violations = scan_multifield(&topo, &[r], 32, &[8]);
+        let holes: Vec<_> = violations.iter().filter(|v| !v.is_loop()).collect();
+        assert_eq!(holes.len(), 1);
+        match holes[0] {
+            InvariantViolation::Blackhole { node, packets } => {
+                assert_eq!(*node, n[1]);
+                assert_eq!(packets, &vec![p("10.0.0.0/8").interval()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -34,4 +34,5 @@ pub mod topologies;
 
 pub use churn::{ChurnConfig, ChurnTrace};
 pub use datasets::{build, build_all, Dataset, DatasetId, ScaleProfile, Table2Row};
+pub use rulegen::{generate_multifield_rules, MultiFieldConfig, MultiFieldRules};
 pub use topologies::GeneratedTopology;

@@ -127,6 +127,152 @@ pub fn generate_rules(
     }
 }
 
+/// Configuration of the ACL-style multi-field generator
+/// ([`generate_multifield_rules`]).
+#[derive(Clone, Debug)]
+pub struct MultiFieldConfig {
+    /// Widths of the secondary header fields (e.g. `[8]` for dst × src on an
+    /// 8-bit source axis, `[8, 4]` for dst × src × dport).
+    pub sec_widths: Vec<u8>,
+    /// How many ACL deny rules to generate per prefix.
+    pub acl_per_prefix: usize,
+    /// Probability that each secondary field of an ACL rule is constrained
+    /// to a sub-range (an unconstrained field stays a wildcard). At least
+    /// one field of every ACL rule is always constrained, so every deny is
+    /// genuinely multi-field.
+    pub constrain_fraction: f64,
+    /// RNG seed (egress selection, priorities, ACL placement, ranges).
+    pub seed: u64,
+    /// Whether to append removals of every rule in random order.
+    pub append_removals: bool,
+}
+
+impl Default for MultiFieldConfig {
+    fn default() -> Self {
+        MultiFieldConfig {
+            sec_widths: vec![8],
+            acl_per_prefix: 2,
+            constrain_fraction: 0.7,
+            seed: 0xAC1,
+            append_removals: false,
+        }
+    }
+}
+
+/// The output of [`generate_multifield_rules`]: the trace, the rules, and
+/// the topology augmented with the drop links the ACL denies point at.
+#[derive(Clone, Debug)]
+pub struct MultiFieldRules {
+    /// The input topology plus one drop link per switch (deny targets).
+    pub topology: netmodel::topology::Topology,
+    /// The trace of insertions (and optionally removals).
+    pub trace: Trace,
+    /// Rules in insertion order (before any removals).
+    pub rules: Vec<Rule>,
+    /// The secondary field widths the rules were generated against.
+    pub sec_widths: Vec<u8>,
+}
+
+/// Generates an ACL-style multi-field workload over `topo`: the usual
+/// shortest-path forwarding rules per prefix (wildcard in every secondary
+/// field), overlaid with higher-priority deny rules that drop a sub-range of
+/// the secondary fields — "block these sources from reaching this prefix".
+///
+/// This is the dst × src (× dport) shape real ACLs take: routing is
+/// destination-only, policy carves holes out of it along the other axes. The
+/// returned topology is a copy of `topo.topology` with one drop link added
+/// per switch, which the deny rules forward into.
+pub fn generate_multifield_rules(
+    topo: &GeneratedTopology,
+    prefixes: &[IpPrefix],
+    config: &MultiFieldConfig,
+) -> MultiFieldRules {
+    use netmodel::header::SecondaryMatch;
+    use netmodel::interval::Interval;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut topology = topo.topology.clone();
+    let switches: Vec<NodeId> = topology.switch_nodes().collect();
+    let drop_links: Vec<_> = switches.iter().map(|&s| topology.drop_link(s)).collect();
+
+    // Base forwarding plane: identical mechanism to [`generate_rules`],
+    // priorities capped so every ACL deny outranks every forwarding rule.
+    const FWD_PRIORITY_CEIL: Priority = 1_000;
+    let edges = &topo.edge_nodes;
+    assert!(!edges.is_empty(), "topology has no edge nodes");
+    let mut trace = Trace::new();
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut next_hop_cache: std::collections::HashMap<
+        NodeId,
+        Vec<Option<netmodel::topology::LinkId>>,
+    > = std::collections::HashMap::new();
+    let mut next_id = 0u64;
+    for (i, prefix) in prefixes.iter().enumerate() {
+        let egress = edges[(i + rng.gen_range(0..edges.len())) % edges.len()];
+        let next = next_hop_cache
+            .entry(egress)
+            .or_insert_with(|| topology.shortest_path_next_hop(egress));
+        let priority: Priority = rng.gen_range(1..FWD_PRIORITY_CEIL);
+        for &node in &switches {
+            if node == egress {
+                continue;
+            }
+            let Some(link) = next[node.index()] else {
+                continue;
+            };
+            let rule = Rule::forward(RuleId(next_id), *prefix, priority, node, link);
+            next_id += 1;
+            rules.push(rule);
+            trace.push_insert(rule);
+        }
+        // ACL overlay: deny a sub-range of the secondary fields for this
+        // prefix at a few switches, above every forwarding priority.
+        for _ in 0..config.acl_per_prefix {
+            let si = rng.gen_range(0..switches.len());
+            let mut intervals: Vec<Interval> = Vec::with_capacity(config.sec_widths.len());
+            let mut constrained = false;
+            for (fi, &width) in config.sec_widths.iter().enumerate() {
+                let full = 1u128 << width;
+                let force = fi + 1 == config.sec_widths.len() && !constrained;
+                if force || rng.gen_bool(config.constrain_fraction) {
+                    let lo = rng.gen_range(0..full);
+                    let hi = rng.gen_range(lo + 1..=full);
+                    intervals.push(Interval::new(lo, hi));
+                    constrained = true;
+                } else {
+                    intervals.push(Interval::new(0, full));
+                }
+            }
+            let deny = Rule::drop(
+                RuleId(next_id),
+                *prefix,
+                FWD_PRIORITY_CEIL + rng.gen_range(1..1_000),
+                switches[si],
+                drop_links[si],
+            )
+            .with_secondary(SecondaryMatch::new(&intervals));
+            next_id += 1;
+            rules.push(deny);
+            trace.push_insert(deny);
+        }
+    }
+
+    if config.append_removals {
+        let mut ids: Vec<RuleId> = rules.iter().map(|r| r.id).collect();
+        ids.shuffle(&mut rng);
+        for id in ids {
+            trace.push_remove(id);
+        }
+    }
+
+    MultiFieldRules {
+        topology,
+        trace,
+        rules,
+        sec_widths: config.sec_widths.clone(),
+    }
+}
+
 /// Generates only the consistent data plane (insertions, no removals) — the
 /// input used by the "what if" experiments of §4.3.2.
 pub fn generate_data_plane(
@@ -218,6 +364,33 @@ mod tests {
         let distinct: std::collections::HashSet<u32> =
             random.rules.iter().map(|r| r.priority).collect();
         assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn multifield_overlay_denies_outrank_forwarding() {
+        let topo = four_switch_ring();
+        let pfx = prefixes(6);
+        let config = MultiFieldConfig::default();
+        let gen = generate_multifield_rules(&topo, &pfx, &config);
+        // 3 forwarding rules + 2 denies per prefix.
+        assert_eq!(gen.rules.len(), 6 * (3 + 2));
+        let max_fwd = gen
+            .rules
+            .iter()
+            .filter(|r| !r.is_multifield())
+            .map(|r| r.priority)
+            .max()
+            .unwrap();
+        for deny in gen.rules.iter().filter(|r| r.is_multifield()) {
+            assert!(deny.priority > max_fwd, "ACL deny must outrank forwarding");
+            assert!(gen.topology.is_drop_link(deny.link));
+            assert!(deny.sec.count() <= config.sec_widths.len());
+        }
+        // Every deny constrains at least one secondary field.
+        assert!(gen.rules.iter().filter(|r| r.is_multifield()).count() == 6 * 2);
+        // Deterministic.
+        let again = generate_multifield_rules(&topo, &pfx, &config);
+        assert_eq!(gen.trace, again.trace);
     }
 
     #[test]

@@ -38,12 +38,13 @@ pub mod prelude {
     };
     pub use netmodel::checker::{Checker, InvariantViolation, UpdateReport, WhatIfReport};
     pub use netmodel::fib::NetworkFib;
+    pub use netmodel::header::{FieldId, HeaderMatch, HeaderSpace, SecondaryMatch};
     pub use netmodel::interval::Interval;
     pub use netmodel::ip::IpPrefix;
     pub use netmodel::packet::Packet;
     pub use netmodel::rule::{Action, Priority, Rule, RuleId};
     pub use netmodel::topology::{LinkId, NodeId, Topology};
     pub use netmodel::trace::{Op, Trace};
-    pub use veriflow_ri::{VeriflowConfig, VeriflowRi};
+    pub use veriflow_ri::{scan_multifield, VeriflowConfig, VeriflowRi};
     pub use workloads::{build, build_all, Dataset, DatasetId, ScaleProfile};
 }

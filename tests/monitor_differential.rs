@@ -27,6 +27,7 @@ fn monitored_config(compact_threshold: Option<usize>) -> DeltaNetConfig {
         check_loops_per_update: true,
         compact_threshold,
         monitor_violations: true,
+        ..DeltaNetConfig::default()
     }
 }
 

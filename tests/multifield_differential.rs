@@ -1,0 +1,300 @@
+//! Multi-field differential suite: the incremental Delta-net engine over a
+//! dst × src (and dst × src × dport) header space, compared after every few
+//! operations against
+//!
+//! 1. the stateless Veriflow-RI cross-product oracle
+//!    ([`veriflow_ri::scan_multifield`]), which recomputes every
+//!    equivalence class of every field from the live rule set alone, and
+//! 2. the engine's own full rescans (`check_all_loops` +
+//!    `check_all_blackholes`), which the live monitor must agree with
+//!    bit-for-bit.
+//!
+//! Runs over the stand-alone engine and 1/2/4-way sharded engines, with
+//! monitoring on and off and compaction on and off — the combinations the
+//! multi-field refactor touches. Everything is seeded; a failure reproduces
+//! from the printed seed.
+
+use delta_net::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use testutil::{blackholes_by_node, loops_by_cycle, random_ops_multifield, random_topology};
+
+const WIDTH: u8 = 8;
+const SEC_WIDTHS: [u8; 1] = [6];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Compare against the oracle every this many operations (full cross-field
+/// scans are the expensive part of the suite).
+const CHECK_EVERY: usize = 10;
+
+fn mf_config(monitor: bool, compact_threshold: Option<usize>) -> DeltaNetConfig {
+    DeltaNetConfig {
+        field_width: WIDTH,
+        check_loops_per_update: true,
+        compact_threshold,
+        monitor_violations: monitor,
+        ..DeltaNetConfig::default()
+    }
+    .with_secondary(&SEC_WIDTHS)
+}
+
+fn full_scan_single(net: &DeltaNet) -> Vec<InvariantViolation> {
+    let mut out = net.check_all_loops();
+    out.extend(net.check_all_blackholes());
+    out
+}
+
+fn full_scan_sharded(net: &ShardedDeltaNet) -> Vec<InvariantViolation> {
+    let mut out = net.check_all_loops();
+    out.extend(net.check_all_blackholes());
+    out
+}
+
+/// Asserts that two violation sets agree on loops and blackholes in the
+/// order-, atom-numbering- and shard-invariant comparison form.
+fn assert_equivalent(label: &str, actual: &[InvariantViolation], expected: &[InvariantViolation]) {
+    assert_eq!(
+        loops_by_cycle(actual),
+        loops_by_cycle(expected),
+        "{label}: loops diverge"
+    );
+    assert_eq!(
+        blackholes_by_node(actual),
+        blackholes_by_node(expected),
+        "{label}: blackholes diverge"
+    );
+}
+
+fn track(live: &mut Vec<Rule>, op: &Op) {
+    match op {
+        Op::Insert(rule) => live.push(*rule),
+        Op::Remove(id) => live.retain(|r| r.id != *id),
+    }
+}
+
+#[test]
+fn single_engine_matches_oracle_and_monitor() {
+    for seed in 0..6u64 {
+        // Even seeds: monitor on. Seeds ≡ 0/1 (mod 4): compaction on, with
+        // a threshold low enough that automatic passes fire mid-trace.
+        let monitor = seed % 2 == 0;
+        let compact = if seed % 4 < 2 { Some(4) } else { None };
+        let mut rng = StdRng::seed_from_u64(0x4D_F1E1D ^ seed);
+        let topo = random_topology(&mut rng, 5, true);
+        let ops = random_ops_multifield(&mut rng, &topo, 120, WIDTH, &SEC_WIDTHS, 20, 0.3);
+        let mut net = DeltaNet::new(topo.clone(), mf_config(monitor, compact));
+        assert!(net.is_multifield());
+        let mut live: Vec<Rule> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            net.try_apply(op)
+                .unwrap_or_else(|e| panic!("seed {seed} op {i} rejected: {e}"));
+            track(&mut live, op);
+            if (i + 1) % CHECK_EVERY != 0 && i + 1 != ops.len() {
+                continue;
+            }
+            let scan = full_scan_single(&net);
+            let oracle = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+            assert_equivalent(
+                &format!("seed {seed} op {i} scan-vs-oracle"),
+                &scan,
+                &oracle,
+            );
+            if monitor {
+                let active = net.active_violations().expect("monitor is on");
+                assert_equivalent(
+                    &format!("seed {seed} op {i} monitor-vs-scan"),
+                    &active,
+                    &scan,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_matches_oracle_at_every_shard_count() {
+    for &shards in &SHARD_COUNTS {
+        for seed in 0..4u64 {
+            let monitor = seed % 2 == 0;
+            let compact = if seed < 2 { Some(4) } else { None };
+            let mut rng = StdRng::seed_from_u64(0x5AD_F1E1D ^ (seed << 8) ^ shards as u64);
+            let topo = random_topology(&mut rng, 5, true);
+            let ops = random_ops_multifield(&mut rng, &topo, 100, WIDTH, &SEC_WIDTHS, 20, 0.3);
+            let mut net = ShardedDeltaNet::new(topo.clone(), mf_config(monitor, compact), shards);
+            let mut live: Vec<Rule> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                net.try_apply(op)
+                    .unwrap_or_else(|e| panic!("shards {shards} seed {seed} op {i}: {e}"));
+                track(&mut live, op);
+                if (i + 1) % CHECK_EVERY != 0 && i + 1 != ops.len() {
+                    continue;
+                }
+                let scan = full_scan_sharded(&net);
+                let oracle = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+                assert_equivalent(
+                    &format!("shards {shards} seed {seed} op {i} scan-vs-oracle"),
+                    &scan,
+                    &oracle,
+                );
+                if monitor {
+                    let active = net.active_violations().expect("monitor is on");
+                    assert_equivalent(
+                        &format!("shards {shards} seed {seed} op {i} monitor-vs-scan"),
+                        &active,
+                        &scan,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn three_field_header_space_matches_oracle() {
+    // dst × src × dport: both secondary slots in use, deliberately tiny
+    // field widths so the class cross product stays cheap while every
+    // combination of constrained/wildcard fields occurs.
+    const SEC3: [u8; 2] = [4, 3];
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(0x3F1E1D ^ seed);
+        let topo = random_topology(&mut rng, 4, true);
+        let ops = random_ops_multifield(&mut rng, &topo, 80, WIDTH, &SEC3, 20, 0.3);
+        let config = DeltaNetConfig {
+            field_width: WIDTH,
+            check_loops_per_update: true,
+            compact_threshold: Some(4),
+            monitor_violations: true,
+            ..DeltaNetConfig::default()
+        }
+        .with_secondary(&SEC3);
+        assert_eq!(config.header_space().field_count(), 3);
+        let mut net = DeltaNet::new(topo.clone(), config);
+        let mut live: Vec<Rule> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            net.try_apply(op)
+                .unwrap_or_else(|e| panic!("seed {seed} op {i} rejected: {e}"));
+            track(&mut live, op);
+            if (i + 1) % CHECK_EVERY != 0 && i + 1 != ops.len() {
+                continue;
+            }
+            let scan = full_scan_single(&net);
+            let oracle = scan_multifield(&topo, &live, WIDTH, &SEC3);
+            assert_equivalent(
+                &format!("seed {seed} op {i} scan-vs-oracle"),
+                &scan,
+                &oracle,
+            );
+            let active = net.active_violations().expect("monitor is on");
+            assert_equivalent(
+                &format!("seed {seed} op {i} monitor-vs-scan"),
+                &active,
+                &scan,
+            );
+        }
+    }
+}
+
+#[test]
+fn per_update_violations_match_oracle_transitions() {
+    // The per-update reports must notice every loop that appears: whenever
+    // the oracle says the plane has a loop that was not there before the
+    // op, the op's own report must carry a loop violation.
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0x0DD_5EED ^ seed);
+        let topo = random_topology(&mut rng, 4, true);
+        let ops = random_ops_multifield(&mut rng, &topo, 80, WIDTH, &SEC_WIDTHS, 20, 0.3);
+        let mut net = DeltaNet::new(topo.clone(), mf_config(false, None));
+        let mut live: Vec<Rule> = Vec::new();
+        let mut before = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+        for (i, op) in ops.iter().enumerate() {
+            let report = net
+                .try_apply(op)
+                .unwrap_or_else(|e| panic!("seed {seed} op {i} rejected: {e}"));
+            track(&mut live, op);
+            let after = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+            let loops_before = loops_by_cycle(&before);
+            for (cycle, _) in loops_by_cycle(&after) {
+                if matches!(op, Op::Insert(_)) && !loops_before.contains_key(&cycle) {
+                    assert!(
+                        report.has_loop(),
+                        "seed {seed} op {i}: oracle sees new loop {cycle:?}, report is clean"
+                    );
+                }
+            }
+            before = after;
+        }
+    }
+}
+
+#[test]
+fn acl_workload_replays_and_matches_oracle() {
+    // The ACL-style dst × src workload generator feeds straight into a
+    // multi-field engine, and the resulting plane agrees with the oracle.
+    use workloads::rulegen::{generate_multifield_rules, MultiFieldConfig};
+    use workloads::topologies::four_switch_ring;
+    let topo = four_switch_ring();
+    let prefixes: Vec<IpPrefix> = (0..8u128)
+        .map(|i| IpPrefix::new((10 << 24) | (i << 16), 16, 32))
+        .collect();
+    let config = MultiFieldConfig {
+        sec_widths: vec![6],
+        ..MultiFieldConfig::default()
+    };
+    let gen = generate_multifield_rules(&topo, &prefixes, &config);
+    let mut net = DeltaNet::new(
+        gen.topology.clone(),
+        DeltaNetConfig::default().with_secondary(&gen.sec_widths),
+    );
+    let mut live: Vec<Rule> = Vec::new();
+    for op in gen.trace.ops() {
+        net.try_apply(op).expect("generated op must be accepted");
+        track(&mut live, op);
+    }
+    assert_eq!(net.rule_count(), gen.rules.len());
+    // The deny overlay produces real multi-field blackholes: denied
+    // (dst, src) classes arrive at a switch and die at the drop link.
+    let scan = full_scan_single(&net);
+    assert!(scan.iter().any(|v| !v.is_loop()));
+    let oracle = scan_multifield(&gen.topology, &live, 32, &gen.sec_widths);
+    assert_equivalent("acl workload", &scan, &oracle);
+}
+
+#[test]
+fn field_mismatch_is_rejected_cleanly() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let topo = random_topology(&mut rng, 3, true);
+    // Single-field engine rejects a rule constraining a secondary field.
+    let mut net = DeltaNet::new(
+        topo.clone(),
+        DeltaNetConfig {
+            field_width: WIDTH,
+            ..DeltaNetConfig::default()
+        },
+    );
+    let node = topo.switch_nodes().next().unwrap();
+    let link = topo.out_links(node)[0];
+    let rule = Rule::forward(RuleId(1), IpPrefix::new(0, 0, WIDTH), 1, node, link)
+        .with_secondary(SecondaryMatch::new(&[Interval::new(1, 5)]));
+    let err = net.try_apply(&Op::Insert(rule)).unwrap_err();
+    assert!(
+        err.to_string().contains("secondary header field"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(net.rule_count(), 0, "rejected insert must not mutate");
+    // A multi-field engine rejects a rule whose secondary interval falls
+    // outside the declared width.
+    let mut net = DeltaNet::new(topo.clone(), mf_config(false, None));
+    let wide = Rule::forward(RuleId(2), IpPrefix::new(0, 0, WIDTH), 1, node, link)
+        .with_secondary(SecondaryMatch::new(&[Interval::new(0, 1 << 7)]));
+    assert!(net.try_apply(&Op::Insert(wide)).is_err());
+    // The same checks hold behind the sharded engine's validation.
+    let mut sharded = ShardedDeltaNet::new(
+        topo.clone(),
+        DeltaNetConfig {
+            field_width: WIDTH,
+            ..DeltaNetConfig::default()
+        },
+        2,
+    );
+    assert!(sharded.try_apply(&Op::Insert(rule)).is_err());
+    assert_eq!(sharded.rule_count(), 0);
+}
