@@ -1,0 +1,29 @@
+//! Runs the incremental multi-field violation-monitoring experiment: the
+//! monitored ACL dst × src churn on the stand-alone engine, with the
+//! scoped slice repair timed against the apply + full cross-field rescan
+//! baseline it replaces. The maintained state is audited against the full
+//! scans after *every* op (the `cross_checks` / `mismatches` /
+//! `counts_match` fields), and the single-field flapping-churn replay runs
+//! alongside to pin that the fast path is untaxed.
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin multifield_monitor [-- --scale tiny|small|medium] [--json <path>]`
+//!
+//! Without `--json`, the machine-readable report is printed to stdout; the
+//! same object appears as the `multifield_monitor` section of
+//! `all_experiments --json`. The committed `BENCH_PR9.json` is produced by
+//! this binary.
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = bench::experiments::multifield_monitor_json(scale).render();
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote multifield_monitor report ({scale:?} scale) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

@@ -376,6 +376,41 @@ pub fn summary_json(s: &Summary) -> Vec<(&'static str, Json)> {
     ]
 }
 
+/// The `meta` block every machine-readable report carries: the revision
+/// that produced the numbers, the machine shape (`available_parallelism`),
+/// the cargo profile, the scale profile, and the emitter's dataset
+/// parameters. Committed baselines are only comparable when these agree —
+/// the CI perf-smoke regression gate keys off `available_parallelism`
+/// before trusting a timing diff.
+pub fn meta_json(scale: ScaleProfile, dataset_params: Vec<(&'static str, Json)>) -> Json {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut fields = vec![
+        ("git_rev", Json::str(git_rev)),
+        ("available_parallelism", Json::int(available)),
+        (
+            "cargo_profile",
+            Json::str(if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }),
+        ),
+        ("scale", Json::str(format!("{scale:?}").to_lowercase())),
+    ];
+    fields.extend(dataset_params);
+    Json::obj(fields)
+}
+
 /// The `updates` section of the JSON report: per-dataset replay of the full
 /// trace (inserts + removals, per-update loop check on) with Table-3 style
 /// summary statistics plus final memory.
@@ -520,6 +555,19 @@ pub fn churn_json(scale: ScaleProfile) -> Json {
     };
 
     Json::obj([
+        (
+            "meta",
+            meta_json(
+                scale,
+                vec![
+                    ("dataset", Json::str("Churn")),
+                    ("stable_prefixes", Json::int(config.stable_prefixes)),
+                    ("flapping_prefixes", Json::int(config.flapping_prefixes)),
+                    ("cycles", Json::int(config.cycles)),
+                    ("seed", Json::int(config.seed as usize)),
+                ],
+            ),
+        ),
         ("dataset", Json::str("Churn")),
         ("operations", Json::int(churn.trace.len())),
         ("baseline_ops", Json::int(churn.baseline_ops)),
@@ -597,6 +645,19 @@ pub fn monitor_churn_json(scale: ScaleProfile) -> Json {
     let counts_match = mismatches == 0 && inc_loops == scan_loops && inc_holes == scan_holes;
     Json::obj([
         ("schema", Json::str("deltanet-monitor-v1")),
+        (
+            "meta",
+            meta_json(
+                scale,
+                vec![
+                    ("dataset", Json::str("Churn")),
+                    ("stable_prefixes", Json::int(config.stable_prefixes)),
+                    ("flapping_prefixes", Json::int(config.flapping_prefixes)),
+                    ("cycles", Json::int(config.cycles)),
+                    ("seed", Json::int(config.seed as usize)),
+                ],
+            ),
+        ),
         ("dataset", Json::str("Churn")),
         ("operations", Json::int(ops.len())),
         ("incremental_ms", Json::ms(incremental_s * 1e3)),
@@ -771,6 +832,7 @@ pub fn multifield_json(scale: ScaleProfile) -> Json {
 
     Json::obj([
         ("schema", Json::str("deltanet-multifield-v1")),
+        ("meta", mf_meta_json(scale, ring_size, n_prefixes, &mf)),
         ("dataset", Json::str("ACL dst x src")),
         ("header_space", Json::str("[dst:32, src:8]")),
         ("operations", Json::int(ops.len())),
@@ -779,6 +841,168 @@ pub fn multifield_json(scale: ScaleProfile) -> Json {
         ("mismatches", Json::int(mismatches)),
         ("counts_match", Json::Bool(mismatches == 0)),
         ("engines", engines),
+    ])
+}
+
+/// The shared `meta` block of the multi-field emitters: the ACL dst × src
+/// generator parameters next to the machine/profile fields.
+fn mf_meta_json(
+    scale: ScaleProfile,
+    ring_size: usize,
+    n_prefixes: usize,
+    mf: &workloads::rulegen::MultiFieldConfig,
+) -> Json {
+    meta_json(
+        scale,
+        vec![
+            ("dataset", Json::str("ACL dst x src")),
+            ("ring_size", Json::int(ring_size)),
+            ("prefixes", Json::int(n_prefixes)),
+            ("acl_per_prefix", Json::int(mf.acl_per_prefix)),
+            (
+                "sec_widths",
+                Json::arr(mf.sec_widths.iter().map(|&w| Json::int(w as usize))),
+            ),
+            ("constrain_fraction", Json::ms(mf.constrain_fraction)),
+            ("seed", Json::int(mf.seed as usize)),
+            ("append_removals", Json::Bool(mf.append_removals)),
+        ],
+    )
+}
+
+/// The `multifield_monitor` section (BENCH_PR9.json): the monitored ACL
+/// dst × src churn on the stand-alone engine, incremental slice repair vs
+/// the per-update full-plane rescan it replaces.
+///
+/// * **incremental**: a monitored multi-field engine; only the apply is
+///   timed. Outside the timed section, after *every* op the maintained
+///   [`DeltaNet::active_violations`] is cross-checked against the engine's
+///   own full rescans in the order- and numbering-invariant comparison
+///   form — `cross_checks` counts the audits and `mismatches` must be 0.
+/// * **rescan**: the same engine with monitoring off, paying apply + both
+///   full cross-field scans per op — the cost shape of the pre-incremental
+///   monitored path (`BENCH_PR8.json`'s 2718 µs/op single-shard entry).
+///
+/// `single_field_churn_us_per_op` replays the single-field flapping-churn
+/// workload (checks off) in the same process, pinning that the multi-field
+/// machinery did not tax the fast path.
+pub fn multifield_monitor_json(scale: ScaleProfile) -> Json {
+    use workloads::rulegen::{generate_multifield_rules, MultiFieldConfig};
+
+    let (ring_size, n_prefixes) = match scale {
+        ScaleProfile::Tiny => (4, 8),
+        ScaleProfile::Small => (6, 24),
+        ScaleProfile::Medium => (8, 64),
+    };
+    let topo = workloads::topologies::ring_with_borders("mf", ring_size);
+    let prefixes = workloads::bgp::generate_prefixes(workloads::bgp::PrefixGenConfig {
+        count: n_prefixes,
+        ..Default::default()
+    });
+    let mf = MultiFieldConfig {
+        sec_widths: vec![8],
+        acl_per_prefix: 2,
+        constrain_fraction: 0.7,
+        seed: 0xACD5 ^ n_prefixes as u64,
+        append_removals: true,
+    };
+    let gen = generate_multifield_rules(&topo, &prefixes, &mf);
+    let ops = gen.trace.ops();
+    let config = DeltaNetConfig {
+        check_loops_per_update: true,
+        compact_threshold: Some(256),
+        ..Default::default()
+    }
+    .with_secondary(&gen.sec_widths);
+
+    // Incremental run: scoped slice repair keeps the monitor current; only
+    // the apply is timed, the per-op audit runs outside the timer.
+    let mut net = DeltaNet::new(
+        gen.topology.clone(),
+        DeltaNetConfig {
+            monitor_violations: true,
+            ..config
+        },
+    );
+    let mut incremental_s = 0f64;
+    let mut cross_checks = 0usize;
+    let mut mismatches = 0usize;
+    let mut transitions = 0usize;
+    for op in ops {
+        let start = Instant::now();
+        net.apply(op);
+        incremental_s += start.elapsed().as_secs_f64();
+        transitions += net.monitor().map_or(0, |m| m.last_events().len());
+        let mut expect = net.check_all_loops();
+        expect.extend(net.check_all_blackholes());
+        let active = net.active_violations().expect("monitoring is on");
+        cross_checks += 1;
+        if mf_comparison_form(&active) != mf_comparison_form(&expect) {
+            mismatches += 1;
+        }
+    }
+    let monitor = net.monitor().expect("monitoring is on");
+    let (inc_loops, inc_holes) = (monitor.loop_count(), monitor.blackhole_count());
+    let final_atoms = net.atom_count();
+
+    // Rescan baseline: apply + both full cross-field scans, all timed.
+    let mut net = DeltaNet::new(gen.topology.clone(), config);
+    let mut rescan_s = 0f64;
+    let mut scan_loops = 0usize;
+    let mut scan_holes = 0usize;
+    for op in ops {
+        let start = Instant::now();
+        net.apply(op);
+        scan_loops = net.check_all_loops().len();
+        scan_holes = net.check_all_blackholes().len();
+        rescan_s += start.elapsed().as_secs_f64();
+    }
+    let counts_match = mismatches == 0 && inc_loops == scan_loops && inc_holes == scan_holes;
+
+    // Single-field fast-path guard: the flapping churn replay, checks off.
+    let churn_topology = workloads::churn::churn_topology();
+    let churn = workloads::churn::flapping_churn(&churn_topology, scale.churn_config());
+    let mut churn_net = DeltaNet::new(
+        churn_topology.topology.clone(),
+        DeltaNetConfig {
+            check_loops_per_update: false,
+            ..Default::default()
+        },
+    );
+    let churn_start = Instant::now();
+    for op in churn.trace.ops() {
+        churn_net.apply(op);
+    }
+    let churn_s = churn_start.elapsed().as_secs_f64();
+
+    let per_op = |total_s: f64| total_s * 1e6 / ops.len().max(1) as f64;
+    Json::obj([
+        ("schema", Json::str("deltanet-multifield-monitor-v1")),
+        ("meta", mf_meta_json(scale, ring_size, n_prefixes, &mf)),
+        ("dataset", Json::str("ACL dst x src")),
+        ("header_space", Json::str("[dst:32, src:8]")),
+        ("engine", Json::str("single")),
+        ("operations", Json::int(ops.len())),
+        ("acl_rules", Json::int(prefixes.len() * mf.acl_per_prefix)),
+        ("incremental_ms", Json::ms(incremental_s * 1e3)),
+        ("rescan_ms", Json::ms(rescan_s * 1e3)),
+        ("speedup", Json::ms(rescan_s / incremental_s.max(1e-9))),
+        ("incremental_us_per_op", Json::ms(per_op(incremental_s))),
+        ("rescan_us_per_op", Json::ms(per_op(rescan_s))),
+        ("cross_checks", Json::int(cross_checks)),
+        ("mismatches", Json::int(mismatches)),
+        ("counts_match", Json::Bool(counts_match)),
+        ("violation_transitions", Json::int(transitions)),
+        ("final_loops_incremental", Json::int(inc_loops)),
+        ("final_loops_rescan", Json::int(scan_loops)),
+        ("final_blackholes_incremental", Json::int(inc_holes)),
+        ("final_blackholes_rescan", Json::int(scan_holes)),
+        ("final_atoms", Json::int(final_atoms)),
+        ("single_field_churn_ops", Json::int(churn.trace.len())),
+        (
+            "single_field_churn_us_per_op",
+            Json::ms(churn_s * 1e6 / churn.trace.len().max(1) as f64),
+        ),
     ])
 }
 
@@ -792,7 +1016,25 @@ pub fn microbench_json(scale: ScaleProfile) -> Json {
         ScaleProfile::Small => (40_000, 3),
         ScaleProfile::Medium => (80_000, 3),
     };
-    owner_bench_json(&owner_microbench(rules, 8, 42, runs))
+    let mut report = owner_bench_json(&owner_microbench(rules, 8, 42, runs));
+    if let Json::Obj(fields) = &mut report {
+        fields.insert(
+            0,
+            (
+                "meta".to_string(),
+                meta_json(
+                    scale,
+                    vec![
+                        ("dataset", Json::str("owner microbench")),
+                        ("rules", Json::int(rules)),
+                        ("runs", Json::int(runs)),
+                        ("seed", Json::int(42)),
+                    ],
+                ),
+            ),
+        );
+    }
+    report
 }
 
 /// Renders one [`OwnerBenchResult`] as JSON.
@@ -894,6 +1136,20 @@ pub fn shard_scaling_json(scale: ScaleProfile, shard_counts: &[usize], batch: us
     }
     Json::obj([
         ("schema", Json::str("deltanet-shards-v1")),
+        (
+            "meta",
+            meta_json(
+                scale,
+                vec![
+                    ("datasets", Json::str("Berkeley, Churn")),
+                    (
+                        "shard_counts",
+                        Json::arr(shard_counts.iter().map(|&s| Json::int(s))),
+                    ),
+                    ("batch", Json::int(batch)),
+                ],
+            ),
+        ),
         ("scale", Json::str(format!("{scale:?}").to_lowercase())),
         ("batch", Json::int(batch)),
         ("workers", Json::int(Parallelism::from_env().workers())),
@@ -1112,6 +1368,20 @@ pub fn persist_churn_json(scale: ScaleProfile) -> Json {
     let per_op = |total_s: f64| total_s * 1e6 / ops.len().max(1) as f64;
     Json::obj([
         ("schema", Json::str("deltanet-persist-v1")),
+        (
+            "meta",
+            meta_json(
+                scale,
+                vec![
+                    ("dataset", Json::str("Churn")),
+                    ("stable_prefixes", Json::int(config.stable_prefixes)),
+                    ("flapping_prefixes", Json::int(config.flapping_prefixes)),
+                    ("cycles", Json::int(config.cycles)),
+                    ("seed", Json::int(config.seed as usize)),
+                    ("commit_window", Json::int(WINDOW)),
+                ],
+            ),
+        ),
         ("dataset", Json::str("Churn")),
         ("operations", Json::int(ops.len())),
         ("commit_window", Json::int(WINDOW)),
@@ -1156,6 +1426,10 @@ pub fn persist_churn_json(scale: ScaleProfile) -> Json {
 pub fn json_report(scale: ScaleProfile) -> Json {
     Json::obj([
         ("schema", Json::str("deltanet-bench-v1")),
+        (
+            "meta",
+            meta_json(scale, vec![("report", Json::str("all_experiments"))]),
+        ),
         ("scale", Json::str(format!("{scale:?}").to_lowercase())),
         ("updates", updates_json(scale)),
         ("insert_hot_path", insert_hot_path_json(scale)),
@@ -1163,6 +1437,7 @@ pub fn json_report(scale: ScaleProfile) -> Json {
         ("churn", churn_json(scale)),
         ("shard_scaling", shard_scaling_json(scale, &[1, 2, 4], 256)),
         ("monitor", monitor_churn_json(scale)),
+        ("multifield_monitor", multifield_monitor_json(scale)),
         ("persist", persist_churn_json(scale)),
     ])
 }

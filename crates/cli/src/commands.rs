@@ -100,9 +100,11 @@ pub fn help() -> String {
                  per-shard groups running concurrently (--workers / DELTANET_WORKERS\n\
                  caps the threads). --check blackholes audits the final data plane for\n\
                  blackholes after the replay. --monitor (deltanet only) maintains the\n\
-                 live loop+blackhole violation set incrementally, streams appeared/\n\
-                 resolved transitions per trace op, and cross-checks the final state\n\
-                 against a full rescan.\n\
+                 live loop+blackhole violation set incrementally (multi-field planes\n\
+                 repair per touched slice), streams appeared/resolved transitions per\n\
+                 trace op, and audits the maintained state against an untimed full\n\
+                 rescan after every op (per window when batched); the report and\n\
+                 --json carry the cross-check and mismatch counts.\n\
                  --fields declares a multi-field header space (deltanet only), primary\n\
                  field first: e.g. --fields dst,src:8 verifies a dst x src plane with an\n\
                  8-bit source axis (named fields default to dst/src 32 bits, dport 16;\n\
@@ -351,13 +353,18 @@ impl ReplayEngine {
 /// eliding the rest (the counts are always exact).
 const MAX_TRANSITION_LINES: usize = 50;
 
-/// Accumulates the appeared/resolved stream of a monitored replay.
+/// Accumulates the appeared/resolved stream of a monitored replay, plus
+/// the per-operation audit of the maintained state against a full
+/// rescan — the replay-level twin of the differential test oracle, so an
+/// operator can see the incremental path verified on *their* trace.
 #[derive(Default)]
 struct TransitionLog {
     lines: Vec<String>,
     appeared: usize,
     resolved: usize,
     prev: BTreeSet<ViolationKey>,
+    cross_checks: usize,
+    cross_check_mismatches: usize,
 }
 
 impl TransitionLog {
@@ -377,6 +384,17 @@ impl TransitionLog {
             }
         }
         self.prev = now;
+    }
+
+    /// Records one incremental-vs-rescan comparison (`None` — e.g. a
+    /// veriflow engine with no monitor — counts nothing).
+    fn cross_check(&mut self, matches: Option<bool>) {
+        if let Some(ok) = matches {
+            self.cross_checks += 1;
+            if !ok {
+                self.cross_check_mismatches += 1;
+            }
+        }
     }
 }
 
@@ -608,6 +626,13 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     let label = format!("ops {}..{}", offset - chunk.len() + 1, offset);
                     let keys = net.monitor_keys().unwrap_or_default();
                     log.observe(&label, keys);
+                    // Untimed audit: the maintained (incrementally repaired)
+                    // state against a fresh full rescan, once per window.
+                    log.cross_check(net.active_violations().map(|active| {
+                        let mut expect = net.check_all_loops();
+                        expect.extend(net.check_all_blackholes());
+                        active == expect
+                    }));
                 }
             }
         }
@@ -639,6 +664,10 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     let label = format!("op {} ({})", index + 1, describe_op(op));
                     let keys = engine.monitor_keys().unwrap_or_default();
                     log.observe(&label, keys);
+                    // Untimed per-op audit of the incremental state against
+                    // a full rescan (multi-field planes included).
+                    let matches = engine.monitor_matches_rescan();
+                    log.cross_check(matches);
                 }
             }
         }
@@ -710,6 +739,11 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                 ("monitor_blackholes", Json::int(active_holes)),
                 ("monitor_appeared", Json::int(log.appeared)),
                 ("monitor_resolved", Json::int(log.resolved)),
+                ("monitor_cross_checks", Json::int(log.cross_checks)),
+                (
+                    "monitor_cross_check_mismatches",
+                    Json::int(log.cross_check_mismatches),
+                ),
                 (
                     "monitor_matches_rescan",
                     Json::Bool(monitor_matches.unwrap_or(false)),
@@ -789,8 +823,11 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             }
         }
         out.push_str(&format!(
-            "monitor matches full rescan: {}\n",
-            if monitor_matches == Some(true) {
+            "incremental vs rescan: {} cross-checks, {} mismatches\n\
+             monitor matches full rescan: {}\n",
+            log.cross_checks,
+            log.cross_check_mismatches,
+            if monitor_matches == Some(true) && log.cross_check_mismatches == 0 {
                 "yes"
             } else {
                 "NO — this is a bug, please report it"
@@ -1657,6 +1694,10 @@ mod tests {
             let r = run(&parsed(&argv)).unwrap();
             assert!(r.contains("blackhole at n2"), "{r}");
             assert!(r.contains("[10.0.0.0 : 11.0.0.0)"), "{r}");
+            assert!(
+                r.contains("incremental vs rescan: 3 cross-checks, 0 mismatches"),
+                "{r}"
+            );
             assert!(r.contains("monitor matches full rescan: yes"), "{r}");
         }
 

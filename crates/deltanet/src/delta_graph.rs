@@ -39,10 +39,12 @@ pub struct DeltaGraph {
     /// Atom splits in the *secondary* field lattices of a multi-field
     /// engine, tagged with the secondary field index (0-based, in
     /// declaration order). Secondary atoms carry no owner cells or label
-    /// bits — the cross-field checks enumerate their classes fresh each
-    /// time — so these entries are purely informational (diagnostics, the
-    /// per-update footprint of a multi-field insert); nothing keys live
-    /// state off them.
+    /// bits, but the engine's incremental monitor repair keys off these
+    /// entries within the recording update: a non-empty list invalidates
+    /// the memoized secondary-class layer, and each `new` atom names a
+    /// fresh secondary class whose `(primary atom, class)` slices must be
+    /// recomputed from scratch — never inherited — mirroring the primary
+    /// split rule of the delta-graph repair.
     pub sec_splits: Vec<(u8, DeltaPair)>,
 }
 
@@ -200,9 +202,13 @@ impl DeltaGraph {
                 _ => false,
             });
         // A compaction pass renumbers the secondary lattices too, but its
-        // remap table covers only the primary field; the recorded secondary
-        // splits would be left holding stale ids, and — being informational
-        // only — they migrate no state, so they are dropped instead.
+        // remap table covers only the primary field, so the recorded
+        // secondary splits would be left holding stale ids. Dropping them is
+        // safe: the engine consumes `sec_splits` within the update that
+        // recorded them (cache invalidation + new-class slice recompute in
+        // `finish_update`), which always runs *before* any compaction, and
+        // `compact()` separately invalidates the class cache and remaps the
+        // per-class ledger itself.
         self.sec_splits.clear();
     }
 

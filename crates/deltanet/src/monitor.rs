@@ -182,8 +182,12 @@ impl ViolationMonitor {
     /// new state handed in whole instead of repaired from a delta. The
     /// multi-field engine uses this: its violation state depends on
     /// cross-field intersections that no single-field delta-graph
-    /// describes, so each update recomputes the maps via
-    /// [`crate::multifield`] and swaps them in here.
+    /// describes. Since PR 9 the maps handed in are *not* full rescans:
+    /// the engine keeps a per-secondary-class ledger
+    /// ([`crate::multifield::MfClassState`]), repairs only the
+    /// `(primary atom, secondary class)` slices an update touched, and
+    /// swaps in the rebuilt class union here — identity-level events stay
+    /// exact because this diff is computed against the previous union.
     pub(crate) fn replace_state(
         &mut self,
         loops: BTreeMap<Vec<NodeId>, AtomSet>,

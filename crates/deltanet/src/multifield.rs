@@ -16,6 +16,38 @@
 //! multiplying the machinery itself. The single-field hot path never enters
 //! this module.
 //!
+//! ## The incremental slice-repair contract
+//!
+//! The unit of cross-field work is a *slice*: one `(primary atom α,
+//! secondary class c)` pair, whose forwarding function `F_{α,c}` maps each
+//! node to [`mf_successor`]'s decision. The full scans ([`mf_cycles`],
+//! [`mf_holes`]) evaluate every slice; the scoped repair
+//! ([`mf_repair_slices`], with [`mf_cycles_for_slices`] /
+//! [`mf_holes_for_slices`] as its two projections) evaluates exactly the
+//! `atoms × classes` rectangle it is given. Both compute the same
+//! predicates — pure functions of `F_{α,c}` — but through independent
+//! implementations: the full scans re-resolve owner cells as they walk,
+//! while the repair memoizes each emitter's decision once per slice and
+//! chases stamped scratch arrays. A slice's scoped result is therefore
+//! bit-identical to its share of the full scan, and the differential
+//! suite cross-checks two genuinely distinct code paths.
+//!
+//! One rule update changes `F_{α,c}` only at the rule's source node, only
+//! for atoms of its (clip-adjusted) interval, and only in classes its
+//! [`netmodel::rule::SecondaryMatch`] covers — and among those, only
+//! where the owner-cell winner at the source actually changed, which
+//! [`decision_changed`] detects with one cell probe per slice; atoms and
+//! classes created by lattice splits start with no tracked state and are
+//! recomputed from scratch, never inherited (the PR 5 split rule, applied
+//! cross-field).
+//! The engine therefore repairs its per-class ledger ([`MfClassState`]) by
+//! re-walking a few small rectangles per update instead of the whole
+//! plane, and feeds the ledger's class-union to the
+//! [`crate::monitor::ViolationMonitor`] — preserving exact identity-level
+//! appeared/resolved events. `tests/multifield_differential.rs` pins the
+//! bit-identity of the repaired state against these full scans after every
+//! operation.
+//!
 //! Two things are deliberately *not* multi-field aware:
 //!
 //! * **Edge labels.** A label answers "which atoms does the
@@ -26,10 +58,12 @@
 //!   checks below never consult labels; they re-resolve winners from the
 //!   owner cells per secondary class.
 //! * **Secondary owner structures.** Secondary lattices are typically tiny
-//!   (a handful of ACL source blocks); enumerating their cross product is
-//!   cheaper and simpler than maintaining N-dimensional owner state.
+//!   (a handful of ACL source blocks); enumerating their cross product —
+//!   memoized by the engine, invalidated only when an update actually adds
+//!   or retires secondary bounds — is cheaper and simpler than maintaining
+//!   N-dimensional owner state.
 
-use crate::atoms::{AtomId, AtomMap};
+use crate::atoms::{AtomId, AtomMap, REMAP_DEAD};
 use crate::atomset::AtomSet;
 use crate::loops::canonicalize;
 use crate::owner::Owner;
@@ -37,11 +71,12 @@ use netmodel::header::MAX_SECONDARY_FIELDS;
 use netmodel::interval::{Bound, Interval};
 use netmodel::rule::{Rule, RuleId};
 use netmodel::topology::{LinkId, NodeId, Topology};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// A borrowed view of exactly the engine state the cross-field checks
 /// need. Bundling the borrows lets the engine hand out one immutable view
-/// while keeping mutable access to the rest of itself (the monitor).
+/// while keeping mutable access to the rest of itself (the monitor, the
+/// per-class ledger).
 pub(crate) struct MfView<'a> {
     pub topology: &'a Topology,
     pub owner: &'a Owner,
@@ -60,7 +95,9 @@ pub(crate) type SecClass = [Bound; MAX_SECONDARY_FIELDS];
 
 /// Enumerates the cross product of the secondary lattices' atoms as
 /// representative classes. With no declared secondary fields this is the
-/// single all-wildcard class.
+/// single all-wildcard class. The engine memoizes the result
+/// (`DeltaNet::sec_class_cache`) and re-enumerates only when an update
+/// records secondary splits or a compaction merges secondary atoms.
 pub(crate) fn sec_classes(sec_atoms: &[AtomMap]) -> Vec<SecClass> {
     let mut classes: Vec<SecClass> = vec![[0; MAX_SECONDARY_FIELDS]];
     for (field, map) in sec_atoms.iter().enumerate() {
@@ -75,6 +112,86 @@ pub(crate) fn sec_classes(sec_atoms: &[AtomMap]) -> Vec<SecClass> {
         classes = next;
     }
     classes
+}
+
+/// Reusable scratch for slice walks: the per-atom emitter list and the
+/// visited marks, hoisted so neither the full scans nor the scoped repair
+/// allocate (or clear) per slice. Visited marks are generation-stamped —
+/// starting a new slice is a counter bump, not an O(nodes) clear.
+pub(crate) struct MfScratch {
+    /// Nodes owning at least one rule for the current primary atom,
+    /// collected once per atom and reused across every class.
+    emitters: Vec<NodeId>,
+    /// `visited[n] == generation` marks node `n` as explored in the
+    /// current slice.
+    visited: Vec<u32>,
+    generation: u32,
+    /// Memoized forwarding decisions of the current slice, valid where
+    /// `succ_gen[n] == generation`: the fused repair resolves each
+    /// emitter's owner cell exactly once per slice, and both the cycle
+    /// walks and the blackhole predicate read from here.
+    succ: Vec<Option<LinkId>>,
+    succ_gen: Vec<u32>,
+    /// Walk-local state for the cycle search: `on_path_gen[n] == walk_gen`
+    /// marks node `n` as lying on the walk's current path, at position
+    /// `path_pos[n]` of `path`. Stamped like `visited`, so starting a new
+    /// walk is a counter bump, not a hash-map allocation.
+    on_path_gen: Vec<u32>,
+    path_pos: Vec<u32>,
+    walk_gen: u32,
+    path: Vec<NodeId>,
+    /// Nodes some winner forwards into (blackhole candidates); may hold
+    /// duplicates, the sink is idempotent.
+    arrived: Vec<NodeId>,
+}
+
+impl MfScratch {
+    /// Scratch sized for a topology with `node_count` nodes.
+    pub(crate) fn new(node_count: usize) -> Self {
+        MfScratch {
+            emitters: Vec::new(),
+            visited: vec![0; node_count],
+            generation: 0,
+            succ: vec![None; node_count],
+            succ_gen: vec![0; node_count],
+            on_path_gen: vec![0; node_count],
+            path_pos: vec![0; node_count],
+            walk_gen: 0,
+            path: Vec::new(),
+            arrived: Vec::new(),
+        }
+    }
+
+    /// Collects the emitter nodes of `atom`; returns `false` when the atom
+    /// has no owners anywhere (the whole atom row can be skipped).
+    fn collect_emitters(&mut self, view: &MfView<'_>, atom: AtomId) -> bool {
+        self.emitters.clear();
+        self.emitters
+            .extend(view.owner.sources(atom).map(|(node, _)| node));
+        !self.emitters.is_empty()
+    }
+
+    /// Begins one `(atom, class)` slice: bumps the visited generation and
+    /// hands out the emitter list plus the stamped visited marks.
+    fn slice(&mut self) -> (&[NodeId], &mut [u32], u32) {
+        if self.generation == u32::MAX {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.succ_gen.iter_mut().for_each(|v| *v = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        (&self.emitters, &mut self.visited, self.generation)
+    }
+
+    /// The memoized decision at `node` for the current slice.
+    #[inline]
+    fn succ_of(&self, node: NodeId) -> Option<LinkId> {
+        if self.succ_gen[node.index()] == self.generation {
+            self.succ[node.index()]
+        } else {
+            None
+        }
+    }
 }
 
 /// The forwarding decision at `node` for primary atom `atom` and secondary
@@ -102,15 +219,63 @@ pub(crate) fn mf_successor(
         .map(|owned| owned.link)
 }
 
+/// Whether inserting or removing `rule` changed the forwarding decision of
+/// slice `(atom, class)`. A rule participates only in the owner cells at
+/// its own source, so this single cell decides the whole slice: the
+/// decision changed iff the winning link there differs with the rule
+/// present versus absent. Called on the *post-update* cell, the same test
+/// covers both directions — `rule`'s own entry (present after an insert,
+/// gone after a removal) is skipped, leaving the without-rule winner, and
+/// the with-rule winner is `rule` itself unless a higher-ordered match
+/// shadows it.
+///
+/// Slices this rejects kept their forwarding function bit-for-bit, so
+/// their ledger entries are already exact and need no re-walk.
+pub(crate) fn decision_changed(
+    view: &MfView<'_>,
+    rule: &Rule,
+    atom: AtomId,
+    class: &SecClass,
+) -> bool {
+    if !rule.sec.matches(class) {
+        return false;
+    }
+    let key = (rule.priority, rule.id);
+    let without = view.owner.get(atom, rule.source).and_then(|cell| {
+        cell.as_slice()
+            .iter()
+            .rev()
+            .filter(|owned| owned.id != rule.id)
+            .find(|owned| {
+                view.rules
+                    .get(&owned.id)
+                    .is_some_and(|r| r.sec.matches(class))
+            })
+            .map(|owned| ((owned.priority, owned.id), owned.link))
+    });
+    match without {
+        // A higher-ordered match wins with or without the rule: shadowed
+        // both before and after the update, decision untouched.
+        Some((k, _)) if k > key => false,
+        // The rule wins when present; changed iff the runner-up (or the
+        // absence of one) forwards differently.
+        Some((_, link)) => link != rule.link,
+        None => true,
+    }
+}
+
 /// Follows the per-class forwarding function from `start`, recording any
-/// cycle it runs into. `visited` deduplicates walks that share a tail
-/// within one `(atom, class)` slice and must be reset between slices.
+/// cycle it runs into. A node whose visited mark equals `generation` was
+/// already explored within the current `(atom, class)` slice, so walks
+/// that share a tail deduplicate; the caller bumps the generation between
+/// slices ([`MfScratch::slice`]).
 fn walk_for_cycle(
     view: &MfView<'_>,
     start: NodeId,
     atom: AtomId,
     class: &SecClass,
-    visited: &mut [bool],
+    visited: &mut [u32],
+    generation: u32,
     cycles: &mut BTreeMap<Vec<NodeId>, AtomSet>,
 ) {
     let mut path: Vec<NodeId> = Vec::new();
@@ -122,12 +287,12 @@ fn walk_for_cycle(
             cycles.entry(cycle).or_default().insert(atom);
             return;
         }
-        if visited[current.index()] {
+        if visited[current.index()] == generation {
             // Joined a path already explored this slice; any cycle it
             // leads to was recorded by the walk that got there first.
             return;
         }
-        visited[current.index()] = true;
+        visited[current.index()] = generation;
         on_path.insert(current, path.len());
         path.push(current);
         let Some(link) = mf_successor(view, current, atom, class) else {
@@ -141,63 +306,392 @@ fn walk_for_cycle(
     }
 }
 
-/// Full-plane loop scan: every primary atom × every secondary class,
+/// Evaluates the blackhole predicate for one `(atom, class)` slice,
+/// invoking `sink` for every switch where the class arrives unhandled. A
+/// class blackholes at a switch when some in-link delivers it there (the
+/// upstream node's winner for the class is that link) but the switch
+/// itself has no winner — no covering rule whose secondary intervals
+/// match. A drop-rule winner counts as handled; traffic forwarded into the
+/// drop node was deliberately discarded and never "arrives" anywhere.
+fn holes_for_slice(
+    view: &MfView<'_>,
+    emitters: &[NodeId],
+    atom: AtomId,
+    class: &SecClass,
+    handled: &mut HashSet<NodeId>,
+    arrived: &mut HashSet<NodeId>,
+    mut sink: impl FnMut(NodeId),
+) {
+    handled.clear();
+    arrived.clear();
+    for &node in emitters {
+        if let Some(link) = mf_successor(view, node, atom, class) {
+            handled.insert(node);
+            let dst = view.topology.link(link).dst;
+            if !view.topology.is_drop_node(dst) {
+                arrived.insert(dst);
+            }
+        }
+    }
+    for &node in arrived.difference(handled) {
+        sink(node);
+    }
+}
+
+/// Full-plane loop scan: every primary atom × every class of `classes`,
 /// walking from every node that owns rules for the atom. Loops found in
 /// different secondary classes but on the same node cycle union their
 /// primary atoms, matching how violations aggregate packet intervals.
-pub(crate) fn mf_cycles(view: &MfView<'_>) -> BTreeMap<Vec<NodeId>, AtomSet> {
-    let classes = sec_classes(view.sec_atoms);
+pub(crate) fn mf_cycles(view: &MfView<'_>, classes: &[SecClass]) -> BTreeMap<Vec<NodeId>, AtomSet> {
     let mut cycles = BTreeMap::new();
-    let mut visited = vec![false; view.topology.node_count()];
+    let mut scratch = MfScratch::new(view.topology.node_count());
     for (atom, _) in view.atoms.iter() {
-        let emitters: Vec<NodeId> = view.owner.sources(atom).map(|(node, _)| node).collect();
-        if emitters.is_empty() {
+        if !scratch.collect_emitters(view, atom) {
             continue;
         }
-        for class in &classes {
-            visited.iter_mut().for_each(|v| *v = false);
-            for &start in &emitters {
-                walk_for_cycle(view, start, atom, class, &mut visited, &mut cycles);
+        for class in classes {
+            let (emitters, visited, generation) = scratch.slice();
+            for &start in emitters {
+                walk_for_cycle(view, start, atom, class, visited, generation, &mut cycles);
             }
         }
     }
     cycles
 }
 
-/// Full-plane blackhole scan. A class blackholes at a switch when some
-/// in-link delivers it there (the upstream node's winner for the class is
-/// that link) but the switch itself has no winner — no covering rule whose
-/// secondary intervals match. A drop-rule winner counts as handled;
-/// traffic forwarded into the drop node was deliberately discarded and
-/// never "arrives" anywhere.
-pub(crate) fn mf_holes(view: &MfView<'_>) -> BTreeMap<NodeId, AtomSet> {
-    let classes = sec_classes(view.sec_atoms);
+/// Full-plane blackhole scan over every primary atom × every class of
+/// `classes` (see [`holes_for_slice`] for the per-slice predicate).
+pub(crate) fn mf_holes(view: &MfView<'_>, classes: &[SecClass]) -> BTreeMap<NodeId, AtomSet> {
     let mut holes: BTreeMap<NodeId, AtomSet> = BTreeMap::new();
+    let mut scratch = MfScratch::new(view.topology.node_count());
     let mut handled: HashSet<NodeId> = HashSet::new();
     let mut arrived: HashSet<NodeId> = HashSet::new();
     for (atom, _) in view.atoms.iter() {
-        let emitters: Vec<NodeId> = view.owner.sources(atom).map(|(node, _)| node).collect();
-        if emitters.is_empty() {
+        if !scratch.collect_emitters(view, atom) {
             continue;
         }
-        for class in &classes {
-            handled.clear();
-            arrived.clear();
-            for &node in &emitters {
-                if let Some(link) = mf_successor(view, node, atom, class) {
-                    handled.insert(node);
-                    let dst = view.topology.link(link).dst;
-                    if !view.topology.is_drop_node(dst) {
-                        arrived.insert(dst);
-                    }
-                }
-            }
-            for &node in arrived.difference(&handled) {
-                holes.entry(node).or_default().insert(atom);
-            }
+        for class in classes {
+            holes_for_slice(
+                view,
+                &scratch.emitters,
+                atom,
+                class,
+                &mut handled,
+                &mut arrived,
+                |node| {
+                    holes.entry(node).or_default().insert(atom);
+                },
+            );
         }
     }
     holes
+}
+
+/// Per-class cycle maps, indexed like the `classes` slice handed in.
+pub(crate) type ClassLoops = Vec<BTreeMap<Vec<NodeId>, AtomSet>>;
+/// Per-class blackhole maps, indexed like the `classes` slice handed in.
+pub(crate) type ClassHoles = Vec<BTreeMap<NodeId, AtomSet>>;
+
+/// Scoped loop repair: re-walks exactly the `atoms × classes` rectangle,
+/// returning the cycles per class (indexed like `classes`). Computes the
+/// same per-slice predicate as [`mf_cycles`], so each slice's result is
+/// bit-identical to its share of a full scan.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn mf_cycles_for_slices(
+    view: &MfView<'_>,
+    classes: &[SecClass],
+    atoms: &[AtomId],
+    scratch: &mut MfScratch,
+) -> ClassLoops {
+    mf_repair_slices(view, classes, atoms, scratch).0
+}
+
+/// Scoped blackhole repair: the `atoms × classes` rectangle of
+/// [`mf_holes`], per class (indexed like `classes`).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn mf_holes_for_slices(
+    view: &MfView<'_>,
+    classes: &[SecClass],
+    atoms: &[AtomId],
+    scratch: &mut MfScratch,
+) -> ClassHoles {
+    mf_repair_slices(view, classes, atoms, scratch).1
+}
+
+/// Fused scoped repair: cycles *and* blackholes of the `atoms × classes`
+/// rectangle in one pass. Each slice resolves every emitter's owner cell
+/// exactly once into the scratch's memo ([`MfScratch::succ_of`]); the
+/// cycle walks then chase plain arrays and the blackhole predicate reads
+/// the same memo, so the rectangle costs one cell resolution per
+/// `(emitter, slice)` and allocates nothing per walk. Both halves are
+/// pure functions of the slice forwarding function — the exact predicates
+/// of [`mf_cycles`] and [`mf_holes`] — so the result stays bit-identical
+/// to a full scan's share for every slice.
+pub(crate) fn mf_repair_slices(
+    view: &MfView<'_>,
+    classes: &[SecClass],
+    atoms: &[AtomId],
+    scratch: &mut MfScratch,
+) -> (ClassLoops, ClassHoles) {
+    let mut loops: ClassLoops = vec![BTreeMap::new(); classes.len()];
+    let mut holes: ClassHoles = vec![BTreeMap::new(); classes.len()];
+    for &atom in atoms {
+        if !scratch.collect_emitters(view, atom) {
+            continue;
+        }
+        for (idx, class) in classes.iter().enumerate() {
+            scratch.slice();
+            for i in 0..scratch.emitters.len() {
+                let node = scratch.emitters[i];
+                let succ = mf_successor(view, node, atom, class);
+                scratch.succ[node.index()] = succ;
+                scratch.succ_gen[node.index()] = scratch.generation;
+            }
+            for i in 0..scratch.emitters.len() {
+                let start = scratch.emitters[i];
+                walk_memoized(view, scratch, start, atom, &mut loops[idx]);
+            }
+            // Blackholes: a node some winner forwards into (`arrived`)
+            // that itself has no winner — the memo answers both sides.
+            scratch.arrived.clear();
+            for i in 0..scratch.emitters.len() {
+                let node = scratch.emitters[i];
+                if let Some(link) = scratch.succ_of(node) {
+                    let dst = view.topology.link(link).dst;
+                    if !view.topology.is_drop_node(dst) {
+                        scratch.arrived.push(dst);
+                    }
+                }
+            }
+            for i in 0..scratch.arrived.len() {
+                let node = scratch.arrived[i];
+                if scratch.succ_of(node).is_none() {
+                    holes[idx].entry(node).or_default().insert(atom);
+                }
+            }
+        }
+    }
+    (loops, holes)
+}
+
+/// The cycle walk of [`walk_for_cycle`], reading forwarding decisions
+/// from the slice memo instead of re-resolving owner cells, with the
+/// walk-local path state in stamped scratch arrays instead of a per-walk
+/// hash map. Traversal order, visited semantics, and the recorded cycles
+/// are identical.
+fn walk_memoized(
+    view: &MfView<'_>,
+    scratch: &mut MfScratch,
+    start: NodeId,
+    atom: AtomId,
+    cycles: &mut BTreeMap<Vec<NodeId>, AtomSet>,
+) {
+    if scratch.walk_gen == u32::MAX {
+        scratch.on_path_gen.iter_mut().for_each(|v| *v = 0);
+        scratch.walk_gen = 0;
+    }
+    scratch.walk_gen += 1;
+    scratch.path.clear();
+    let mut current = start;
+    loop {
+        let i = current.index();
+        if scratch.on_path_gen[i] == scratch.walk_gen {
+            let pos = scratch.path_pos[i] as usize;
+            let cycle = canonicalize(scratch.path[pos..].to_vec());
+            cycles.entry(cycle).or_default().insert(atom);
+            return;
+        }
+        if scratch.visited[i] == scratch.generation {
+            // Joined a path already explored this slice; any cycle it
+            // leads to was recorded by the walk that got there first.
+            return;
+        }
+        scratch.visited[i] = scratch.generation;
+        scratch.on_path_gen[i] = scratch.walk_gen;
+        scratch.path_pos[i] = scratch.path.len() as u32;
+        scratch.path.push(current);
+        let Some(link) = scratch.succ_of(current) else {
+            return;
+        };
+        let next = view.topology.link(link).dst;
+        if view.topology.is_drop_node(next) {
+            return;
+        }
+        current = next;
+    }
+}
+
+/// The per-class violation ledger behind the engine's incremental
+/// multi-field monitor: for every secondary class with any violation, the
+/// cycles and blackholes of that class with the primary atoms exhibiting
+/// them there.
+///
+/// Invariant: `loops[c][cycle]` contains atom α iff `cycle` is a cycle of
+/// the slice forwarding function `F_{α,c}` (likewise for `holes`), so the
+/// union over classes equals [`mf_cycles`] + [`mf_holes`] of the whole
+/// plane — the form the [`crate::monitor::ViolationMonitor`] tracks.
+/// Splitting the state by class is what makes scoped repair possible: an
+/// update's rectangle of touched slices can be cleared and re-walked
+/// without disturbing the contributions of untouched classes to the same
+/// violation identity.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MfClassState {
+    /// class → canonical cycle → primary atoms looping through it there.
+    loops: BTreeMap<SecClass, BTreeMap<Vec<NodeId>, AtomSet>>,
+    /// class → switch → primary atoms arriving unhandled there.
+    holes: BTreeMap<SecClass, BTreeMap<NodeId, AtomSet>>,
+}
+
+impl MfClassState {
+    /// An empty ledger (correct for an engine with no rules installed).
+    pub(crate) fn new() -> Self {
+        MfClassState::default()
+    }
+
+    /// Builds the full ledger from per-class scan results covering every
+    /// primary atom (the outputs of [`mf_cycles_for_slices`] /
+    /// [`mf_holes_for_slices`] over the whole plane).
+    pub(crate) fn from_slices(
+        classes: &[SecClass],
+        loops: Vec<BTreeMap<Vec<NodeId>, AtomSet>>,
+        holes: Vec<BTreeMap<NodeId, AtomSet>>,
+    ) -> Self {
+        let mut state = MfClassState::default();
+        for ((class, class_loops), class_holes) in classes.iter().zip(loops).zip(holes) {
+            if !class_loops.is_empty() {
+                state.loops.insert(*class, class_loops);
+            }
+            if !class_holes.is_empty() {
+                state.holes.insert(*class, class_holes);
+            }
+        }
+        state
+    }
+
+    /// Replaces the `atoms × classes` rectangle of the ledger with freshly
+    /// re-walked slice results: every tracked contribution of a rectangle
+    /// slice is cleared, then the fresh results are set. Clear-then-set is
+    /// idempotent, so overlapping rectangles of one update may be applied
+    /// in any order.
+    pub(crate) fn apply_slices(
+        &mut self,
+        classes: &[SecClass],
+        atoms: &AtomSet,
+        loops: Vec<BTreeMap<Vec<NodeId>, AtomSet>>,
+        holes: Vec<BTreeMap<NodeId, AtomSet>>,
+    ) {
+        for ((class, fresh), fresh_holes) in classes.iter().zip(loops).zip(holes) {
+            let class_loops = self.loops.entry(*class).or_default();
+            for set in class_loops.values_mut() {
+                set.difference_with(atoms);
+            }
+            for (cycle, set) in fresh {
+                class_loops.entry(cycle).or_default().union_with(&set);
+            }
+            class_loops.retain(|_, set| !set.is_empty());
+            if class_loops.is_empty() {
+                self.loops.remove(class);
+            }
+            let class_holes = self.holes.entry(*class).or_default();
+            for set in class_holes.values_mut() {
+                set.difference_with(atoms);
+            }
+            for (node, set) in fresh_holes {
+                class_holes.entry(node).or_default().union_with(&set);
+            }
+            class_holes.retain(|_, set| !set.is_empty());
+            if class_holes.is_empty() {
+                self.holes.remove(class);
+            }
+        }
+    }
+
+    /// The loop union over classes — the monitor-facing form, equal to
+    /// [`mf_cycles`] of the whole plane.
+    pub(crate) fn union_loops(&self) -> BTreeMap<Vec<NodeId>, AtomSet> {
+        let mut out: BTreeMap<Vec<NodeId>, AtomSet> = BTreeMap::new();
+        for per_class in self.loops.values() {
+            for (cycle, set) in per_class {
+                out.entry(cycle.clone()).or_default().union_with(set);
+            }
+        }
+        out
+    }
+
+    /// The blackhole union over classes, equal to [`mf_holes`] of the
+    /// whole plane.
+    pub(crate) fn union_holes(&self) -> BTreeMap<NodeId, AtomSet> {
+        let mut out: BTreeMap<NodeId, AtomSet> = BTreeMap::new();
+        for per_class in self.holes.values() {
+            for (&node, set) in per_class {
+                out.entry(node).or_default().union_with(set);
+            }
+        }
+        out
+    }
+
+    /// Drops every class absent from the post-compaction class list. A
+    /// secondary merge reclaims a class whose rules were indistinguishable
+    /// from its surviving lower neighbour's, so the dropped entries carry
+    /// state identical to entries that remain — the class union is
+    /// invariant, exactly like the primary-atom story in
+    /// [`crate::monitor::ViolationMonitor::remap`]. Surviving classes keep
+    /// their representative (their lattice atom's low bound, unchanged by
+    /// merges), so their keys stay valid.
+    pub(crate) fn retain_classes(&mut self, valid: &BTreeSet<SecClass>) {
+        self.loops.retain(|class, _| valid.contains(class));
+        self.holes.retain(|class, _| valid.contains(class));
+    }
+
+    /// Rewrites every tracked primary atom through the remap table of a
+    /// compaction pass, dropping reclaimed ids (their label-identical
+    /// survivors keep every violation alive).
+    pub(crate) fn remap(&mut self, remap: &[u32]) {
+        let remap_set = |set: &AtomSet| -> AtomSet {
+            set.iter()
+                .filter_map(|a| {
+                    let new = remap[a.index()];
+                    (new != REMAP_DEAD).then_some(AtomId(new))
+                })
+                .collect()
+        };
+        for per_class in self.loops.values_mut() {
+            for set in per_class.values_mut() {
+                *set = remap_set(set);
+            }
+            per_class.retain(|_, set| !set.is_empty());
+        }
+        self.loops.retain(|_, per_class| !per_class.is_empty());
+        for per_class in self.holes.values_mut() {
+            for set in per_class.values_mut() {
+                *set = remap_set(set);
+            }
+            per_class.retain(|_, set| !set.is_empty());
+        }
+        self.holes.retain(|_, per_class| !per_class.is_empty());
+    }
+
+    /// Estimated heap bytes held by the ledger — counted by
+    /// `DeltaNet::memory_estimate` (but *not* `live_bytes`: the ledger is
+    /// derived state, absent from snapshots and rebuilt lazily after a
+    /// restore).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<SecClass>() + 24;
+        let mut bytes = 0;
+        for per_class in self.loops.values() {
+            bytes += entry;
+            for (cycle, set) in per_class {
+                bytes += cycle.capacity() * std::mem::size_of::<NodeId>() + 24 + set.memory_bytes();
+            }
+        }
+        for per_class in self.holes.values() {
+            bytes += entry;
+            for set in per_class.values() {
+                bytes += std::mem::size_of::<NodeId>() + 24 + set.memory_bytes();
+            }
+        }
+        bytes
+    }
 }
 
 /// Per-update seeded loop check for one inserted or removed rule.
@@ -209,22 +703,33 @@ pub(crate) fn mf_holes(view: &MfView<'_>) -> BTreeMap<NodeId, AtomSet> {
 /// `(atom, class)` slice at every other node is untouched by the update.
 /// So walking just those slices from the one changed node is a sound
 /// per-update check, the multi-field analogue of seeding from the
-/// delta-graph's added edges.
+/// delta-graph's added edges. `classes` is the full class list (the
+/// engine's memoized enumeration); the rule's secondary filter is applied
+/// here.
 pub(crate) fn find_loops_for_rule(
     view: &MfView<'_>,
+    classes: &[SecClass],
     rule: &Rule,
     interval: Interval,
 ) -> BTreeMap<Vec<NodeId>, AtomSet> {
-    let classes: Vec<SecClass> = sec_classes(view.sec_atoms)
-        .into_iter()
-        .filter(|class| rule.sec.matches(class))
+    let matched: Vec<&SecClass> = classes
+        .iter()
+        .filter(|class| rule.sec.matches(&class[..]))
         .collect();
     let mut cycles = BTreeMap::new();
-    let mut visited = vec![false; view.topology.node_count()];
+    let mut scratch = MfScratch::new(view.topology.node_count());
     for atom in view.atoms.iter_atoms_of(interval) {
-        for class in &classes {
-            visited.iter_mut().for_each(|v| *v = false);
-            walk_for_cycle(view, rule.source, atom, class, &mut visited, &mut cycles);
+        for class in &matched {
+            let (_, visited, generation) = scratch.slice();
+            walk_for_cycle(
+                view,
+                rule.source,
+                atom,
+                class,
+                visited,
+                generation,
+                &mut cycles,
+            );
         }
     }
     cycles

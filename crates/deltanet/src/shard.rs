@@ -149,7 +149,12 @@ impl ShardedDeltaNet {
 
     /// Attaches a violation monitor to every shard, each seeded from its
     /// own data plane with one full scan (see [`DeltaNet::enable_monitor`]);
-    /// every later update maintains them incrementally.
+    /// every later update maintains them incrementally. In multi-field mode
+    /// each shard repairs only the `(primary atom, secondary class)` slices
+    /// an update touched — an update routed to one shard never rescans the
+    /// others, and this holds through [`ShardedDeltaNet::apply_batch`]'s
+    /// concurrent per-shard groups, aggregation windows, and
+    /// [`ShardedDeltaNet::compact`].
     pub fn enable_monitor(&mut self) {
         for shard in &mut self.shards {
             shard.enable_monitor();

@@ -9,10 +9,13 @@
 //!    `check_all_blackholes`), which the live monitor must agree with
 //!    bit-for-bit.
 //!
-//! Runs over the stand-alone engine and 1/2/4-way sharded engines, with
-//! monitoring on and off and compaction on and off — the combinations the
-//! multi-field refactor touches. Everything is seeded; a failure reproduces
-//! from the printed seed.
+//! Runs over the stand-alone engine and 1/2/4/7-way sharded engines, with
+//! monitoring on and off, compaction on and off, per-op applies and
+//! `apply_batch` windows, and §3.3 aggregation windows — the combinations
+//! the multi-field refactor touches. Since the monitor is maintained by
+//! scoped slice repair rather than full rescans, the monitor-vs-scan
+//! assertions here are the bit-identity oracle for the incremental path.
+//! Everything is seeded; a failure reproduces from the printed seed.
 
 use delta_net::prelude::*;
 use rand::rngs::StdRng;
@@ -21,7 +24,7 @@ use testutil::{blackholes_by_node, loops_by_cycle, random_ops_multifield, random
 
 const WIDTH: u8 = 8;
 const SEC_WIDTHS: [u8; 1] = [6];
-const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 /// Compare against the oracle every this many operations (full cross-field
 /// scans are the expensive part of the suite).
 const CHECK_EVERY: usize = 10;
@@ -121,26 +124,43 @@ fn sharded_engine_matches_oracle_at_every_shard_count() {
             let ops = random_ops_multifield(&mut rng, &topo, 100, WIDTH, &SEC_WIDTHS, 20, 0.3);
             let mut net = ShardedDeltaNet::new(topo.clone(), mf_config(monitor, compact), shards);
             let mut live: Vec<Rule> = Vec::new();
-            for (i, op) in ops.iter().enumerate() {
-                net.try_apply(op)
-                    .unwrap_or_else(|e| panic!("shards {shards} seed {seed} op {i}: {e}"));
-                track(&mut live, op);
-                if (i + 1) % CHECK_EVERY != 0 && i + 1 != ops.len() {
-                    continue;
-                }
-                let scan = full_scan_sharded(&net);
-                let oracle = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
-                assert_equivalent(
-                    &format!("shards {shards} seed {seed} op {i} scan-vs-oracle"),
-                    &scan,
-                    &oracle,
-                );
-                if monitor {
+            if monitor {
+                // Monitor seeds go through `apply_batch`, so the scoped
+                // repair also runs under the concurrent per-shard groups.
+                for (w, window) in ops.chunks(CHECK_EVERY).enumerate() {
+                    net.apply_batch(window)
+                        .unwrap_or_else(|e| panic!("shards {shards} seed {seed} window {w}: {e}"));
+                    for op in window {
+                        track(&mut live, op);
+                    }
+                    let scan = full_scan_sharded(&net);
+                    let oracle = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+                    assert_equivalent(
+                        &format!("shards {shards} seed {seed} window {w} scan-vs-oracle"),
+                        &scan,
+                        &oracle,
+                    );
                     let active = net.active_violations().expect("monitor is on");
                     assert_equivalent(
-                        &format!("shards {shards} seed {seed} op {i} monitor-vs-scan"),
+                        &format!("shards {shards} seed {seed} window {w} monitor-vs-scan"),
                         &active,
                         &scan,
+                    );
+                }
+            } else {
+                for (i, op) in ops.iter().enumerate() {
+                    net.try_apply(op)
+                        .unwrap_or_else(|e| panic!("shards {shards} seed {seed} op {i}: {e}"));
+                    track(&mut live, op);
+                    if (i + 1) % CHECK_EVERY != 0 && i + 1 != ops.len() {
+                        continue;
+                    }
+                    let scan = full_scan_sharded(&net);
+                    let oracle = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+                    assert_equivalent(
+                        &format!("shards {shards} seed {seed} op {i} scan-vs-oracle"),
+                        &scan,
+                        &oracle,
                     );
                 }
             }
@@ -256,6 +276,110 @@ fn acl_workload_replays_and_matches_oracle() {
     assert!(scan.iter().any(|v| !v.is_loop()));
     let oracle = scan_multifield(&gen.topology, &live, 32, &gen.sec_widths);
     assert_equivalent("acl workload", &scan, &oracle);
+}
+
+#[test]
+fn aggregation_window_with_secondary_splits_matches_oracle() {
+    // §3.3 aggregation windows under multi-field monitoring: a batch of
+    // secondary-splitting inserts and removes lands inside one window, and
+    // at every window boundary the incrementally repaired monitor must be
+    // bit-identical to the full scans and the stateless oracle. Automatic
+    // compaction is deferred while a window is open, so an explicit
+    // `compact()` afterwards checks the ledger remap too.
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(0xA66_F1E1D ^ seed);
+        let topo = random_topology(&mut rng, 5, true);
+        let ops = random_ops_multifield(&mut rng, &topo, 90, WIDTH, &SEC_WIDTHS, 20, 0.3);
+        let mut net = DeltaNet::new(topo.clone(), mf_config(true, Some(4)));
+        let mut live: Vec<Rule> = Vec::new();
+        let mut windows_with_sec_splits = 0usize;
+        let mut windows_with_removes = 0usize;
+        for (w, window) in ops.chunks(9).enumerate() {
+            net.begin_aggregate();
+            for (i, op) in window.iter().enumerate() {
+                net.try_apply(op)
+                    .unwrap_or_else(|e| panic!("seed {seed} window {w} op {i}: {e}"));
+                track(&mut live, op);
+            }
+            let agg = net.take_aggregate();
+            if !agg.sec_splits.is_empty() {
+                windows_with_sec_splits += 1;
+            }
+            if window.iter().any(|op| matches!(op, Op::Remove(_))) {
+                windows_with_removes += 1;
+            }
+            let scan = full_scan_single(&net);
+            let oracle = scan_multifield(&topo, &live, WIDTH, &SEC_WIDTHS);
+            assert_equivalent(
+                &format!("seed {seed} window {w} scan-vs-oracle"),
+                &scan,
+                &oracle,
+            );
+            let active = net.active_violations().expect("monitor is on");
+            assert_equivalent(
+                &format!("seed {seed} window {w} monitor-vs-scan"),
+                &active,
+                &scan,
+            );
+        }
+        assert!(
+            windows_with_sec_splits > 0 && windows_with_removes > 0,
+            "seed {seed}: trace too tame (sec-splitting windows: \
+             {windows_with_sec_splits}, windows with removes: {windows_with_removes})"
+        );
+        net.compact();
+        let scan = full_scan_single(&net);
+        let active = net.active_violations().expect("monitor is on");
+        assert_equivalent(
+            &format!("seed {seed} post-compact monitor-vs-scan"),
+            &active,
+            &scan,
+        );
+    }
+}
+
+#[test]
+fn secondary_constrained_loop_fires_one_appeared_event() {
+    // A loop closed in exactly one secondary class must surface as exactly
+    // one appeared event — even though the closing insert also splits the
+    // secondary lattice, so its rule slices and the new-class slices of the
+    // scoped repair overlap (the repair must not double-report, and the
+    // blackhole that persists in the *other* classes must not flap).
+    let mut topo = Topology::new();
+    let a = topo.add_node("a");
+    let b = topo.add_node("b");
+    let ab = topo.add_link(a, b);
+    let ba = topo.add_link(b, a);
+    let mut net = DeltaNet::new(topo, mf_config(true, None));
+    // Pre-split the secondary lattice so several classes exist up front.
+    net.insert_rule(
+        Rule::forward(RuleId(1), IpPrefix::new(32, 3, WIDTH), 5, a, ab)
+            .with_secondary(SecondaryMatch::new(&[Interval::new(2, 4)])),
+    );
+    // a forwards [0,16) to b for every source class (b blackholes it) …
+    net.insert_rule(Rule::forward(
+        RuleId(2),
+        IpPrefix::new(0, 4, WIDTH),
+        5,
+        a,
+        ab,
+    ));
+    // … and the closing insert sends it back only for sources in [8,16).
+    net.insert_rule(
+        Rule::forward(RuleId(3), IpPrefix::new(0, 4, WIDTH), 5, b, ba)
+            .with_secondary(SecondaryMatch::new(&[Interval::new(8, 16)])),
+    );
+    let events = net.monitor().expect("monitor is on").last_events();
+    assert_eq!(events.len(), 1, "expected one event, got {events:?}");
+    assert!(events[0].appeared, "loop must appear, got {events:?}");
+    assert_eq!(events[0].key, ViolationKey::Loop(vec![a, b]));
+    // The single-class loop coexists with the all-other-classes blackhole,
+    // and the monitor agrees with the full plane.
+    let scan = full_scan_single(&net);
+    assert!(scan.iter().any(|v| v.is_loop()));
+    assert!(scan.iter().any(|v| !v.is_loop()));
+    let active = net.active_violations().expect("monitor is on");
+    assert_equivalent("one-class loop", &active, &scan);
 }
 
 #[test]
