@@ -1,0 +1,189 @@
+//! Measures the verification daemon's ingest overhead on the
+//! flapping-prefix churn workload: the same trace is applied (a) directly
+//! through [`ShardedDeltaNet::apply_batch`] in-process and (b) as ndjson
+//! `batch` requests over a loopback TCP connection to a live [`Server`],
+//! waiting for every per-op ack. Both runs use the identical engine shape
+//! (shards, window, monitor on), so the difference is exactly the service
+//! layer: protocol encode/decode, the ingest queue, and the ack round
+//! trips.
+//!
+//! Usage:
+//!   `cargo run -p bench --release --bin service_churn [-- --scale tiny|small|medium] [--json <path>]`
+//!
+//! The committed `BENCH_PR10.json` is produced by this binary; its
+//! acceptance is `acked_ops_per_sec` within 2x of `inproc_ops_per_sec`
+//! (`slowdown <= 2`).
+
+use bench::experiments::meta_json;
+use bench::json::Json;
+use deltanet::{DeltaNetConfig, Parallelism, ShardedDeltaNet};
+use netmodel::topology::{NodeId, Topology};
+use service::json as wire;
+use service::proto::batch_request;
+use service::server::{Server, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::time::Instant;
+
+const SHARDS: usize = 2;
+const WINDOW: usize = 128;
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let config = scale.churn_config();
+    let topology = workloads::churn::churn_topology();
+    let churn = workloads::churn::flapping_churn(&topology, config);
+    let ops = churn.trace.ops();
+    let engine = DeltaNetConfig {
+        monitor_violations: true,
+        ..DeltaNetConfig::default()
+    };
+
+    // The daemon pre-creates every node's drop link; mirror that so both
+    // engines verify the identical plane.
+    let mut prepared = topology.topology.clone();
+    let nodes: Vec<NodeId> = prepared.nodes().collect();
+    for node in nodes {
+        prepared.drop_link(node);
+    }
+
+    // (a) In-process baseline: the same windows apply_batch would see.
+    let mut net =
+        ShardedDeltaNet::with_parallelism(prepared.clone(), engine, SHARDS, Parallelism::auto());
+    net.enable_monitor();
+    let start = Instant::now();
+    for window in ops.chunks(WINDOW) {
+        net.apply_batch(window)
+            .expect("churn trace replays cleanly");
+    }
+    let inproc_seconds = start.elapsed().as_secs_f64();
+    let inproc_violations = net.active_violations().map_or(0, |v| v.len());
+    drop(net);
+
+    // (b) The daemon over loopback, one `batch` request per window, every
+    // per-op ack awaited.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        topology.topology.clone(),
+        ServiceConfig {
+            engine,
+            shards: SHARDS,
+            window: WINDOW,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind daemon");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // The requests are prepared up front (the bench measures the daemon's
+    // ingest, not this client's JSON formatter) and streamed from a writer
+    // thread so acks are drained concurrently — the pipelined shape a real
+    // controller uses. Ack lines are checked with cheap scans here; the
+    // deep cross-check is the `stats` comparison below.
+    let topo: &Topology = &topology.topology;
+    let requests: Vec<String> = ops
+        .chunks(WINDOW)
+        .enumerate()
+        .map(|(i, window)| batch_request(i as u64, window, topo).render())
+        .collect();
+    let batches = requests.len();
+
+    let start = Instant::now();
+    let feeder = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(&mut writer);
+        for line in &requests {
+            writeln!(out, "{line}").expect("write request");
+        }
+        out.flush().expect("flush requests");
+        drop(out);
+        writer
+    });
+    let mut acked = 0usize;
+    let mut reply = String::new();
+    for _ in 0..batches {
+        reply.clear();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(reply.contains("\"ok\": true"), "batch rejected: {reply}");
+        acked += reply.matches("\"at\": ").count();
+    }
+    let service_seconds = start.elapsed().as_secs_f64();
+    let mut writer = feeder.join().expect("feeder thread");
+    let mut request = |line: &str| -> wire::Json {
+        writeln!(writer, "{line}").expect("write request");
+        writer.flush().expect("flush request");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        wire::parse(reply.trim_end()).expect("reply is json")
+    };
+    let stats = request(r#"{"id": 900000, "op": "stats"}"#);
+    let service_violations = stats
+        .get("violations")
+        .and_then(wire::Json::as_u64)
+        .expect("stats violations");
+    let service_ops = stats
+        .get("ops_applied")
+        .and_then(wire::Json::as_u64)
+        .expect("stats ops_applied");
+    let bye = request(r#"{"id": 900001, "op": "shutdown"}"#);
+    assert_eq!(bye.get("ok").and_then(wire::Json::as_bool), Some(true));
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+
+    assert_eq!(acked, ops.len(), "every op must be individually acked");
+    assert_eq!(service_ops as usize, ops.len());
+    assert_eq!(
+        service_violations as usize, inproc_violations,
+        "daemon and in-process engine disagree on the final plane"
+    );
+
+    let n = ops.len() as f64;
+    let inproc_ops_per_sec = n / inproc_seconds;
+    let acked_ops_per_sec = n / service_seconds;
+    let report = Json::obj(vec![
+        ("schema", Json::str("deltanet-service-churn-v1")),
+        (
+            "meta",
+            meta_json(
+                scale,
+                vec![
+                    ("dataset", Json::str("flapping churn")),
+                    ("stable_prefixes", Json::int(config.stable_prefixes)),
+                    ("flapping_prefixes", Json::int(config.flapping_prefixes)),
+                    ("cycles", Json::int(config.cycles)),
+                    ("seed", Json::int(config.seed as usize)),
+                    ("shards", Json::int(SHARDS)),
+                    ("window", Json::int(WINDOW)),
+                ],
+            ),
+        ),
+        ("operations", Json::int(ops.len())),
+        ("final_violations", Json::int(inproc_violations)),
+        ("inproc_seconds", Json::ms(inproc_seconds)),
+        ("inproc_ops_per_sec", Json::ms(inproc_ops_per_sec)),
+        ("service_seconds", Json::ms(service_seconds)),
+        ("acked_ops_per_sec", Json::ms(acked_ops_per_sec)),
+        ("slowdown", Json::ms(inproc_ops_per_sec / acked_ops_per_sec)),
+        (
+            "within_2x",
+            Json::Bool(acked_ops_per_sec * 2.0 >= inproc_ops_per_sec),
+        ),
+    ])
+    .render();
+
+    if let Some(path) = bench::json_path_from_args() {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote service churn report ({scale:?} scale) to {path}");
+    } else {
+        println!("{report}");
+    }
+}

@@ -150,6 +150,26 @@ pub fn help() -> String {
                  Load the trace's final data plane and analyse the failure of link src->dst\n\
        audit     --topo <file> --trace <file> [--fields <spec>]\n\
                  Load the final data plane and report all forwarding loops and blackholes\n\
+       serve     --topo <file> [--port <p>] [--port-file <file>] [--stdin] [--shards <n>]\n\
+                 [--window <w>] [--queue <n>] [--sub-buffer <n>] [--workers <n>] [--audit]\n\
+                 [--no-loops] [--checkpoint <dir> [--checkpoint-every <n>] [--retain <n>]\n\
+                 [--durability buffered|flush|fsync]]\n\
+                 Run the verification daemon: line-delimited ndjson requests (insert/\n\
+                 remove/batch/what_if/snapshot/stats/subscribe/shutdown) over TCP (or\n\
+                 stdin/stdout with --stdin), windowed batching with a bounded ingest\n\
+                 queue for backpressure, and live violation subscriptions. The monitor\n\
+                 is always on; --audit cross-checks it against a full rescan per window\n\
+                 (counted in stats as audits/mismatches). --port 0 (default) picks an\n\
+                 ephemeral port; --port-file writes the bound port for discovery.\n\
+                 --checkpoint mounts durable snapshots+logs: an existing directory is\n\
+                 recovered and the op stream resumes from it\n\
+       client    (--addr <host:port> | --port-file <file>) [--send <file.ndjson>]\n\
+                 [--topo <file> --trace <file> [--batch <n>]] [--stats] [--shutdown]\n\
+                 Push requests to a running daemon and print a JSON summary of the\n\
+                 acks. --send streams raw ndjson lines; --topo/--trace converts a\n\
+                 trace into batch requests of --batch ops (default 16). --stats\n\
+                 appends a stats request (its reply, including the audit mismatch\n\
+                 count, folds into the summary); --shutdown stops the daemon\n\
        help      Show this message\n"
         .to_string()
 }
@@ -163,6 +183,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CommandError> {
         "recover" => recover(args),
         "whatif" => whatif(args),
         "audit" => audit(args),
+        "serve" => serve(args),
+        "client" => client(args),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(CommandError::Other(format!(
             "unknown command `{other}`; try `deltanet help`"
@@ -427,7 +449,9 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
             )))
         }
     };
-    let monitor = args.has_flag("monitor");
+    // May be promoted to true by a restored snapshot whose config already
+    // enables monitoring (the snapshot's config governs the engine).
+    let mut monitor = args.has_flag("monitor");
     let fields = parse_fields(args)?;
     let from_snapshot = args.options.get("from-snapshot").cloned();
     let log_to = args.options.get("log").cloned();
@@ -455,6 +479,13 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
     if (batch.is_some() || workers.is_some()) && shards.is_none() {
         return Err(CommandError::Other(
             "--batch/--workers require --shards".to_string(),
+        ));
+    }
+    if args.has_flag("no-loops") && from_snapshot.is_some() {
+        return Err(CommandError::Other(
+            "--no-loops has no effect with --from-snapshot: the per-update loop-check \
+             setting comes from the snapshot's config"
+                .to_string(),
         ));
     }
     if [shards, batch].into_iter().flatten().any(|n| n == 0) {
@@ -508,9 +539,19 @@ pub fn replay(args: &ParsedArgs) -> Result<String, CommandError> {
                     let snap = Snapshot::read_from(Path::new(snap_path))?;
                     baseline_ops = snap.ops_applied();
                     let mut net = snap.restore(&topo)?;
-                    if monitor && !net.is_monitored() {
+                    if monitor && net.is_monitored() {
+                        return Err(CommandError::Other(
+                            "--monitor is redundant with this snapshot: its config already \
+                             enables monitoring, which continues (and is reported) \
+                             automatically on restore — drop the flag"
+                                .to_string(),
+                        ));
+                    }
+                    if monitor {
                         net.enable_monitor();
                     }
+                    // A monitored snapshot keeps monitoring: report it.
+                    monitor = monitor || net.is_monitored();
                     match net {
                         PersistNet::Single(n) => ReplayEngine::Delta(n),
                         PersistNet::Sharded(n) => ReplayEngine::Sharded(n),
@@ -1328,6 +1369,188 @@ pub fn audit(args: &ParsedArgs) -> Result<String, CommandError> {
     Ok(out)
 }
 
+/// `deltanet serve` — run the verification daemon (see `crates/service`).
+pub fn serve(args: &ParsedArgs) -> Result<String, CommandError> {
+    let topo = load_topology(args.require("topo")?)?;
+    let shards = parse_usize_option(args, "shards")?.unwrap_or(2);
+    let window = parse_usize_option(args, "window")?.unwrap_or(32);
+    let queue = parse_usize_option(args, "queue")?.unwrap_or(128);
+    let sub_buffer = parse_usize_option(args, "sub-buffer")?.unwrap_or(256);
+    if [shards, window, queue, sub_buffer].contains(&0) {
+        return Err(CommandError::Other(
+            "--shards/--window/--queue/--sub-buffer must be at least 1".to_string(),
+        ));
+    }
+    let workers = parse_usize_option(args, "workers")?;
+    let parallelism = workers.map_or_else(Parallelism::from_env, Parallelism::fixed);
+    let durability = parse_durability(args)?;
+    let checkpoint_dir = args.options.get("checkpoint").cloned();
+    if (args.options.contains_key("checkpoint-every")
+        || args.options.contains_key("retain")
+        || args.options.contains_key("durability"))
+        && checkpoint_dir.is_none()
+    {
+        return Err(CommandError::Other(
+            "--checkpoint-every/--retain/--durability require --checkpoint".to_string(),
+        ));
+    }
+    let checkpoint = match checkpoint_dir {
+        Some(dir) => Some(service::CheckpointSetup {
+            dir: dir.into(),
+            config: CheckpointConfig {
+                every_ops: parse_usize_option(args, "checkpoint-every")?.unwrap_or(1024) as u64,
+                retain: parse_usize_option(args, "retain")?.unwrap_or(2),
+                durability,
+            },
+        }),
+        None => None,
+    };
+    let config = service::ServiceConfig {
+        engine: DeltaNetConfig {
+            check_loops_per_update: !args.has_flag("no-loops"),
+            monitor_violations: true,
+            ..Default::default()
+        },
+        shards,
+        parallelism,
+        window,
+        queue,
+        sub_buffer,
+        audit: args.has_flag("audit"),
+        checkpoint,
+    };
+
+    if args.has_flag("stdin") {
+        if args.options.contains_key("port") || args.options.contains_key("port-file") {
+            return Err(CommandError::Other(
+                "--stdin serves over stdin/stdout and cannot be combined with \
+                 --port/--port-file"
+                    .to_string(),
+            ));
+        }
+        service::serve_stdio(topo, config)?;
+        return Ok("service: stdin stream closed\n".to_string());
+    }
+
+    let port = parse_usize_option(args, "port")?.unwrap_or(0);
+    let server = service::Server::bind(format!("127.0.0.1:{port}"), topo, config)?;
+    let local = server.local_addr()?;
+    // The port file is the readiness signal for scripts using --port 0.
+    if let Some(path) = args.options.get("port-file") {
+        std::fs::write(path, local.port().to_string())?;
+    }
+    eprintln!("deltanet serve: listening on {local}");
+    server.run()?;
+    Ok(format!("service: shut down cleanly ({local})\n"))
+}
+
+/// `deltanet client` — push ndjson requests to a running daemon and
+/// summarize the acks.
+pub fn client(args: &ParsedArgs) -> Result<String, CommandError> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = if let Some(a) = args.options.get("addr") {
+        a.clone()
+    } else if let Some(f) = args.options.get("port-file") {
+        format!("127.0.0.1:{}", std::fs::read_to_string(f)?.trim())
+    } else {
+        return Err(CommandError::Other(
+            "client needs --addr <host:port> or --port-file <file>".to_string(),
+        ));
+    };
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut next_id = 1u64;
+    if let Some(file) = args.options.get("send") {
+        for line in std::fs::read_to_string(file)?.lines() {
+            if !line.trim().is_empty() {
+                lines.push(line.to_string());
+                next_id += 1;
+            }
+        }
+    }
+    if let Some(topo_path) = args.options.get("topo") {
+        let mut topo = load_topology(topo_path)?;
+        let trace = load_trace(args.require("trace")?, &mut topo)?;
+        let batch = parse_usize_option(args, "batch")?.unwrap_or(16).max(1);
+        for chunk in trace.ops().chunks(batch) {
+            lines.push(service::batch_request(next_id, chunk, &topo).render());
+            next_id += 1;
+        }
+    }
+    if args.has_flag("stats") {
+        lines.push(format!("{{\"id\": {next_id}, \"op\": \"stats\"}}"));
+        next_id += 1;
+    }
+    if args.has_flag("shutdown") {
+        lines.push(format!("{{\"id\": {next_id}, \"op\": \"shutdown\"}}"));
+    }
+    if lines.is_empty() {
+        return Err(CommandError::Other(
+            "nothing to send: use --send, --topo/--trace, --stats, or --shutdown".to_string(),
+        ));
+    }
+
+    let stream = std::net::TcpStream::connect(&addr)?;
+    let mut writer = stream.try_clone()?;
+    // Acks must be drained concurrently with the writes: the daemon acks
+    // each request in order, and an unread ack stream would eventually
+    // fill both socket buffers and deadlock the connection.
+    let reader = std::thread::spawn(move || {
+        let mut ok = 0u64;
+        let mut errors = 0u64;
+        let mut ops_acked = 0u64;
+        let mut stats: Option<service::Json> = None;
+        for line in BufReader::new(stream).lines() {
+            let Ok(line) = line else { break };
+            let Ok(value) = service::parse(&line) else {
+                errors += 1;
+                continue;
+            };
+            match value.get("ok").and_then(service::Json::as_bool) {
+                Some(true) => {
+                    ok += 1;
+                    if let Some(acks) = value.get("acks").and_then(service::Json::as_arr) {
+                        ops_acked += acks.len() as u64;
+                    } else if value.get("at").is_some() {
+                        ops_acked += 1;
+                    }
+                    if value.get("ops_applied").is_some() && value.get("atoms").is_some() {
+                        stats = Some(value);
+                    }
+                }
+                _ => errors += 1,
+            }
+        }
+        (ok, errors, ops_acked, stats)
+    });
+    for line in &lines {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+    writer.shutdown(std::net::Shutdown::Write)?;
+    let (ok, errors, ops_acked, stats) = reader
+        .join()
+        .map_err(|_| CommandError::Other("ack reader thread panicked".to_string()))?;
+
+    let mut pairs = vec![
+        ("requests", service::Json::int(lines.len())),
+        ("ok", service::Json::int(ok)),
+        ("errors", service::Json::int(errors)),
+        ("ops_acked", service::Json::int(ops_acked)),
+    ];
+    if let Some(stats) = &stats {
+        for key in ["ops_applied", "violations", "audits", "mismatches"] {
+            if let Some(v) = stats.get(key) {
+                pairs.push((key, v.clone()));
+            }
+        }
+    }
+    let mut out = service::obj(pairs).render();
+    out.push('\n');
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1886,6 +2109,8 @@ mod tests {
         std::fs::write(&tail_path, "R 2\n").unwrap();
         let tail = tail_path.to_str().unwrap().to_string();
         let log2 = dir.join("tail.dnlog").to_str().unwrap().to_string();
+        // The snapshot's config enables monitoring, so monitoring continues
+        // (and is reported) automatically — no --monitor flag needed.
         let r = run(&parsed(&[
             "replay",
             "--topo",
@@ -1894,7 +2119,6 @@ mod tests {
             &tail,
             "--from-snapshot",
             &snap,
-            "--monitor",
             "--log",
             &log2,
         ]))
@@ -1919,6 +2143,39 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("cannot be combined"), "{err}");
+        // --monitor on an already-monitored snapshot is rejected (the
+        // snapshot's config governs; monitoring continued above without it).
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &tail,
+            "--from-snapshot",
+            &snap,
+            "--monitor",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("redundant with this snapshot"),
+            "{err}"
+        );
+        // --no-loops cannot override a restored snapshot's config either.
+        let err = run(&parsed(&[
+            "replay",
+            "--topo",
+            &topo,
+            "--trace",
+            &tail,
+            "--from-snapshot",
+            &snap,
+            "--no-loops",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--no-loops has no effect"),
+            "{err}"
+        );
         let err = run(&parsed(&["snapshot", "--topo", &topo])).unwrap_err();
         assert!(err.to_string().contains("exactly one of"), "{err}");
         let err = run(&parsed(&[

@@ -97,8 +97,10 @@ pub use delta_graph::DeltaGraph;
 pub use engine::{CompactReport, DeltaNet, DeltaNetConfig};
 pub use fault::{FaultPlan, FaultyBackend, FsBackend, StorageBackend};
 pub use labels::Labels;
-pub use monitor::{MonitorEvent, ViolationKey, ViolationMonitor};
-pub use parallel::Parallelism;
+pub use monitor::{
+    MonitorEvent, MonitorTransitions, TransitionTracker, ViolationKey, ViolationMonitor,
+};
+pub use parallel::{Parallelism, WorkersEnvError};
 pub use persist::{
     CheckpointConfig, CheckpointManager, DeltaLog, Durability, LoggedNet, PersistError, PersistNet,
     RecoveryPolicy, RecoveryReport, Snapshot,

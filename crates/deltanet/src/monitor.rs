@@ -114,6 +114,73 @@ impl fmt::Display for MonitorEvent {
     }
 }
 
+/// The violation-identity transitions of one update or batch window:
+/// everything that appeared and everything that resolved, each in ascending
+/// [`ViolationKey`] order. This is the payload pushed to observers
+/// registered with [`crate::ShardedDeltaNet::set_monitor_observer`] — the
+/// same diff `deltanet replay --monitor` prints, so a subscriber stream and
+/// an offline replay of the same ops are comparable event for event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MonitorTransitions {
+    /// Violations newly present after the update, sorted.
+    pub appeared: Vec<ViolationKey>,
+    /// Violations no longer present after the update, sorted.
+    pub resolved: Vec<ViolationKey>,
+}
+
+impl MonitorTransitions {
+    /// Whether the update changed no violation identity.
+    pub fn is_empty(&self) -> bool {
+        self.appeared.is_empty() && self.resolved.is_empty()
+    }
+
+    /// Total transitions (appeared + resolved).
+    pub fn len(&self) -> usize {
+        self.appeared.len() + self.resolved.len()
+    }
+}
+
+/// Diffs successive active-violation identity sets into
+/// [`MonitorTransitions`]. This is the push-side twin of polling
+/// [`ViolationMonitor::last_events`]: feed it the merged key set after each
+/// update (or batch window) and it yields exactly the identities that
+/// appeared and resolved since the previous observation — deterministic
+/// regardless of how many shards produced the keys or in which order the
+/// shards applied their groups.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionTracker {
+    prev: BTreeSet<ViolationKey>,
+}
+
+impl TransitionTracker {
+    /// A tracker whose baseline is the empty violation set.
+    pub fn new() -> Self {
+        TransitionTracker::default()
+    }
+
+    /// A tracker whose baseline is `current` — use when attaching to an
+    /// engine that already has active violations, so the attach itself does
+    /// not masquerade as a wave of `appeared` events.
+    pub fn starting_from(current: BTreeSet<ViolationKey>) -> Self {
+        TransitionTracker { prev: current }
+    }
+
+    /// Diffs `now` against the previous observation and advances to it.
+    pub fn observe(&mut self, now: BTreeSet<ViolationKey>) -> MonitorTransitions {
+        let transitions = MonitorTransitions {
+            appeared: now.difference(&self.prev).cloned().collect(),
+            resolved: self.prev.difference(&now).cloned().collect(),
+        };
+        self.prev = now;
+        transitions
+    }
+
+    /// The violation identities as of the last observation.
+    pub fn current(&self) -> &BTreeSet<ViolationKey> {
+        &self.prev
+    }
+}
+
 /// The live violation state: every forwarding loop and blackhole currently
 /// present in the data plane, maintained incrementally (see the module
 /// docs). Created empty alongside an empty engine

@@ -31,6 +31,7 @@
 //! equality and the exact boundary accounting.
 
 use crate::engine::{CompactReport, DeltaNet, DeltaNetConfig};
+use crate::monitor::{MonitorTransitions, TransitionTracker};
 use crate::parallel::{merge_violations, Parallelism};
 use netmodel::checker::{
     Checker, InvariantViolation, ReplayError, UpdateError, UpdateReport, WhatIfReport,
@@ -69,7 +70,6 @@ use std::collections::{BTreeSet, HashMap};
 /// assert_eq!(net.rule_count(), 2);
 /// assert!(net.class_count() >= 4);
 /// ```
-#[derive(Clone, Debug)]
 pub struct ShardedDeltaNet {
     topology: Topology,
     /// Shard range boundaries: `boundaries[i] .. boundaries[i + 1]` is the
@@ -80,6 +80,47 @@ pub struct ShardedDeltaNet {
     /// need the full (unclipped) intervals of every installed rule.
     rules: HashMap<RuleId, Rule>,
     parallelism: Parallelism,
+    /// The monitor-event observer, if one is attached (see
+    /// [`ShardedDeltaNet::set_monitor_observer`]): the merged-key tracker
+    /// plus the callback it drives. Runtime wiring, not engine state — it
+    /// does not survive [`Clone`] or persistence.
+    observer: Option<MonitorObserver>,
+}
+
+/// The push-side monitor seam: a [`TransitionTracker`] over the merged
+/// shard keys plus the registered callback.
+struct MonitorObserver {
+    tracker: TransitionTracker,
+    callback: Box<dyn FnMut(&MonitorTransitions) + Send>,
+}
+
+impl Clone for ShardedDeltaNet {
+    /// Clones the engine state. An attached monitor observer is runtime
+    /// wiring to a live consumer and is *not* cloned — the copy starts with
+    /// no observer, like a snapshot-restored engine.
+    fn clone(&self) -> Self {
+        ShardedDeltaNet {
+            topology: self.topology.clone(),
+            boundaries: self.boundaries.clone(),
+            shards: self.shards.clone(),
+            rules: self.rules.clone(),
+            parallelism: self.parallelism,
+            observer: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedDeltaNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDeltaNet")
+            .field("topology", &self.topology)
+            .field("boundaries", &self.boundaries)
+            .field("shards", &self.shards)
+            .field("rules", &self.rules)
+            .field("parallelism", &self.parallelism)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl ShardedDeltaNet {
@@ -124,6 +165,7 @@ impl ShardedDeltaNet {
             shards,
             rules: HashMap::new(),
             parallelism,
+            observer: None,
         }
     }
 
@@ -144,6 +186,7 @@ impl ShardedDeltaNet {
             shards,
             rules,
             parallelism: Parallelism::from_env(),
+            observer: None,
         }
     }
 
@@ -159,6 +202,62 @@ impl ShardedDeltaNet {
         for shard in &mut self.shards {
             shard.enable_monitor();
         }
+    }
+
+    /// Registers a monitor-event observer: after every update — a single
+    /// [`ShardedDeltaNet::try_insert_rule`] / `try_remove_rule`, or one
+    /// [`ShardedDeltaNet::apply_batch`] window, including the applied prefix
+    /// of a window that fails mid-batch — the callback receives the
+    /// [`MonitorTransitions`] diff of the merged violation identities, the
+    /// push-side equivalent of polling [`ShardedDeltaNet::monitor_keys`].
+    /// The callback only fires when at least one identity changed; it runs
+    /// on the thread applying the update, after all shard groups have
+    /// joined, so it must be cheap and must never block on the consumers it
+    /// feeds (hand off to a queue instead).
+    ///
+    /// The tracker baseline is the *current* violation set, so attaching to
+    /// a dirty engine does not replay the existing violations as `appeared`
+    /// events. At most one observer is attached; a second call replaces the
+    /// first. Returns `false` (and registers nothing) when monitoring is off
+    /// (see [`ShardedDeltaNet::enable_monitor`]).
+    pub fn set_monitor_observer(
+        &mut self,
+        callback: impl FnMut(&MonitorTransitions) + Send + 'static,
+    ) -> bool {
+        let Some(keys) = self.monitor_keys() else {
+            return false;
+        };
+        self.observer = Some(MonitorObserver {
+            tracker: TransitionTracker::starting_from(keys),
+            callback: Box::new(callback),
+        });
+        true
+    }
+
+    /// Detaches the observer registered with
+    /// [`ShardedDeltaNet::set_monitor_observer`], if any.
+    pub fn clear_monitor_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Diffs the merged violation identities against the observer's last
+    /// observation and fires the callback when anything changed. Called at
+    /// the end of every update path (including the applied prefix of a
+    /// failed batch); a no-op without an observer or with monitoring off.
+    fn notify_observer(&mut self) {
+        if self.observer.is_none() {
+            return;
+        }
+        let Some(keys) = self.monitor_keys() else {
+            return;
+        };
+        // Taken out so the diff cannot alias a re-entrant engine borrow.
+        let mut observer = self.observer.take().expect("checked above");
+        let transitions = observer.tracker.observe(keys);
+        if !transitions.is_empty() {
+            (observer.callback)(&transitions);
+        }
+        self.observer = Some(observer);
     }
 
     /// The topology this checker verifies.
@@ -263,7 +362,9 @@ impl ShardedDeltaNet {
                     .expect("validated insert cannot fail inside a shard")
             })
             .collect();
-        Ok(merge_update_reports(Some(rule.id), true, parts))
+        let report = merge_update_reports(Some(rule.id), true, parts);
+        self.notify_observer();
+        Ok(report)
     }
 
     /// Algorithm 2, sharded: routes the removal to every shard the rule's
@@ -295,7 +396,9 @@ impl ShardedDeltaNet {
             })
             .collect();
         self.rules.remove(&id);
-        Ok(merge_update_reports(Some(id), false, parts))
+        let report = merge_update_reports(Some(id), false, parts);
+        self.notify_observer();
+        Ok(report)
     }
 
     /// Applies a window of updates with the per-shard groups running
@@ -373,6 +476,10 @@ impl ShardedDeltaNet {
             });
         }
 
+        // One observation per window — transitions are at batch granularity
+        // (per-op order inside a window is not observable), and a mid-batch
+        // failure still reports the transitions of its applied prefix.
+        self.notify_observer();
         if let Some(error) = failure {
             return Err(error);
         }
@@ -923,5 +1030,123 @@ mod tests {
     fn zero_shards_panics() {
         let (topo, _, _, _) = two_switch();
         ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 0);
+    }
+
+    /// A loop-then-blackhole flap on two switches: `I 1` routes a→b (traffic
+    /// strands at b: blackhole), `I 2` routes b→a (loop appears, blackhole
+    /// resolves), `R 2` resolves the loop and re-strands the traffic.
+    fn flap_ops(topo: &mut Topology, a: NodeId, b: NodeId, l: LinkId) -> Vec<Op> {
+        let back = topo.add_link(b, a);
+        vec![
+            Op::Insert(Rule::forward(RuleId(1), prefix("10.0.0.0/8"), 1, a, l)),
+            Op::Insert(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, b, back)),
+            Op::Remove(RuleId(2)),
+        ]
+    }
+
+    #[test]
+    fn monitor_observer_streams_transitions_per_update() {
+        use crate::monitor::ViolationKey;
+        use std::sync::{Arc, Mutex};
+        for shards in [1usize, 2, 4] {
+            let (mut topo, a, b, l) = two_switch();
+            let ops = flap_ops(&mut topo, a, b, l);
+            let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), shards);
+            net.enable_monitor();
+            let seen: Arc<Mutex<Vec<MonitorTransitions>>> = Arc::default();
+            let sink = Arc::clone(&seen);
+            assert!(net.set_monitor_observer(move |t| sink.lock().unwrap().push(t.clone())));
+            for op in &ops {
+                net.try_apply(op).unwrap();
+            }
+            let seen = seen.lock().unwrap();
+            let cycle = ViolationKey::Loop(vec![a, b]);
+            let hole = ViolationKey::Blackhole(b);
+            assert_eq!(
+                *seen,
+                vec![
+                    MonitorTransitions {
+                        appeared: vec![hole.clone()],
+                        resolved: vec![],
+                    },
+                    MonitorTransitions {
+                        appeared: vec![cycle.clone()],
+                        resolved: vec![hole.clone()],
+                    },
+                    MonitorTransitions {
+                        appeared: vec![hole],
+                        resolved: vec![cycle],
+                    },
+                ],
+                "at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_observer_batch_window_and_failure_prefix() {
+        use crate::monitor::ViolationKey;
+        use std::sync::{Arc, Mutex};
+        let (mut topo, a, b, l) = two_switch();
+        let ops = flap_ops(&mut topo, a, b, l);
+        let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 2);
+        net.enable_monitor();
+        let seen: Arc<Mutex<Vec<MonitorTransitions>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        net.set_monitor_observer(move |t| sink.lock().unwrap().push(t.clone()));
+        // One window covering the whole flap: loop + and - cancel out, only
+        // the blackhole surfaces — batch-granularity transitions.
+        net.apply_batch(&ops).unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![MonitorTransitions {
+                appeared: vec![ViolationKey::Blackhole(b)],
+                resolved: vec![],
+            }]
+        );
+        seen.lock().unwrap().clear();
+        // A window failing mid-batch still reports its applied prefix: the
+        // re-insert of rule 2 resolves the blackhole and re-raises the loop
+        // before the unknown removal aborts the window.
+        let back = net.topology().link_between(b, a).unwrap();
+        let failing = vec![
+            Op::Insert(Rule::forward(RuleId(2), prefix("10.0.0.0/8"), 1, b, back)),
+            Op::Remove(RuleId(99)),
+        ];
+        let err = net.apply_batch(&failing).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![MonitorTransitions {
+                appeared: vec![ViolationKey::Loop(vec![a, b])],
+                resolved: vec![ViolationKey::Blackhole(b)],
+            }]
+        );
+    }
+
+    #[test]
+    fn monitor_observer_lifecycle() {
+        use std::sync::{Arc, Mutex};
+        let (mut topo, a, b, l) = two_switch();
+        let ops = flap_ops(&mut topo, a, b, l);
+        // Without monitoring, registration is refused.
+        let mut unmonitored = ShardedDeltaNet::new(topo.clone(), DeltaNetConfig::default(), 2);
+        assert!(!unmonitored.set_monitor_observer(|_| {}));
+        // Attaching to a dirty engine does not replay existing violations,
+        // and clearing stops the stream; a clone carries no observer.
+        let mut net = ShardedDeltaNet::new(topo, DeltaNetConfig::default(), 2);
+        net.enable_monitor();
+        net.try_apply(&ops[0]).unwrap();
+        net.try_apply(&ops[1]).unwrap(); // loop active
+        let seen: Arc<Mutex<Vec<MonitorTransitions>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        net.set_monitor_observer(move |t| sink.lock().unwrap().push(t.clone()));
+        assert!(seen.lock().unwrap().is_empty(), "no attach-time wave");
+        let mut copy = net.clone();
+        copy.try_apply(&ops[2]).unwrap();
+        assert!(seen.lock().unwrap().is_empty(), "clone has no observer");
+        net.clear_monitor_observer();
+        net.try_apply(&ops[2]).unwrap();
+        assert!(seen.lock().unwrap().is_empty(), "cleared observer is quiet");
     }
 }

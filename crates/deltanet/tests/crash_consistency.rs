@@ -690,6 +690,86 @@ fn checkpoint_manager_rotates_retains_and_recovers_multi_segment() {
     drop(mgr3);
 }
 
+/// Regression (ISSUE 10 satellite): retention vs. time-travel at the exact
+/// segment boundary. With batches aligned to the cadence every snapshot
+/// lands exactly at a segment start, so the segment *ending* at the oldest
+/// retained snapshot satisfies retention's `end <= oldest_kept` and is
+/// deleted on every rotation. Time-traveling to the ops just after the
+/// oldest retained snapshot must still succeed from the surviving segments
+/// — retention must never delete a segment the oldest snapshot needs.
+#[test]
+fn retention_never_strands_time_travel_just_after_oldest_snapshot() {
+    let mut rng = StdRng::seed_from_u64(0xc4fb);
+    let topo = random_topology(&mut rng, 5, true);
+    let trace = make_trace(0xc4fb_0008, &topo, 24);
+    let backend = FaultyBackend::new();
+    let dir = p("/vd/retention");
+
+    let mut mgr = CheckpointManager::create(
+        Box::new(backend.clone()),
+        &dir,
+        build(&topo, 2),
+        0,
+        checkpoint_cfg(4, 2),
+    )
+    .unwrap();
+    // Batches of 4 against a 4-op cadence: six rotations, each snapshot at
+    // a segment start, each rotation making one more segment deletable.
+    for chunk in trace.chunks(4) {
+        mgr.apply_batch(chunk).unwrap();
+    }
+    assert_eq!(mgr.ops_applied(), 24);
+    assert_eq!(mgr.checkpoints_written(), 7); // initial + one per rotation
+    drop(mgr.close().unwrap());
+
+    // Retention kept the newest two snapshots and exactly the segments
+    // needed to replay forward from the oldest one — everything older,
+    // including the segment whose end equals the oldest retained snapshot,
+    // is gone.
+    let (snaps, segs) = dir_artifacts(&backend, &dir);
+    assert_eq!(
+        snaps,
+        vec!["snap-000000000020.dnsnap", "snap-000000000024.dnsnap"]
+    );
+    assert_eq!(
+        segs,
+        vec!["log-000000000020.dnlog", "log-000000000024.dnlog"]
+    );
+
+    // Time-travel to the oldest retained snapshot and every op just after
+    // it: baseline snap-20 plus a replay that starts at the first record of
+    // segment log-20 (the `end == oldest_kept` equality boundary).
+    for op_n in [20u64, 21, 22, 23, 24] {
+        let mut oracle = build(&topo, 2);
+        for op in &trace[..op_n as usize] {
+            oracle.try_apply(op).unwrap();
+        }
+        let got = CheckpointManager::violations_at(
+            &mut backend.clone(),
+            &dir,
+            &topo,
+            op_n,
+            RecoveryPolicy::Strict,
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            oracle.active_violations().unwrap(),
+            "violations_at({op_n})"
+        );
+    }
+    // One op before the horizon has no snapshot at or before it: a clean
+    // error, not a bogus replay.
+    let err = CheckpointManager::violations_at(
+        &mut backend.clone(),
+        &dir,
+        &topo,
+        19,
+        RecoveryPolicy::Strict,
+    );
+    assert!(matches!(err, Err(PersistError::Mismatch(_))));
+}
+
 /// Crash sweep over a checkpoint directory: crash at every record boundary
 /// (and sampled bytes) of the *final* segment; `RepairTail` recovery must
 /// land bit-identical to the oracle at the salvaged prefix. Also: a corrupt

@@ -1,0 +1,851 @@
+//! The verification daemon: ingest queue, windowed batching engine thread,
+//! and violation fan-out.
+//!
+//! ## Thread architecture
+//!
+//! ```text
+//!  client ──TCP──▶ reader thread ──(bounded work queue)──▶ engine thread
+//!                    ▲    │ ack line   (sync_channel:          │ owns the
+//!                    │    ◀────────────  *backpressure*)       │ ShardedDeltaNet
+//!                    │                                         │
+//!  subscriber ◀── event pump ◀──(bounded event buffer)─────────┘
+//! ```
+//!
+//! * One **reader** per connection parses ndjson requests, resolves
+//!   node/link references eagerly, and pushes work items into the bounded
+//!   ingest queue. A full queue blocks the reader — and, transitively, the
+//!   client's socket — which is the protocol's explicit backpressure: a
+//!   client can never have more un-acked work in the daemon than the queue
+//!   holds.
+//! * The single **engine** thread owns the [`ShardedDeltaNet`] (optionally
+//!   wrapped in a [`CheckpointManager`] for durability). It coalesces
+//!   consecutive op items into windows of at most `window` ops, applies each
+//!   window with [`ShardedDeltaNet::apply_batch`] (per-shard groups run
+//!   concurrently), and acks per request. A mid-window engine error keeps
+//!   the window's applied prefix (exactly `apply_batch`'s semantics): items
+//!   fully applied ack `ok`, the item owning the failure acks its own
+//!   applied prefix plus the error and `skipped` for its remaining ops, and
+//!   *later* items of the window are put back at the front of the queue and
+//!   applied in a follow-up window — one request's bad op never poisons
+//!   another client's.
+//! * Violation transitions reach the engine thread through the
+//!   [`ShardedDeltaNet::set_monitor_observer`] seam and fan out to every
+//!   subscriber through its own bounded buffer via non-blocking sends: a
+//!   slow consumer *drops* events (never stalls the engine) and receives a
+//!   `{"event": "gap", "dropped": n}` marker as soon as its buffer has room
+//!   again.
+//!
+//! All transitions events carry a global `seq`, so every subscriber that
+//! keeps up sees a bit-identical stream.
+
+use crate::json::Json;
+use crate::proto::{
+    batch_op_ack, batch_op_error, batch_reply, error_reply, error_reply_no_id, gap_event, ok_reply,
+    parse_request, transitions_event, update_error_kind, what_if_reply, Request, RequestBody,
+};
+use deltanet::persist::RecoveryPolicy;
+use deltanet::{
+    CheckpointConfig, CheckpointManager, DeltaNetConfig, FsBackend, MonitorTransitions,
+    Parallelism, PersistNet, ShardedDeltaNet, Snapshot,
+};
+use netmodel::checker::{InvariantViolation, ReplayError, UpdateReport, WhatIfReport};
+use netmodel::topology::{LinkId, Topology};
+use netmodel::trace::Op;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Durability mounting for the daemon (see [`CheckpointManager`]).
+#[derive(Clone, Debug)]
+pub struct CheckpointSetup {
+    /// Checkpoint directory; recovered from and resumed when it already
+    /// holds artifacts.
+    pub dir: PathBuf,
+    /// Cadence / retention / durability of the manager.
+    pub config: CheckpointConfig,
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Engine configuration (`monitor_violations` is forced on — the
+    /// subscription surface requires the monitor).
+    pub engine: DeltaNetConfig,
+    /// Number of address-space shards (≥ 1).
+    pub shards: usize,
+    /// Worker threads for per-window shard groups.
+    pub parallelism: Parallelism,
+    /// Maximum ops coalesced into one `apply_batch` window (≥ 1).
+    pub window: usize,
+    /// Bounded ingest queue capacity in work items (≥ 1); a full queue
+    /// blocks readers — the backpressure bound.
+    pub queue: usize,
+    /// Default per-subscriber event buffer capacity (≥ 1).
+    pub sub_buffer: usize,
+    /// Cross-check the incremental monitor against a full rescan after
+    /// every window; mismatches are counted in `stats`.
+    pub audit: bool,
+    /// Mount a [`CheckpointManager`] under the engine.
+    pub checkpoint: Option<CheckpointSetup>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            engine: DeltaNetConfig::default(),
+            shards: 2,
+            parallelism: Parallelism::auto(),
+            window: 32,
+            queue: 128,
+            sub_buffer: 256,
+            audit: false,
+            checkpoint: None,
+        }
+    }
+}
+
+/// A work item from a reader to the engine thread.
+enum WorkItem {
+    /// Ordered ops of one request (`batch`: reply shape).
+    Ops {
+        id: u64,
+        reply: Sender<String>,
+        ops: Vec<Op>,
+        batch: bool,
+    },
+    /// A read-only (or engine-owned) query, processed between windows.
+    Query {
+        id: u64,
+        reply: Sender<String>,
+        kind: Query,
+    },
+    /// Register a violation subscriber.
+    Subscribe {
+        id: u64,
+        reply: Sender<String>,
+        events: SyncSender<String>,
+    },
+    /// Stop the daemon.
+    Shutdown { id: u64, reply: Sender<String> },
+}
+
+enum Query {
+    WhatIf { link: LinkId, check_loops: bool },
+    Stats,
+    Snapshot(String),
+}
+
+/// One registered subscriber, as the engine thread sees it.
+struct Subscriber {
+    events: SyncSender<String>,
+    /// Events dropped since the last line this subscriber received; a gap
+    /// marker carrying this count is delivered once the buffer has room.
+    dropped: u64,
+    alive: bool,
+}
+
+/// State shared between the accept loop, readers, and the engine.
+struct Shared {
+    /// The topology, with every node's drop link pre-created (shard
+    /// topologies are cloned at engine construction, so drop links must
+    /// exist *before* the engine is built).
+    topology: Topology,
+    shutdown: AtomicBool,
+    sub_buffer: usize,
+}
+
+/// The engine: a plain sharded net, or one under checkpoint management.
+enum EngineNet {
+    Plain(ShardedDeltaNet),
+    Durable(CheckpointManager),
+}
+
+impl EngineNet {
+    fn apply_batch(&mut self, ops: &[Op]) -> Result<Vec<UpdateReport>, ReplayError> {
+        match self {
+            EngineNet::Plain(net) => net.apply_batch(ops),
+            EngineNet::Durable(mgr) => mgr.apply_batch(ops),
+        }
+    }
+
+    fn sharded(&self) -> &ShardedDeltaNet {
+        match self {
+            EngineNet::Plain(net) => net,
+            EngineNet::Durable(mgr) => mgr
+                .net()
+                .as_sharded()
+                .expect("daemon engines are always sharded"),
+        }
+    }
+
+    fn link_failure_impact(&self, link: LinkId, check_loops: bool) -> WhatIfReport {
+        self.sharded().link_failure_impact(link, check_loops)
+    }
+
+    fn active_violations(&self) -> Option<Vec<InvariantViolation>> {
+        self.sharded().active_violations()
+    }
+
+    fn rescan(&self) -> Vec<InvariantViolation> {
+        let net = self.sharded();
+        let mut all = net.check_all_loops();
+        all.extend(net.check_all_blackholes());
+        all
+    }
+}
+
+/// The daemon, bound to a TCP listener. [`Server::run`] accepts
+/// connections until a `shutdown` request arrives.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    work_tx: SyncSender<WorkItem>,
+    engine: thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the engine thread. With a checkpoint directory that already
+    /// holds artifacts, the daemon recovers and resumes from it.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        topology: Topology,
+        config: ServiceConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let (shared, work_tx, engine) = start_engine(topology, config)?;
+        Ok(Server {
+            listener,
+            shared,
+            work_tx,
+            engine,
+        })
+    }
+
+    /// The bound address (for ephemeral-port discovery).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections until a client sends `shutdown`;
+    /// returns once the engine thread has drained and exited.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let work_tx = self.work_tx.clone();
+                    thread::spawn(move || {
+                        let _ = serve_tcp_connection(stream, &shared, &work_tx);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Readers' queue sends now fail; the engine already exited (it set
+        // the flag) or exits once the last sender drops.
+        drop(self.work_tx);
+        let _ = self.engine.join();
+        Ok(())
+    }
+}
+
+/// Serves the ndjson protocol over stdin/stdout instead of TCP — the same
+/// engine and semantics, one implicit connection. Returns at EOF or after
+/// a `shutdown` request.
+pub fn serve_stdio(topology: Topology, config: ServiceConfig) -> io::Result<()> {
+    let (shared, work_tx, engine) = start_engine(topology, config)?;
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let result = handle_connection(stdin.lock(), stdout.lock(), &shared, &work_tx);
+    drop(work_tx); // EOF without `shutdown` still closes the engine cleanly
+    let _ = engine.join();
+    result
+}
+
+/// Builds the prepared topology + engine and spawns the engine thread.
+#[allow(clippy::type_complexity)]
+fn start_engine(
+    mut topology: Topology,
+    mut config: ServiceConfig,
+) -> io::Result<(Arc<Shared>, SyncSender<WorkItem>, thread::JoinHandle<()>)> {
+    config.engine.monitor_violations = true;
+    config.shards = config.shards.max(1);
+    config.window = config.window.max(1);
+    config.queue = config.queue.max(1);
+    config.sub_buffer = config.sub_buffer.max(1);
+
+    // Drop links must exist before engine construction: each shard clones
+    // the topology, so links created later would be unknown to the engine.
+    let nodes: Vec<_> = topology.nodes().collect();
+    for node in nodes {
+        topology.drop_link(node);
+    }
+
+    let staging: Arc<Mutex<Vec<MonitorTransitions>>> = Arc::default();
+    let observer_sink = Arc::clone(&staging);
+    let observe = move |t: &MonitorTransitions| observer_sink.lock().unwrap().push(t.clone());
+
+    let (engine_net, ops_applied) = match &config.checkpoint {
+        None => {
+            let mut net = ShardedDeltaNet::with_parallelism(
+                topology.clone(),
+                config.engine,
+                config.shards,
+                config.parallelism,
+            );
+            net.enable_monitor();
+            net.set_monitor_observer(observe);
+            (EngineNet::Plain(net), 0)
+        }
+        Some(setup) => {
+            let backend = Box::new(FsBackend);
+            let has_artifacts = setup.dir.is_dir()
+                && std::fs::read_dir(&setup.dir)?
+                    .filter_map(|e| e.ok())
+                    .any(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.starts_with("snap-"))
+                    });
+            let mut mgr = if has_artifacts {
+                let (mgr, _report) = CheckpointManager::recover(
+                    backend,
+                    &setup.dir,
+                    &topology,
+                    RecoveryPolicy::RepairTail,
+                    setup.config,
+                )
+                .map_err(|e| io::Error::other(format!("checkpoint recovery failed: {e}")))?;
+                mgr
+            } else {
+                let mut net = ShardedDeltaNet::with_parallelism(
+                    topology.clone(),
+                    config.engine,
+                    config.shards,
+                    config.parallelism,
+                );
+                net.enable_monitor();
+                CheckpointManager::create(
+                    backend,
+                    &setup.dir,
+                    PersistNet::Sharded(Box::new(net)),
+                    0,
+                    setup.config,
+                )
+                .map_err(|e| io::Error::other(format!("checkpoint creation failed: {e}")))?
+            };
+            let ops = mgr.ops_applied();
+            match mgr.net_mut() {
+                PersistNet::Sharded(net) => {
+                    if net.monitor_keys().is_none() {
+                        net.enable_monitor();
+                    }
+                    net.set_monitor_observer(observe);
+                }
+                PersistNet::Single(_) => {
+                    return Err(io::Error::other(
+                        "checkpoint directory holds a single-engine snapshot; \
+                         the daemon requires a sharded engine",
+                    ))
+                }
+            }
+            (EngineNet::Durable(mgr), ops)
+        }
+    };
+
+    let shared = Arc::new(Shared {
+        topology,
+        shutdown: AtomicBool::new(false),
+        sub_buffer: config.sub_buffer,
+    });
+    let (work_tx, work_rx) = mpsc::sync_channel(config.queue);
+    let engine_shared = Arc::clone(&shared);
+    let engine = thread::spawn(move || {
+        EngineLoop {
+            net: engine_net,
+            rx: work_rx,
+            shared: engine_shared,
+            staging,
+            window: config.window,
+            queue_cap: config.queue,
+            audit: config.audit,
+            ops_applied,
+            seq: 0,
+            audits: 0,
+            mismatches: 0,
+            subscribers: Vec::new(),
+            pending: VecDeque::new(),
+        }
+        .run();
+    });
+    Ok((shared, work_tx, engine))
+}
+
+/// The engine thread's state.
+struct EngineLoop {
+    net: EngineNet,
+    rx: Receiver<WorkItem>,
+    shared: Arc<Shared>,
+    /// Transitions pushed by the monitor observer during the current
+    /// window; drained and fanned out after each apply.
+    staging: Arc<Mutex<Vec<MonitorTransitions>>>,
+    window: usize,
+    queue_cap: usize,
+    audit: bool,
+    /// Global 0-based count of ops applied so far (resumes across
+    /// restarts under durability).
+    ops_applied: u64,
+    /// Global transitions-event sequence number.
+    seq: u64,
+    audits: u64,
+    mismatches: u64,
+    subscribers: Vec<Subscriber>,
+    /// Items deferred to the next window (the unapplied remainder of a
+    /// failed window, and any non-op item that interrupted coalescing).
+    pending: VecDeque<WorkItem>,
+}
+
+impl EngineLoop {
+    fn run(mut self) {
+        loop {
+            let item = match self.pending.pop_front() {
+                Some(item) => item,
+                None => match self.rx.recv() {
+                    Ok(item) => item,
+                    Err(_) => break, // all producers gone: clean close
+                },
+            };
+            match item {
+                WorkItem::Ops {
+                    id,
+                    reply,
+                    ops,
+                    batch,
+                } => {
+                    let mut window = vec![(id, reply, ops, batch)];
+                    self.coalesce(&mut window);
+                    self.apply_window(window);
+                }
+                WorkItem::Query { id, reply, kind } => self.query(id, &reply, kind),
+                WorkItem::Subscribe { id, reply, events } => {
+                    let _ = reply.send(
+                        crate::json::obj(vec![
+                            ("id", Json::int(id)),
+                            ("ok", Json::Bool(true)),
+                            ("subscribed", Json::Bool(true)),
+                        ])
+                        .render(),
+                    );
+                    self.subscribers.push(Subscriber {
+                        events,
+                        dropped: 0,
+                        alive: true,
+                    });
+                }
+                WorkItem::Shutdown { id, reply } => {
+                    let _ = reply.send(
+                        crate::json::obj(vec![
+                            ("id", Json::int(id)),
+                            ("ok", Json::Bool(true)),
+                            ("shutting_down", Json::Bool(true)),
+                        ])
+                        .render(),
+                    );
+                    self.shared.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+        // Dropping subscribers' senders ends every event pump; a durable
+        // engine syncs its log on the way out.
+        self.subscribers.clear();
+        if let EngineNet::Durable(mgr) = self.net {
+            if let Err(e) = mgr.close() {
+                eprintln!("warning: checkpoint close failed: {e}");
+            }
+        }
+    }
+
+    /// Pulls more op items (up to `window` total ops) without blocking; a
+    /// non-op item stops coalescing and is deferred to preserve order.
+    fn coalesce(&mut self, window: &mut Vec<(u64, Sender<String>, Vec<Op>, bool)>) {
+        let mut total: usize = window.iter().map(|(_, _, ops, _)| ops.len()).sum();
+        while total < self.window {
+            let next = match self.pending.pop_front() {
+                Some(item) => item,
+                None => match self.rx.try_recv() {
+                    Ok(item) => item,
+                    Err(_) => break,
+                },
+            };
+            match next {
+                WorkItem::Ops {
+                    id,
+                    reply,
+                    ops,
+                    batch,
+                } if total + ops.len() <= self.window => {
+                    total += ops.len();
+                    window.push((id, reply, ops, batch));
+                }
+                other => {
+                    self.pending.push_front(other);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Applies one coalesced window and acks every item it covers.
+    fn apply_window(&mut self, window: Vec<(u64, Sender<String>, Vec<Op>, bool)>) {
+        let all_ops: Vec<Op> = window
+            .iter()
+            .flat_map(|(_, _, ops, _)| ops.iter().copied())
+            .collect();
+        let ops_before = self.ops_applied;
+        let (reports, failure) = match self.net.apply_batch(&all_ops) {
+            Ok(reports) => (reports, None),
+            Err(e) => (Vec::new(), Some(e)),
+        };
+        let applied = failure.as_ref().map_or(all_ops.len(), |e| e.index);
+        self.ops_applied += applied as u64;
+
+        let mut offset = 0usize; // window-local index of the item's first op
+        let mut iter = window.into_iter();
+        for (id, reply, ops, batch) in iter.by_ref() {
+            let end = offset + ops.len();
+            if end <= applied {
+                // Fully applied.
+                let item_reports = &reports[offset..end];
+                let line = if batch {
+                    let acks = item_reports
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| batch_op_ack(ops_before + (offset + i + 1) as u64, r))
+                        .collect();
+                    batch_reply(id, true, ops.len(), acks)
+                } else {
+                    ok_reply(id, ops_before + end as u64, &item_reports[0])
+                };
+                let _ = reply.send(line.render());
+                offset = end;
+                continue;
+            }
+            // This item owns the failure (reports are unavailable for the
+            // window's applied prefix on error — `apply_batch` returns only
+            // the error — so prefix acks carry position, not deltas).
+            let error = failure.as_ref().expect("partial item implies failure");
+            let kind = update_error_kind(&error.error);
+            let message = error.error.to_string();
+            let prefix = applied - offset; // ops of this item that applied
+            let line = if batch {
+                let mut acks: Vec<Json> = (0..prefix)
+                    .map(|i| {
+                        crate::json::obj(vec![
+                            ("ok", Json::Bool(true)),
+                            ("at", Json::int(ops_before + (offset + i + 1) as u64)),
+                        ])
+                    })
+                    .collect();
+                acks.push(batch_op_error(kind, &message));
+                for _ in prefix + 1..ops.len() {
+                    acks.push(batch_op_error(
+                        "skipped",
+                        "an earlier op in this batch failed",
+                    ));
+                }
+                batch_reply(id, false, prefix, acks)
+            } else {
+                error_reply(id, kind, &message)
+            };
+            let _ = reply.send(line.render());
+            break;
+        }
+        // Items after the failing one re-queue untouched, in order, ahead
+        // of anything already deferred: their ops were not applied.
+        for (i, (id, reply, ops, batch)) in iter.enumerate() {
+            self.pending.insert(
+                i,
+                WorkItem::Ops {
+                    id,
+                    reply,
+                    ops,
+                    batch,
+                },
+            );
+        }
+
+        self.publish_transitions(ops_before);
+        if self.audit {
+            self.audits += 1;
+            let matches = self
+                .net
+                .active_violations()
+                .map(|active| active == self.net.rescan())
+                .unwrap_or(false);
+            if !matches {
+                self.mismatches += 1;
+            }
+        }
+    }
+
+    /// Drains the observer staging buffer and fans each transitions event
+    /// out to every subscriber with the drop-with-gap-marker policy.
+    fn publish_transitions(&mut self, ops_before: u64) {
+        let drained: Vec<MonitorTransitions> = {
+            let mut staging = self.staging.lock().unwrap();
+            staging.drain(..).collect()
+        };
+        for transitions in drained {
+            self.seq += 1;
+            let line = transitions_event(self.seq, ops_before + 1, self.ops_applied, &transitions)
+                .render();
+            for sub in &mut self.subscribers {
+                sub.deliver(&line);
+            }
+        }
+        self.subscribers.retain(|s| s.alive);
+    }
+
+    fn query(&mut self, id: u64, reply: &Sender<String>, kind: Query) {
+        let line = match kind {
+            Query::WhatIf { link, check_loops } => {
+                what_if_reply(id, &self.net.link_failure_impact(link, check_loops))
+            }
+            Query::Stats => self.stats(id),
+            Query::Snapshot(path) => match &mut self.net {
+                EngineNet::Plain(net) => {
+                    let snap = Snapshot::of_sharded(net, self.ops_applied);
+                    match snap.write_to(std::path::Path::new(&path)) {
+                        Ok(()) => crate::json::obj(vec![
+                            ("id", Json::int(id)),
+                            ("ok", Json::Bool(true)),
+                            ("path", Json::str(path)),
+                            ("ops_applied", Json::int(self.ops_applied)),
+                        ]),
+                        Err(e) => error_reply(id, "io", &e.to_string()),
+                    }
+                }
+                EngineNet::Durable(mgr) => match mgr.checkpoint_now() {
+                    Ok(()) => crate::json::obj(vec![
+                        ("id", Json::int(id)),
+                        ("ok", Json::Bool(true)),
+                        ("path", Json::str(mgr.dir().display().to_string())),
+                        ("ops_applied", Json::int(self.ops_applied)),
+                    ]),
+                    Err(e) => error_reply(id, "io", &e.to_string()),
+                },
+            },
+        };
+        let _ = reply.send(line.render());
+    }
+
+    fn stats(&self, id: u64) -> Json {
+        let net = self.net.sharded();
+        let violations = self.net.active_violations().map_or(0, |v| v.len());
+        crate::json::obj(vec![
+            ("id", Json::int(id)),
+            ("ok", Json::Bool(true)),
+            ("ops_applied", Json::int(self.ops_applied)),
+            ("rules", Json::int(net.rules().count())),
+            ("atoms", Json::int(net.atom_count())),
+            ("violations", Json::int(violations)),
+            ("shards", Json::int(net.shard_count())),
+            ("window", Json::int(self.window)),
+            ("queue", Json::int(self.queue_cap)),
+            ("subscribers", Json::int(self.subscribers.len())),
+            ("events", Json::int(self.seq)),
+            ("audits", Json::int(self.audits)),
+            ("mismatches", Json::int(self.mismatches)),
+            (
+                "durable",
+                Json::Bool(matches!(self.net, EngineNet::Durable(_))),
+            ),
+        ])
+    }
+}
+
+impl Subscriber {
+    /// Non-blocking delivery: a full buffer drops the event and counts it;
+    /// once there is room again, a gap marker is delivered *before* the
+    /// next event so the consumer knows its stream has a hole.
+    fn deliver(&mut self, line: &str) {
+        if self.dropped > 0 {
+            match self.events.try_send(gap_event(self.dropped).render()) {
+                Ok(()) => self.dropped = 0,
+                Err(TrySendError::Full(_)) => {
+                    self.dropped += 1;
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.alive = false;
+                    return;
+                }
+            }
+        }
+        match self.events.try_send(line.to_string()) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.dropped += 1,
+            Err(TrySendError::Disconnected(_)) => self.alive = false,
+        }
+    }
+}
+
+fn serve_tcp_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    work_tx: &SyncSender<WorkItem>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    handle_connection(reader, stream, shared, work_tx)
+}
+
+/// Runs the per-connection protocol over any reader/writer pair (a TCP
+/// stream or stdin/stdout). Requests are processed strictly in order; a
+/// `subscribe` turns the connection into an event stream and stops reading.
+fn handle_connection<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    shared: &Shared,
+    work_tx: &SyncSender<WorkItem>,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match parse_request(&line, &shared.topology) {
+            Ok(request) => request,
+            Err(e) => {
+                let reply = match e.id {
+                    Some(id) => error_reply(id, "bad_request", &e.message),
+                    None => error_reply_no_id("bad_request", &e.message),
+                };
+                writeln!(writer, "{}", reply.render())?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        let Request { id, body } = request;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let item = match body {
+            RequestBody::Insert(rule) => WorkItem::Ops {
+                id,
+                reply: reply_tx,
+                ops: vec![Op::Insert(rule)],
+                batch: false,
+            },
+            RequestBody::Remove(rule_id) => WorkItem::Ops {
+                id,
+                reply: reply_tx,
+                ops: vec![Op::Remove(rule_id)],
+                batch: false,
+            },
+            RequestBody::Batch(ops) => WorkItem::Ops {
+                id,
+                reply: reply_tx,
+                ops,
+                batch: true,
+            },
+            RequestBody::WhatIf {
+                src,
+                dst,
+                check_loops,
+            } => match shared.topology.link_between(src, dst) {
+                Some(link) => WorkItem::Query {
+                    id,
+                    reply: reply_tx,
+                    kind: Query::WhatIf { link, check_loops },
+                },
+                None => {
+                    let reply = error_reply(
+                        id,
+                        "unknown_link",
+                        &format!("no link {} -> {}", src.0, dst.0),
+                    );
+                    writeln!(writer, "{}", reply.render())?;
+                    writer.flush()?;
+                    continue;
+                }
+            },
+            RequestBody::Stats => WorkItem::Query {
+                id,
+                reply: reply_tx,
+                kind: Query::Stats,
+            },
+            RequestBody::Snapshot(path) => WorkItem::Query {
+                id,
+                reply: reply_tx,
+                kind: Query::Snapshot(path),
+            },
+            RequestBody::Subscribe { buffer, pace_ms } => {
+                let cap = if buffer == 0 {
+                    shared.sub_buffer
+                } else {
+                    buffer
+                };
+                let (events_tx, events_rx) = mpsc::sync_channel(cap);
+                let item = WorkItem::Subscribe {
+                    id,
+                    reply: reply_tx,
+                    events: events_tx,
+                };
+                if work_tx.send(item).is_err() {
+                    return write_shutting_down(&mut writer, id);
+                }
+                let Ok(ack) = reply_rx.recv() else {
+                    return write_shutting_down(&mut writer, id);
+                };
+                writeln!(writer, "{ack}")?;
+                writer.flush()?;
+                // This connection is now an event stream: pump until the
+                // engine drops our sender (shutdown) or the write fails
+                // (client gone). `pace_ms` artificially slows this pump —
+                // the deterministic slow-consumer knob for tests.
+                for event in events_rx {
+                    if pace_ms > 0 {
+                        thread::sleep(Duration::from_millis(pace_ms));
+                    }
+                    if writeln!(writer, "{event}").is_err() {
+                        return Ok(());
+                    }
+                    writer.flush().ok();
+                }
+                return Ok(());
+            }
+            RequestBody::Shutdown => WorkItem::Shutdown {
+                id,
+                reply: reply_tx,
+            },
+        };
+        // A full ingest queue blocks here — the backpressure point.
+        if work_tx.send(item).is_err() {
+            return write_shutting_down(&mut writer, id);
+        }
+        let Ok(reply) = reply_rx.recv() else {
+            return write_shutting_down(&mut writer, id);
+        };
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// The reply written when the engine is no longer accepting work.
+fn write_shutting_down<W: Write>(writer: &mut W, id: u64) -> io::Result<()> {
+    let reply = error_reply(id, "bad_request", "server is shutting down");
+    writeln!(writer, "{}", reply.render())?;
+    writer.flush()
+}
