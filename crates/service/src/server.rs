@@ -23,8 +23,10 @@
 //!   window with [`ShardedDeltaNet::apply_batch`] (per-shard groups run
 //!   concurrently), and acks per request. A mid-window engine error keeps
 //!   the window's applied prefix (exactly `apply_batch`'s semantics): items
-//!   fully applied ack `ok`, the item owning the failure acks its own
-//!   applied prefix plus the error and `skipped` for its remaining ops, and
+//!   fully applied ack `ok` (positionally — a failed window yields no
+//!   per-op reports, so these acks carry `at` without delta fields), the
+//!   item owning the failure acks its own applied prefix plus the error
+//!   and `skipped` for its remaining ops, and
 //!   *later* items of the window are put back at the front of the queue and
 //!   applied in a follow-up window — one request's bad op never poisons
 //!   another client's.
@@ -36,12 +38,16 @@
 //!   again.
 //!
 //! All transitions events carry a global `seq`, so every subscriber that
-//! keeps up sees a bit-identical stream.
+//! keeps up sees a bit-identical stream. Under durability, a restarted
+//! daemon resumes `seq` from the recovered op count — an upper bound on
+//! any seq the previous life issued — so a reconnecting subscriber sees
+//! `seq` stay monotone (though not dense) across restarts.
 
 use crate::json::Json;
 use crate::proto::{
     batch_op_ack, batch_op_error, batch_reply, error_reply, error_reply_no_id, gap_event, ok_reply,
-    parse_request, transitions_event, update_error_kind, what_if_reply, Request, RequestBody,
+    parse_request, positional_ack, positional_reply, transitions_event, update_error_kind,
+    what_if_reply, Request, RequestBody,
 };
 use deltanet::persist::RecoveryPolicy;
 use deltanet::{
@@ -381,7 +387,10 @@ fn start_engine(
             queue_cap: config.queue,
             audit: config.audit,
             ops_applied,
-            seq: 0,
+            // Every event covers >= 1 op, so the recovered op count is an
+            // upper bound on any seq a previous life issued: resuming from
+            // it keeps seq monotone (not dense) across durable restarts.
+            seq: ops_applied,
             audits: 0,
             mismatches: 0,
             subscribers: Vec::new(),
@@ -406,7 +415,8 @@ struct EngineLoop {
     /// Global 0-based count of ops applied so far (resumes across
     /// restarts under durability).
     ops_applied: u64,
-    /// Global transitions-event sequence number.
+    /// Global transitions-event sequence number (seeded from the
+    /// recovered op count under durability — monotone across restarts).
     seq: u64,
     audits: u64,
     mismatches: u64,
@@ -418,9 +428,18 @@ struct EngineLoop {
 
 impl EngineLoop {
     fn run(mut self) {
+        // After a `shutdown` request the engine keeps going until the
+        // deferred queue *and* the ingest channel's backlog are drained —
+        // work the daemon already accepted is applied and acked, not
+        // silently dropped — and only then exits.
+        let mut shutting_down = false;
         loop {
             let item = match self.pending.pop_front() {
                 Some(item) => item,
+                None if shutting_down => match self.rx.try_recv() {
+                    Ok(item) => item,
+                    Err(_) => break, // backlog drained: stop
+                },
                 None => match self.rx.recv() {
                     Ok(item) => item,
                     Err(_) => break, // all producers gone: clean close
@@ -463,7 +482,7 @@ impl EngineLoop {
                         .render(),
                     );
                     self.shared.shutdown.store(true, Ordering::SeqCst);
-                    break;
+                    shutting_down = true;
                 }
             }
         }
@@ -526,37 +545,42 @@ impl EngineLoop {
         for (id, reply, ops, batch) in iter.by_ref() {
             let end = offset + ops.len();
             if end <= applied {
-                // Fully applied.
-                let item_reports = &reports[offset..end];
-                let line = if batch {
-                    let acks = item_reports
-                        .iter()
-                        .enumerate()
-                        .map(|(i, r)| batch_op_ack(ops_before + (offset + i + 1) as u64, r))
+                // Fully applied. On failure `apply_batch` returns only the
+                // error — no reports exist for the window's applied prefix —
+                // so items fully inside that prefix ack positionally.
+                let line = if failure.is_none() {
+                    let item_reports = &reports[offset..end];
+                    if batch {
+                        let acks = item_reports
+                            .iter()
+                            .enumerate()
+                            .map(|(i, r)| batch_op_ack(ops_before + (offset + i + 1) as u64, r))
+                            .collect();
+                        batch_reply(id, true, ops.len(), acks)
+                    } else {
+                        ok_reply(id, ops_before + end as u64, &item_reports[0])
+                    }
+                } else if batch {
+                    let acks = (0..ops.len())
+                        .map(|i| positional_ack(ops_before + (offset + i + 1) as u64))
                         .collect();
                     batch_reply(id, true, ops.len(), acks)
                 } else {
-                    ok_reply(id, ops_before + end as u64, &item_reports[0])
+                    positional_reply(id, ops_before + end as u64)
                 };
                 let _ = reply.send(line.render());
                 offset = end;
                 continue;
             }
-            // This item owns the failure (reports are unavailable for the
-            // window's applied prefix on error — `apply_batch` returns only
-            // the error — so prefix acks carry position, not deltas).
+            // This item owns the failure; its applied prefix acks
+            // positionally for the same reason as above.
             let error = failure.as_ref().expect("partial item implies failure");
             let kind = update_error_kind(&error.error);
             let message = error.error.to_string();
             let prefix = applied - offset; // ops of this item that applied
             let line = if batch {
                 let mut acks: Vec<Json> = (0..prefix)
-                    .map(|i| {
-                        crate::json::obj(vec![
-                            ("ok", Json::Bool(true)),
-                            ("at", Json::int(ops_before + (offset + i + 1) as u64)),
-                        ])
-                    })
+                    .map(|i| positional_ack(ops_before + (offset + i + 1) as u64))
                     .collect();
                 acks.push(batch_op_error(kind, &message));
                 for _ in prefix + 1..ops.len() {
@@ -848,4 +872,209 @@ fn write_shutting_down<W: Write>(writer: &mut W, id: u64) -> io::Result<()> {
     let reply = error_reply(id, "bad_request", "server is shutting down");
     writeln!(writer, "{}", reply.render())?;
     writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use netmodel::ip::IpPrefix;
+    use netmodel::rule::{Rule, RuleId};
+    use netmodel::topology::NodeId;
+
+    /// A monitored 1-shard engine loop over an `a -> b` topology, plus a
+    /// live sender feeding its work channel. Driving [`EngineLoop`]
+    /// directly makes window composition deterministic — socket-level
+    /// tests can't control which requests coalesce.
+    fn test_engine() -> (EngineLoop, SyncSender<WorkItem>, NodeId, LinkId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let ab = topo.add_link(a, b);
+        for node in [a, b] {
+            topo.drop_link(node);
+        }
+        let config = DeltaNetConfig {
+            monitor_violations: true,
+            ..DeltaNetConfig::default()
+        };
+        let mut net =
+            ShardedDeltaNet::with_parallelism(topo.clone(), config, 1, Parallelism::fixed(1));
+        net.enable_monitor();
+        let staging: Arc<Mutex<Vec<MonitorTransitions>>> = Arc::default();
+        let sink = Arc::clone(&staging);
+        net.set_monitor_observer(move |t: &MonitorTransitions| {
+            sink.lock().unwrap().push(t.clone());
+        });
+        let (tx, rx) = mpsc::sync_channel(8);
+        let shared = Arc::new(Shared {
+            topology: topo,
+            shutdown: AtomicBool::new(false),
+            sub_buffer: 4,
+        });
+        let engine = EngineLoop {
+            net: EngineNet::Plain(net),
+            rx,
+            shared,
+            staging,
+            window: 32,
+            queue_cap: 8,
+            audit: false,
+            ops_applied: 0,
+            seq: 0,
+            audits: 0,
+            mismatches: 0,
+            subscribers: Vec::new(),
+            pending: VecDeque::new(),
+        };
+        (engine, tx, a, ab)
+    }
+
+    fn insert(id: u64, src: NodeId, link: LinkId) -> Op {
+        let prefix: IpPrefix = format!("10.{id}.0.0/16").parse().expect("valid prefix");
+        Op::Insert(Rule::forward(RuleId(id), prefix, 10, src, link))
+    }
+
+    fn json(rx: &Receiver<String>) -> Json {
+        let line = rx.try_recv().expect("an ack line must be waiting");
+        parse(&line).expect("ack is json")
+    }
+
+    fn is_ok(j: &Json) -> Option<bool> {
+        j.get("ok").and_then(Json::as_bool)
+    }
+
+    fn at(j: &Json) -> Option<u64> {
+        j.get("at").and_then(Json::as_u64)
+    }
+
+    /// Regression (review): a coalesced window where one client's request
+    /// fully applies and a *later* client's op fails must ack the applied
+    /// request positionally — not panic slicing the (empty) reports.
+    #[test]
+    fn failed_window_acks_fully_applied_items_positionally() {
+        let (mut engine, _tx, a, ab) = test_engine();
+        let (good_tx, good_rx) = mpsc::channel();
+        let (bad_tx, bad_rx) = mpsc::channel();
+        engine.apply_window(vec![
+            (1, good_tx, vec![insert(1, a, ab)], false),
+            (2, bad_tx, vec![Op::Remove(RuleId(999))], false),
+        ]);
+
+        let good = json(&good_rx);
+        assert_eq!(is_ok(&good), Some(true), "{}", good.render());
+        assert_eq!(at(&good), Some(1), "{}", good.render());
+        let bad = json(&bad_rx);
+        assert_eq!(is_ok(&bad), Some(false), "{}", bad.render());
+        assert_eq!(
+            bad.get("kind").and_then(Json::as_str),
+            Some("unknown_rule"),
+            "{}",
+            bad.render()
+        );
+        assert_eq!(engine.ops_applied, 1);
+        assert!(engine.pending.is_empty());
+    }
+
+    /// The batch shape of the same window: the fully-applied batch acks
+    /// positionally per op, the failing batch keeps applied-prefix acks,
+    /// and the request behind the failure re-queues untouched.
+    #[test]
+    fn failed_window_batch_acks_and_requeues_later_items() {
+        let (mut engine, _tx, a, ab) = test_engine();
+        let (first_tx, first_rx) = mpsc::channel();
+        let (second_tx, second_rx) = mpsc::channel();
+        let (third_tx, third_rx) = mpsc::channel();
+        engine.apply_window(vec![
+            (1, first_tx, vec![insert(1, a, ab), insert(2, a, ab)], true),
+            (
+                2,
+                second_tx,
+                vec![insert(3, a, ab), Op::Remove(RuleId(999)), insert(4, a, ab)],
+                true,
+            ),
+            (3, third_tx, vec![insert(5, a, ab)], false),
+        ]);
+
+        let first = json(&first_rx);
+        assert_eq!(is_ok(&first), Some(true), "{}", first.render());
+        let acks = first.get("acks").and_then(Json::as_arr).expect("acks");
+        assert_eq!(acks.len(), 2);
+        assert_eq!(at(&acks[0]), Some(1));
+        assert_eq!(at(&acks[1]), Some(2));
+
+        let second = json(&second_rx);
+        assert_eq!(is_ok(&second), Some(false), "{}", second.render());
+        assert_eq!(second.get("applied").and_then(Json::as_u64), Some(1));
+        let acks = second.get("acks").and_then(Json::as_arr).expect("acks");
+        assert_eq!(at(&acks[0]), Some(3));
+        assert_eq!(
+            acks[1].get("kind").and_then(Json::as_str),
+            Some("unknown_rule")
+        );
+        assert_eq!(acks[2].get("kind").and_then(Json::as_str), Some("skipped"));
+
+        // The third request's op was not applied; it waits in `pending`
+        // and acks normally (with report deltas) in its follow-up window.
+        assert!(third_rx.try_recv().is_err());
+        assert_eq!(engine.ops_applied, 3);
+        let Some(WorkItem::Ops {
+            id,
+            reply,
+            ops,
+            batch,
+        }) = engine.pending.pop_front()
+        else {
+            panic!("deferred request must be re-queued");
+        };
+        assert_eq!(id, 3);
+        assert!(engine.pending.is_empty());
+        engine.apply_window(vec![(id, reply, ops, batch)]);
+        let third = json(&third_rx);
+        assert_eq!(is_ok(&third), Some(true), "{}", third.render());
+        assert_eq!(at(&third), Some(4), "{}", third.render());
+        assert!(
+            third.get("affected_classes").is_some(),
+            "clean-window acks carry report deltas: {}",
+            third.render()
+        );
+    }
+
+    /// Regression (review): work the daemon already accepted — queued
+    /// behind a `shutdown` request — is applied and acked before the
+    /// engine exits, not silently dropped.
+    #[test]
+    fn shutdown_drains_the_queued_backlog_before_exiting() {
+        let (engine, tx, a, ab) = test_engine();
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let (late_tx, late_rx) = mpsc::channel();
+        tx.send(WorkItem::Shutdown {
+            id: 1,
+            reply: shutdown_tx,
+        })
+        .expect("queue shutdown");
+        tx.send(WorkItem::Ops {
+            id: 2,
+            reply: late_tx,
+            ops: vec![insert(1, a, ab)],
+            batch: false,
+        })
+        .expect("queue late op");
+
+        // The engine must exit on its own despite `tx` staying alive.
+        thread::spawn(move || engine.run())
+            .join()
+            .expect("engine thread");
+
+        let bye = json(&shutdown_rx);
+        assert_eq!(
+            bye.get("shutting_down").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            bye.render()
+        );
+        let late = json(&late_rx);
+        assert_eq!(is_ok(&late), Some(true), "{}", late.render());
+        assert_eq!(at(&late), Some(1), "{}", late.render());
+    }
 }

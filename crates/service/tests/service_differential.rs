@@ -608,6 +608,9 @@ fn durable_daemon_recovers_and_resumes_the_stream() {
     let event = parse(&lines[0]).expect("event json");
     assert_eq!(u(&event, "first_op"), 5);
     assert_eq!(u(&event, "last_op"), 5);
+    // seq resumes from the recovered op count (4) — an upper bound on any
+    // seq the first life issued — so it stays monotone across the restart.
+    assert_eq!(u(&event, "seq"), 5, "{lines:?}");
     let appeared = event
         .get("appeared")
         .and_then(Json::as_arr)
